@@ -1,0 +1,81 @@
+#pragma once
+// Shared scaffolding for the Figure 1 benches.
+//
+// Every bench binary does two things:
+//   1. prints a Figure-1-style table for its experiment (measured ratio,
+//      measured rounds, measured space per machine against the paper's
+//      bounds) — this is the artefact EXPERIMENTS.md records;
+//   2. registers google-benchmark timings for the underlying algorithms
+//      and runs them.
+// Absolute wall-clock numbers are simulator-specific; the *shape*
+// (who wins, how rounds scale in c/mu) is the reproduction target.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "mrlr/core/params.hpp"
+#include "mrlr/graph/generators.hpp"
+#include "mrlr/graph/stats.hpp"
+#include "mrlr/setcover/generators.hpp"
+#include "mrlr/util/stats.hpp"
+#include "mrlr/util/table.hpp"
+
+namespace mrlr::bench {
+
+inline core::MrParams params(double mu, std::uint64_t seed = 1) {
+  core::MrParams p;
+  p.mu = mu;
+  p.seed = seed;
+  p.max_iterations = 20000;
+  return p;
+}
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline void print_header(const std::string& title, const std::string& claim) {
+  std::cout << "\n=== " << title << " ===\n" << claim << "\n\n";
+}
+
+/// Standard weighted instance family for graph problems: G(n, n^{1+c})
+/// with the given weight distribution.
+inline graph::Graph weighted_gnm(std::uint64_t n, double c,
+                                 graph::WeightDist dist,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  graph::Graph g = graph::gnm_density(n, c, rng);
+  return g.with_weights(graph::random_edge_weights(g, dist, rng));
+}
+
+/// Prints the table and, when MRLR_BENCH_CSV is set in the environment,
+/// also writes it as CSV to $MRLR_BENCH_CSV/<name>.csv so plots can be
+/// regenerated without scraping stdout.
+inline void emit_table(const Table& t, const std::string& name) {
+  t.print(std::cout);
+  const char* dir = std::getenv("MRLR_BENCH_CSV");
+  if (dir == nullptr || *dir == '\0') return;
+  std::filesystem::create_directories(dir);
+  std::ofstream out(std::filesystem::path(dir) / (name + ".csv"));
+  t.write_csv(out);
+  std::cout << "[csv written: " << dir << "/" << name << ".csv]\n";
+}
+
+/// Runs the table section and then google-benchmark. Call from main().
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace mrlr::bench

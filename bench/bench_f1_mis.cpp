@@ -1,0 +1,128 @@
+// Experiment F1-MIS: maximal independent set (Theorems 3.3 and A.3 rows
+// of Figure 1). Claim: Algorithm 2 finishes in O(1/mu^2) rounds,
+// Algorithm 6 in O(c/mu) rounds, both with O(n^{1+mu}) space; compared
+// against Luby's algorithm (the classic O(log n)-round PRAM baseline).
+
+#include "bench_common.hpp"
+
+#include "mrlr/baselines/luby_mr.hpp"
+#include "mrlr/core/hungry_mis.hpp"
+#include "mrlr/graph/validate.hpp"
+#include "mrlr/seq/mis.hpp"
+
+namespace mrlr::bench {
+namespace {
+
+void figure1_table() {
+  print_header("Figure 1 rows: Maximal Independent Set (Thm 3.3 / A.3)",
+               "paper: Alg 2 O(1/mu^2) rounds, Alg 6 O(c/mu) rounds, "
+               "space O(n^{1+mu}); Luby baseline needs O(log n) rounds");
+  Table t({"n", "m", "c", "mu", "algo", "rounds", "sweeps", "|MIS|",
+           "maximal", "maxwords/mach"});
+  for (const std::uint64_t n : {1000, 5000}) {
+    for (const double c : {0.3, 0.5}) {
+      for (const double mu : {0.2, 0.3}) {
+        Rng rng(n + static_cast<std::uint64_t>(c * 100));
+        const graph::Graph g = graph::gnm_density(n, c, rng);
+
+        const auto simple = core::hungry_mis_simple(g, params(mu, 1));
+        t.row()
+            .cell(n)
+            .cell(g.num_edges())
+            .cell(c, 2)
+            .cell(mu, 2)
+            .cell("hungry simple (Alg 2)")
+            .cell(simple.outcome.rounds)
+            .cell(simple.outcome.iterations)
+            .cell(static_cast<std::uint64_t>(simple.independent_set.size()))
+            .cell(graph::is_maximal_independent_set(g,
+                                                    simple.independent_set)
+                      ? "yes"
+                      : "NO")
+            .cell(simple.outcome.max_machine_words);
+
+        const auto improved = core::hungry_mis_improved(g, params(mu, 1));
+        t.row()
+            .cell(n)
+            .cell(g.num_edges())
+            .cell(c, 2)
+            .cell(mu, 2)
+            .cell("hungry improved (Alg 6)")
+            .cell(improved.outcome.rounds)
+            .cell(improved.outcome.iterations)
+            .cell(
+                static_cast<std::uint64_t>(improved.independent_set.size()))
+            .cell(graph::is_maximal_independent_set(
+                      g, improved.independent_set)
+                      ? "yes"
+                      : "NO")
+            .cell(improved.outcome.max_machine_words);
+
+        const auto luby = baselines::luby_mis_mr(g, params(mu, 2));
+        t.row()
+            .cell(n)
+            .cell(g.num_edges())
+            .cell(c, 2)
+            .cell(mu, 2)
+            .cell("Luby-MR (PRAM baseline)")
+            .cell(luby.outcome.rounds)
+            .cell(luby.phases)
+            .cell(static_cast<std::uint64_t>(luby.independent_set.size()))
+            .cell(graph::is_maximal_independent_set(g, luby.independent_set)
+                      ? "yes"
+                      : "NO")
+            .cell(luby.outcome.max_machine_words);
+      }
+    }
+  }
+  emit_table(t, "f1_mis");
+  std::cout << "\nnote: 'sweeps' counts sampling sweeps (outer iterations); "
+               "engine rounds include allreduce/update traffic. Luby "
+               "rounds translate 1:1 to MapReduce rounds via the CREW "
+               "PRAM simulation the paper cites.\n";
+}
+
+void bm_hungry_simple(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(1);
+  const graph::Graph g = graph::gnm_density(n, 0.4, rng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto res = core::hungry_mis_simple(g, params(0.25, ++seed));
+    benchmark::DoNotOptimize(res.independent_set.size());
+  }
+}
+BENCHMARK(bm_hungry_simple)->Arg(500)->Arg(2000);
+
+void bm_hungry_improved(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(1);
+  const graph::Graph g = graph::gnm_density(n, 0.4, rng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto res = core::hungry_mis_improved(g, params(0.25, ++seed));
+    benchmark::DoNotOptimize(res.independent_set.size());
+  }
+}
+BENCHMARK(bm_hungry_improved)->Arg(500)->Arg(2000);
+
+void bm_luby(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(1);
+  const graph::Graph g = graph::gnm_density(n, 0.4, rng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng lrng(++seed);
+    const auto res = seq::luby_mis(g, lrng);
+    benchmark::DoNotOptimize(res.independent_set.size());
+  }
+}
+BENCHMARK(bm_luby)->Arg(500)->Arg(2000);
+
+}  // namespace
+}  // namespace mrlr::bench
+
+int main(int argc, char** argv) {
+  mrlr::bench::figure1_table();
+  return mrlr::bench::run_benchmarks(argc, argv);
+}

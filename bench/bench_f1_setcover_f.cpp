@@ -1,0 +1,100 @@
+// Experiment F1-SC-f: weighted set cover with bounded frequency f
+// (Theorem 2.4, general-f row of Figure 1). Claim: ratio <= f,
+// O((c/mu)^2) rounds (tree broadcasts), space O(f * n^{1+mu}).
+
+#include "bench_common.hpp"
+
+#include "mrlr/core/rlr_setcover.hpp"
+#include "mrlr/seq/local_ratio_setcover.hpp"
+#include "mrlr/setcover/validate.hpp"
+#include "mrlr/util/math.hpp"
+
+namespace mrlr::bench {
+namespace {
+
+void figure1_table() {
+  print_header(
+      "Figure 1 row: Weighted Set Cover, f-approximation (Theorem 2.4)",
+      "paper: ratio f, rounds O((c/mu)^2), space O(f * n^{1+mu})");
+  Table t({"sets(n)", "universe(m)", "f", "mu", "algo", "ratio_bound",
+           "ratio_measured", "rounds", "iters", "maxwords/mach",
+           "central_in"});
+  for (const std::uint64_t num_sets : {400, 1500}) {
+    for (const std::uint64_t universe : {5000, 20000}) {
+      for (const std::uint64_t f : {2, 3, 5}) {
+        const double mu = 0.25;
+        Rng rng(num_sets + universe + f);
+        const auto sys = setcover::bounded_frequency(
+            num_sets, universe, f, graph::WeightDist::kUniform, rng);
+
+        const auto res = core::rlr_set_cover(sys, params(mu, 1));
+        const double ratio =
+            res.lower_bound > 0 ? res.weight / res.lower_bound : 1.0;
+        t.row()
+            .cell(num_sets)
+            .cell(universe)
+            .cell(f)
+            .cell(mu, 2)
+            .cell(res.outcome.failed ? "rlr-sc FAILED" : "rlr-sc (Alg 1)")
+            .cell(std::to_string(f))
+            .cell(ratio, 3)
+            .cell(res.outcome.rounds)
+            .cell(res.outcome.iterations)
+            .cell(res.outcome.max_machine_words)
+            .cell(res.outcome.max_central_inbox);
+
+        const auto sq = seq::local_ratio_set_cover(sys);
+        t.row()
+            .cell(num_sets)
+            .cell(universe)
+            .cell(f)
+            .cell(mu, 2)
+            .cell("seq local ratio")
+            .cell(std::to_string(f))
+            .cell(sq.lower_bound > 0 ? sq.weight / sq.lower_bound : 1.0, 3)
+            .cell("-")
+            .cell("-")
+            .cell("-")
+            .cell("-");
+      }
+    }
+  }
+  emit_table(t, "f1_setcover_f");
+  std::cout << "\nnote: rounds for f>2 include the fanout-n^mu tree "
+               "broadcast of the cover per iteration (the (c/mu)^2 "
+               "mechanism); the f=2 fast path is benched in "
+               "bench_f1_vertex_cover.\n";
+}
+
+void bm_rlr_set_cover(benchmark::State& state) {
+  const auto f = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(f);
+  const auto sys = setcover::bounded_frequency(
+      400, 4000, f, graph::WeightDist::kUniform, rng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto res = core::rlr_set_cover(sys, params(0.25, ++seed));
+    benchmark::DoNotOptimize(res.weight);
+  }
+}
+BENCHMARK(bm_rlr_set_cover)->Arg(2)->Arg(3)->Arg(5);
+
+void bm_seq_local_ratio_sc(benchmark::State& state) {
+  const auto f = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(f);
+  const auto sys = setcover::bounded_frequency(
+      400, 4000, f, graph::WeightDist::kUniform, rng);
+  for (auto _ : state) {
+    const auto res = seq::local_ratio_set_cover(sys);
+    benchmark::DoNotOptimize(res.weight);
+  }
+}
+BENCHMARK(bm_seq_local_ratio_sc)->Arg(2)->Arg(3)->Arg(5);
+
+}  // namespace
+}  // namespace mrlr::bench
+
+int main(int argc, char** argv) {
+  mrlr::bench::figure1_table();
+  return mrlr::bench::run_benchmarks(argc, argv);
+}

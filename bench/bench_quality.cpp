@@ -1,0 +1,188 @@
+// Experiment FIG-Q: approximation quality against exact optima (small
+// instances, brute-force OPT) and against sequential references (large
+// instances). The worst-case bounds of Figure 1 must hold on every
+// sample; the measured averages show the typical-case gap.
+
+#include "bench_common.hpp"
+
+#include "mrlr/core/greedy_setcover_mr.hpp"
+#include "mrlr/core/rlr_bmatching.hpp"
+#include "mrlr/core/rlr_matching.hpp"
+#include "mrlr/core/rlr_setcover.hpp"
+#include "mrlr/seq/exact_matching.hpp"
+#include "mrlr/seq/greedy_setcover.hpp"
+#include "mrlr/seq/local_ratio_matching.hpp"
+#include "mrlr/seq/local_ratio_setcover.hpp"
+#include "mrlr/setcover/exact.hpp"
+#include "mrlr/setcover/validate.hpp"
+#include "mrlr/util/math.hpp"
+
+namespace mrlr::bench {
+namespace {
+
+void quality_vs_exact() {
+  print_header("FIG-Q1: measured ratio vs exact OPT (small instances)",
+               "paper bounds: VC <= 2, SC <= f, MWM >= OPT/2, BM >= "
+               "OPT/(3-2/b+2eps), greedy-SC <= (1+eps)H_Delta");
+  Table t({"problem", "bound", "trials", "worst_ratio", "mean_ratio",
+           "all_within_bound"});
+  const int trials = 25;
+
+  {  // Weighted vertex cover (ratio = ALG/OPT, bound 2).
+    Accumulator acc;
+    bool ok = true;
+    for (int s = 1; s <= trials; ++s) {
+      Rng rng(static_cast<std::uint64_t>(s) * 101);
+      const graph::Graph g = graph::gnm(14, 40, rng);
+      const auto w = graph::random_vertex_weights(
+          14, graph::WeightDist::kIntegral, rng);
+      const auto res = core::rlr_vertex_cover(g, w, params(0.3, s));
+      const double opt = setcover::exact_min_vertex_cover_weight(g, w);
+      const double ratio = res.weight / opt;
+      acc.add(ratio);
+      ok &= ratio <= 2.0 + 1e-9;
+    }
+    t.row().cell("weighted VC (Thm 2.4)").cell("2").cell(trials)
+        .cell(acc.max(), 3).cell(acc.mean(), 3).cell(ok ? "yes" : "NO");
+  }
+
+  {  // Weighted set cover, f = 3.
+    Accumulator acc;
+    bool ok = true;
+    for (int s = 1; s <= trials; ++s) {
+      Rng rng(static_cast<std::uint64_t>(s) * 211);
+      const auto sys = setcover::bounded_frequency(
+          12, 18, 3, graph::WeightDist::kUniform, rng);
+      const auto res = core::rlr_set_cover(sys, params(0.3, s));
+      const auto opt = setcover::exact_min_cover_weight(sys);
+      const double ratio = res.weight / *opt;
+      acc.add(ratio);
+      ok &= ratio <= 3.0 + 1e-9;
+    }
+    t.row().cell("weighted SC f=3 (Thm 2.4)").cell("3").cell(trials)
+        .cell(acc.max(), 3).cell(acc.mean(), 3).cell(ok ? "yes" : "NO");
+  }
+
+  {  // Weighted matching (ratio = OPT/ALG, bound 2).
+    Accumulator acc;
+    bool ok = true;
+    for (int s = 1; s <= trials; ++s) {
+      Rng rng(static_cast<std::uint64_t>(s) * 307);
+      graph::Graph g = graph::gnm(14, 40, rng);
+      g = g.with_weights(graph::random_edge_weights(
+          g, graph::WeightDist::kUniform, rng));
+      const auto res = core::rlr_matching(g, params(0.3, s));
+      const double opt = seq::exact_max_matching_weight(g);
+      const double ratio = opt / res.weight;
+      acc.add(ratio);
+      ok &= ratio <= 2.0 + 1e-9;
+    }
+    t.row().cell("weighted MWM (Thm 5.6)").cell("2").cell(trials)
+        .cell(acc.max(), 3).cell(acc.mean(), 3).cell(ok ? "yes" : "NO");
+  }
+
+  {  // b-matching, b = 2, eps = 0.1 (bound 2 + 2eps).
+    Accumulator acc;
+    bool ok = true;
+    const double eps = 0.1;
+    for (int s = 1; s <= trials; ++s) {
+      Rng rng(static_cast<std::uint64_t>(s) * 401);
+      graph::Graph g = graph::gnm(10, 18, rng);
+      g = g.with_weights(graph::random_edge_weights(
+          g, graph::WeightDist::kUniform, rng));
+      std::vector<std::uint32_t> b(10, 2);
+      const auto res = core::rlr_b_matching(g, b, eps, params(0.3, s));
+      const double opt = seq::exact_max_b_matching_weight(g, b);
+      const double ratio = opt / res.weight;
+      acc.add(ratio);
+      ok &= ratio <= 2.0 + 2.0 * eps + 1e-9;
+    }
+    t.row().cell("b-matching b=2 (Thm D.3)").cell("2.2").cell(trials)
+        .cell(acc.max(), 3).cell(acc.mean(), 3).cell(ok ? "yes" : "NO");
+  }
+
+  {  // Greedy set cover MR, eps = 0.2.
+    Accumulator acc;
+    bool ok = true;
+    const double eps = 0.2;
+    double bound_worst = 0.0;
+    for (int s = 1; s <= trials; ++s) {
+      Rng rng(static_cast<std::uint64_t>(s) * 503);
+      const auto sys = setcover::many_sets(
+          30, 18, 6, graph::WeightDist::kUniform, rng);
+      const auto res = core::greedy_set_cover_mr(sys, eps, params(0.4, s));
+      const auto opt = setcover::exact_min_cover_weight(sys);
+      const double ratio = res.weight / *opt;
+      acc.add(ratio);
+      const double bound =
+          (1.0 + eps) * harmonic(sys.max_set_size()) + eps;
+      bound_worst = std::max(bound_worst, bound);
+      ok &= ratio <= bound + 1e-9;
+    }
+    t.row().cell("greedy SC (Thm 4.6)")
+        .cell("(1+eps)H_D+eps <= " + fmt(bound_worst, 2)).cell(trials)
+        .cell(acc.max(), 3).cell(acc.mean(), 3).cell(ok ? "yes" : "NO");
+  }
+
+  emit_table(t, "fig_q1_vs_exact");
+  std::cout << "\nexpected shape: all_within_bound = yes everywhere; "
+               "mean ratios far below the worst-case bounds (typical-"
+               "case behaviour of local ratio / greedy).\n";
+}
+
+void quality_vs_sequential_large() {
+  print_header("FIG-Q2: MR vs sequential reference (large instances)",
+               "same guarantees — the sampling should cost little "
+               "quality");
+  Table t({"problem", "n/m", "mr_value", "seq_value", "mr/seq"});
+  {
+    graph::Graph g =
+        weighted_gnm(2000, 0.45, graph::WeightDist::kExponential, 5);
+    const auto mr = core::rlr_matching(g, params(0.25, 1));
+    const auto sq = seq::local_ratio_matching(g);
+    t.row().cell("weighted MWM").cell(g.num_edges())
+        .cell(mr.weight, 1).cell(sq.weight, 1)
+        .cell(mr.weight / sq.weight, 3);
+  }
+  {
+    Rng rng(6);
+    const auto sys = setcover::bounded_frequency(
+        500, 5000, 3, graph::WeightDist::kUniform, rng);
+    const auto mr = core::rlr_set_cover(sys, params(0.25, 1));
+    const auto sq = seq::local_ratio_set_cover(sys);
+    t.row().cell("weighted SC f=3").cell(sys.universe_size())
+        .cell(mr.weight, 1).cell(sq.weight, 1)
+        .cell(mr.weight / sq.weight, 3);
+  }
+  {
+    Rng rng(7);
+    const auto sys = setcover::many_sets(
+        1500, 400, 12, graph::WeightDist::kExponential, rng);
+    const auto mr = core::greedy_set_cover_mr(sys, 0.2, params(0.4, 1));
+    const auto sq = seq::greedy_set_cover(sys);
+    t.row().cell("greedy SC").cell(sys.universe_size())
+        .cell(mr.weight, 1).cell(sq.weight, 1)
+        .cell(mr.weight / sq.weight, 3);
+  }
+  emit_table(t, "fig_q2_vs_seq");
+}
+
+void bm_quality_probe(benchmark::State& state) {
+  graph::Graph g =
+      weighted_gnm(1000, 0.4, graph::WeightDist::kExponential, 5);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto res = core::rlr_matching(g, params(0.25, ++seed));
+    benchmark::DoNotOptimize(res.weight);
+  }
+}
+BENCHMARK(bm_quality_probe);
+
+}  // namespace
+}  // namespace mrlr::bench
+
+int main(int argc, char** argv) {
+  mrlr::bench::quality_vs_exact();
+  mrlr::bench::quality_vs_sequential_large();
+  return mrlr::bench::run_benchmarks(argc, argv);
+}

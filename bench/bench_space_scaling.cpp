@@ -1,0 +1,127 @@
+// Experiment FIG-S: space-scaling curves. Figure 1's space column says
+// O(n^{1+mu}) per machine while the input is n^{1+c} >> n^{1+mu}. This
+// bench measures max words per machine and central-machine inbox across
+// (n, mu) and checks they track n^{1+mu}, not m; it also demonstrates
+// the broadcast-tree ablation (flat broadcast would violate the cap).
+
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "mrlr/core/rlr_matching.hpp"
+#include "mrlr/core/rlr_setcover.hpp"
+#include "mrlr/mrc/broadcast.hpp"
+
+namespace mrlr::bench {
+namespace {
+
+void space_vs_mu() {
+  print_header("FIG-S1: max words per machine vs n^{1+mu}",
+               "paper: space O(n^{1+mu}) while input m = n^{1+c} is much "
+               "larger");
+  Table t({"algo", "n", "m(input)", "mu", "n^{1+mu}", "maxwords/mach",
+           "ratio", "central_in"});
+  const std::uint64_t n = 2000;
+  const double c = 0.5;
+  for (const double mu : {0.1, 0.2, 0.3}) {
+    const graph::Graph g =
+        weighted_gnm(n, c, graph::WeightDist::kUniform, 13);
+    const std::uint64_t eta = ipow_real(n, 1.0 + mu);
+
+    const auto rm = core::rlr_matching(g, params(mu, 1));
+    t.row()
+        .cell("rlr-mwm")
+        .cell(n)
+        .cell(g.num_edges())
+        .cell(mu, 2)
+        .cell(eta)
+        .cell(rm.outcome.max_machine_words)
+        .cell(static_cast<double>(rm.outcome.max_machine_words) /
+                  static_cast<double>(eta),
+              3)
+        .cell(rm.outcome.max_central_inbox);
+
+    Rng rng(n);
+    const auto w =
+        graph::random_vertex_weights(n, graph::WeightDist::kUniform, rng);
+    const auto rv = core::rlr_vertex_cover(g, w, params(mu, 1));
+    t.row()
+        .cell("rlr-vc")
+        .cell(n)
+        .cell(g.num_edges())
+        .cell(mu, 2)
+        .cell(eta)
+        .cell(rv.outcome.max_machine_words)
+        .cell(static_cast<double>(rv.outcome.max_machine_words) /
+                  static_cast<double>(eta),
+              3)
+        .cell(rv.outcome.max_central_inbox);
+  }
+  emit_table(t, "fig_s1_space_vs_mu");
+  std::cout << "\nexpected shape: maxwords/mach scales with n^{1+mu} "
+               "(ratio column bounded by a constant), decoupled from the "
+               "input size m.\n";
+}
+
+void broadcast_tree_ablation() {
+  print_header("FIG-S2: broadcast tree vs flat broadcast (Thm 2.4 motif)",
+               "flat broadcast of B words to M machines costs B*M outbox "
+               "words on the root; the fanout tree spreads it across "
+               "ceil(log_F M) rounds");
+  Table t({"machines", "fanout", "payload", "tree_rounds",
+           "tree_max_outbox", "flat_outbox", "flat_violates_cap"});
+  for (const std::uint64_t machines : {16, 64, 256}) {
+    for (const std::uint64_t fanout : {2, 4, 8}) {
+      const std::uint64_t payload = 1000;
+      const std::uint64_t cap = 32 * payload;  // fits fanout copies, not M
+      mrc::Topology topo;
+      topo.num_machines = machines;
+      topo.words_per_machine = cap;
+      topo.fanout = fanout;
+      topo.enforce = false;
+      mrc::Engine engine(topo);
+      const std::vector<mrc::Word> data(payload, 1);
+      const auto rounds = mrc::broadcast_from_central(engine, data, "b");
+      std::uint64_t max_out = 0;
+      for (const auto& r : engine.metrics().per_round()) {
+        max_out = std::max(max_out, r.max_outbox);
+      }
+      t.row()
+          .cell(machines)
+          .cell(fanout)
+          .cell(payload)
+          .cell(rounds)
+          .cell(max_out)
+          .cell(payload * (machines - 1))
+          .cell(payload * (machines - 1) > cap ? "yes" : "no");
+    }
+  }
+  emit_table(t, "fig_s2_broadcast_tree");
+  std::cout << "\nexpected shape: tree_max_outbox = fanout * payload "
+               "regardless of M; the flat column exceeds the cap for "
+               "every M here.\n";
+}
+
+void bm_broadcast(benchmark::State& state) {
+  const auto machines = static_cast<std::uint64_t>(state.range(0));
+  mrc::Topology topo;
+  topo.num_machines = machines;
+  topo.words_per_machine = 1 << 22;
+  topo.fanout = 8;
+  for (auto _ : state) {
+    mrc::Engine engine(topo);
+    const std::vector<mrc::Word> data(1000, 1);
+    const auto rounds = mrc::broadcast_from_central(engine, data, "b");
+    benchmark::DoNotOptimize(rounds);
+  }
+}
+BENCHMARK(bm_broadcast)->Arg(16)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace mrlr::bench
+
+int main(int argc, char** argv) {
+  mrlr::bench::space_vs_mu();
+  mrlr::bench::broadcast_tree_ablation();
+  return mrlr::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,49 @@
+// Conflict-free resource assignment via (1+o(1))Delta colouring
+// (Section 6): vertices are tasks, edges are conflicts (shared data),
+// colours are execution slots; the edge-colouring variant schedules the
+// pairwise data *transfers* themselves (each slot is a perfect set of
+// disjoint transfers).
+
+#include <iostream>
+
+#include "mrlr/core/colouring.hpp"
+#include "mrlr/graph/generators.hpp"
+#include "mrlr/graph/validate.hpp"
+
+int main() {
+  using namespace mrlr;
+
+  // 4000 tasks with ~100k pairwise conflicts.
+  Rng rng(5);
+  const graph::Graph g = graph::gnm_density(4000, 0.39, rng);
+  std::cout << "conflict graph: n=" << g.num_vertices()
+            << " m=" << g.num_edges() << " Delta=" << g.max_degree()
+            << "\n";
+
+  core::MrParams params;
+  params.mu = 0.2;
+  params.seed = 9;
+
+  const auto tasks = core::mr_vertex_colouring(g, params);
+  std::cout << "task slots: " << tasks.colours_used << " for Delta "
+            << g.max_degree() << " (overhead "
+            << 100.0 * (static_cast<double>(tasks.colours_used) /
+                            static_cast<double>(g.max_degree()) - 1.0)
+            << "%), proper="
+            << graph::is_proper_vertex_colouring(g, tasks.colour)
+            << ", rounds=" << tasks.outcome.rounds
+            << " (constant: ship + colour)\n";
+
+  const auto transfers = core::mr_edge_colouring(g, params);
+  std::cout << "transfer slots: " << transfers.colours_used
+            << ", proper="
+            << graph::is_proper_edge_colouring(g, transfers.colour)
+            << ", rounds=" << transfers.outcome.rounds << "\n";
+
+  // Show a slot: all transfers coloured 0 are vertex-disjoint.
+  std::uint64_t slot0 = 0;
+  for (const auto c : transfers.colour) slot0 += (c == 0);
+  std::cout << "slot 0 carries " << slot0
+            << " simultaneous transfers (vertex-disjoint by construction)\n";
+  return 0;
+}

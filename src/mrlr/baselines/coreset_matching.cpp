@@ -1,0 +1,105 @@
+#include "mrlr/baselines/coreset_matching.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mrlr/util/math.hpp"
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::baselines {
+
+using core::MrParams;
+using graph::EdgeId;
+using graph::VertexId;
+using mrc::MachineContext;
+using mrc::Word;
+
+namespace {
+
+/// Greedy max-weight-first matching restricted to the given edges.
+std::vector<EdgeId> local_greedy(const graph::Graph& g,
+                                 std::vector<EdgeId> edges) {
+  std::sort(edges.begin(), edges.end(), [&](EdgeId a, EdgeId b) {
+    if (g.weight(a) != g.weight(b)) return g.weight(a) > g.weight(b);
+    return a < b;
+  });
+  std::vector<char> used(g.num_vertices(), 0);
+  std::vector<EdgeId> out;
+  for (const EdgeId e : edges) {
+    const graph::Edge& ed = g.edge(e);
+    if (!used[ed.u] && !used[ed.v]) {
+      used[ed.u] = used[ed.v] = 1;
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CoresetMatchingResult coreset_matching(const graph::Graph& g,
+                                       const MrParams& params,
+                                       std::uint64_t machines) {
+  const std::uint64_t n = std::max<std::uint64_t>(g.num_vertices(), 2);
+  const std::uint64_t m = g.num_edges();
+  const std::uint64_t eta = ipow_real(n, 1.0 + params.mu, 1);
+  if (machines == 0) {
+    machines = std::max<std::uint64_t>(
+        1, ceil_div(std::max<std::uint64_t>(m, 1), eta));
+  }
+
+  mrc::Topology topo;
+  topo.num_machines = machines;
+  // The central machine holds the coreset union: up to M * n/2 edges at
+  // 2 words each, plus the per-part input of m/M edges.
+  topo.words_per_machine =
+      static_cast<std::uint64_t>(
+          params.slack *
+          static_cast<double>(std::max(eta, machines * n))) +
+      64;
+  topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
+  topo.enforce = params.enforce_space;
+  mrc::Engine engine(topo);
+
+  // Random partition of edges into parts (seeded).
+  Rng rng(params.seed);
+  std::vector<std::uint32_t> part(m);
+  for (auto& p : part) p = static_cast<std::uint32_t>(rng.uniform(machines));
+  std::vector<std::uint64_t> part_words(machines, 0);
+  for (EdgeId e = 0; e < m; ++e) part_words[part[e]] += 3;
+
+  CoresetMatchingResult res;
+
+  // Round 1: each machine computes its coreset and ships it to central.
+  std::vector<EdgeId> coreset_union;
+  engine.run_round("coreset", [&](MachineContext& ctx) {
+    ctx.charge_resident(part_words[ctx.id()]);
+    std::vector<EdgeId> mine;
+    for (EdgeId e = 0; e < m; ++e) {
+      if (part[e] == ctx.id()) mine.push_back(e);
+    }
+    const auto core = local_greedy(g, std::move(mine));
+    std::vector<Word> payload;
+    payload.reserve(2 * core.size());
+    for (const EdgeId e : core) {
+      payload.push_back(e);
+      payload.push_back(core::pack_double(g.weight(e)));
+      coreset_union.push_back(e);
+    }
+    if (!payload.empty()) ctx.send(mrc::kCentral, std::move(payload));
+  });
+
+  // Round 2: central matches the union.
+  engine.run_central_round("combine", [&](MachineContext& ctx) {
+    ctx.charge_resident(ctx.inbox_words());
+    res.matching = local_greedy(g, coreset_union);
+  });
+
+  res.coreset_union_size = coreset_union.size();
+  for (const EdgeId e : res.matching) res.weight += g.weight(e);
+  res.outcome.iterations = 1;
+  res.outcome.fill_from(engine.metrics());
+  return res;
+}
+
+}  // namespace mrlr::baselines

@@ -1,0 +1,34 @@
+#pragma once
+// Randomized composable coresets for matching, after Assadi & Khanna
+// (SPAA 2017) — the "2 rounds, O~(n^1.5) space" rows of Figure 1.
+//
+// Round 1: edges are partitioned randomly across k machines; each
+// machine computes a greedy maximum-weight-first matching of its part
+// (its *coreset*, <= n/2 edges). Round 2: the union of all coresets
+// (<= k*n/2 edges) is shipped to the central machine, which computes a
+// greedy matching of the union. Two MapReduce rounds flat; the price is
+// the central machine's O(k*n) space — the space/rounds trade-off the
+// paper's Figure 1 contrasts with the O(c/mu)-round, O(n^{1+mu})-space
+// randomized local ratio.
+
+#include <vector>
+
+#include "mrlr/core/params.hpp"
+#include "mrlr/graph/graph.hpp"
+
+namespace mrlr::baselines {
+
+struct CoresetMatchingResult {
+  std::vector<graph::EdgeId> matching;
+  double weight = 0.0;
+  std::uint64_t coreset_union_size = 0;  ///< edges shipped to central
+  core::MrOutcome outcome;
+};
+
+/// `machines` = number of coreset parts (0 = derive from params.mu as
+/// M = m / n^{1+mu}).
+CoresetMatchingResult coreset_matching(const graph::Graph& g,
+                                       const core::MrParams& params,
+                                       std::uint64_t machines = 0);
+
+}  // namespace mrlr::baselines

@@ -1,0 +1,178 @@
+#include "mrlr/baselines/filtering_matching.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mrlr/seq/greedy_matching.hpp"
+#include "mrlr/util/math.hpp"
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::baselines {
+
+using core::allreduce_sum_direct;
+using core::MrParams;
+using core::owner_of;
+using graph::EdgeId;
+using graph::VertexId;
+using mrc::MachineContext;
+using mrc::MachineId;
+using mrc::Word;
+
+namespace {
+
+/// Core filtering loop over an initial alive-edge set. Matched vertices
+/// accumulate in `used`; matched edges append to `out`.
+void filter_rounds(mrc::Engine& engine, const graph::Graph& g,
+                   std::vector<char>& alive, std::vector<char>& used,
+                   std::vector<EdgeId>& out, std::uint64_t eta,
+                   const MrParams& params, core::MrOutcome& outcome,
+                   Rng& root_rng) {
+  const std::uint64_t machines = engine.num_machines();
+  std::vector<std::uint64_t> footprint(machines, 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    footprint[owner_of(e, machines)] += 3;
+  }
+
+  for (std::uint64_t iter = 0; iter < params.max_iterations; ++iter) {
+    std::vector<Word> counts(machines, 0);
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (alive[e]) ++counts[owner_of(e, machines)];
+    }
+    const std::uint64_t alive_total =
+        allreduce_sum_direct(engine, counts, "count|E|");
+    if (alive_total == 0) break;
+    ++outcome.iterations;
+
+    const bool ship_all = alive_total <= eta;
+    const double p =
+        ship_all ? 1.0
+                 : std::min(1.0, static_cast<double>(eta) /
+                                     static_cast<double>(alive_total));
+
+    std::vector<EdgeId> sampled;
+    engine.run_round("sample", [&](MachineContext& ctx) {
+      ctx.charge_resident(footprint[ctx.id()]);
+      Rng rng = root_rng.fork((iter << 20) ^ ctx.id());
+      for (EdgeId e = static_cast<EdgeId>(ctx.id()); e < g.num_edges();
+           e = static_cast<EdgeId>(e + machines)) {
+        if (!alive[e] || !rng.bernoulli(p)) continue;
+        sampled.push_back(e);
+        const graph::Edge& ed = g.edge(e);
+        ctx.send(mrc::kCentral, {e, ed.u, ed.v});
+      }
+    });
+
+    // Central: maximal matching on the sample (respecting already-used
+    // vertices), then announce the matched vertices.
+    std::vector<VertexId> newly_used;
+    engine.run_central_round("match-sample", [&](MachineContext& ctx) {
+      ctx.charge_resident(ctx.inbox_words());
+      for (const EdgeId e : sampled) {
+        const graph::Edge& ed = g.edge(e);
+        if (!used[ed.u] && !used[ed.v]) {
+          used[ed.u] = used[ed.v] = 1;
+          out.push_back(e);
+          newly_used.push_back(ed.u);
+          newly_used.push_back(ed.v);
+        }
+      }
+    });
+
+    // Filter: the matched-vertex list (at most n words) goes down the
+    // fanout tree; every machine drops its own incident edges locally.
+    std::vector<Word> matched_payload(newly_used.begin(), newly_used.end());
+    mrc::broadcast_from_central(engine, matched_payload, "bcast-matched");
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (!alive[e]) continue;
+      const graph::Edge& ed = g.edge(e);
+      if (used[ed.u] || used[ed.v]) alive[e] = 0;
+    }
+    if (ship_all) break;  // the sample was everything; matching is maximal
+  }
+}
+
+}  // namespace
+
+FilteringMatchingResult filtering_matching(const graph::Graph& g,
+                                           const MrParams& params) {
+  const std::uint64_t n = std::max<std::uint64_t>(g.num_vertices(), 2);
+  const std::uint64_t eta = ipow_real(n, 1.0 + params.mu, 1);
+
+  mrc::Topology topo;
+  topo.num_machines = std::max<std::uint64_t>(
+      1, ceil_div(std::max<std::uint64_t>(g.num_edges(), 1), eta));
+  topo.words_per_machine = static_cast<std::uint64_t>(
+                               params.slack * static_cast<double>(eta)) +
+                           64;
+  topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
+  topo.enforce = params.enforce_space;
+  mrc::Engine engine(topo);
+
+  FilteringMatchingResult res;
+  std::vector<char> alive(g.num_edges(), 1);
+  std::vector<char> used(g.num_vertices(), 0);
+  Rng rng(params.seed);
+  filter_rounds(engine, g, alive, used, res.matching, eta, params,
+                res.outcome, rng);
+  for (const EdgeId e : res.matching) res.weight += g.weight(e);
+  res.outcome.fill_from(engine.metrics());
+  return res;
+}
+
+FilteringMatchingResult filtering_weighted_matching(const graph::Graph& g,
+                                                    const MrParams& params,
+                                                    double layer_base) {
+  MRLR_REQUIRE(layer_base > 1.0, "layer base must exceed 1");
+  const std::uint64_t n = std::max<std::uint64_t>(g.num_vertices(), 2);
+  const std::uint64_t eta = ipow_real(n, 1.0 + params.mu, 1);
+
+  mrc::Topology topo;
+  topo.num_machines = std::max<std::uint64_t>(
+      1, ceil_div(std::max<std::uint64_t>(g.num_edges(), 1), eta));
+  topo.words_per_machine = static_cast<std::uint64_t>(
+                               params.slack * static_cast<double>(eta)) +
+                           64;
+  topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
+  topo.enforce = params.enforce_space;
+  mrc::Engine engine(topo);
+
+  FilteringMatchingResult res;
+  if (g.num_edges() == 0) return res;
+
+  double wmax = 0.0, wmin = std::numeric_limits<double>::infinity();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    wmax = std::max(wmax, g.weight(e));
+    wmin = std::min(wmin, g.weight(e));
+  }
+  // Layer k holds weights in (wmax/base^{k+1}, wmax/base^k].
+  const auto layers = static_cast<std::uint64_t>(
+      std::floor(std::log(wmax / wmin) / std::log(layer_base))) + 1;
+  auto layer_of = [&](double w) -> std::uint64_t {
+    const auto k = static_cast<std::int64_t>(
+        std::floor(std::log(wmax / w) / std::log(layer_base)));
+    return static_cast<std::uint64_t>(
+        std::clamp<std::int64_t>(k, 0, static_cast<std::int64_t>(layers) - 1));
+  };
+
+  std::vector<char> used(g.num_vertices(), 0);
+  Rng rng(params.seed);
+  for (std::uint64_t k = 0; k < layers; ++k) {
+    std::vector<char> alive(g.num_edges(), 0);
+    bool any = false;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const graph::Edge& ed = g.edge(e);
+      if (layer_of(g.weight(e)) == k && !used[ed.u] && !used[ed.v]) {
+        alive[e] = 1;
+        any = true;
+      }
+    }
+    if (!any) continue;
+    filter_rounds(engine, g, alive, used, res.matching, eta, params,
+                  res.outcome, rng);
+  }
+  for (const EdgeId e : res.matching) res.weight += g.weight(e);
+  res.outcome.fill_from(engine.metrics());
+  return res;
+}
+
+}  // namespace mrlr::baselines

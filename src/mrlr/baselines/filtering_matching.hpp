@@ -1,0 +1,38 @@
+#pragma once
+// The filtering technique of Lattanzi, Moseley, Suri and Vassilvitskii
+// (SPAA 2011) — the prior-work rows of Figure 1 that our randomized local
+// ratio is compared against.
+//
+// Unweighted maximal matching (2-approximation of maximum matching):
+// repeatedly sample edges into the central machine's memory, compute a
+// maximal matching of the sample, and *filter* — delete every edge with a
+// matched endpoint. O(c/mu) rounds w.h.p.
+//
+// Weighted matching (the 8-approximation): split edges into geometric
+// weight layers; process layers heaviest-first with the unweighted
+// routine on the still-unmatched vertices.
+
+#include <vector>
+
+#include "mrlr/core/params.hpp"
+#include "mrlr/graph/graph.hpp"
+
+namespace mrlr::baselines {
+
+struct FilteringMatchingResult {
+  std::vector<graph::EdgeId> matching;
+  double weight = 0.0;
+  core::MrOutcome outcome;
+};
+
+/// Unweighted filtering maximal matching (weights ignored).
+FilteringMatchingResult filtering_matching(const graph::Graph& g,
+                                           const core::MrParams& params);
+
+/// Weighted layered filtering; `layer_base` is the geometric ratio
+/// between consecutive weight layers (2 in the original analysis).
+FilteringMatchingResult filtering_weighted_matching(
+    const graph::Graph& g, const core::MrParams& params,
+    double layer_base = 2.0);
+
+}  // namespace mrlr::baselines

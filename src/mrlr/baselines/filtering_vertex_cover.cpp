@@ -1,0 +1,18 @@
+#include "mrlr/baselines/filtering_vertex_cover.hpp"
+
+namespace mrlr::baselines {
+
+FilteringVertexCoverResult filtering_vertex_cover(
+    const graph::Graph& g, const core::MrParams& params) {
+  FilteringVertexCoverResult res;
+  const FilteringMatchingResult matching = filtering_matching(g, params);
+  res.cover.reserve(2 * matching.matching.size());
+  for (const graph::EdgeId e : matching.matching) {
+    res.cover.push_back(g.edge(e).u);
+    res.cover.push_back(g.edge(e).v);
+  }
+  res.outcome = matching.outcome;
+  return res;
+}
+
+}  // namespace mrlr::baselines

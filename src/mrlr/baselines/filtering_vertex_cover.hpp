@@ -1,0 +1,22 @@
+#pragma once
+// Filtering vertex cover (Lattanzi et al.): the matched vertices of a
+// filtering maximal matching form a 2-approximate *unweighted* vertex
+// cover. Comparison row for Theorem 2.4 (which additionally handles
+// weights at the same ratio).
+
+#include <vector>
+
+#include "mrlr/baselines/filtering_matching.hpp"
+#include "mrlr/graph/graph.hpp"
+
+namespace mrlr::baselines {
+
+struct FilteringVertexCoverResult {
+  std::vector<graph::VertexId> cover;
+  core::MrOutcome outcome;
+};
+
+FilteringVertexCoverResult filtering_vertex_cover(
+    const graph::Graph& g, const core::MrParams& params);
+
+}  // namespace mrlr::baselines

@@ -1,0 +1,127 @@
+#include "mrlr/baselines/luby_colouring_mr.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "mrlr/util/math.hpp"
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::baselines {
+
+using core::MrParams;
+using core::owner_of;
+using graph::Incidence;
+using graph::VertexId;
+using mrc::MachineContext;
+
+namespace {
+constexpr std::uint32_t kUncoloured =
+    std::numeric_limits<std::uint32_t>::max();
+}
+
+LubyColouringResult luby_colouring_mr(const graph::Graph& g,
+                                      const MrParams& params) {
+  const std::uint64_t n = std::max<std::uint64_t>(g.num_vertices(), 2);
+  const std::uint64_t eta = ipow_real(n, 1.0 + params.mu, 1);
+
+  mrc::Topology topo;
+  topo.num_machines = std::max<std::uint64_t>(
+      1, ceil_div(std::max<std::uint64_t>(g.num_edges(), 1), eta));
+  topo.words_per_machine = static_cast<std::uint64_t>(
+                               params.slack * static_cast<double>(eta)) +
+                           64;
+  topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
+  topo.enforce = params.enforce_space;
+  mrc::Engine engine(topo);
+  const std::uint64_t machines = topo.num_machines;
+
+  std::vector<std::uint64_t> footprint(machines, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    footprint[owner_of(v, machines)] += 2 + g.degree(v);
+  }
+
+  const auto palette =
+      static_cast<std::uint32_t>(g.max_degree() + 1);
+  LubyColouringResult res;
+  res.colour.assign(g.num_vertices(), kUncoloured);
+  std::uint64_t uncoloured = g.num_vertices();
+  std::vector<std::uint32_t> proposal(g.num_vertices(), kUncoloured);
+  Rng root_rng(params.seed);
+
+  while (uncoloured > 0 && res.phases < params.max_iterations) {
+    ++res.phases;
+    // Round 1: uncoloured vertices propose a colour that no coloured
+    // neighbour holds, drawn uniformly from the first such candidates,
+    // and tell uncoloured neighbours.
+    engine.run_round("propose", [&](MachineContext& ctx) {
+      ctx.charge_resident(footprint[ctx.id()]);
+      Rng rng = root_rng.fork((res.phases << 20) ^ ctx.id());
+      for (VertexId v = static_cast<VertexId>(ctx.id());
+           v < g.num_vertices();
+           v = static_cast<VertexId>(v + machines)) {
+        if (res.colour[v] != kUncoloured) continue;
+        // Free colours = palette minus coloured neighbours' colours.
+        std::vector<char> taken(palette, 0);
+        for (const Incidence& inc : g.neighbours(v)) {
+          const std::uint32_t cn = res.colour[inc.neighbour];
+          if (cn != kUncoloured) taken[cn] = 1;
+        }
+        std::vector<std::uint32_t> free;
+        for (std::uint32_t col = 0; col < palette; ++col) {
+          if (!taken[col]) free.push_back(col);
+        }
+        MRLR_REQUIRE(!free.empty(), "palette exhausted: degree bound bug");
+        proposal[v] = free[rng.uniform(free.size())];
+        for (const Incidence& inc : g.neighbours(v)) {
+          if (res.colour[inc.neighbour] == kUncoloured) {
+            ctx.send(owner_of(inc.neighbour, machines),
+                     {inc.neighbour, v, proposal[v]});
+          }
+        }
+      }
+    });
+
+    // Round 2: a proposal sticks if no uncoloured neighbour proposed the
+    // same colour with a smaller id (deterministic tie-break).
+    engine.run_round("commit", [&](MachineContext& ctx) {
+      ctx.charge_resident(footprint[ctx.id()] + ctx.inbox_words());
+    });
+    // Two-pass commit: decide every winner against the *pre-phase*
+    // colour state, then apply — committing in place would let a later
+    // vertex miss a conflict with a same-phase winner.
+    std::vector<VertexId> winners;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (res.colour[v] != kUncoloured || proposal[v] == kUncoloured) {
+        continue;
+      }
+      bool wins = true;
+      for (const Incidence& inc : g.neighbours(v)) {
+        const VertexId u = inc.neighbour;
+        if (res.colour[u] == kUncoloured && proposal[u] == proposal[v] &&
+            u < v) {
+          wins = false;
+          break;
+        }
+      }
+      if (wins) winners.push_back(v);
+    }
+    for (const VertexId v : winners) {
+      res.colour[v] = proposal[v];
+      --uncoloured;
+    }
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (res.colour[v] != kUncoloured) proposal[v] = kUncoloured;
+    }
+  }
+
+  std::uint32_t max_colour = 0;
+  for (const auto col : res.colour) {
+    if (col != kUncoloured) max_colour = std::max(max_colour, col);
+  }
+  res.colours_used = g.num_vertices() == 0 ? 0 : max_colour + 1;
+  res.outcome.iterations = res.phases;
+  res.outcome.fill_from(engine.metrics());
+  return res;
+}
+
+}  // namespace mrlr::baselines

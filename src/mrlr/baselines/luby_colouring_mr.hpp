@@ -1,0 +1,27 @@
+#pragma once
+// (Delta+1) vertex colouring in O(log n) MapReduce rounds, in the style
+// of Luby / Johansson: every uncoloured vertex proposes a uniformly
+// random colour from its remaining palette; proposals that beat all
+// uncoloured neighbours' proposals (and avoid coloured neighbours)
+// stick. Section 6 of the paper cites exactly this family as the
+// O(log n)-round baseline its O(1)-round Algorithm 5 improves on —
+// at the price of (1+o(1))Delta colours instead of Delta+1.
+
+#include <vector>
+
+#include "mrlr/core/params.hpp"
+#include "mrlr/graph/graph.hpp"
+
+namespace mrlr::baselines {
+
+struct LubyColouringResult {
+  std::vector<std::uint32_t> colour;
+  std::uint64_t colours_used = 0;
+  std::uint64_t phases = 0;
+  core::MrOutcome outcome;
+};
+
+LubyColouringResult luby_colouring_mr(const graph::Graph& g,
+                                      const core::MrParams& params);
+
+}  // namespace mrlr::baselines

@@ -1,0 +1,119 @@
+#include "mrlr/baselines/luby_mr.hpp"
+
+#include <algorithm>
+
+#include "mrlr/util/math.hpp"
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::baselines {
+
+using core::MrParams;
+using core::owner_of;
+using graph::Incidence;
+using graph::VertexId;
+using mrc::MachineContext;
+using mrc::Word;
+
+LubyMrResult luby_mis_mr(const graph::Graph& g, const MrParams& params) {
+  const std::uint64_t n = std::max<std::uint64_t>(g.num_vertices(), 2);
+  const std::uint64_t eta = ipow_real(n, 1.0 + params.mu, 1);
+
+  mrc::Topology topo;
+  topo.num_machines = std::max<std::uint64_t>(
+      1, ceil_div(std::max<std::uint64_t>(g.num_edges(), 1), eta));
+  topo.words_per_machine = static_cast<std::uint64_t>(
+                               params.slack * static_cast<double>(eta)) +
+                           64;
+  topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
+  topo.enforce = params.enforce_space;
+  mrc::Engine engine(topo);
+  const std::uint64_t machines = topo.num_machines;
+
+  std::vector<std::uint64_t> footprint(machines, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    footprint[owner_of(v, machines)] += 2 + g.degree(v);
+  }
+
+  std::vector<char> live(g.num_vertices(), 1);
+  std::vector<std::uint64_t> mark(g.num_vertices(), 0);
+  std::uint64_t remaining = g.num_vertices();
+
+  LubyMrResult res;
+  Rng root_rng(params.seed);
+
+  while (remaining > 0 && res.phases < params.max_iterations) {
+    ++res.phases;
+    // Round 1: every live vertex draws a mark and sends it to the
+    // owners of its live neighbours.
+    engine.run_round("luby-marks", [&](MachineContext& ctx) {
+      ctx.charge_resident(footprint[ctx.id()]);
+      Rng rng = root_rng.fork((res.phases << 20) ^ ctx.id());
+      for (VertexId v = static_cast<VertexId>(ctx.id());
+           v < g.num_vertices();
+           v = static_cast<VertexId>(v + machines)) {
+        if (!live[v]) continue;
+        mark[v] = rng();
+        for (const Incidence& inc : g.neighbours(v)) {
+          if (live[inc.neighbour]) {
+            ctx.send(owner_of(inc.neighbour, machines),
+                     {inc.neighbour, v, mark[v]});
+          }
+        }
+      }
+    });
+
+    // Round 2: local minima declare themselves winners and notify
+    // neighbours.
+    std::vector<VertexId> winners;
+    engine.run_round("luby-winners", [&](MachineContext& ctx) {
+      ctx.charge_resident(footprint[ctx.id()] + ctx.inbox_words());
+      for (VertexId v = static_cast<VertexId>(ctx.id());
+           v < g.num_vertices();
+           v = static_cast<VertexId>(v + machines)) {
+        if (!live[v]) continue;
+        bool is_min = true;
+        for (const Incidence& inc : g.neighbours(v)) {
+          const VertexId u = inc.neighbour;
+          if (!live[u]) continue;
+          if (mark[u] < mark[v] || (mark[u] == mark[v] && u < v)) {
+            is_min = false;
+            break;
+          }
+        }
+        if (is_min) {
+          winners.push_back(v);
+          for (const Incidence& inc : g.neighbours(v)) {
+            if (live[inc.neighbour]) {
+              ctx.send(owner_of(inc.neighbour, machines),
+                       {inc.neighbour});
+            }
+          }
+        }
+      }
+    });
+
+    // Round 3: winners join the MIS; dominated vertices leave.
+    engine.run_round("luby-drop", [&](MachineContext& ctx) {
+      ctx.charge_resident(footprint[ctx.id()] + ctx.inbox_words());
+    });
+    for (const VertexId v : winners) {
+      if (!live[v]) continue;
+      res.independent_set.push_back(v);
+      live[v] = 0;
+      --remaining;
+      for (const Incidence& inc : g.neighbours(v)) {
+        if (live[inc.neighbour]) {
+          live[inc.neighbour] = 0;
+          --remaining;
+        }
+      }
+    }
+  }
+
+  std::sort(res.independent_set.begin(), res.independent_set.end());
+  res.outcome.iterations = res.phases;
+  res.outcome.fill_from(engine.metrics());
+  return res;
+}
+
+}  // namespace mrlr::baselines

@@ -1,0 +1,25 @@
+#pragma once
+// Luby's maximal independent set as a MapReduce algorithm — the
+// O(log n)-round PRAM-simulation baseline Section 6 of the paper
+// mentions ("Luby's randomized algorithms ... have clean MapReduce
+// implementations by using one machine per processor"). Each Luby phase
+// costs three engine rounds: draw+exchange marks, announce winners,
+// drop dominated vertices.
+
+#include <vector>
+
+#include "mrlr/core/params.hpp"
+#include "mrlr/graph/graph.hpp"
+
+namespace mrlr::baselines {
+
+struct LubyMrResult {
+  std::vector<graph::VertexId> independent_set;
+  std::uint64_t phases = 0;
+  core::MrOutcome outcome;
+};
+
+LubyMrResult luby_mis_mr(const graph::Graph& g,
+                         const core::MrParams& params);
+
+}  // namespace mrlr::baselines

@@ -1,0 +1,146 @@
+#include "mrlr/baselines/sample_prune_setcover.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "mrlr/util/math.hpp"
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::baselines {
+
+using core::allreduce_sum_direct;
+using core::MrParams;
+using core::owner_of;
+using mrc::MachineContext;
+using mrc::Word;
+using setcover::ElementId;
+using setcover::SetId;
+
+SamplePruneResult sample_prune_set_cover(const setcover::SetSystem& sys,
+                                         double eps,
+                                         const MrParams& params) {
+  MRLR_REQUIRE(eps > 0.0, "epsilon must be positive");
+  MRLR_REQUIRE(sys.coverable(), "instance has an uncoverable element");
+  const std::uint64_t n = sys.num_sets();
+  const std::uint64_t m = std::max<std::uint64_t>(sys.universe_size(), 2);
+  const std::uint64_t cap_base = ipow_real(m, 1.0 + params.mu, 1);
+
+  mrc::Topology topo;
+  topo.num_machines = std::max<std::uint64_t>(
+      1, ceil_div(sys.total_incidences() + n, cap_base));
+  topo.words_per_machine = static_cast<std::uint64_t>(
+                               params.slack *
+                               static_cast<double>(cap_base)) +
+                           64;
+  topo.fanout = std::max<std::uint64_t>(2, ipow_real(m, params.mu, 2));
+  topo.enforce = params.enforce_space;
+  mrc::Engine engine(topo);
+  const std::uint64_t machines = topo.num_machines;
+
+  std::vector<std::uint64_t> footprint(machines, 0);
+  for (SetId l = 0; l < n; ++l) {
+    footprint[owner_of(l, machines)] += 3 + sys.set(l).size();
+  }
+
+  std::vector<char> covered(sys.universe_size(), 0);
+  std::uint64_t covered_count = 0;
+  std::vector<std::uint64_t> residual(n);
+  for (SetId l = 0; l < n; ++l) residual[l] = sys.set(l).size();
+  std::vector<char> taken(n, 0);
+
+  SamplePruneResult res;
+  auto take_set = [&](SetId l) {
+    taken[l] = 1;
+    res.cover.push_back(l);
+    res.weight += sys.weight(l);
+    for (const ElementId j : sys.set(l)) {
+      if (!covered[j]) {
+        covered[j] = 1;
+        ++covered_count;
+        for (const SetId l2 : sys.sets_containing(j)) {
+          if (residual[l2] > 0) --residual[l2];
+        }
+      }
+    }
+  };
+  auto ratio = [&](SetId l) {
+    return static_cast<double>(residual[l]) / sys.weight(l);
+  };
+
+  double level = 0.0;
+  for (SetId l = 0; l < n; ++l) level = std::max(level, ratio(l));
+
+  Rng root_rng(params.seed);
+  std::uint64_t guard = 0;
+  // Sample budget per round: one machine's worth of sets.
+  const std::uint64_t budget = std::max<std::uint64_t>(1, cap_base /
+                                   std::max<std::uint64_t>(1, sys.max_set_size() + 3));
+
+  while (covered_count < sys.universe_size() &&
+         guard < params.max_iterations) {
+    const double threshold = level / (1.0 + eps);
+    while (guard < params.max_iterations) {
+      ++guard;
+      ++res.outcome.iterations;
+      std::vector<Word> counts(machines, 0);
+      for (SetId l = 0; l < n; ++l) {
+        if (!taken[l] && residual[l] > 0 && threshold > 0.0 &&
+            ratio(l) >= threshold) {
+          ++counts[owner_of(l, machines)];
+        }
+      }
+      const std::uint64_t qualifying =
+          allreduce_sum_direct(engine, counts, "count-qualifying");
+      if (qualifying == 0) break;
+
+      const double p = std::min(1.0, static_cast<double>(budget) /
+                                         static_cast<double>(qualifying));
+      std::vector<SetId> sampled;
+      engine.run_round("sample", [&](MachineContext& ctx) {
+        ctx.charge_resident(footprint[ctx.id()]);
+        Rng rng = root_rng.fork((guard << 20) ^ ctx.id());
+        for (SetId l = static_cast<SetId>(ctx.id()); l < n;
+             l = static_cast<SetId>(l + machines)) {
+          if (taken[l] || residual[l] == 0 || ratio(l) < threshold) continue;
+          if (!rng.bernoulli(p)) continue;
+          sampled.push_back(l);
+          std::vector<Word> payload{l, core::pack_double(sys.weight(l))};
+          for (const ElementId j : sys.set(l)) {
+            if (!covered[j]) payload.push_back(j);
+          }
+          ctx.send(mrc::kCentral, std::move(payload));
+        }
+      });
+
+      std::vector<ElementId> newly;
+      engine.run_central_round("prune", [&](MachineContext& ctx) {
+        ctx.charge_resident(ctx.inbox_words());
+        for (const SetId l : sampled) {
+          if (!taken[l] && residual[l] > 0 && ratio(l) >= threshold) {
+            const std::uint64_t before = covered_count;
+            take_set(l);
+            (void)before;
+          }
+        }
+        for (ElementId j = 0; j < sys.universe_size(); ++j) {
+          if (covered[j]) newly.push_back(j);
+        }
+      });
+
+      // Broadcast covered elements so owners prune (tree).
+      std::vector<Word> payload(newly.begin(), newly.end());
+      mrc::broadcast_from_central(engine, payload, "bcast covered");
+      if (covered_count >= sys.universe_size()) break;
+    }
+    if (covered_count >= sys.universe_size()) break;
+    level /= (1.0 + eps);
+    ++res.level_drops;
+    if (level <= std::numeric_limits<double>::min()) break;
+  }
+
+  res.outcome.failed = covered_count < sys.universe_size();
+  res.outcome.fill_from(engine.metrics());
+  return res;
+}
+
+}  // namespace mrlr::baselines

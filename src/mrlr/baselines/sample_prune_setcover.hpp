@@ -1,0 +1,28 @@
+#pragma once
+// Sample-and-prune style greedy set cover in the spirit of Kumar,
+// Moseley, Vassilvitskii and Vattani (TOPC 2015) — the threshold-greedy
+// comparator for Algorithm 3. Identical epsilon-greedy quality target,
+// but *without* the paper's size-class bucketing: per inner iteration a
+// single uniform sample of qualifying sets is shipped and admitted
+// greedily, so exhausting a threshold level takes more rounds — exactly
+// the gap Theorem 4.6's bucketing closes.
+
+#include <vector>
+
+#include "mrlr/core/params.hpp"
+#include "mrlr/setcover/set_system.hpp"
+
+namespace mrlr::baselines {
+
+struct SamplePruneResult {
+  std::vector<setcover::SetId> cover;
+  double weight = 0.0;
+  std::uint64_t level_drops = 0;
+  core::MrOutcome outcome;
+};
+
+SamplePruneResult sample_prune_set_cover(const setcover::SetSystem& sys,
+                                         double eps,
+                                         const core::MrParams& params);
+
+}  // namespace mrlr::baselines

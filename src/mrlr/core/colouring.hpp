@@ -1,0 +1,41 @@
+#pragma once
+// (1 + o(1)) * Delta vertex and edge colouring in O(1) MapReduce rounds —
+// Algorithm 5 and Theorems 6.4 / 6.6.
+//
+// Vertex variant: randomly partition V into kappa = n^{(c-mu)/2} groups.
+// Each induced subgraph has max degree (1 + o(1)) * Delta / kappa w.h.p.
+// (Lemma 6.1) and at most 13 * n^{1+mu} edges w.h.p. (Lemma 6.2, by
+// Hajnal-Szemeredi), so machine i colours group i greedily with
+// Delta_i + 1 colours; vertex v's final colour is (i, c_i(v)), realized
+// here as offset_i + c_i(v) with disjoint per-group palettes. Total
+// colours <= sum_i (Delta_i + 1) = (1 + o(1)) * Delta.
+//
+// Edge variant (Remark 6.5): partition the *edges* into kappa groups and
+// colour each group with Misra-Gries (Delta_i + 1 colours); disjoint
+// palettes keep edges sharing a vertex across groups conflict-free.
+
+#include <vector>
+
+#include "mrlr/core/params.hpp"
+#include "mrlr/graph/graph.hpp"
+
+namespace mrlr::core {
+
+struct ColouringResult {
+  std::vector<std::uint32_t> colour;  ///< per vertex (or per edge)
+  std::uint64_t colours_used = 0;
+  std::uint64_t groups = 0;           ///< kappa
+  bool failed = false;                ///< a group exceeded 13*n^{1+mu} edges
+  MrOutcome outcome;
+};
+
+/// Theorem 6.4. Requires mu < c for a nontrivial partition; with
+/// params.c < 0 the density exponent is derived from the graph.
+ColouringResult mr_vertex_colouring(const graph::Graph& g,
+                                    const MrParams& params);
+
+/// Theorem 6.6 via Remark 6.5.
+ColouringResult mr_edge_colouring(const graph::Graph& g,
+                                  const MrParams& params);
+
+}  // namespace mrlr::core

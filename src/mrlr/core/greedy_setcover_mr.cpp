@@ -1,0 +1,321 @@
+#include "mrlr/core/greedy_setcover_mr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mrlr/util/math.hpp"
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::core {
+
+using mrc::MachineContext;
+using mrc::MachineId;
+using mrc::Word;
+using setcover::ElementId;
+using setcover::SetId;
+
+namespace {
+
+/// Indices of successes among `trials` Bernoulli(p) draws, via geometric
+/// skipping: O(successes) expected time.
+std::vector<std::uint64_t> binomial_hits(std::uint64_t trials, double p,
+                                         Rng& rng) {
+  std::vector<std::uint64_t> hits;
+  if (trials == 0 || p <= 0.0) return hits;
+  if (p >= 1.0) {
+    hits.resize(trials);
+    for (std::uint64_t i = 0; i < trials; ++i) hits[i] = i;
+    return hits;
+  }
+  const double log1mp = std::log1p(-p);
+  std::uint64_t idx = 0;
+  while (true) {
+    const double u = std::max(rng.uniform01(), 0x1.0p-53);
+    const double skip_f = std::log(u) / log1mp;
+    if (skip_f >= static_cast<double>(trials - idx)) break;
+    const auto skip = static_cast<std::uint64_t>(skip_f) + 1;
+    if (skip > trials - idx) break;
+    idx += skip;
+    hits.push_back(idx - 1);
+    if (idx >= trials) break;
+  }
+  return hits;
+}
+
+}  // namespace
+
+GreedySetCoverMrResult greedy_set_cover_mr(const setcover::SetSystem& sys,
+                                           double eps,
+                                           const MrParams& params) {
+  MRLR_REQUIRE(eps > 0.0, "epsilon must be positive");
+  MRLR_REQUIRE(sys.coverable(), "instance has an uncoverable element");
+  const std::uint64_t n = sys.num_sets();
+  const std::uint64_t m = std::max<std::uint64_t>(sys.universe_size(), 2);
+  const double alpha = params.mu / 8.0;
+  MRLR_REQUIRE(alpha > 0.0, "mu must be positive");
+  const auto num_classes =
+      static_cast<std::uint64_t>(std::ceil(1.0 / alpha));
+  const std::uint64_t m_mu2 =
+      std::max<std::uint64_t>(1, ipow_real(m, params.mu / 2.0, 1));
+
+  // Theorem 4.6 regime: machines store sets, O(m^{1+mu} log n) words each.
+  const std::uint64_t cap_base = ipow_real(m, 1.0 + params.mu, 1);
+  const double logn = std::log2(static_cast<double>(std::max<std::uint64_t>(n, 2))) + 1.0;
+  mrc::Topology topo;
+  topo.num_machines = std::max<std::uint64_t>(
+      1, ceil_div(sys.total_incidences() + n, cap_base));
+  topo.words_per_machine =
+      static_cast<std::uint64_t>(params.slack * logn *
+                                 static_cast<double>(cap_base)) +
+      64;
+  topo.fanout = std::max<std::uint64_t>(2, ipow_real(m, params.mu, 2));
+  topo.enforce = params.enforce_space;
+  mrc::Engine engine(topo);
+  const std::uint64_t machines = topo.num_machines;
+
+  std::vector<std::uint64_t> footprint(machines, 0);
+  for (SetId l = 0; l < n; ++l) {
+    footprint[owner_of(l, machines)] += 3 + sys.set(l).size();
+  }
+
+  // Shared algorithm state.
+  std::vector<char> covered(sys.universe_size(), 0);
+  std::uint64_t covered_count = 0;
+  std::vector<std::uint64_t> residual(n);  // |S_l \ C|
+  for (SetId l = 0; l < n; ++l) residual[l] = sys.set(l).size();
+  std::vector<char> taken(n, 0);
+  std::vector<char> excluded(n, 0);
+
+  GreedySetCoverMrResult res;
+
+  auto take_set = [&](SetId l) -> std::vector<ElementId> {
+    std::vector<ElementId> newly;
+    taken[l] = 1;
+    res.cover.push_back(l);
+    res.weight += sys.weight(l);
+    for (const ElementId j : sys.set(l)) {
+      if (!covered[j]) {
+        covered[j] = 1;
+        ++covered_count;
+        newly.push_back(j);
+        for (const SetId l2 : sys.sets_containing(j)) {
+          if (residual[l2] > 0) --residual[l2];
+        }
+      }
+    }
+    return newly;
+  };
+
+  // ---- Remark 4.7 preprocessing. gamma = max_j min_{S: j in S} w(S). --
+  double gamma = 0.0;
+  for (ElementId j = 0; j < sys.universe_size(); ++j) {
+    double mn = std::numeric_limits<double>::infinity();
+    for (const SetId l : sys.sets_containing(j)) {
+      mn = std::min(mn, sys.weight(l));
+    }
+    gamma = std::max(gamma, mn);
+  }
+  // Round accounting for the preprocessing broadcast (tree, both ways).
+  {
+    std::vector<Word> dummy(machines, 1);
+    (void)allreduce_sum_direct(engine, dummy, "preprocess-gamma");
+  }
+  const double cheap = gamma * eps / static_cast<double>(std::max<std::uint64_t>(n, 1));
+  const double expensive = static_cast<double>(m) * gamma;
+  for (SetId l = 0; l < n; ++l) {
+    if (sys.weight(l) <= cheap && residual[l] > 0) {
+      (void)take_set(l);
+      ++res.preprocessed_sets;
+    } else if (sys.weight(l) > expensive) {
+      excluded[l] = 1;
+    }
+  }
+
+  auto ratio = [&](SetId l) -> double {
+    return static_cast<double>(residual[l]) / sys.weight(l);
+  };
+
+  double level = 0.0;
+  for (SetId l = 0; l < n; ++l) {
+    if (!taken[l] && !excluded[l]) level = std::max(level, ratio(l));
+  }
+
+  // Class of a residual size: smallest i >= 1 with r >= m^{1-i*alpha}.
+  auto class_of = [&](std::uint64_t r) -> std::uint64_t {
+    for (std::uint64_t i = 1; i <= num_classes; ++i) {
+      if (r >= ipow_real(m, 1.0 - static_cast<double>(i) * alpha, 1)) {
+        return i;
+      }
+    }
+    return num_classes;
+  };
+
+  const double qualify_factor = 1.0 / (1.0 + eps);
+  std::uint64_t iter_guard = 0;
+  Rng root_rng(params.seed);
+
+  while (covered_count < sys.universe_size() &&
+         iter_guard < params.max_iterations) {
+    // ---- Inner while: exhaust the current level. ----
+    while (iter_guard < params.max_iterations) {
+      ++iter_guard;
+      ++res.outcome.iterations;
+      const double threshold = level * qualify_factor;
+
+      // Count qualifying sets per class (one vector allreduce).
+      std::vector<std::vector<Word>> class_counts(
+          machines, std::vector<Word>(num_classes + 1, 0));
+      std::uint64_t total_qualifying = 0;
+      for (SetId l = 0; l < n; ++l) {
+        if (taken[l] || excluded[l] || residual[l] == 0) continue;
+        if (ratio(l) >= threshold && threshold > 0.0) {
+          ++class_counts[owner_of(l, machines)][class_of(residual[l])];
+          ++total_qualifying;
+        }
+      }
+      const std::vector<Word> sizes =
+          allreduce_sum_vec(engine, class_counts, "count-classes");
+      if (total_qualifying == 0) break;
+
+      // Sampling: set l in class i joins each of 2*m^{(i+1)*alpha} groups
+      // independently with probability min(1, m^{mu/2} / |class i|).
+      struct Sampled {
+        std::uint64_t group_key;  // (class << 40) | group
+        SetId set;
+      };
+      std::vector<Sampled> sample;
+      std::vector<std::uint64_t> group_load;  // indexed by dense group idx
+      std::vector<std::uint64_t> groups_of_class(num_classes + 1, 0);
+      std::vector<std::uint64_t> base_of_class(num_classes + 1, 0);
+      std::uint64_t total_groups = 0;
+      for (std::uint64_t i = 1; i <= num_classes; ++i) {
+        base_of_class[i] = total_groups;
+        groups_of_class[i] =
+            2 * ipow_real(m, static_cast<double>(i + 1) * alpha, 1);
+        total_groups += groups_of_class[i];
+      }
+      group_load.assign(total_groups, 0);
+      Rng rng = root_rng.fork(iter_guard);
+      for (SetId l = 0; l < n; ++l) {
+        if (taken[l] || excluded[l] || residual[l] == 0) continue;
+        if (ratio(l) < threshold) continue;
+        const std::uint64_t i = class_of(residual[l]);
+        if (sizes[i] == 0) continue;
+        const double p =
+            std::min(1.0, params.sample_boost *
+                              static_cast<double>(m_mu2) /
+                              static_cast<double>(sizes[i]));
+        Rng set_rng = rng.fork(l);
+        for (const std::uint64_t j :
+             binomial_hits(groups_of_class[i], p, set_rng)) {
+          const std::uint64_t dense = base_of_class[i] + j;
+          sample.push_back({dense, l});
+          ++group_load[dense];
+        }
+      }
+
+      // Fail check: any group over 4*m^{mu/2}?
+      const std::uint64_t group_cap = static_cast<std::uint64_t>(
+          4.0 * params.sample_boost * static_cast<double>(m_mu2));
+      const bool failed = std::any_of(
+          group_load.begin(), group_load.end(),
+          [&](std::uint64_t gl) { return gl > group_cap; });
+      // The fail-check itself is a converge-cast; charge one allreduce.
+      {
+        std::vector<Word> dummy(machines, failed ? 1u : 0u);
+        (void)allreduce_sum_direct(engine, dummy, "check|X|");
+      }
+      if (failed) {
+        ++res.sampling_failures;
+        continue;  // k <- k+1; next inner iteration (Algorithm 3 line 16)
+      }
+
+      // Ship sampled sets (residual element lists) to central.
+      std::sort(sample.begin(), sample.end(),
+                [](const Sampled& a, const Sampled& b) {
+                  if (a.group_key != b.group_key) {
+                    return a.group_key < b.group_key;
+                  }
+                  return a.set < b.set;
+                });
+      engine.run_round("ship-sample", [&](MachineContext& ctx) {
+        ctx.charge_resident(footprint[ctx.id()]);
+        for (const Sampled& s : sample) {
+          if (owner_of(s.set, machines) != ctx.id()) continue;
+          std::vector<Word> payload{s.group_key, s.set,
+                                    pack_double(sys.weight(s.set)),
+                                    residual[s.set]};
+          for (const ElementId j : sys.set(s.set)) {
+            if (!covered[j]) payload.push_back(j);
+          }
+          ctx.send(mrc::kCentral, std::move(payload));
+        }
+      });
+
+      // Central: scan groups in (class, group) order; admit per group one
+      // set with residual >= m^{1-(i+1)*alpha}/2 and ratio >= threshold.
+      std::vector<ElementId> newly_covered;
+      engine.run_central_round("admit", [&](MachineContext& ctx) {
+        ctx.charge_resident(ctx.inbox_words() + 4);
+        std::uint64_t current_group = ~std::uint64_t{0};
+        bool group_done = false;
+        for (const Sampled& s : sample) {
+          if (s.group_key != current_group) {
+            current_group = s.group_key;
+            group_done = false;
+          }
+          if (group_done || taken[s.set]) continue;
+          // Recover the class from the dense group key.
+          std::uint64_t i = 1;
+          while (i < num_classes &&
+                 s.group_key >= base_of_class[i] + groups_of_class[i]) {
+            ++i;
+          }
+          const std::uint64_t size_floor = std::max<std::uint64_t>(
+              1, ipow_real(m, 1.0 - static_cast<double>(i + 1) * alpha, 1) /
+                     2);
+          if (residual[s.set] >= size_floor && ratio(s.set) >= threshold) {
+            const auto newly = take_set(s.set);
+            newly_covered.insert(newly_covered.end(), newly.begin(),
+                                 newly.end());
+            group_done = true;
+          }
+        }
+      });
+
+      // Broadcast the newly covered elements down the tree; owners update
+      // residual counts via the dual incidence lists.
+      std::vector<Word> payload;
+      payload.reserve(newly_covered.size());
+      for (const ElementId j : newly_covered) payload.push_back(j);
+      mrc::broadcast_from_central(engine, payload, "bcast dC");
+      if (covered_count >= sys.universe_size()) break;
+    }
+
+    if (covered_count >= sys.universe_size()) break;
+    level /= (1.0 + eps);
+    ++res.level_drops;
+    // Safety: if the level underflows, fall back to taking any set
+    // covering an uncovered element (cannot happen on well-formed
+    // instances before max_iterations, but keeps the loop total).
+    if (level <= std::numeric_limits<double>::min()) {
+      for (ElementId j = 0; j < sys.universe_size(); ++j) {
+        if (covered[j]) continue;
+        const auto owners = sys.sets_containing(j);
+        SetId best = owners[0];
+        for (const SetId l : owners) {
+          if (sys.weight(l) < sys.weight(best)) best = l;
+        }
+        (void)take_set(best);
+      }
+      break;
+    }
+  }
+
+  res.outcome.failed = covered_count < sys.universe_size();
+  res.outcome.fill_from(engine.metrics());
+  return res;
+}
+
+}  // namespace mrlr::core

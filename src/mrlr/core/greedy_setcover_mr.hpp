@@ -1,0 +1,47 @@
+#pragma once
+// Hungry-greedy (epsilon-greedy + bucketing) for weighted set cover —
+// Algorithm 3, Theorems 4.5/4.6, with the Remark 4.7 preprocessing.
+//
+// The sequential greedy is (1+eps)H_Delta-approximate if every chosen set
+// has cost ratio |S \ C| / w within (1+eps) of the best. Algorithm 3
+// maintains a threshold L (initially the best ratio, divided by (1+eps)
+// whenever no set qualifies) and, per inner iteration:
+//   * partitions qualifying sets into 1/alpha size classes
+//     (|S \ C| in [m^{1-i*alpha}, m^{1-(i-1)*alpha}), alpha = mu/8);
+//   * samples each class-i set into each of 2*m^{(i+1)*alpha} groups
+//     independently with probability m^{mu/2}/|class| (fail the iteration
+//     if a group exceeds 4*m^{mu/2});
+//   * ships sampled sets (with their residual element lists) to the
+//     central machine, which scans groups in order and admits per group
+//     one set that still has |S \ C| >= m^{1-(i+1)*alpha}/2 and ratio
+//     >= L/(1+eps);
+//   * broadcasts the newly covered elements down the fanout-m^mu tree.
+// Lemma 4.3: the potential sum of qualifying residual sizes drops by
+// m^{mu/8} per iteration w.h.p., giving the Theorem 4.6 round bound.
+//
+// Remark 4.7 preprocessing bounds the weight spread: with
+// gamma = max_j min_{S : j in S} w(S), sets cheaper than gamma*eps/n are
+// taken outright (cost <= eps * OPT) and sets costlier than m*gamma are
+// discarded (OPT <= m*gamma).
+
+#include <vector>
+
+#include "mrlr/core/params.hpp"
+#include "mrlr/setcover/set_system.hpp"
+
+namespace mrlr::core {
+
+struct GreedySetCoverMrResult {
+  std::vector<setcover::SetId> cover;
+  double weight = 0.0;
+  std::uint64_t level_drops = 0;        ///< outer L -> L/(1+eps) steps
+  std::uint64_t sampling_failures = 0;  ///< iterations voided by |X| > 4m^{mu/2}
+  std::uint64_t preprocessed_sets = 0;  ///< sets taken by Remark 4.7
+  MrOutcome outcome;
+};
+
+GreedySetCoverMrResult greedy_set_cover_mr(const setcover::SetSystem& sys,
+                                           double eps,
+                                           const MrParams& params);
+
+}  // namespace mrlr::core

@@ -1,0 +1,278 @@
+#include "mrlr/core/hungry_clique.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "mrlr/util/math.hpp"
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::core {
+
+using graph::Incidence;
+using graph::VertexId;
+using mrc::MachineContext;
+using mrc::MachineId;
+using mrc::Word;
+
+namespace {
+
+/// Clique state over the implicit complement: active set A, counts of
+/// graph-neighbours inside A, and the derived complement degrees.
+class CliqueState {
+ public:
+  explicit CliqueState(const graph::Graph& g)
+      : g_(g), active_(g.num_vertices(), 1),
+        nbrs_in_A_(g.num_vertices(), 0),
+        active_count_(g.num_vertices()) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      nbrs_in_A_[v] = g.degree(v);
+    }
+  }
+
+  bool active(VertexId v) const { return active_[v] != 0; }
+  std::uint64_t active_count() const { return active_count_; }
+
+  /// Complement degree of an active vertex.
+  std::uint64_t comp_degree(VertexId v) const {
+    if (!active_[v] || active_count_ == 0) return 0;
+    return (active_count_ - 1) - nbrs_in_A_[v];
+  }
+
+  /// Total complement edges within A.
+  std::uint64_t comp_edges() const {
+    std::uint64_t sum = 0;
+    for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+      if (active_[v]) sum += comp_degree(v);
+    }
+    return sum / 2;
+  }
+
+  /// Admit v into the clique: A becomes (A cap N(v)) \ {v}.
+  /// Returns the number of vertices deactivated.
+  std::uint64_t add(VertexId v) {
+    MRLR_REQUIRE(active(v), "cannot add an inactive vertex to the clique");
+    clique_.push_back(v);
+    std::unordered_set<VertexId> keep;
+    keep.reserve(g_.degree(v) * 2 + 1);
+    for (const Incidence& inc : g_.neighbours(v)) {
+      if (active_[inc.neighbour]) keep.insert(inc.neighbour);
+    }
+    std::uint64_t removed = 0;
+    for (VertexId u = 0; u < g_.num_vertices(); ++u) {
+      if (!active_[u]) continue;
+      if (u == v || !keep.contains(u)) {
+        deactivate(u);
+        ++removed;
+      }
+    }
+    return removed;
+  }
+
+  const std::vector<VertexId>& clique() const { return clique_; }
+
+ private:
+  void deactivate(VertexId u) {
+    active_[u] = 0;
+    --active_count_;
+    for (const Incidence& inc : g_.neighbours(u)) {
+      if (active_[inc.neighbour] && nbrs_in_A_[inc.neighbour] > 0) {
+        --nbrs_in_A_[inc.neighbour];
+      }
+    }
+  }
+
+  const graph::Graph& g_;
+  std::vector<char> active_;
+  std::vector<std::uint64_t> nbrs_in_A_;
+  std::uint64_t active_count_;
+  std::vector<VertexId> clique_;
+};
+
+}  // namespace
+
+HungryCliqueResult hungry_clique(const graph::Graph& g,
+                                 const MrParams& params) {
+  MRLR_REQUIRE(params.mu > 0.0, "hungry-greedy requires mu > 0");
+  const std::uint64_t n = std::max<std::uint64_t>(g.num_vertices(), 2);
+  const double alpha = params.mu / 2.0;
+  const std::uint64_t eta = ipow_real(n, 1.0 + params.mu, 1);
+
+  mrc::Topology topo;
+  topo.num_machines = std::max<std::uint64_t>(
+      1, ceil_div(std::max<std::uint64_t>(g.num_edges(), 1), eta));
+  topo.words_per_machine = static_cast<std::uint64_t>(
+                               params.slack * static_cast<double>(eta)) +
+                           64;
+  topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
+  topo.enforce = params.enforce_space;
+  mrc::Engine engine(topo);
+  const std::uint64_t machines = topo.num_machines;
+
+  std::vector<std::uint64_t> footprint(machines, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    footprint[owner_of(v, machines)] += 2 + g.degree(v);
+  }
+
+  CliqueState state(g);
+  HungryCliqueResult res;
+  Rng root_rng(params.seed);
+  const std::uint64_t group_size =
+      std::max<std::uint64_t>(1, ipow_real(n, params.mu / 2.0, 1));
+
+  // Relabelling round pair, run after every admission batch: the central
+  // machine distributes (sigma(v), k) and vertices exchange labels with
+  // neighbours. The labels themselves are implicit in the shared-state
+  // simulation; the rounds charge the communication the scheme costs.
+  auto relabel_rounds = [&]() {
+    engine.run_central_round("send-sigma", [&](MachineContext& ctx) {
+      ctx.charge_resident(state.active_count() + 1);
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        ctx.send(owner_of(v, machines), {v, state.active(v) ? Word{1} : Word{0}});
+      }
+    });
+    engine.run_round("exchange-sigma", [&](MachineContext& ctx) {
+      ctx.charge_resident(footprint[ctx.id()]);
+      for (const auto& msg : ctx.inbox()) {
+        for (std::size_t k = 0; k + 1 < msg.payload.size(); k += 2) {
+          const auto v = static_cast<VertexId>(msg.payload[k]);
+          for (const Incidence& inc : g.neighbours(v)) {
+            ctx.send(owner_of(inc.neighbour, machines),
+                     {inc.neighbour, msg.payload[k + 1]});
+          }
+        }
+      }
+    });
+    engine.run_round("drain-sigma", [&](MachineContext& ctx) {
+      ctx.charge_resident(footprint[ctx.id()]);
+    });
+  };
+
+  // Phase thresholds on the complement degree: n^{1-i*alpha} down to
+  // n^mu, after which the residual complement fits centrally.
+  for (std::uint64_t i = 1;; ++i) {
+    const double exponent = 1.0 - static_cast<double>(i) * alpha;
+    if (exponent < params.mu) break;
+    const std::uint64_t threshold = ipow_real(n, exponent, 1);
+    const std::uint64_t heavy_cap =
+        ipow_real(n, static_cast<double>(i) * alpha, 1);
+
+    while (res.outcome.iterations < params.max_iterations) {
+      ++res.outcome.iterations;
+      // Count heavy vertices (complement degree >= threshold).
+      std::vector<Word> counts(machines, 0);
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        if (state.active(v) && state.comp_degree(v) >= threshold) {
+          ++counts[owner_of(v, machines)];
+        }
+      }
+      const std::uint64_t vh =
+          allreduce_sum_direct(engine, counts, "count|VH|");
+      if (vh == 0) break;
+
+      const bool mop_up = vh < heavy_cap;
+      const double p_sample =
+          mop_up ? 1.0
+                 : std::min(1.0, static_cast<double>(heavy_cap) *
+                                     static_cast<double>(group_size) /
+                                     static_cast<double>(vh));
+      // Sample heavy vertices; ship each with its active-neighbour list
+      // (the sigma-relabelled complement row is [k] minus that list).
+      std::vector<std::pair<std::uint32_t, VertexId>> sample;
+      Rng rng = root_rng.fork(res.outcome.iterations);
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        if (!state.active(v) || state.comp_degree(v) < threshold) continue;
+        if (!rng.bernoulli(p_sample)) continue;
+        const std::uint32_t group =
+            mop_up ? static_cast<std::uint32_t>(sample.size())
+                   : static_cast<std::uint32_t>(rng.uniform(heavy_cap));
+        sample.emplace_back(group, v);
+      }
+      std::sort(sample.begin(), sample.end());
+
+      engine.run_round("ship-sample", [&](MachineContext& ctx) {
+        ctx.charge_resident(footprint[ctx.id()]);
+        for (const auto& [group, v] : sample) {
+          if (owner_of(v, machines) != ctx.id()) continue;
+          std::vector<Word> payload{group, v};
+          for (const Incidence& inc : g.neighbours(v)) {
+            if (state.active(inc.neighbour)) {
+              payload.push_back(inc.neighbour);
+            }
+          }
+          ctx.send(mrc::kCentral, std::move(payload));
+        }
+      });
+
+      engine.run_central_round("admit", [&](MachineContext& ctx) {
+        ctx.charge_resident(ctx.inbox_words() + 2);
+        std::uint64_t current_group = ~std::uint64_t{0};
+        bool group_done = false;
+        for (const auto& [group, v] : sample) {
+          if (group != current_group) {
+            current_group = group;
+            group_done = false;
+          }
+          if (group_done) continue;
+          if (state.active(v) && state.comp_degree(v) >= threshold) {
+            (void)state.add(v);
+            ++res.central_adds;
+            group_done = true;
+          }
+        }
+      });
+      relabel_rounds();
+
+      if (mop_up) break;
+    }
+  }
+
+  // Central finish: wait until the residual complement fits, admitting
+  // more heavy vertices if necessary (complement degree > n^mu).
+  while (state.comp_edges() >= eta &&
+         res.outcome.iterations < params.max_iterations) {
+    ++res.outcome.iterations;
+    // Admit the vertex with the largest complement degree (shipped the
+    // same way as a 1-group sample).
+    VertexId best = 0;
+    std::uint64_t best_d = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (state.active(v) && state.comp_degree(v) > best_d) {
+        best = v;
+        best_d = state.comp_degree(v);
+      }
+    }
+    if (best_d == 0) break;
+    engine.run_central_round("admit-heaviest", [&](MachineContext& ctx) {
+      ctx.charge_resident(2 + g.degree(best));
+      (void)state.add(best);
+      ++res.central_adds;
+    });
+    relabel_rounds();
+  }
+
+  // Ship the relabelled complement of A (size 2 * comp_edges < 2*eta)
+  // and finish greedily: a greedy MIS on the complement is a greedy
+  // clique on G.
+  engine.run_round("ship-residual", [&](MachineContext& ctx) {
+    ctx.charge_resident(footprint[ctx.id()]);
+    for (VertexId v = static_cast<VertexId>(ctx.id());
+         v < g.num_vertices();
+         v = static_cast<VertexId>(v + machines)) {
+      if (!state.active(v)) continue;
+      ctx.send(mrc::kCentral, {v, state.comp_degree(v)});
+    }
+  });
+  engine.run_central_round("greedy-finish", [&](MachineContext& ctx) {
+    ctx.charge_resident(ctx.inbox_words() + 2 * state.comp_edges());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (state.active(v)) (void)state.add(v);
+    }
+  });
+
+  res.clique = state.clique();
+  std::sort(res.clique.begin(), res.clique.end());
+  res.outcome.fill_from(engine.metrics());
+  return res;
+}
+
+}  // namespace mrlr::core

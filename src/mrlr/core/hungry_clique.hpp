@@ -1,0 +1,37 @@
+#pragma once
+// Hungry-greedy maximal clique — Appendix B, Corollary B.1.
+//
+// Maximal clique is maximal independent set on the complement graph, but
+// the complement cannot be materialized in O(m) space. Appendix B's fix
+// is a *relabelling scheme*: maintain the set A of active vertices (those
+// adjacent to every current clique member) and a bijection
+// sigma : A -> [k], k = |A|, refreshed after every change. A vertex that
+// knows k and the sigma-labels of its active neighbours knows its
+// complement adjacency [k] \ sigma(N(v) cap A) implicitly — each round
+// touches only O(n^{1+mu}) words of the complement even though the whole
+// complement may have Omega(n^2) edges.
+//
+// The hungry-greedy engine then runs on complement degrees
+// dc(v) = (k - 1) - |N(v) cap A|: admitting a vertex with dc(v) >= t
+// removes >= t active vertices (its non-neighbours), shrinking A
+// geometrically; when the residual complement has < n^{1+mu} edges it is
+// shipped (in relabelled form) to the central machine and finished
+// greedily.
+
+#include <vector>
+
+#include "mrlr/core/params.hpp"
+#include "mrlr/graph/graph.hpp"
+
+namespace mrlr::core {
+
+struct HungryCliqueResult {
+  std::vector<graph::VertexId> clique;
+  std::uint64_t central_adds = 0;  ///< vertices admitted by sampling sweeps
+  MrOutcome outcome;
+};
+
+HungryCliqueResult hungry_clique(const graph::Graph& g,
+                                 const MrParams& params);
+
+}  // namespace mrlr::core

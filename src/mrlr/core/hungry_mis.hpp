@@ -1,0 +1,48 @@
+#pragma once
+// Hungry-greedy maximal independent set — Algorithm 2 (simple,
+// O(1/mu^2) rounds, Theorem 3.3) and Algorithm 6 (improved, O(c/mu)
+// rounds, Theorem A.3).
+//
+// Hungry-greedy samples *heavy* vertices — not to maximize an objective,
+// but because adding a heavy vertex to I disqualifies >= n^{1-i*alpha}
+// others (they enter N+(I)), shrinking the instance geometrically.
+//
+// Algorithm 2 (alpha = mu/2): phases i = 1, 2, ... lower the heaviness
+// threshold n^{1-i*alpha}; inside a phase, while the heavy set V_H is
+// large, draw n^{i*alpha} groups of n^{mu/2} vertices from V_H, ship
+// them (with their alive-neighbour lists) to the central machine, which
+// scans groups in order and admits one still-heavy vertex per group.
+// Lemma 3.2: |V_H| shrinks by n^{mu/4} per sweep w.h.p. When the residual
+// degree is <= n^mu everywhere, the whole residual graph (<= n^{1+mu}
+// edges) moves to the central machine for a greedy finish.
+//
+// Algorithm 6 (alpha = mu/8): one combined loop over degree classes
+// V_{k,i} = {v : n^{1-i*alpha} <= d_I(v) < n^{1-(i-1)*alpha}} with
+// n^{(i+1)*alpha} groups per class; Lemma A.2 shows the *edge count*
+// drops by ~n^{mu/8} per iteration, giving O(c/mu) iterations until
+// |E_k| < n^{1+mu} and the central finish applies.
+
+#include <vector>
+
+#include "mrlr/core/params.hpp"
+#include "mrlr/graph/graph.hpp"
+
+namespace mrlr::core {
+
+struct HungryMisResult {
+  std::vector<graph::VertexId> independent_set;
+  std::uint64_t phases = 0;       ///< outer phase count (Alg. 2) or loop
+                                  ///< iterations (Alg. 6)
+  std::uint64_t central_adds = 0; ///< vertices admitted by sampling sweeps
+  MrOutcome outcome;
+};
+
+/// Algorithm 2: O(1/mu^2) rounds.
+HungryMisResult hungry_mis_simple(const graph::Graph& g,
+                                  const MrParams& params);
+
+/// Algorithm 6: O(c/mu) rounds.
+HungryMisResult hungry_mis_improved(const graph::Graph& g,
+                                    const MrParams& params);
+
+}  // namespace mrlr::core

@@ -1,0 +1,63 @@
+#include "mrlr/core/params.hpp"
+
+namespace mrlr::core {
+
+mrc::Word allreduce_sum_direct(mrc::Engine& engine,
+                               const std::vector<mrc::Word>& values,
+                               std::string_view label) {
+  const std::uint64_t machines = engine.num_machines();
+  if (machines == 1) return values[0];
+
+  mrc::Word total = 0;
+  engine.run_round(label, [&](mrc::MachineContext& ctx) {
+    ctx.charge_resident(1);
+    if (!ctx.is_central()) ctx.send(mrc::kCentral, {values[ctx.id()]});
+  });
+  engine.run_round(label, [&](mrc::MachineContext& ctx) {
+    if (!ctx.is_central()) return;
+    mrc::Word sum = values[mrc::kCentral];
+    for (const auto& msg : ctx.inbox()) sum += msg.payload[0];
+    total = sum;
+    ctx.charge_resident(1);
+    for (std::uint64_t m = 1; m < machines; ++m) {
+      ctx.send(static_cast<mrc::MachineId>(m), {sum});
+    }
+  });
+  // One drain round so recipients' inboxes are consumed within this
+  // helper and the caller starts from a clean slate.
+  engine.run_round(label, [&](mrc::MachineContext& ctx) {
+    ctx.charge_resident(1);
+  });
+  return total;
+}
+
+std::vector<mrc::Word> allreduce_sum_vec(
+    mrc::Engine& engine, const std::vector<std::vector<mrc::Word>>& values,
+    std::string_view label) {
+  const std::uint64_t machines = engine.num_machines();
+  const std::size_t k = values[0].size();
+  if (machines == 1) return values[0];
+
+  std::vector<mrc::Word> total(k, 0);
+  engine.run_round(label, [&](mrc::MachineContext& ctx) {
+    ctx.charge_resident(k);
+    if (!ctx.is_central()) ctx.send(mrc::kCentral, values[ctx.id()]);
+  });
+  engine.run_round(label, [&](mrc::MachineContext& ctx) {
+    if (!ctx.is_central()) return;
+    total = values[mrc::kCentral];
+    for (const auto& msg : ctx.inbox()) {
+      for (std::size_t i = 0; i < k; ++i) total[i] += msg.payload[i];
+    }
+    ctx.charge_resident(k);
+    for (std::uint64_t m = 1; m < machines; ++m) {
+      ctx.send(static_cast<mrc::MachineId>(m), total);
+    }
+  });
+  engine.run_round(label, [&](mrc::MachineContext& ctx) {
+    ctx.charge_resident(k);
+  });
+  return total;
+}
+
+}  // namespace mrlr::core

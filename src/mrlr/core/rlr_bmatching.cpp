@@ -1,0 +1,262 @@
+#include "mrlr/core/rlr_bmatching.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mrlr/util/math.hpp"
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::core {
+
+using graph::EdgeId;
+using graph::VertexId;
+using mrc::MachineContext;
+using mrc::MachineId;
+using mrc::Word;
+
+namespace {
+
+/// The epsilon-adjusted local ratio engine (Section D.2).
+class BMatchingLocalRatio {
+ public:
+  BMatchingLocalRatio(const graph::Graph& g,
+                      const std::vector<std::uint32_t>& b, double eps)
+      : g_(g), b_(b), eps_(eps), phi_(g.num_vertices(), 0.0),
+        stacked_(g.num_edges(), 0) {
+    MRLR_REQUIRE(eps_ > 0.0, "epsilon must be positive");
+    for (const std::uint32_t cap : b_) {
+      MRLR_REQUIRE(cap >= 1, "capacities must be at least 1");
+    }
+  }
+
+  double residual(EdgeId e) const {
+    const graph::Edge& ed = g_.edge(e);
+    return g_.weight(e) - phi_[ed.u] - phi_[ed.v];
+  }
+
+  /// Kill rule: w(e) <= (1+eps)(phi(u)+phi(v)).
+  bool edge_alive(EdgeId e) const {
+    if (stacked_[e]) return false;
+    const graph::Edge& ed = g_.edge(e);
+    return g_.weight(e) > (1.0 + eps_) * (phi_[ed.u] + phi_[ed.v]);
+  }
+
+  bool process(EdgeId e) {
+    if (!edge_alive(e)) return false;
+    const graph::Edge& ed = g_.edge(e);
+    const double g = residual(e);
+    if (g <= 0.0) return false;
+    phi_[ed.u] += g / static_cast<double>(b_[ed.u]);
+    phi_[ed.v] += g / static_cast<double>(b_[ed.v]);
+    stacked_[e] = 1;
+    stack_.push_back(e);
+    return true;
+  }
+
+  double phi(VertexId v) const { return phi_[v]; }
+  std::uint64_t stack_size() const { return stack_.size(); }
+
+  /// Greedy capacity-respecting unwind (Theorem D.1's last step).
+  RlrBMatchingResult unwind() const {
+    RlrBMatchingResult res;
+    res.stack_size = stack_.size();
+    std::vector<std::uint32_t> load(g_.num_vertices(), 0);
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      const graph::Edge& ed = g_.edge(*it);
+      if (load[ed.u] < b_[ed.u] && load[ed.v] < b_[ed.v]) {
+        ++load[ed.u];
+        ++load[ed.v];
+        res.matching.push_back(*it);
+        res.weight += g_.weight(*it);
+      }
+    }
+    return res;
+  }
+
+ private:
+  const graph::Graph& g_;
+  const std::vector<std::uint32_t>& b_;
+  double eps_;
+  std::vector<double> phi_;
+  std::vector<char> stacked_;
+  std::vector<EdgeId> stack_;
+};
+
+}  // namespace
+
+RlrBMatchingResult seq_b_matching_local_ratio(
+    const graph::Graph& g, const std::vector<std::uint32_t>& b, double eps,
+    const std::vector<EdgeId>& order) {
+  MRLR_REQUIRE(b.size() == g.num_vertices(), "b vector size mismatch");
+  BMatchingLocalRatio lr(g, b, eps);
+  for (const EdgeId e : order) (void)lr.process(e);
+  // No positive-residual edge may survive; repeated passes are needed
+  // because processing an edge can revive no one but b >= 2 leaves
+  // neighbours alive until enough charges accumulate.
+  bool any = true;
+  while (any) {
+    any = false;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (lr.process(e)) any = true;
+    }
+  }
+  return lr.unwind();
+}
+
+RlrBMatchingResult rlr_b_matching(const graph::Graph& g,
+                                  const std::vector<std::uint32_t>& b,
+                                  double eps, const MrParams& params) {
+  MRLR_REQUIRE(b.size() == g.num_vertices(), "b vector size mismatch");
+  MRLR_REQUIRE(eps > 0.0, "epsilon must be positive");
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t m = g.num_edges();
+  const double delta = eps / (1.0 + eps);
+  const double ln_inv_delta = std::log(1.0 / delta);
+  const std::uint64_t b_max =
+      *std::max_element(b.begin(), b.end());
+
+  const std::uint64_t eta =
+      std::max<std::uint64_t>(1, ipow_real(std::max<std::uint64_t>(n, 2),
+                                           1.0 + params.mu));
+  const std::uint64_t n_mu =
+      std::max<std::uint64_t>(1, ipow_real(std::max<std::uint64_t>(n, 2),
+                                           params.mu));
+
+  mrc::Topology topo;
+  topo.num_machines = std::max<std::uint64_t>(1, ceil_div(std::max<std::uint64_t>(m, 1), eta));
+  // Theorem D.3: O(b log(1/eps) n^{1+mu}) words per machine.
+  topo.words_per_machine =
+      static_cast<std::uint64_t>(params.slack * static_cast<double>(b_max) *
+                                 (1.0 + ln_inv_delta) *
+                                 static_cast<double>(eta)) +
+      64;
+  topo.fanout = std::max<std::uint64_t>(2, n_mu);
+  topo.enforce = params.enforce_space;
+  mrc::Engine engine(topo);
+  const std::uint64_t machines = topo.num_machines;
+
+  BMatchingLocalRatio lr(g, b, eps);
+  const std::uint64_t central_footprint = n + 2;
+
+  std::vector<std::uint64_t> footprint(machines, 0);
+  std::vector<std::uint64_t> alive_count(machines, 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    const MachineId o = owner_of(e, machines);
+    footprint[o] += 4;
+    ++alive_count[o];
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    footprint[owner_of(v, machines)] += 1 + g.degree(v);
+  }
+
+  RlrBMatchingResult res;
+  Rng root_rng(params.seed);
+  // Threshold for shipping everything: |E_i| < 2*b*ln(1/delta)*eta.
+  const auto ship_all_below = static_cast<std::uint64_t>(
+      2.0 * static_cast<double>(b_max) * ln_inv_delta *
+      static_cast<double>(eta));
+
+  for (std::uint64_t iter = 0; iter < params.max_iterations; ++iter) {
+    std::vector<Word> counts(alive_count.begin(), alive_count.end());
+    const std::uint64_t ei = allreduce_sum_direct(engine, counts, "count|Ei|");
+    if (ei == 0) break;
+    ++res.outcome.iterations;
+    const bool ship_all = ei < ship_all_below;
+
+    // --- Sampling: vertex v draws b(v)*ln(1/delta)*n^mu alive incident
+    // edges (or all of them in the endgame). ---
+    std::vector<std::vector<EdgeId>> sampled(n);
+    engine.run_round("sample", [&](MachineContext& ctx) {
+      ctx.charge_resident(footprint[ctx.id()]);
+      Rng rng = root_rng.fork((iter << 20) ^ ctx.id());
+      for (VertexId v = static_cast<VertexId>(ctx.id()); v < n;
+           v = static_cast<VertexId>(v + machines)) {
+        std::vector<EdgeId> alive;
+        for (const graph::Incidence& inc : g.neighbours(v)) {
+          if (lr.edge_alive(inc.edge)) alive.push_back(inc.edge);
+        }
+        if (alive.empty()) continue;
+        if (ship_all) {
+          sampled[v] = std::move(alive);
+        } else {
+          const auto want = static_cast<std::uint64_t>(
+              std::ceil(params.sample_boost * static_cast<double>(b[v]) *
+                        ln_inv_delta * static_cast<double>(n_mu)));
+          if (want >= alive.size()) {
+            sampled[v] = std::move(alive);
+          } else {
+            const auto pick =
+                rng.sample_without_replacement(alive.size(), want);
+            for (const auto k : pick) sampled[v].push_back(alive[k]);
+          }
+        }
+        std::vector<Word> payload;
+        payload.reserve(2 * sampled[v].size());
+        for (const EdgeId e : sampled[v]) {
+          payload.push_back(e);
+          payload.push_back(pack_double(g.weight(e)));
+        }
+        ctx.send(mrc::kCentral, std::move(payload));
+      }
+    });
+
+    // --- Central: per vertex, pop the heaviest alive sampled edges up to
+    // b(v)*ln(1/delta) times (Algorithm 7 lines 11-17). ---
+    engine.run_central_round("local-ratio", [&](MachineContext& ctx) {
+      ctx.charge_resident(central_footprint + ctx.inbox_words());
+      for (VertexId v = 0; v < n; ++v) {
+        if (sampled[v].empty()) continue;
+        // Residual order is stable during v's loop (each reduction
+        // subtracts the same phi deltas from all of v's edges), so one
+        // sort by residual suffices.
+        std::sort(sampled[v].begin(), sampled[v].end(),
+                  [&](EdgeId a, EdgeId b2) {
+                    return lr.residual(a) > lr.residual(b2);
+                  });
+        const auto quota = static_cast<std::uint64_t>(
+            std::ceil(static_cast<double>(b[v]) * ln_inv_delta));
+        std::uint64_t taken = 0;
+        for (const EdgeId e : sampled[v]) {
+          if (taken >= quota) break;
+          if (lr.process(e)) ++taken;
+        }
+      }
+    });
+
+    // --- Propagate phi and recompute aliveness (as in Algorithm 4). ---
+    engine.run_central_round("send-phi", [&](MachineContext& ctx) {
+      ctx.charge_resident(central_footprint);
+      for (VertexId v = 0; v < n; ++v) {
+        ctx.send(owner_of(v, machines), {v, pack_double(lr.phi(v))});
+      }
+    });
+    engine.run_round("forward-phi", [&](MachineContext& ctx) {
+      ctx.charge_resident(footprint[ctx.id()]);
+      for (const auto& msg : ctx.inbox()) {
+        for (std::size_t k = 0; k + 1 < msg.payload.size(); k += 2) {
+          const auto v = static_cast<VertexId>(msg.payload[k]);
+          for (const graph::Incidence& inc : g.neighbours(v)) {
+            ctx.send(owner_of(inc.edge, machines),
+                     {inc.edge, msg.payload[k + 1]});
+          }
+        }
+      }
+    });
+    engine.run_round("recompute-alive", [&](MachineContext& ctx) {
+      ctx.charge_resident(footprint[ctx.id()]);
+    });
+    for (MachineId o = 0; o < machines; ++o) alive_count[o] = 0;
+    for (EdgeId e = 0; e < m; ++e) {
+      if (lr.edge_alive(e)) ++alive_count[owner_of(e, machines)];
+    }
+  }
+
+  RlrBMatchingResult unwound = lr.unwind();
+  res.matching = std::move(unwound.matching);
+  res.weight = unwound.weight;
+  res.stack_size = unwound.stack_size;
+  res.outcome.fill_from(engine.metrics());
+  return res;
+}
+
+}  // namespace mrlr::core

@@ -1,0 +1,169 @@
+#include "mrlr/core/rlr_matching.hpp"
+
+#include <algorithm>
+
+#include "mrlr/seq/local_ratio_matching.hpp"
+#include "mrlr/util/math.hpp"
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::core {
+
+using graph::EdgeId;
+using graph::VertexId;
+using mrc::MachineContext;
+using mrc::MachineId;
+using mrc::Word;
+
+RlrMatchingResult rlr_matching(const graph::Graph& g,
+                               const MrParams& params) {
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t m = g.num_edges();
+  const std::uint64_t eta =
+      std::max<std::uint64_t>(1, ipow_real(std::max<std::uint64_t>(n, 2),
+                                           1.0 + params.mu));
+
+  mrc::Topology topo;
+  topo.num_machines = std::max<std::uint64_t>(1, ceil_div(std::max<std::uint64_t>(m, 1), eta));
+  // Central inbox in one iteration: at most 8*eta sampled edges (the
+  // Algorithm 4 fail threshold, scaled by sample_boost) at 2 words each,
+  // or 4*|E_i| < 16*eta words in the ship-all endgame; plus the phi
+  // table (n words). slack/16 scales that requirement (the default
+  // slack of 16 grants it exactly; smaller slack under-provisions, which
+  // the failure-injection tests use to prove the audit is live).
+  topo.words_per_machine =
+      static_cast<std::uint64_t>(
+          (params.slack / 16.0) *
+          (16.0 * std::max(1.0, params.sample_boost) *
+               static_cast<double>(eta) +
+           static_cast<double>(n))) +
+      64;
+  topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
+  topo.enforce = params.enforce_space;
+  mrc::Engine engine(topo);
+  const std::uint64_t machines = topo.num_machines;
+
+  // Central state: phi values + stack (Theorem 5.6).
+  seq::MatchingLocalRatio lr(g);
+  const std::uint64_t central_footprint = n + 2;
+
+  // Edge e lives on owner_of(e); vertex v (and its adjacency list) on
+  // owner_of(v). Footprints per machine.
+  std::vector<std::uint64_t> footprint(machines, 0);
+  std::vector<std::uint64_t> alive_count(machines, 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    const MachineId o = owner_of(e, machines);
+    footprint[o] += 4;  // id + endpoints + weight
+    ++alive_count[o];
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    footprint[owner_of(v, machines)] += 1 + g.degree(v);
+  }
+
+  RlrMatchingResult res;
+  Rng root_rng(params.seed);
+
+  for (std::uint64_t iter = 0; iter < params.max_iterations; ++iter) {
+    std::vector<Word> counts(alive_count.begin(), alive_count.end());
+    const std::uint64_t ei = allreduce_sum_direct(engine, counts, "count|Ei|");
+    if (ei == 0) break;
+    ++res.outcome.iterations;
+
+    const bool ship_all = ei < 4 * eta;
+    const double p =
+        ship_all ? 1.0
+                 : std::min(1.0, params.sample_boost *
+                                     static_cast<double>(eta) /
+                                     static_cast<double>(ei));
+
+    // --- 2. Per-vertex sampling; ship (edge, weight) pairs to central. --
+    // sampled_per_vertex[v] lists the sampled edge ids for v, in the order
+    // they were drawn; only alive edges are eligible.
+    std::vector<std::vector<EdgeId>> sampled(n);
+    std::uint64_t total_sampled = 0;
+    engine.run_round("sample", [&](MachineContext& ctx) {
+      ctx.charge_resident(footprint[ctx.id()]);
+      Rng rng = root_rng.fork((iter << 20) ^ ctx.id());
+      for (VertexId v = static_cast<VertexId>(ctx.id()); v < n;
+           v = static_cast<VertexId>(v + machines)) {
+        std::vector<Word> payload;
+        for (const graph::Incidence& inc : g.neighbours(v)) {
+          if (!lr.edge_alive(inc.edge)) continue;
+          if (ship_all || rng.bernoulli(p)) {
+            sampled[v].push_back(inc.edge);
+            payload.push_back(inc.edge);
+            payload.push_back(pack_double(g.weight(inc.edge)));
+          }
+        }
+        total_sampled += sampled[v].size();
+        if (!payload.empty()) {
+          ctx.send(mrc::kCentral, std::move(payload));
+        }
+      }
+    });
+
+    if (!ship_all &&
+        total_sampled > static_cast<std::uint64_t>(
+                            8.0 * params.sample_boost *
+                            static_cast<double>(eta))) {
+      res.outcome.failed = true;
+      break;
+    }
+
+    // --- 3. Central scan: heaviest alive sampled edge per vertex. ---
+    engine.run_central_round("local-ratio", [&](MachineContext& ctx) {
+      ctx.charge_resident(central_footprint + ctx.inbox_words());
+      for (VertexId v = 0; v < n; ++v) {
+        EdgeId best = 0;
+        double best_w = 0.0;
+        bool found = false;
+        for (const EdgeId e : sampled[v]) {
+          const double mw = lr.modified_weight(e);
+          if (lr.edge_alive(e) && mw > best_w) {
+            best = e;
+            best_w = mw;
+            found = true;
+          }
+        }
+        if (found) (void)lr.process(best);
+      }
+    });
+
+    // --- 4a. Central sends phi(v) to each vertex owner. ---
+    engine.run_central_round("send-phi", [&](MachineContext& ctx) {
+      ctx.charge_resident(central_footprint);
+      for (VertexId v = 0; v < n; ++v) {
+        ctx.send(owner_of(v, machines), {v, pack_double(lr.phi(v))});
+      }
+    });
+    // --- 4b. Vertex owners forward phi to incident edge owners. ---
+    engine.run_round("forward-phi", [&](MachineContext& ctx) {
+      ctx.charge_resident(footprint[ctx.id()]);
+      for (const auto& msg : ctx.inbox()) {
+        for (std::size_t k = 0; k + 1 < msg.payload.size(); k += 2) {
+          const auto v = static_cast<VertexId>(msg.payload[k]);
+          const Word phi_w = msg.payload[k + 1];
+          for (const graph::Incidence& inc : g.neighbours(v)) {
+            ctx.send(owner_of(inc.edge, machines), {inc.edge, phi_w});
+          }
+        }
+      }
+    });
+    // --- 4c. Edge owners recompute aliveness. ---
+    engine.run_round("recompute-alive", [&](MachineContext& ctx) {
+      ctx.charge_resident(footprint[ctx.id()]);
+    });
+    for (MachineId o = 0; o < machines; ++o) alive_count[o] = 0;
+    for (EdgeId e = 0; e < m; ++e) {
+      if (lr.edge_alive(e)) ++alive_count[owner_of(e, machines)];
+    }
+  }
+
+  res.stack_size = lr.stack_size();
+  seq::MatchingResult unwound = lr.unwind();
+  res.matching = std::move(unwound.edges);
+  res.weight = unwound.weight;
+  res.outcome.fill_from(engine.metrics());
+  return res;
+}
+
+}  // namespace mrlr::core

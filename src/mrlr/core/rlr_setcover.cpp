@@ -1,0 +1,271 @@
+#include "mrlr/core/rlr_setcover.hpp"
+
+#include <algorithm>
+
+#include "mrlr/graph/validate.hpp"
+#include "mrlr/seq/local_ratio_setcover.hpp"
+#include "mrlr/setcover/validate.hpp"
+#include "mrlr/util/math.hpp"
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::core {
+
+using mrc::MachineContext;
+using mrc::MachineId;
+using mrc::Word;
+using setcover::ElementId;
+using setcover::SetId;
+
+namespace {
+
+/// Derives eta = n^{1+mu} and the machine count M = ceil(m / eta):
+/// elements are spread n^{1+mu} per machine as in Theorem 2.4.
+struct Sizes {
+  std::uint64_t eta = 0;
+  std::uint64_t machines = 0;
+};
+
+Sizes derive_sizes(std::uint64_t n, std::uint64_t m, double mu) {
+  Sizes s;
+  s.eta = ipow_real(n, 1.0 + mu, /*min_value=*/1);
+  s.machines = std::max<std::uint64_t>(1, ceil_div(std::max<std::uint64_t>(m, 1), s.eta));
+  return s;
+}
+
+}  // namespace
+
+RlrSetCoverResult rlr_set_cover(const setcover::SetSystem& sys,
+                                const MrParams& params) {
+  MRLR_REQUIRE(sys.coverable(), "instance has an uncoverable element");
+  const std::uint64_t n = sys.num_sets();
+  const std::uint64_t m = sys.universe_size();
+  const std::uint64_t f = std::max<std::uint64_t>(1, sys.max_frequency());
+  const Sizes sz = derive_sizes(n, m, params.mu);
+
+  mrc::Topology topo;
+  topo.num_machines = sz.machines;
+  // Theorem 2.4: space O(f * n^{1+mu}); slack covers the 6*eta sample.
+  topo.words_per_machine = static_cast<std::uint64_t>(
+                               params.slack * static_cast<double>(f) *
+                               static_cast<double>(sz.eta)) +
+                           64;
+  topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
+  topo.enforce = params.enforce_space;
+  mrc::Engine engine(topo);
+
+  // Distributed state. The simulator shares memory; the distribution is
+  // captured by ownership (owner_of) and by per-round resident charges.
+  std::vector<char> active(m, 1);
+  std::vector<std::uint64_t> active_count(sz.machines, 0);
+  std::vector<std::uint64_t> footprint(sz.machines, 0);  // words owned
+  for (ElementId j = 0; j < m; ++j) {
+    const MachineId o = owner_of(j, sz.machines);
+    ++active_count[o];
+    footprint[o] += 2 + sys.sets_containing(j).size();  // id + bit + T_j
+  }
+
+  // Central machine's persistent local ratio state (residual weights).
+  seq::SetCoverLocalRatio lr(sys);
+  const std::uint64_t central_footprint = n + 2;  // residuals + counters
+
+  RlrSetCoverResult res;
+  Rng root_rng(params.seed);
+
+  for (std::uint64_t iter = 0; iter < params.max_iterations; ++iter) {
+    // --- 1. |U_r| (three accounting rounds: gather, scatter, drain). ---
+    std::vector<Word> counts(active_count.begin(), active_count.end());
+    const std::uint64_t ur = allreduce_sum_direct(engine, counts, "count|Ur|");
+    if (ur == 0) break;
+    ++res.outcome.iterations;
+
+    const double p = std::min(
+        1.0, params.sample_boost * 2.0 * static_cast<double>(sz.eta) /
+                 static_cast<double>(ur));
+
+    // --- 2. Sampling round: machines ship sampled T_j to central. ---
+    std::vector<ElementId> sampled;
+    engine.run_round("sample", [&](MachineContext& ctx) {
+      ctx.charge_resident(footprint[ctx.id()]);
+      Rng rng = root_rng.fork((iter << 20) ^ ctx.id());
+      for (ElementId j = static_cast<ElementId>(ctx.id()); j < m;
+           j = static_cast<ElementId>(j + sz.machines)) {
+        if (!active[j] || !rng.bernoulli(p)) continue;
+        sampled.push_back(j);
+        std::vector<Word> payload;
+        const auto owners = sys.sets_containing(j);
+        payload.reserve(2 + owners.size());
+        payload.push_back(j);
+        payload.push_back(owners.size());
+        for (const SetId i : owners) payload.push_back(i);
+        ctx.send(mrc::kCentral, std::move(payload));
+      }
+    });
+
+    const std::uint64_t sample_cap = static_cast<std::uint64_t>(
+        6.0 * params.sample_boost * static_cast<double>(sz.eta));
+    if (sampled.size() > sample_cap) {
+      res.outcome.failed = true;
+      break;
+    }
+
+    // --- 3. Central local ratio on the sample. ---
+    std::vector<SetId> newly_zeroed;
+    engine.run_central_round("local-ratio", [&](MachineContext& ctx) {
+      ctx.charge_resident(central_footprint + ctx.inbox_words());
+      for (const ElementId j : sampled) {
+        for (const SetId i : lr.process(j)) newly_zeroed.push_back(i);
+      }
+    });
+
+    // --- 4. Tree-broadcast the newly covered sets; deactivate. ---
+    std::vector<Word> payload;
+    payload.reserve(newly_zeroed.size());
+    for (const SetId i : newly_zeroed) payload.push_back(i);
+    mrc::broadcast_from_central(engine, payload, "bcast C");
+
+    for (ElementId j = 0; j < m; ++j) {
+      if (!active[j]) continue;
+      const auto owners = sys.sets_containing(j);
+      const bool covered = std::any_of(
+          owners.begin(), owners.end(),
+          [&](SetId i) { return lr.residual_weight(i) <= 0.0; });
+      if (covered) {
+        active[j] = 0;
+        --active_count[owner_of(j, sz.machines)];
+      }
+    }
+  }
+
+  res.cover = lr.cover();
+  res.weight = setcover::cover_weight(sys, res.cover);
+  res.lower_bound = lr.lower_bound();
+  res.outcome.fill_from(engine.metrics());
+  return res;
+}
+
+RlrVertexCoverResult rlr_vertex_cover(const graph::Graph& g,
+                                      const std::vector<double>& weights,
+                                      const MrParams& params) {
+  // Elements are edges, sets are vertices; f = 2. The loop mirrors
+  // rlr_set_cover but replaces the tree broadcast by two forwarding
+  // rounds: central -> vertex owner (one bit per newly covered vertex),
+  // vertex owner -> edge owners (one word per incident edge).
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t m = g.num_edges();
+  MRLR_REQUIRE(weights.size() == n, "one weight per vertex required");
+  const Sizes sz = derive_sizes(n, m, params.mu);
+
+  mrc::Topology topo;
+  topo.num_machines = sz.machines;
+  topo.words_per_machine = static_cast<std::uint64_t>(
+                               params.slack * 2.0 *
+                               static_cast<double>(sz.eta)) +
+                           64;
+  topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
+  topo.enforce = params.enforce_space;
+  mrc::Engine engine(topo);
+
+  const setcover::SetSystem sys =
+      setcover::SetSystem::vertex_cover_instance(g, weights);
+
+  std::vector<char> active(m, 1);
+  std::vector<std::uint64_t> active_count(sz.machines, 0);
+  std::vector<std::uint64_t> footprint(sz.machines, 0);
+  for (ElementId j = 0; j < m; ++j) {
+    const MachineId o = owner_of(j, sz.machines);
+    ++active_count[o];
+    footprint[o] += 4;  // edge id + endpoints + bit
+  }
+  // Vertices (sets) are also distributed: owner stores the adjacency list.
+  for (graph::VertexId v = 0; v < n; ++v) {
+    footprint[owner_of(v, sz.machines)] += 1 + g.degree(v);
+  }
+
+  seq::SetCoverLocalRatio lr(sys);
+  const std::uint64_t central_footprint = n + 2;
+
+  RlrVertexCoverResult res;
+  Rng root_rng(params.seed);
+
+  for (std::uint64_t iter = 0; iter < params.max_iterations; ++iter) {
+    std::vector<Word> counts(active_count.begin(), active_count.end());
+    const std::uint64_t ur = allreduce_sum_direct(engine, counts, "count|Ur|");
+    if (ur == 0) break;
+    ++res.outcome.iterations;
+
+    const double p = std::min(
+        1.0, params.sample_boost * 2.0 * static_cast<double>(sz.eta) /
+                 static_cast<double>(ur));
+
+    std::vector<ElementId> sampled;
+    engine.run_round("sample", [&](MachineContext& ctx) {
+      ctx.charge_resident(footprint[ctx.id()]);
+      Rng rng = root_rng.fork((iter << 20) ^ ctx.id());
+      for (ElementId j = static_cast<ElementId>(ctx.id()); j < m;
+           j = static_cast<ElementId>(j + sz.machines)) {
+        if (!active[j] || !rng.bernoulli(p)) continue;
+        sampled.push_back(j);
+        const graph::Edge& e = g.edge(j);
+        ctx.send(mrc::kCentral, {j, e.u, e.v});
+      }
+    });
+
+    const std::uint64_t sample_cap = static_cast<std::uint64_t>(
+        6.0 * params.sample_boost * static_cast<double>(sz.eta));
+    if (sampled.size() > sample_cap) {
+      res.outcome.failed = true;
+      break;
+    }
+
+    std::vector<SetId> newly_zeroed;
+    engine.run_central_round("local-ratio", [&](MachineContext& ctx) {
+      ctx.charge_resident(central_footprint + ctx.inbox_words());
+      for (const ElementId j : sampled) {
+        for (const SetId i : lr.process(j)) newly_zeroed.push_back(i);
+      }
+    });
+
+    // Forward round A: central tells each newly covered vertex's owner.
+    engine.run_central_round("notify-vertices", [&](MachineContext& ctx) {
+      ctx.charge_resident(central_footprint);
+      for (const SetId v : newly_zeroed) {
+        ctx.send(owner_of(v, sz.machines), {v});
+      }
+    });
+    // Forward round B: vertex owners tell the owners of incident edges.
+    engine.run_round("notify-edges", [&](MachineContext& ctx) {
+      ctx.charge_resident(footprint[ctx.id()]);
+      for (const auto& msg : ctx.inbox()) {
+        for (const Word vw : msg.payload) {
+          const auto v = static_cast<graph::VertexId>(vw);
+          for (const graph::Incidence& inc : g.neighbours(v)) {
+            ctx.send(owner_of(inc.edge, sz.machines), {inc.edge});
+          }
+        }
+      }
+    });
+    // Drain + deactivate.
+    engine.run_round("deactivate", [&](MachineContext& ctx) {
+      ctx.charge_resident(footprint[ctx.id()]);
+      for (const auto& msg : ctx.inbox()) {
+        for (const Word ew : msg.payload) {
+          const auto e = static_cast<ElementId>(ew);
+          if (active[e]) {
+            active[e] = 0;
+            --active_count[owner_of(e, sz.machines)];
+          }
+        }
+      }
+    });
+  }
+
+  for (const SetId i : lr.cover()) {
+    res.cover.push_back(static_cast<graph::VertexId>(i));
+  }
+  res.weight = graph::vertex_set_weight(weights, res.cover);
+  res.lower_bound = lr.lower_bound();
+  res.outcome.fill_from(engine.metrics());
+  return res;
+}
+
+}  // namespace mrlr::core

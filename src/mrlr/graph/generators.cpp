@@ -1,0 +1,295 @@
+#include "mrlr/graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "mrlr/util/math.hpp"
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::graph {
+
+namespace {
+
+/// Packs an undirected edge into a canonical 64-bit key for dedup.
+std::uint64_t edge_key(VertexId a, VertexId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+Graph gnm(std::uint64_t n, std::uint64_t m, Rng& rng) {
+  MRLR_REQUIRE(n >= 2 || m == 0, "gnm needs at least two vertices for edges");
+  const std::uint64_t max_edges = n * (n - 1) / 2;
+  MRLR_REQUIRE(m <= max_edges, "gnm: too many edges requested");
+
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  if (m > max_edges / 2) {
+    // Dense case: enumerate all pairs and sample m of them.
+    std::vector<Edge> all;
+    all.reserve(max_edges);
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) all.push_back({u, v});
+    }
+    const auto pick = rng.sample_without_replacement(max_edges, m);
+    for (const auto i : pick) edges.push_back(all[i]);
+  } else {
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(m * 2);
+    while (edges.size() < m) {
+      const auto u = static_cast<VertexId>(rng.uniform(n));
+      const auto v = static_cast<VertexId>(rng.uniform(n));
+      if (u == v) continue;
+      if (seen.insert(edge_key(u, v)).second) {
+        edges.push_back({std::min(u, v), std::max(u, v)});
+      }
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph gnm_density(std::uint64_t n, double c, Rng& rng) {
+  const std::uint64_t max_edges = n < 2 ? 0 : n * (n - 1) / 2;
+  const std::uint64_t m = std::min(ipow_real(n, 1.0 + c), max_edges);
+  return gnm(n, m, rng);
+}
+
+Graph gnp(std::uint64_t n, double p, Rng& rng) {
+  MRLR_REQUIRE(p >= 0.0 && p <= 1.0, "gnp: p out of range");
+  std::vector<Edge> edges;
+  if (p > 0.0) {
+    // Geometric skipping so the cost is O(m), not O(n^2), for small p.
+    const double log1mp = std::log1p(-p);
+    if (p >= 1.0 || log1mp == 0.0) {
+      for (VertexId u = 0; u < n; ++u) {
+        for (VertexId v = u + 1; v < n; ++v) edges.push_back({u, v});
+      }
+    } else {
+      const std::uint64_t total = n < 2 ? 0 : n * (n - 1) / 2;
+      std::uint64_t idx = 0;
+      while (true) {
+        const double u01 = std::max(rng.uniform01(), 0x1.0p-53);
+        const auto skip =
+            static_cast<std::uint64_t>(std::log(u01) / log1mp) + 1;
+        if (skip > total - idx) break;
+        idx += skip;
+        // Decode linear index idx-1 into the (u, v) pair.
+        const std::uint64_t k = idx - 1;
+        // Row u satisfies k in [S(u), S(u+1)) where S(u) = u*n - u(u+3)/2... use search.
+        std::uint64_t lo = 0, hi = n - 1;
+        auto row_start = [&](std::uint64_t u) {
+          return u * (2 * n - u - 1) / 2;
+        };
+        while (lo < hi) {
+          const std::uint64_t mid = (lo + hi + 1) / 2;
+          if (row_start(mid) <= k) {
+            lo = mid;
+          } else {
+            hi = mid - 1;
+          }
+        }
+        const std::uint64_t u = lo;
+        const std::uint64_t v = u + 1 + (k - row_start(u));
+        edges.push_back(
+            {static_cast<VertexId>(u), static_cast<VertexId>(v)});
+        if (idx >= total) break;
+      }
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph chung_lu_power_law(std::uint64_t n, std::uint64_t m, double beta,
+                         Rng& rng) {
+  MRLR_REQUIRE(beta > 2.0, "chung_lu: beta must exceed 2");
+  MRLR_REQUIRE(n >= 2, "chung_lu: need at least two vertices");
+  // Target weights w_v ~ (v+1)^{-1/(beta-1)}, normalized so that
+  // sum_v w_v = 2m (expected degree sum).
+  std::vector<double> w(n);
+  double total = 0.0;
+  const double exponent = -1.0 / (beta - 1.0);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    w[v] = std::pow(static_cast<double>(v + 1), exponent);
+    total += w[v];
+  }
+  const double scale = 2.0 * static_cast<double>(m) / total;
+  for (auto& x : w) x *= scale;
+  const double sum_w = 2.0 * static_cast<double>(m);
+
+  // Sample endpoints proportionally to w via the alias-free CDF method;
+  // dedupe and reject self loops. Expected output close to m edges.
+  std::vector<double> cdf(n);
+  double acc = 0.0;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    acc += w[v] / sum_w;
+    cdf[v] = acc;
+  }
+  auto draw = [&]() -> VertexId {
+    const double u = rng.uniform01();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<VertexId>(it == cdf.end() ? n - 1
+                                                 : it - cdf.begin());
+  };
+
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  const std::uint64_t max_edges = n * (n - 1) / 2;
+  const std::uint64_t target = std::min(m, max_edges);
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = 20 * target + 1000;
+  while (edges.size() < target && attempts < max_attempts) {
+    ++attempts;
+    const VertexId u = draw();
+    const VertexId v = draw();
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) {
+      edges.push_back({std::min(u, v), std::max(u, v)});
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph random_bipartite(std::uint64_t n_left, std::uint64_t n_right,
+                       std::uint64_t m, Rng& rng) {
+  MRLR_REQUIRE(m <= n_left * n_right, "random_bipartite: too many edges");
+  const std::uint64_t n = n_left + n_right;
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  if (m > n_left * n_right / 2) {
+    std::vector<Edge> all;
+    all.reserve(n_left * n_right);
+    for (VertexId u = 0; u < n_left; ++u) {
+      for (std::uint64_t r = 0; r < n_right; ++r) {
+        all.push_back({u, static_cast<VertexId>(n_left + r)});
+      }
+    }
+    const auto pick = rng.sample_without_replacement(all.size(), m);
+    for (const auto i : pick) edges.push_back(all[i]);
+  } else {
+    while (edges.size() < m) {
+      const auto u = static_cast<VertexId>(rng.uniform(n_left));
+      const auto v = static_cast<VertexId>(n_left + rng.uniform(n_right));
+      if (seen.insert(edge_key(u, v)).second) edges.push_back({u, v});
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph circulant(std::uint64_t n, std::uint64_t d) {
+  MRLR_REQUIRE(d % 2 == 0 && d < n, "circulant: d must be even and < n");
+  std::vector<Edge> edges;
+  edges.reserve(n * d / 2);
+  // Each (v, k) pair with k <= d/2 yields a distinct chord {v, v+k mod n}
+  // (the reverse direction would need offset n-k > d/2), except the
+  // antipodal chord 2k = n which both endpoints generate.
+  for (std::uint64_t v = 0; v < n; ++v) {
+    for (std::uint64_t k = 1; k <= d / 2; ++k) {
+      const std::uint64_t u = (v + k) % n;
+      if (2 * k == n && v > u) continue;  // antipodal chord counted once
+      edges.push_back({static_cast<VertexId>(std::min(v, u)),
+                       static_cast<VertexId>(std::max(v, u))});
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph complete(std::uint64_t n) {
+  std::vector<Edge> edges;
+  edges.reserve(n * (n - 1) / 2);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.push_back({u, v});
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph star(std::uint64_t n) {
+  MRLR_REQUIRE(n >= 1, "star: need a hub");
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (VertexId v = 1; v < n; ++v) edges.push_back({0, v});
+  return Graph(n, std::move(edges));
+}
+
+Graph path(std::uint64_t n) {
+  std::vector<Edge> edges;
+  if (n >= 2) {
+    edges.reserve(n - 1);
+    for (VertexId v = 0; v + 1 < n; ++v) {
+      edges.push_back({v, static_cast<VertexId>(v + 1)});
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph cycle(std::uint64_t n) {
+  MRLR_REQUIRE(n >= 3, "cycle: need at least three vertices");
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto u = static_cast<VertexId>((v + 1) % n);
+    edges.push_back({std::min(u, v), std::max(u, v)});
+  }
+  // Canonical de-dup: the loop above adds each edge once because each edge
+  // {v, v+1} is emitted at v only; the wrap edge {n-1, 0} is emitted at n-1.
+  return Graph(n, std::move(edges));
+}
+
+Graph planted_clique(std::uint64_t n, std::uint64_t m, std::uint64_t k,
+                     Rng& rng) {
+  MRLR_REQUIRE(k <= n, "planted_clique: clique too large");
+  Graph base = gnm(n, m, rng);
+  const auto members = rng.sample_without_replacement(n, k);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Edge> edges = base.edges();
+  seen.reserve(edges.size() * 2);
+  for (const Edge& e : edges) seen.insert(edge_key(e.u, e.v));
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      const auto u = static_cast<VertexId>(members[i]);
+      const auto v = static_cast<VertexId>(members[j]);
+      if (seen.insert(edge_key(u, v)).second) {
+        edges.push_back({std::min(u, v), std::max(u, v)});
+      }
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+namespace {
+double draw_weight(WeightDist dist, Rng& rng) {
+  switch (dist) {
+    case WeightDist::kUniform:
+      return rng.uniform_real(1.0, 100.0);
+    case WeightDist::kExponential:
+      return 1.0 + 10.0 * rng.exponential(1.0);
+    case WeightDist::kIntegral:
+      return static_cast<double>(rng.uniform_int(1, 1000));
+    case WeightDist::kPolarized:
+      return rng.bernoulli(0.1) ? rng.uniform_real(1000.0, 2000.0)
+                                : rng.uniform_real(1.0, 2.0);
+  }
+  return 1.0;
+}
+}  // namespace
+
+std::vector<double> random_edge_weights(const Graph& g, WeightDist dist,
+                                        Rng& rng) {
+  std::vector<double> w(g.num_edges());
+  for (auto& x : w) x = draw_weight(dist, rng);
+  return w;
+}
+
+std::vector<double> random_vertex_weights(std::uint64_t n, WeightDist dist,
+                                          Rng& rng) {
+  std::vector<double> w(n);
+  for (auto& x : w) x = draw_weight(dist, rng);
+  return w;
+}
+
+}  // namespace mrlr::graph

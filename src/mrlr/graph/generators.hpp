@@ -1,0 +1,77 @@
+#pragma once
+// Synthetic instance generators.
+//
+// The paper's theorems are distribution-free but parameterized by the
+// density exponent c (m = n^{1+c} edges); Leskovec et al. observed real
+// graphs with c between 0.08 and 0.5+, so the generators sweep that range.
+// All generators are deterministic given their Rng.
+
+#include <cstdint>
+
+#include "mrlr/graph/graph.hpp"
+#include "mrlr/util/rng.hpp"
+
+namespace mrlr::graph {
+
+/// Uniform random simple graph with exactly m distinct edges (G(n,m)).
+/// Requires m <= n*(n-1)/2.
+Graph gnm(std::uint64_t n, std::uint64_t m, Rng& rng);
+
+/// G(n, m = round(n^{1+c})), clamped to the complete graph. The standard
+/// instance family for the paper's bounds.
+Graph gnm_density(std::uint64_t n, double c, Rng& rng);
+
+/// Erdos-Renyi G(n,p); expected m = p * n(n-1)/2.
+Graph gnp(std::uint64_t n, double p, Rng& rng);
+
+/// Chung-Lu power-law graph: vertex v gets weight ~ (v+1)^{-1/(beta-1)},
+/// scaled so the expected edge count is approximately m. Produces the
+/// heavy-tailed degree distributions of social networks; beta in (2, 3]
+/// is typical.
+Graph chung_lu_power_law(std::uint64_t n, std::uint64_t m, double beta,
+                         Rng& rng);
+
+/// Random bipartite graph: left vertices [0, n_left), right vertices
+/// [n_left, n_left + n_right), m distinct cross edges.
+Graph random_bipartite(std::uint64_t n_left, std::uint64_t n_right,
+                       std::uint64_t m, Rng& rng);
+
+/// Deterministic circulant graph: each vertex v is adjacent to
+/// v +- 1, ..., v +- d/2 (mod n), giving a d-regular graph for even d < n.
+Graph circulant(std::uint64_t n, std::uint64_t d);
+
+/// Complete graph K_n.
+Graph complete(std::uint64_t n);
+
+/// Star with one hub (vertex 0) and n-1 leaves.
+Graph star(std::uint64_t n);
+
+/// Simple path 0-1-...-(n-1).
+Graph path(std::uint64_t n);
+
+/// Cycle on n >= 3 vertices.
+Graph cycle(std::uint64_t n);
+
+/// G(n,m) with a planted clique on k random vertices; the clique edges
+/// are included in addition to the random ones (deduplicated).
+Graph planted_clique(std::uint64_t n, std::uint64_t m, std::uint64_t k,
+                     Rng& rng);
+
+/// Weight distributions for weighted problem instances.
+enum class WeightDist {
+  kUniform,      ///< uniform real in [1, 100)
+  kExponential,  ///< exp(1) scaled by 10, shifted by 1 (heavy tail)
+  kIntegral,     ///< uniform integer in [1, 1000]
+  kPolarized,    ///< mixture: 90% in [1,2), 10% in [1000, 2000) -- forces
+                 ///< algorithms to respect weights, not just cardinality
+};
+
+/// Edge weights for g drawn from dist.
+std::vector<double> random_edge_weights(const Graph& g, WeightDist dist,
+                                        Rng& rng);
+
+/// Vertex weights (for vertex cover instances).
+std::vector<double> random_vertex_weights(std::uint64_t n, WeightDist dist,
+                                          Rng& rng);
+
+}  // namespace mrlr::graph

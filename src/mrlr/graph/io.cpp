@@ -1,0 +1,61 @@
+#include "mrlr/graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::graph {
+
+void write_edge_list(const Graph& g, std::ostream& os) {
+  os << g.num_vertices() << ' ' << g.num_edges()
+     << (g.weighted() ? " weighted" : "") << '\n';
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    os << ed.u << ' ' << ed.v;
+    if (g.weighted()) os << ' ' << g.weight(e);
+    os << '\n';
+  }
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string line;
+  auto next_content_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+
+  MRLR_REQUIRE(next_content_line(), "edge list: missing header");
+  std::istringstream header(line);
+  std::uint64_t n = 0, m = 0;
+  std::string flag;
+  header >> n >> m >> flag;
+  const bool weighted = flag == "weighted";
+
+  std::vector<Edge> edges;
+  std::vector<double> weights;
+  edges.reserve(m);
+  if (weighted) weights.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    MRLR_REQUIRE(next_content_line(), "edge list: truncated file");
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    ls >> u >> v;
+    MRLR_REQUIRE(u < n && v < n, "edge list: endpoint out of range");
+    edges.push_back(
+        {static_cast<VertexId>(u), static_cast<VertexId>(v)});
+    if (weighted) {
+      double w = 0.0;
+      ls >> w;
+      weights.push_back(w);
+    }
+  }
+  return weighted ? Graph(n, std::move(edges), std::move(weights))
+                  : Graph(n, std::move(edges));
+}
+
+}  // namespace mrlr::graph

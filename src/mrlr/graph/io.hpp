@@ -1,0 +1,20 @@
+#pragma once
+// Plain-text edge-list I/O so examples can load user-provided graphs.
+//
+// Format: first line "n m [weighted]", then one "u v [w]" line per edge.
+// Lines starting with '#' are comments.
+
+#include <iosfwd>
+#include <string>
+
+#include "mrlr/graph/graph.hpp"
+
+namespace mrlr::graph {
+
+void write_edge_list(const Graph& g, std::ostream& os);
+
+/// Parses the format written by write_edge_list. Aborts (MRLR_REQUIRE) on
+/// malformed input; this is a research harness, not a hardened parser.
+Graph read_edge_list(std::istream& is);
+
+}  // namespace mrlr::graph

@@ -1,0 +1,61 @@
+#include "mrlr/graph/stats.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "mrlr/util/math.hpp"
+
+namespace mrlr::graph {
+
+GraphStats compute_stats(const Graph& g) {
+  GraphStats s;
+  s.n = g.num_vertices();
+  s.m = g.num_edges();
+  s.max_degree = g.max_degree();
+  s.avg_degree = s.n == 0 ? 0.0
+                          : 2.0 * static_cast<double>(s.m) /
+                                static_cast<double>(s.n);
+  s.density_exponent = density_exponent(s.n, s.m);
+  for (VertexId v = 0; v < s.n; ++v) {
+    if (g.degree(v) == 0) ++s.isolated_vertices;
+  }
+  return s;
+}
+
+namespace {
+class UnionFind {
+ public:
+  explicit UnionFind(std::uint64_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::uint64_t find(std::uint64_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(std::uint64_t a, std::uint64_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<std::uint64_t> parent_;
+};
+}  // namespace
+
+std::uint64_t connected_components(const Graph& g) {
+  if (g.num_vertices() == 0) return 0;
+  UnionFind uf(g.num_vertices());
+  std::uint64_t components = g.num_vertices();
+  for (const Edge& e : g.edges()) {
+    if (uf.unite(e.u, e.v)) --components;
+  }
+  return components;
+}
+
+}  // namespace mrlr::graph

@@ -1,0 +1,24 @@
+#pragma once
+// Instance statistics used by benches to label experiment rows.
+
+#include <cstdint>
+
+#include "mrlr/graph/graph.hpp"
+
+namespace mrlr::graph {
+
+struct GraphStats {
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  std::uint64_t max_degree = 0;
+  double avg_degree = 0.0;
+  double density_exponent = 0.0;  ///< c such that m = n^{1+c}
+  std::uint64_t isolated_vertices = 0;
+};
+
+GraphStats compute_stats(const Graph& g);
+
+/// Number of connected components (union-find).
+std::uint64_t connected_components(const Graph& g);
+
+}  // namespace mrlr::graph

@@ -1,0 +1,175 @@
+#include "mrlr/graph/validate.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::graph {
+
+bool is_matching(const Graph& g, const std::vector<EdgeId>& matching) {
+  std::vector<char> used(g.num_vertices(), 0);
+  for (const EdgeId e : matching) {
+    if (e >= g.num_edges()) return false;
+    const Edge& ed = g.edge(e);
+    if (used[ed.u] || used[ed.v]) return false;
+    used[ed.u] = used[ed.v] = 1;
+  }
+  return true;
+}
+
+bool is_maximal_matching(const Graph& g, const std::vector<EdgeId>& matching) {
+  if (!is_matching(g, matching)) return false;
+  std::vector<char> used(g.num_vertices(), 0);
+  for (const EdgeId e : matching) {
+    used[g.edge(e).u] = used[g.edge(e).v] = 1;
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!used[g.edge(e).u] && !used[g.edge(e).v]) return false;
+  }
+  return true;
+}
+
+bool is_b_matching(const Graph& g, const std::vector<EdgeId>& matching,
+                   const std::vector<std::uint32_t>& b) {
+  MRLR_REQUIRE(b.size() == g.num_vertices(), "b vector size mismatch");
+  std::vector<std::uint32_t> load(g.num_vertices(), 0);
+  std::unordered_set<EdgeId> distinct;
+  for (const EdgeId e : matching) {
+    if (e >= g.num_edges()) return false;
+    if (!distinct.insert(e).second) return false;  // duplicate edge
+    ++load[g.edge(e).u];
+    ++load[g.edge(e).v];
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (load[v] > b[v]) return false;
+  }
+  return true;
+}
+
+double matching_weight(const Graph& g, const std::vector<EdgeId>& matching) {
+  double s = 0.0;
+  for (const EdgeId e : matching) s += g.weight(e);
+  return s;
+}
+
+bool is_independent_set(const Graph& g, const std::vector<VertexId>& set) {
+  std::vector<char> in(g.num_vertices(), 0);
+  for (const VertexId v : set) {
+    if (v >= g.num_vertices()) return false;
+    in[v] = 1;
+  }
+  for (const VertexId v : set) {
+    for (const Incidence& inc : g.neighbours(v)) {
+      if (in[inc.neighbour]) return false;
+    }
+  }
+  return true;
+}
+
+bool is_maximal_independent_set(const Graph& g,
+                                const std::vector<VertexId>& set) {
+  if (!is_independent_set(g, set)) return false;
+  std::vector<char> dominated(g.num_vertices(), 0);
+  for (const VertexId v : set) {
+    dominated[v] = 1;
+    for (const Incidence& inc : g.neighbours(v)) dominated[inc.neighbour] = 1;
+  }
+  return std::all_of(dominated.begin(), dominated.end(),
+                     [](char c) { return c != 0; });
+}
+
+bool is_clique(const Graph& g, const std::vector<VertexId>& set) {
+  std::unordered_set<std::uint64_t> edges;
+  edges.reserve(g.num_edges() * 2);
+  for (const Edge& e : g.edges()) {
+    const std::uint64_t a = std::min(e.u, e.v);
+    const std::uint64_t b = std::max(e.u, e.v);
+    edges.insert((a << 32) | b);
+  }
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (set[i] >= g.num_vertices()) return false;
+    for (std::size_t j = i + 1; j < set.size(); ++j) {
+      const std::uint64_t a = std::min(set[i], set[j]);
+      const std::uint64_t b = std::max(set[i], set[j]);
+      if (a == b) return false;  // duplicate vertex
+      if (!edges.contains((a << 32) | b)) return false;
+    }
+  }
+  return true;
+}
+
+bool is_maximal_clique(const Graph& g, const std::vector<VertexId>& set) {
+  if (!is_clique(g, set)) return false;
+  std::vector<char> in(g.num_vertices(), 0);
+  for (const VertexId v : set) in[v] = 1;
+  // A vertex u extends the clique iff it is adjacent to every member.
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (in[u]) continue;
+    std::uint64_t adjacent = 0;
+    for (const Incidence& inc : g.neighbours(u)) {
+      if (in[inc.neighbour]) ++adjacent;
+    }
+    if (adjacent == set.size()) return false;
+  }
+  return true;
+}
+
+bool is_vertex_cover(const Graph& g, const std::vector<VertexId>& cover) {
+  std::vector<char> in(g.num_vertices(), 0);
+  for (const VertexId v : cover) {
+    if (v >= g.num_vertices()) return false;
+    in[v] = 1;
+  }
+  for (const Edge& e : g.edges()) {
+    if (!in[e.u] && !in[e.v]) return false;
+  }
+  return true;
+}
+
+double vertex_set_weight(const std::vector<double>& vertex_weights,
+                         const std::vector<VertexId>& set) {
+  double s = 0.0;
+  for (const VertexId v : set) s += vertex_weights[v];
+  return s;
+}
+
+bool is_proper_vertex_colouring(const Graph& g,
+                                const std::vector<std::uint32_t>& colour) {
+  if (colour.size() != g.num_vertices()) return false;
+  for (const Edge& e : g.edges()) {
+    if (colour[e.u] == colour[e.v]) return false;
+  }
+  return true;
+}
+
+bool is_proper_edge_colouring(const Graph& g,
+                              const std::vector<std::uint32_t>& colour) {
+  if (colour.size() != g.num_edges()) return false;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::unordered_set<std::uint32_t> seen;
+    for (const Incidence& inc : g.neighbours(v)) {
+      if (!seen.insert(colour[inc.edge]).second) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t num_colours(const std::vector<std::uint32_t>& colour) {
+  const std::unordered_set<std::uint32_t> distinct(colour.begin(),
+                                                   colour.end());
+  return distinct.size();
+}
+
+bool has_parallel_edges(const Graph& g) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(g.num_edges() * 2);
+  for (const Edge& e : g.edges()) {
+    const std::uint64_t a = std::min(e.u, e.v);
+    const std::uint64_t b = std::max(e.u, e.v);
+    if (!seen.insert((a << 32) | b).second) return true;
+  }
+  return false;
+}
+
+}  // namespace mrlr::graph

@@ -1,0 +1,61 @@
+#pragma once
+// Solution validators: every invariant an algorithm output must satisfy
+// is checked by an independent validator here (tests never trust the
+// algorithm's own bookkeeping).
+
+#include <cstdint>
+#include <vector>
+
+#include "mrlr/graph/graph.hpp"
+
+namespace mrlr::graph {
+
+/// True if the edge set contains no two edges sharing an endpoint.
+bool is_matching(const Graph& g, const std::vector<EdgeId>& matching);
+
+/// True if `matching` is a matching and no edge of g can be added to it.
+bool is_maximal_matching(const Graph& g, const std::vector<EdgeId>& matching);
+
+/// True if no vertex v is used by more than b(v) edges.
+bool is_b_matching(const Graph& g, const std::vector<EdgeId>& matching,
+                   const std::vector<std::uint32_t>& b);
+
+double matching_weight(const Graph& g, const std::vector<EdgeId>& matching);
+
+/// True if no two vertices of `set` are adjacent.
+bool is_independent_set(const Graph& g, const std::vector<VertexId>& set);
+
+/// True if `set` is independent and every vertex outside it has a
+/// neighbour inside it.
+bool is_maximal_independent_set(const Graph& g,
+                                const std::vector<VertexId>& set);
+
+/// True if every pair of vertices in `set` is adjacent.
+bool is_clique(const Graph& g, const std::vector<VertexId>& set);
+
+/// True if `set` is a clique and no vertex can be added keeping it one.
+bool is_maximal_clique(const Graph& g, const std::vector<VertexId>& set);
+
+/// True if every edge has at least one endpoint in `cover`.
+bool is_vertex_cover(const Graph& g, const std::vector<VertexId>& cover);
+
+double vertex_set_weight(const std::vector<double>& vertex_weights,
+                         const std::vector<VertexId>& set);
+
+/// True if `colour` (size n) assigns different colours to adjacent
+/// vertices. Colours are arbitrary non-negative integers.
+bool is_proper_vertex_colouring(const Graph& g,
+                                const std::vector<std::uint32_t>& colour);
+
+/// True if `colour` (size m) assigns different colours to edges sharing
+/// an endpoint.
+bool is_proper_edge_colouring(const Graph& g,
+                              const std::vector<std::uint32_t>& colour);
+
+/// Number of distinct colours used.
+std::uint64_t num_colours(const std::vector<std::uint32_t>& colour);
+
+/// True if the edge list contains two copies of the same vertex pair.
+bool has_parallel_edges(const Graph& g);
+
+}  // namespace mrlr::graph

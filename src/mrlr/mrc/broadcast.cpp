@@ -1,0 +1,146 @@
+#include "mrlr/mrc/broadcast.hpp"
+
+#include <algorithm>
+
+#include "mrlr/util/math.hpp"
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::mrc {
+
+MachineId tree_parent(MachineId m, std::uint64_t fanout) {
+  MRLR_REQUIRE(m != kCentral, "root has no parent");
+  return static_cast<MachineId>((static_cast<std::uint64_t>(m) - 1) / fanout);
+}
+
+unsigned tree_depth(MachineId m, std::uint64_t fanout) {
+  unsigned d = 0;
+  std::uint64_t x = m;
+  while (x != 0) {
+    x = (x - 1) / fanout;
+    ++d;
+  }
+  return d;
+}
+
+std::uint64_t broadcast_rounds(std::uint64_t machines, std::uint64_t fanout) {
+  if (machines <= 1) return 0;
+  // Depth of the deepest machine in the heap-ordered fanout tree.
+  unsigned depth = 0;
+  std::uint64_t filled = 1;     // machines within current depth
+  std::uint64_t level = 1;      // size of next level
+  while (filled < machines) {
+    level *= fanout;
+    filled += level;
+    ++depth;
+  }
+  return depth;
+}
+
+std::uint64_t broadcast_from_central(
+    Engine& engine, const std::vector<Word>& payload, std::string_view label,
+    std::vector<std::vector<Word>>* received) {
+  const std::uint64_t machines = engine.num_machines();
+  const std::uint64_t fanout = engine.topology().fanout;
+  if (received) {
+    received->assign(machines, {});
+    (*received)[kCentral] = payload;
+  }
+  if (machines <= 1) return 0;
+
+  std::vector<char> has(machines, 0);
+  has[kCentral] = 1;
+  std::uint64_t rounds = 0;
+  bool all = false;
+  while (!all) {
+    // Holders forward to their (non-holding) children; one tree level
+    // becomes complete per round.
+    engine.run_round(label, [&](MachineContext& ctx) {
+      const MachineId m = ctx.id();
+      if (!has[m]) return;
+      ctx.charge_resident(payload.size());
+      for (std::uint64_t k = 1; k <= fanout; ++k) {
+        const std::uint64_t child = static_cast<std::uint64_t>(m) * fanout + k;
+        if (child >= machines) break;
+        ctx.send(static_cast<MachineId>(child), payload);
+      }
+    });
+    ++rounds;
+    all = true;
+    for (std::uint64_t m = 0; m < machines; ++m) {
+      const bool is_new_holder =
+          !has[m] && tree_depth(static_cast<MachineId>(m), fanout) == rounds;
+      if (is_new_holder) {
+        has[m] = 1;
+        if (received) (*received)[m] = payload;
+      }
+      if (!has[m]) all = false;
+    }
+  }
+  // Drain the final deliveries so the next algorithm round starts clean.
+  engine.run_round(label, [&](MachineContext&) {});
+  return rounds + 1;
+}
+
+std::uint64_t aggregate_sum(Engine& engine, const std::vector<Word>& values,
+                            std::string_view label, Word* sum_out) {
+  const std::uint64_t machines = engine.num_machines();
+  MRLR_REQUIRE(values.size() == machines,
+               "aggregate_sum: one value per machine required");
+  const std::uint64_t fanout = engine.topology().fanout;
+  if (machines == 1) {
+    if (sum_out) *sum_out = values[0];
+    return 0;
+  }
+
+  unsigned max_depth = 0;
+  for (std::uint64_t m = 0; m < machines; ++m) {
+    max_depth = std::max(max_depth,
+                         tree_depth(static_cast<MachineId>(m), fanout));
+  }
+
+  // partial[m] accumulates the subtree sum held at machine m.
+  std::vector<Word> partial = values;
+  std::vector<char> sent(machines, 0);
+  std::uint64_t rounds = 0;
+  for (unsigned depth = max_depth; depth >= 1; --depth) {
+    engine.run_round(label, [&](MachineContext& ctx) {
+      const MachineId m = ctx.id();
+      // Fold in children's partial sums delivered this round.
+      for (const auto& msg : ctx.inbox()) {
+        MRLR_REQUIRE(msg.payload.size() == 1, "aggregate: 1-word messages");
+        partial[m] += msg.payload[0];
+      }
+      ctx.charge_resident(1);
+      if (m != kCentral && tree_depth(m, fanout) == depth && !sent[m]) {
+        ctx.send(tree_parent(m, fanout), {partial[m]});
+      }
+    });
+    for (std::uint64_t m = 0; m < machines; ++m) {
+      if (m != kCentral &&
+          tree_depth(static_cast<MachineId>(m), fanout) == depth) {
+        sent[m] = 1;
+      }
+    }
+    ++rounds;
+  }
+  // One more round so the root folds in the depth-1 messages.
+  engine.run_round(label, [&](MachineContext& ctx) {
+    const MachineId m = ctx.id();
+    for (const auto& msg : ctx.inbox()) partial[m] += msg.payload[0];
+    ctx.charge_resident(1);
+  });
+  ++rounds;
+  if (sum_out) *sum_out = partial[kCentral];
+  return rounds;
+}
+
+std::uint64_t allreduce_sum(Engine& engine, const std::vector<Word>& values,
+                            std::string_view label, Word* sum_out) {
+  Word total = 0;
+  std::uint64_t rounds = aggregate_sum(engine, values, label, &total);
+  rounds += broadcast_from_central(engine, {total}, label);
+  if (sum_out) *sum_out = total;
+  return rounds;
+}
+
+}  // namespace mrlr::mrc

@@ -1,0 +1,49 @@
+#pragma once
+// Broadcast and converge-cast trees (Theorem 2.4 and Section 4.1 of the
+// paper). Sending a payload of B words from the central machine directly
+// to all M machines would cost B*M outbox words on the central machine,
+// which can exceed its O(n^{1+mu}) cap; instead machines are arranged in a
+// fanout-F tree (F = topology().fanout, the paper's n^mu), and the payload
+// is forwarded level by level in ceil(log_F M) genuine engine rounds.
+//
+// These helpers run *real* rounds on the engine: the traffic is audited
+// against the space cap like any algorithm traffic, so the space-safety
+// claim of Theorem 2.4 is checked rather than assumed.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "mrlr/mrc/engine.hpp"
+
+namespace mrlr::mrc {
+
+/// Position of machine m in the fanout-F heap-ordered tree rooted at the
+/// central machine: children of m are m*F+1 ... m*F+F.
+MachineId tree_parent(MachineId m, std::uint64_t fanout);
+
+/// Depth of machine m in that tree (root has depth 0).
+unsigned tree_depth(MachineId m, std::uint64_t fanout);
+
+/// Rounds a fanout-`fanout` broadcast needs to reach `machines` machines.
+std::uint64_t broadcast_rounds(std::uint64_t machines, std::uint64_t fanout);
+
+/// Deliver `payload` from the central machine to every machine.
+/// Returns the number of rounds consumed (0 when there is one machine).
+/// On completion, `received` (if non-null) holds one copy per machine.
+std::uint64_t broadcast_from_central(
+    Engine& engine, const std::vector<Word>& payload, std::string_view label,
+    std::vector<std::vector<Word>>* received = nullptr);
+
+/// Converge-cast: machine m contributes values[m]; the tree sums them
+/// upward and the root learns the total. Returns rounds consumed, and
+/// writes the total through `sum_out`.
+std::uint64_t aggregate_sum(Engine& engine, const std::vector<Word>& values,
+                            std::string_view label, Word* sum_out);
+
+/// Converge-cast followed by broadcast: every machine learns the sum.
+/// Returns rounds consumed; writes the total through `sum_out`.
+std::uint64_t allreduce_sum(Engine& engine, const std::vector<Word>& values,
+                            std::string_view label, Word* sum_out);
+
+}  // namespace mrlr::mrc

@@ -1,0 +1,77 @@
+#pragma once
+// Cluster topology for the simulated MapReduce (MRC / MPC) model of
+// Karloff, Suri and Vassilvitskii, as used by the paper.
+//
+// The paper's conventions (Section 1.3): a graph with n vertices and
+// m = n^{1+c} edges is processed by M = n^{c-mu} machines, each with
+// O(n^{1+mu}) words of memory, c > mu > 0. The simulator makes the
+// constants explicit: `words_per_machine` is the hard cap the engine
+// audits every round.
+
+#include <cstdint>
+
+#include "mrlr/util/math.hpp"
+
+namespace mrlr::mrc {
+
+using MachineId = std::uint32_t;
+using Word = std::uint64_t;
+
+/// Identity of the central machine (the paper's "blue lines" run here).
+inline constexpr MachineId kCentral = 0;
+
+struct Topology {
+  /// Number of machines, M >= 1.
+  std::uint64_t num_machines = 1;
+
+  /// Per-machine memory cap in words. Audited each round against the
+  /// maximum of (inbox words, declared resident words, outbox words).
+  std::uint64_t words_per_machine = 1ull << 20;
+
+  /// Fanout of broadcast / converge-cast trees (the paper's n^mu-ary
+  /// trees in Theorem 2.4 and Section 4.1). Must be >= 2.
+  std::uint64_t fanout = 2;
+
+  /// When true the engine throws SpaceLimitExceeded on a violation;
+  /// when false it records the violation in the metrics and continues
+  /// (useful for benches that chart how close algorithms run to the cap).
+  bool enforce = true;
+
+  /// Builds the paper's standard graph topology: M = ceil(n^{c-mu})
+  /// machines with slack * n^{1+mu} words each.
+  ///
+  /// `slack` absorbs the constants the paper hides in O(n^{1+mu}): the
+  /// sampling steps are only guaranteed to fit within a constant factor
+  /// of eta = n^{1+mu} (e.g. |U'| <= 6*eta in Algorithm 1).
+  static Topology for_graph_problem(std::uint64_t n, double c, double mu,
+                                    double slack = 16.0);
+
+  /// Topology for set cover with ground set size m and space m^{1+mu}
+  /// (Theorem 4.6 regime where m << n).
+  static Topology for_ground_set(std::uint64_t m, double c, double mu,
+                                 double slack = 16.0);
+};
+
+inline Topology Topology::for_graph_problem(std::uint64_t n, double c,
+                                            double mu, double slack) {
+  Topology t;
+  t.num_machines = ipow_real(n, c - mu, /*min_value=*/1);
+  const std::uint64_t eta = ipow_real(n, 1.0 + mu, /*min_value=*/1);
+  t.words_per_machine =
+      static_cast<std::uint64_t>(slack * static_cast<double>(eta)) + 64;
+  t.fanout = ipow_real(n, mu, /*min_value=*/2);
+  return t;
+}
+
+inline Topology Topology::for_ground_set(std::uint64_t m, double c, double mu,
+                                         double slack) {
+  Topology t;
+  t.num_machines = ipow_real(m, c - mu, /*min_value=*/1);
+  const std::uint64_t cap = ipow_real(m, 1.0 + mu, /*min_value=*/1);
+  t.words_per_machine =
+      static_cast<std::uint64_t>(slack * static_cast<double>(cap)) + 64;
+  t.fanout = ipow_real(m, mu, /*min_value=*/2);
+  return t;
+}
+
+}  // namespace mrlr::mrc

@@ -1,0 +1,110 @@
+#include "mrlr/mrc/engine.hpp"
+
+#include <algorithm>
+
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::mrc {
+
+SpaceLimitExceeded::SpaceLimitExceeded(std::string what, std::uint64_t words_,
+                                       std::uint64_t cap_)
+    : std::runtime_error(std::move(what)), words(words_), cap(cap_) {}
+
+std::uint64_t MachineContext::num_machines() const {
+  return engine_.num_machines();
+}
+
+const std::vector<Message>& MachineContext::inbox() const {
+  return engine_.inboxes_[id_];
+}
+
+std::uint64_t MachineContext::inbox_words() const {
+  std::uint64_t w = 0;
+  for (const auto& m : inbox()) w += m.words();
+  return w;
+}
+
+void MachineContext::send(MachineId to, std::vector<Word> payload) {
+  MRLR_REQUIRE(to < engine_.num_machines(), "send to nonexistent machine");
+  engine_.outbox_words_[id_] += payload.size();
+  engine_.next_[to].push_back(Message{id_, std::move(payload)});
+}
+
+void MachineContext::send(MachineId to, std::initializer_list<Word> payload) {
+  send(to, std::vector<Word>(payload));
+}
+
+void MachineContext::charge_resident(std::uint64_t words) {
+  engine_.resident_words_[id_] =
+      std::max(engine_.resident_words_[id_], words);
+}
+
+Engine::Engine(Topology topology) : topology_(topology) {
+  MRLR_REQUIRE(topology_.num_machines >= 1, "need at least one machine");
+  MRLR_REQUIRE(topology_.fanout >= 2, "broadcast fanout must be >= 2");
+  inboxes_.resize(topology_.num_machines);
+  next_.resize(topology_.num_machines);
+  outbox_words_.assign(topology_.num_machines, 0);
+  resident_words_.assign(topology_.num_machines, 0);
+}
+
+void Engine::run_round(std::string_view label,
+                       const std::function<void(MachineContext&)>& fn) {
+  std::fill(outbox_words_.begin(), outbox_words_.end(), 0);
+  std::fill(resident_words_.begin(), resident_words_.end(), 0);
+
+  const auto machines = static_cast<MachineId>(topology_.num_machines);
+  for (MachineId m = 0; m < machines; ++m) {
+    MachineContext ctx(*this, m);
+    fn(ctx);
+  }
+
+  RoundMetrics rm;
+  rm.label = std::string(label);
+  std::uint64_t worst = 0;
+  MachineId worst_machine = 0;
+  for (MachineId m = 0; m < machines; ++m) {
+    std::uint64_t in = 0;
+    for (const auto& msg : inboxes_[m]) in += msg.words();
+    rm.max_inbox = std::max(rm.max_inbox, in);
+    rm.max_outbox = std::max(rm.max_outbox, outbox_words_[m]);
+    rm.max_resident = std::max(rm.max_resident, resident_words_[m]);
+    rm.total_sent += outbox_words_[m];
+    if (m == kCentral) rm.central_inbox = in;
+    const std::uint64_t peak = std::max({in, outbox_words_[m],
+                                         resident_words_[m]});
+    if (peak > worst) {
+      worst = peak;
+      worst_machine = m;
+    }
+  }
+  rm.space_violation = worst > topology_.words_per_machine;
+  metrics_.record(rm);
+  if (rm.space_violation && topology_.enforce) {
+    throw SpaceLimitExceeded(
+        "machine " + std::to_string(worst_machine) + " used " +
+            std::to_string(worst) + " words in round '" + std::string(label) +
+            "' (cap " + std::to_string(topology_.words_per_machine) + ")",
+        worst, topology_.words_per_machine);
+  }
+
+  // Deliver: next-round mailboxes become current, cleared for reuse.
+  for (MachineId m = 0; m < machines; ++m) {
+    inboxes_[m] = std::move(next_[m]);
+    next_[m].clear();
+  }
+}
+
+void Engine::run_central_round(
+    std::string_view label, const std::function<void(MachineContext&)>& fn) {
+  run_round(label, [&](MachineContext& ctx) {
+    if (ctx.is_central()) fn(ctx);
+  });
+}
+
+const std::vector<Message>& Engine::pending_inbox(MachineId m) const {
+  MRLR_REQUIRE(m < num_machines(), "pending_inbox: bad machine id");
+  return next_[m];
+}
+
+}  // namespace mrlr::mrc

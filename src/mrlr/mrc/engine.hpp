@@ -1,0 +1,114 @@
+#pragma once
+// The synchronous round engine: the simulated MapReduce cluster.
+//
+// Execution model (matching Karloff et al.'s MRC formalization):
+//   * state lives on machines; machine 0 is the central machine;
+//   * a round runs a user callback once per machine, in machine order,
+//     giving it the machine's inbox (messages sent in the previous round)
+//     and letting it emit messages for the next round;
+//   * after all machines have run, the engine audits per-machine space
+//     (inbox words, declared resident words, outbox words against the
+//     topology's cap), records metrics, and delivers the messages.
+//
+// Machines are simulated sequentially and deterministically; since the
+// quantities the paper bounds are rounds and words (not wall-clock), the
+// simulation order is irrelevant to the measured results, but determinism
+// makes every experiment replayable from its seed.
+//
+// Per-machine algorithm state is owned by the algorithms themselves
+// (typically a std::vector sized by num_machines); the engine owns only
+// the mailboxes and the cost accounting.
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mrlr/mrc/config.hpp"
+#include "mrlr/mrc/message.hpp"
+#include "mrlr/mrc/metrics.hpp"
+
+namespace mrlr::mrc {
+
+/// Thrown when Topology::enforce is set and a machine exceeds its
+/// word cap in some round.
+class SpaceLimitExceeded : public std::runtime_error {
+ public:
+  SpaceLimitExceeded(std::string what, std::uint64_t words,
+                     std::uint64_t cap);
+  std::uint64_t words;
+  std::uint64_t cap;
+};
+
+class Engine;
+
+/// Handle passed to the per-machine round callback.
+class MachineContext {
+ public:
+  MachineId id() const { return id_; }
+  std::uint64_t num_machines() const;
+  bool is_central() const { return id_ == kCentral; }
+
+  /// Messages delivered to this machine at the start of the round.
+  const std::vector<Message>& inbox() const;
+
+  /// Total words in the inbox.
+  std::uint64_t inbox_words() const;
+
+  /// Queue a message for delivery at the start of the next round.
+  void send(MachineId to, std::vector<Word> payload);
+  void send(MachineId to, std::initializer_list<Word> payload);
+
+  /// Declare the words of algorithm state resident on this machine during
+  /// this round. Algorithms must call this with an honest figure; the
+  /// engine audits it against the topology cap.
+  void charge_resident(std::uint64_t words);
+
+ private:
+  friend class Engine;
+  MachineContext(Engine& engine, MachineId id) : engine_(engine), id_(id) {}
+  Engine& engine_;
+  MachineId id_;
+};
+
+class Engine {
+ public:
+  explicit Engine(Topology topology);
+
+  const Topology& topology() const { return topology_; }
+  std::uint64_t num_machines() const { return topology_.num_machines; }
+
+  /// Execute one synchronous round. `fn` is invoked once per machine.
+  /// `label` names the phase in the execution trace.
+  void run_round(std::string_view label,
+                 const std::function<void(MachineContext&)>& fn);
+
+  /// Convenience: run a round in which only the central machine does work
+  /// (the paper's blue lines). Other machines still participate (their
+  /// inboxes are cleared) but run no user code.
+  void run_central_round(std::string_view label,
+                         const std::function<void(MachineContext&)>& fn);
+
+  const Metrics& metrics() const { return metrics_; }
+
+  /// Direct access for algorithms that need to inspect what a machine
+  /// will receive next round (testing only).
+  const std::vector<Message>& pending_inbox(MachineId m) const;
+
+ private:
+  friend class MachineContext;
+
+  Topology topology_;
+  Metrics metrics_;
+  // inboxes_[m] = messages delivered to machine m this round.
+  std::vector<std::vector<Message>> inboxes_;
+  // next_[m] = messages queued for machine m for the next round.
+  std::vector<std::vector<Message>> next_;
+  // Per-round scratch, reset in run_round.
+  std::vector<std::uint64_t> outbox_words_;
+  std::vector<std::uint64_t> resident_words_;
+};
+
+}  // namespace mrlr::mrc

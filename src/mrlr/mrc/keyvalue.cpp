@@ -1,0 +1,89 @@
+#include "mrlr/mrc/keyvalue.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "mrlr/util/rng.hpp"
+
+namespace mrlr::mrc {
+
+MapReduceJob::MapReduceJob(Engine& engine, std::vector<KeyValue> input)
+    : engine_(engine), data_(engine.num_machines()) {
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    data_[i % engine_.num_machines()].push_back(std::move(input[i]));
+  }
+}
+
+MachineId MapReduceJob::machine_of_key(Word key) const {
+  // Stateless splitmix64 hash spreads adversarial key patterns.
+  std::uint64_t s = key;
+  return static_cast<MachineId>(splitmix64_next(s) %
+                                engine_.num_machines());
+}
+
+std::uint64_t MapReduceJob::resident_words(MachineId m) const {
+  std::uint64_t words = 0;
+  for (const KeyValue& kv : data_[m]) words += 1 + kv.value.size();
+  return words;
+}
+
+void MapReduceJob::round(std::string_view label, const Mapper& map,
+                         const Reducer& reduce) {
+  // Engine round 1: map local pairs, ship emissions keyed by target.
+  // Message framing: [key, value_len, value...] repeated.
+  engine_.run_round(label, [&](MachineContext& ctx) {
+    ctx.charge_resident(resident_words(ctx.id()));
+    // Group emissions per destination to cut message overhead.
+    std::vector<std::vector<Word>> out(engine_.num_machines());
+    for (const KeyValue& kv : data_[ctx.id()]) {
+      for (KeyValue& emitted : map(kv)) {
+        auto& buf = out[machine_of_key(emitted.key)];
+        buf.push_back(emitted.key);
+        buf.push_back(emitted.value.size());
+        buf.insert(buf.end(), emitted.value.begin(), emitted.value.end());
+      }
+    }
+    for (MachineId m = 0; m < engine_.num_machines(); ++m) {
+      if (!out[m].empty()) ctx.send(m, std::move(out[m]));
+    }
+  });
+
+  // Engine round 2: group received values by key and reduce.
+  std::vector<std::vector<KeyValue>> next(engine_.num_machines());
+  engine_.run_round(label, [&](MachineContext& ctx) {
+    ctx.charge_resident(ctx.inbox_words());
+    // std::map gives deterministic key order; values keep arrival order.
+    std::map<Word, std::vector<std::vector<Word>>> groups;
+    for (const Message& msg : ctx.inbox()) {
+      std::size_t i = 0;
+      while (i + 2 <= msg.payload.size()) {
+        const Word key = msg.payload[i++];
+        const auto len = static_cast<std::size_t>(msg.payload[i++]);
+        std::vector<Word> value(msg.payload.begin() + i,
+                                msg.payload.begin() + i + len);
+        i += len;
+        groups[key].push_back(std::move(value));
+      }
+    }
+    for (const auto& [key, values] : groups) {
+      for (KeyValue& out : reduce(key, values)) {
+        next[ctx.id()].push_back(std::move(out));
+      }
+    }
+  });
+  data_ = std::move(next);
+}
+
+std::vector<KeyValue> MapReduceJob::collect() const {
+  std::vector<KeyValue> all;
+  for (const auto& part : data_) {
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  std::sort(all.begin(), all.end(), [](const KeyValue& a, const KeyValue& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.value < b.value;
+  });
+  return all;
+}
+
+}  // namespace mrlr::mrc

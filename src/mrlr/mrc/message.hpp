@@ -1,0 +1,20 @@
+#pragma once
+// Inter-machine messages. The cost model is word-based: one Word per
+// vertex id, edge endpoint, weight, or counter. Message framing is free
+// (as in the standard MRC accounting, which counts words communicated).
+
+#include <cstdint>
+#include <vector>
+
+#include "mrlr/mrc/config.hpp"
+
+namespace mrlr::mrc {
+
+struct Message {
+  MachineId from = 0;
+  std::vector<Word> payload;
+
+  std::uint64_t words() const { return payload.size(); }
+};
+
+}  // namespace mrlr::mrc

@@ -1,0 +1,24 @@
+#include "mrlr/mrc/metrics.hpp"
+
+#include <algorithm>
+
+namespace mrlr::mrc {
+
+void Metrics::record(RoundMetrics r) {
+  max_machine_words_ =
+      std::max({max_machine_words_, r.max_inbox, r.max_resident, r.max_outbox});
+  max_central_inbox_ = std::max(max_central_inbox_, r.central_inbox);
+  total_comm_ += r.total_sent;
+  if (r.space_violation) ++violations_;
+  rounds_.push_back(std::move(r));
+}
+
+void Metrics::clear() {
+  rounds_.clear();
+  max_machine_words_ = 0;
+  max_central_inbox_ = 0;
+  total_comm_ = 0;
+  violations_ = 0;
+}
+
+}  // namespace mrlr::mrc

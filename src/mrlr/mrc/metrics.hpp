@@ -1,0 +1,52 @@
+#pragma once
+// Round-by-round cost accounting: the quantities Figure 1 of the paper
+// bounds (rounds, words per machine) plus communication totals.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrlr::mrc {
+
+/// Costs of one synchronous round.
+struct RoundMetrics {
+  std::string label;              ///< algorithm-provided phase label
+  std::uint64_t total_sent = 0;   ///< words sent by all machines
+  std::uint64_t max_outbox = 0;   ///< max words sent by one machine
+  std::uint64_t max_inbox = 0;    ///< max words received by one machine
+  std::uint64_t max_resident = 0; ///< max declared resident words
+  std::uint64_t central_inbox = 0;  ///< words received by machine 0
+  bool space_violation = false;
+};
+
+/// Aggregate over a whole algorithm execution.
+class Metrics {
+ public:
+  void record(RoundMetrics r);
+
+  std::uint64_t rounds() const { return rounds_.size(); }
+  const std::vector<RoundMetrics>& per_round() const { return rounds_; }
+
+  /// Max over rounds of max(inbox, resident, outbox) on any machine:
+  /// the "space per machine" column of Figure 1.
+  std::uint64_t max_machine_words() const { return max_machine_words_; }
+
+  /// Max words ever received by the central machine in one round.
+  std::uint64_t max_central_inbox() const { return max_central_inbox_; }
+
+  /// Total words communicated over the whole execution.
+  std::uint64_t total_communication() const { return total_comm_; }
+
+  std::uint64_t violations() const { return violations_; }
+
+  void clear();
+
+ private:
+  std::vector<RoundMetrics> rounds_;
+  std::uint64_t max_machine_words_ = 0;
+  std::uint64_t max_central_inbox_ = 0;
+  std::uint64_t total_comm_ = 0;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace mrlr::mrc

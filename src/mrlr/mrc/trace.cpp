@@ -1,0 +1,36 @@
+#include "mrlr/mrc/trace.hpp"
+
+#include <ostream>
+
+namespace mrlr::mrc {
+
+void write_trace_csv(const Metrics& metrics, std::ostream& os) {
+  os << "round,label,total_sent,max_outbox,max_inbox,max_resident,"
+        "central_inbox,violation\n";
+  std::uint64_t i = 0;
+  for (const auto& r : metrics.per_round()) {
+    os << i++ << ',' << r.label << ',' << r.total_sent << ',' << r.max_outbox
+       << ',' << r.max_inbox << ',' << r.max_resident << ','
+       << r.central_inbox << ',' << (r.space_violation ? 1 : 0) << '\n';
+  }
+}
+
+void print_trace(const Metrics& metrics, std::ostream& os) {
+  std::uint64_t i = 0;
+  for (const auto& r : metrics.per_round()) {
+    os << "  round " << i++ << " [" << r.label << "] sent=" << r.total_sent
+       << " max_in=" << r.max_inbox << " max_res=" << r.max_resident
+       << " central_in=" << r.central_inbox
+       << (r.space_violation ? "  ** SPACE VIOLATION **" : "") << '\n';
+  }
+}
+
+void print_summary(const Metrics& metrics, std::ostream& os) {
+  os << "rounds=" << metrics.rounds()
+     << " max_machine_words=" << metrics.max_machine_words()
+     << " max_central_inbox=" << metrics.max_central_inbox()
+     << " total_comm=" << metrics.total_communication()
+     << " violations=" << metrics.violations();
+}
+
+}  // namespace mrlr::mrc

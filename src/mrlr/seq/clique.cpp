@@ -1,0 +1,31 @@
+#include "mrlr/seq/clique.hpp"
+
+namespace mrlr::seq {
+
+using graph::VertexId;
+
+std::vector<VertexId> greedy_clique(const graph::Graph& g,
+                                    const std::vector<VertexId>& order) {
+  std::vector<VertexId> clique;
+  if (g.num_vertices() == 0) return clique;
+  // adjacency_count[v] = number of current clique members adjacent to v.
+  std::vector<std::uint32_t> adjacent(g.num_vertices(), 0);
+  std::vector<char> in(g.num_vertices(), 0);
+  auto try_add = [&](VertexId v) {
+    if (in[v] || adjacent[v] != clique.size()) return;
+    in[v] = 1;
+    clique.push_back(v);
+    for (const graph::Incidence& inc : g.neighbours(v)) {
+      ++adjacent[inc.neighbour];
+    }
+  };
+  if (order.empty()) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) try_add(v);
+  } else {
+    for (const VertexId v : order) try_add(v);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) try_add(v);
+  }
+  return clique;
+}
+
+}  // namespace mrlr::seq

@@ -1,0 +1,17 @@
+#pragma once
+// Sequential maximal clique: grow greedily in a vertex order. Used as the
+// central-machine finishing step of the paper's Appendix B algorithm and
+// as the correctness reference in tests.
+
+#include <vector>
+
+#include "mrlr/graph/graph.hpp"
+
+namespace mrlr::seq {
+
+/// Greedy maximal clique scanned in the given order (default 0..n-1):
+/// a vertex joins if it is adjacent to every current member.
+std::vector<graph::VertexId> greedy_clique(
+    const graph::Graph& g, const std::vector<graph::VertexId>& order = {});
+
+}  // namespace mrlr::seq

@@ -1,0 +1,38 @@
+#include "mrlr/seq/colouring.hpp"
+
+#include <limits>
+
+namespace mrlr::seq {
+
+using graph::VertexId;
+
+std::vector<std::uint32_t> greedy_colouring(
+    const graph::Graph& g, const std::vector<VertexId>& order) {
+  constexpr std::uint32_t kUncoloured = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> colour(g.num_vertices(), kUncoloured);
+  // Scratch marking of colours used by neighbours; epoch trick avoids
+  // clearing between vertices.
+  std::vector<std::uint64_t> seen(g.max_degree() + 2, 0);
+  std::uint64_t epoch = 0;
+
+  auto assign = [&](VertexId v) {
+    if (colour[v] != kUncoloured) return;
+    ++epoch;
+    for (const graph::Incidence& inc : g.neighbours(v)) {
+      const std::uint32_t c = colour[inc.neighbour];
+      if (c != kUncoloured && c < seen.size()) seen[c] = epoch;
+    }
+    std::uint32_t c = 0;
+    while (seen[c] == epoch) ++c;
+    colour[v] = c;
+  };
+  if (order.empty()) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) assign(v);
+  } else {
+    for (const VertexId v : order) assign(v);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) assign(v);
+  }
+  return colour;
+}
+
+}  // namespace mrlr::seq

@@ -1,0 +1,18 @@
+#pragma once
+// Greedy (Delta+1) vertex colouring: first-fit in a vertex order. This is
+// the "standard (Delta_i + 1)-vertex colouring algorithm" each central
+// machine runs on its group in the paper's Algorithm 5.
+
+#include <cstdint>
+#include <vector>
+
+#include "mrlr/graph/graph.hpp"
+
+namespace mrlr::seq {
+
+/// First-fit colouring in the given order (default 0..n-1). Uses at most
+/// max_degree(g) + 1 colours; colours are 0-based and dense.
+std::vector<std::uint32_t> greedy_colouring(
+    const graph::Graph& g, const std::vector<graph::VertexId>& order = {});
+
+}  // namespace mrlr::seq

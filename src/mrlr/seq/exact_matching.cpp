@@ -1,0 +1,57 @@
+#include "mrlr/seq/exact_matching.hpp"
+
+#include <algorithm>
+
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::seq {
+
+double exact_max_matching_weight(const graph::Graph& g) {
+  const std::uint64_t n = g.num_vertices();
+  MRLR_REQUIRE(n <= 22, "exact matching limited to 22 vertices");
+  if (n == 0) return 0.0;
+  const std::uint64_t states = 1ull << n;
+  // dp[mask] = max matching weight using only vertices in mask.
+  std::vector<double> dp(states, 0.0);
+  for (std::uint64_t mask = 1; mask < states; ++mask) {
+    const unsigned v = static_cast<unsigned>(__builtin_ctzll(mask));
+    // Option 1: v unmatched.
+    double best = dp[mask & (mask - 1)];
+    // Option 2: v matched to a neighbour in mask.
+    for (const graph::Incidence& inc : g.neighbours(
+             static_cast<graph::VertexId>(v))) {
+      const graph::VertexId u = inc.neighbour;
+      if (u == v || ((mask >> u) & 1) == 0) continue;
+      const std::uint64_t rest = mask & ~(1ull << v) & ~(1ull << u);
+      best = std::max(best, g.weight(inc.edge) + dp[rest]);
+    }
+    dp[mask] = best;
+  }
+  return dp[states - 1];
+}
+
+double exact_max_b_matching_weight(const graph::Graph& g,
+                                   const std::vector<std::uint32_t>& b) {
+  const std::uint64_t m = g.num_edges();
+  MRLR_REQUIRE(m <= 22, "exact b-matching limited to 22 edges");
+  MRLR_REQUIRE(b.size() == g.num_vertices(), "b vector size mismatch");
+  double best = 0.0;
+  for (std::uint64_t mask = 0; mask < (1ull << m); ++mask) {
+    std::vector<std::uint32_t> load(g.num_vertices(), 0);
+    double w = 0.0;
+    bool feasible = true;
+    for (std::uint64_t e = 0; e < m && feasible; ++e) {
+      if (((mask >> e) & 1) == 0) continue;
+      const graph::Edge& ed = g.edge(static_cast<graph::EdgeId>(e));
+      if (++load[ed.u] > b[ed.u] || ++load[ed.v] > b[ed.v]) {
+        feasible = false;
+        break;
+      }
+      w += g.weight(static_cast<graph::EdgeId>(e));
+    }
+    if (feasible) best = std::max(best, w);
+  }
+  return best;
+}
+
+}  // namespace mrlr::seq

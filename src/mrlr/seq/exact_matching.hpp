@@ -1,0 +1,22 @@
+#pragma once
+// Exact maximum-weight matching / b-matching for small instances via
+// subset dynamic programming — the OPT oracle for ratio certification in
+// tests and the quality bench.
+
+#include <cstdint>
+#include <vector>
+
+#include "mrlr/graph/graph.hpp"
+
+namespace mrlr::seq {
+
+/// Maximum weight of any matching in g. Requires num_vertices <= 22
+/// (DP over vertex subsets).
+double exact_max_matching_weight(const graph::Graph& g);
+
+/// Maximum weight of any b-matching in g. Requires num_edges <= 22
+/// (search over edge subsets with feasibility pruning).
+double exact_max_b_matching_weight(const graph::Graph& g,
+                                   const std::vector<std::uint32_t>& b);
+
+}  // namespace mrlr::seq

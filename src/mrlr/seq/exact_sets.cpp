@@ -1,0 +1,84 @@
+#include "mrlr/seq/exact_sets.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::seq {
+
+namespace {
+
+/// Max independent set over the candidate mask, classic branch and
+/// bound: pick any candidate v of maximum residual degree; recurse on
+/// "exclude v" and "include v" (dropping N(v)).
+std::uint64_t mis_bb(const std::vector<std::uint64_t>& adj,
+                     std::uint64_t candidates) {
+  if (candidates == 0) return 0;
+  // Find the candidate with the largest degree within the candidates.
+  int best_v = -1;
+  int best_deg = -1;
+  std::uint64_t rest = candidates;
+  while (rest != 0) {
+    const int v = __builtin_ctzll(rest);
+    rest &= rest - 1;
+    const int deg = __builtin_popcountll(adj[v] & candidates);
+    if (deg > best_deg) {
+      best_deg = deg;
+      best_v = v;
+    }
+  }
+  if (best_deg <= 1) {
+    // Candidates form a disjoint union of edges and isolated vertices:
+    // take one endpoint per edge plus all isolated vertices.
+    std::uint64_t count = 0;
+    std::uint64_t left = candidates;
+    while (left != 0) {
+      const int v = __builtin_ctzll(left);
+      left &= left - 1;
+      ++count;
+      left &= ~adj[v];  // drop v's (at most one) partner
+    }
+    return count;
+  }
+  const std::uint64_t without =
+      mis_bb(adj, candidates & ~(1ull << best_v));
+  const std::uint64_t with =
+      1 + mis_bb(adj, candidates & ~(1ull << best_v) & ~adj[best_v]);
+  return std::max(without, with);
+}
+
+std::vector<std::uint64_t> adjacency_masks(const graph::Graph& g) {
+  std::vector<std::uint64_t> adj(g.num_vertices(), 0);
+  for (const graph::Edge& e : g.edges()) {
+    adj[e.u] |= 1ull << e.v;
+    adj[e.v] |= 1ull << e.u;
+  }
+  return adj;
+}
+
+}  // namespace
+
+std::uint64_t exact_max_independent_set_size(const graph::Graph& g) {
+  const std::uint64_t n = g.num_vertices();
+  MRLR_REQUIRE(n <= 40, "exact MIS limited to 40 vertices");
+  if (n == 0) return 0;
+  const auto adj = adjacency_masks(g);
+  const std::uint64_t all = (n == 64) ? ~0ull : ((1ull << n) - 1);
+  return mis_bb(adj, all);
+}
+
+std::uint64_t exact_max_clique_size(const graph::Graph& g) {
+  const std::uint64_t n = g.num_vertices();
+  MRLR_REQUIRE(n <= 40, "exact clique limited to 40 vertices");
+  if (n == 0) return 0;
+  // Complement adjacency (small n, so materializing it is fine here).
+  auto adj = adjacency_masks(g);
+  const std::uint64_t all = (1ull << n) - 1;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    adj[v] = all & ~adj[v] & ~(1ull << v);
+  }
+  return mis_bb(adj, all);
+}
+
+}  // namespace mrlr::seq

@@ -1,0 +1,22 @@
+#pragma once
+// Exact maximum independent set / maximum clique for small instances,
+// via branch and bound over adjacency bitmasks. MIS/clique algorithms in
+// this library only guarantee *maximality*, not maximum size; these
+// oracles let benches and tests report how far from maximum the maximal
+// solutions land.
+
+#include <cstdint>
+
+#include "mrlr/graph/graph.hpp"
+
+namespace mrlr::seq {
+
+/// Size of a maximum independent set. Requires num_vertices <= 40
+/// (branch and bound; worst case exponential, fast at these sizes).
+std::uint64_t exact_max_independent_set_size(const graph::Graph& g);
+
+/// Size of a maximum clique (max independent set of the complement).
+/// Requires num_vertices <= 40.
+std::uint64_t exact_max_clique_size(const graph::Graph& g);
+
+}  // namespace mrlr::seq

@@ -1,0 +1,65 @@
+#include "mrlr/seq/greedy_matching.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::seq {
+
+using graph::EdgeId;
+
+MatchingResult greedy_matching(const graph::Graph& g) {
+  std::vector<EdgeId> order(g.num_edges());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    if (g.weight(a) != g.weight(b)) return g.weight(a) > g.weight(b);
+    return a < b;
+  });
+  return maximal_matching(g, order);
+}
+
+MatchingResult maximal_matching(const graph::Graph& g,
+                                const std::vector<EdgeId>& order) {
+  MatchingResult res;
+  std::vector<char> used(g.num_vertices(), 0);
+  auto add = [&](EdgeId e) {
+    const graph::Edge& ed = g.edge(e);
+    if (!used[ed.u] && !used[ed.v]) {
+      used[ed.u] = used[ed.v] = 1;
+      res.edges.push_back(e);
+      res.weight += g.weight(e);
+    }
+  };
+  if (order.empty()) {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) add(e);
+  } else {
+    for (const EdgeId e : order) add(e);
+  }
+  return res;
+}
+
+MatchingResult greedy_b_matching(const graph::Graph& g,
+                                 const std::vector<std::uint32_t>& b) {
+  MRLR_REQUIRE(b.size() == g.num_vertices(), "b vector size mismatch");
+  std::vector<EdgeId> order(g.num_edges());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](EdgeId x, EdgeId y) {
+    if (g.weight(x) != g.weight(y)) return g.weight(x) > g.weight(y);
+    return x < y;
+  });
+  MatchingResult res;
+  std::vector<std::uint32_t> load(g.num_vertices(), 0);
+  for (const EdgeId e : order) {
+    const graph::Edge& ed = g.edge(e);
+    if (load[ed.u] < b[ed.u] && load[ed.v] < b[ed.v]) {
+      ++load[ed.u];
+      ++load[ed.v];
+      res.edges.push_back(e);
+      res.weight += g.weight(e);
+    }
+  }
+  return res;
+}
+
+}  // namespace mrlr::seq

@@ -1,0 +1,28 @@
+#pragma once
+// Greedy matchings: the classic 1/2-approximate weight-sorted greedy and
+// the arbitrary-order maximal matching (used as comparison baselines and
+// as the finishing step of several MapReduce algorithms).
+
+#include <vector>
+
+#include "mrlr/graph/graph.hpp"
+#include "mrlr/seq/local_ratio_matching.hpp"
+
+namespace mrlr::seq {
+
+/// Sort edges by weight (descending, ties by id) and add greedily.
+/// 1/2-approximate for weighted matching.
+MatchingResult greedy_matching(const graph::Graph& g);
+
+/// Add edges in the given order (default id order) when both endpoints
+/// are free: a maximal matching.
+MatchingResult maximal_matching(const graph::Graph& g,
+                                const std::vector<graph::EdgeId>& order = {});
+
+/// Greedy b-matching: weight-sorted, add an edge when both endpoints have
+/// residual capacity. 1/2-approximate for the b-matching LP relaxation's
+/// integral problem (comparison baseline only).
+MatchingResult greedy_b_matching(const graph::Graph& g,
+                                 const std::vector<std::uint32_t>& b);
+
+}  // namespace mrlr::seq

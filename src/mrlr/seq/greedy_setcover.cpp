@@ -1,0 +1,67 @@
+#include "mrlr/seq/greedy_setcover.hpp"
+
+#include <queue>
+
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::seq {
+
+using setcover::ElementId;
+using setcover::SetId;
+
+GreedyCoverResult greedy_set_cover(const setcover::SetSystem& sys) {
+  MRLR_REQUIRE(sys.coverable(), "instance has an uncoverable element");
+
+  std::vector<char> covered(sys.universe_size(), 0);
+  std::uint64_t uncovered = sys.universe_size();
+  // live[i] = current count of uncovered elements in S_i. Maintained
+  // lazily: heap entries carry the count they were pushed with; stale
+  // entries are re-pushed with the refreshed count.
+  std::vector<std::uint64_t> live(sys.num_sets());
+  struct Entry {
+    double ratio;  // live / weight at push time
+    SetId set;
+    std::uint64_t live_at_push;
+  };
+  auto cmp = [](const Entry& a, const Entry& b) { return a.ratio < b.ratio; };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  for (SetId i = 0; i < sys.num_sets(); ++i) {
+    live[i] = sys.set(i).size();
+    if (live[i] > 0) {
+      heap.push({static_cast<double>(live[i]) / sys.weight(i), i, live[i]});
+    }
+  }
+
+  GreedyCoverResult res;
+  std::vector<char> taken(sys.num_sets(), 0);
+  while (uncovered > 0) {
+    MRLR_REQUIRE(!heap.empty(), "greedy ran out of useful sets");
+    const Entry top = heap.top();
+    heap.pop();
+    if (taken[top.set]) continue;
+    // Refresh the live count; if stale, re-push with the true ratio.
+    std::uint64_t fresh = 0;
+    for (const ElementId j : sys.set(top.set)) {
+      if (!covered[j]) ++fresh;
+    }
+    if (fresh == 0) continue;
+    if (fresh != top.live_at_push) {
+      heap.push({static_cast<double>(fresh) / sys.weight(top.set), top.set,
+                 fresh});
+      continue;
+    }
+    taken[top.set] = 1;
+    res.cover.push_back(top.set);
+    res.weight += sys.weight(top.set);
+    ++res.iterations;
+    for (const ElementId j : sys.set(top.set)) {
+      if (!covered[j]) {
+        covered[j] = 1;
+        --uncovered;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace mrlr::seq

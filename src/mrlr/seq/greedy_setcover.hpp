@@ -1,0 +1,26 @@
+#pragma once
+// Chvátal's greedy set cover: repeatedly take the set maximizing
+// (newly covered elements) / weight. H_Delta-approximate. The eps-greedy
+// relaxation (Kumar et al., used by the paper's Algorithm 3) accepts any
+// set within a (1+eps) factor of the best ratio and is
+// (1+eps)H_Delta-approximate; the sequential implementation here always
+// takes the best set (eps = 0) and serves as the quality reference for
+// the MapReduce version.
+
+#include <vector>
+
+#include "mrlr/setcover/set_system.hpp"
+
+namespace mrlr::seq {
+
+struct GreedyCoverResult {
+  std::vector<setcover::SetId> cover;
+  double weight = 0.0;
+  std::uint64_t iterations = 0;
+};
+
+/// Exact greedy via a lazy-reevaluation priority queue, O(total
+/// incidences * log n). The instance must be coverable.
+GreedyCoverResult greedy_set_cover(const setcover::SetSystem& sys);
+
+}  // namespace mrlr::seq

@@ -1,0 +1,67 @@
+#include "mrlr/seq/local_ratio_setcover.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "mrlr/setcover/validate.hpp"
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::seq {
+
+using setcover::ElementId;
+using setcover::SetId;
+
+SetCoverLocalRatio::SetCoverLocalRatio(const setcover::SetSystem& sys)
+    : sys_(sys), residual_(sys.weights()) {}
+
+bool SetCoverLocalRatio::element_active(ElementId j) const {
+  const auto owners = sys_.sets_containing(j);
+  if (owners.empty()) return false;  // uncoverable element
+  // Active iff *all* containing sets have positive residual: once any
+  // containing set is in the cover, j is covered.
+  return std::all_of(owners.begin(), owners.end(),
+                     [&](SetId i) { return residual_[i] > 0.0; });
+}
+
+std::vector<SetId> SetCoverLocalRatio::process(ElementId j) {
+  std::vector<SetId> zeroed;
+  if (!element_active(j)) return zeroed;
+  const auto owners = sys_.sets_containing(j);
+  double eps = std::numeric_limits<double>::infinity();
+  for (const SetId i : owners) eps = std::min(eps, residual_[i]);
+  lower_bound_ += eps;
+  for (const SetId i : owners) {
+    residual_[i] -= eps;
+    if (residual_[i] <= 0.0) {
+      residual_[i] = 0.0;
+      zeroed.push_back(i);
+      cover_.push_back(i);
+    }
+  }
+  // At least the argmin set reaches zero, so progress is guaranteed.
+  MRLR_REQUIRE(!zeroed.empty(), "local ratio step must zero a set");
+  return zeroed;
+}
+
+SetCoverResult local_ratio_set_cover(
+    const setcover::SetSystem& sys,
+    const std::vector<ElementId>& order) {
+  MRLR_REQUIRE(sys.coverable(), "instance has an uncoverable element");
+  SetCoverLocalRatio lr(sys);
+  auto run = [&](ElementId j) { (void)lr.process(j); };
+  if (order.empty()) {
+    for (ElementId j = 0; j < sys.universe_size(); ++j) run(j);
+  } else {
+    for (const ElementId j : order) run(j);
+    // The caller's order must touch every element at least once for the
+    // output to be a cover; finish any stragglers deterministically.
+    for (ElementId j = 0; j < sys.universe_size(); ++j) run(j);
+  }
+  SetCoverResult res;
+  res.cover = lr.cover();
+  res.weight = setcover::cover_weight(sys, res.cover);
+  res.lower_bound = lr.lower_bound();
+  return res;
+}
+
+}  // namespace mrlr::seq

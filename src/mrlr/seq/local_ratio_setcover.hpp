@@ -1,0 +1,68 @@
+#pragma once
+// Sequential local ratio for minimum weight set cover
+// (Bar-Yehuda & Even; Theorem 2.1 in the paper).
+//
+// The method processes *elements* in an arbitrary order. For element j
+// with all containing sets of positive residual weight, it subtracts
+// eps_j = min_{i : j in S_i} w_i from every set containing j; sets whose
+// residual hits zero join the cover. Any processing order yields an
+// f-approximation, where f is the maximum element frequency — this
+// order-freedom is exactly what the paper's randomized local ratio
+// exploits (Section 2.1), so the engine is exposed as a stateful class
+// that the MapReduce algorithm can drive in sampled order.
+//
+// Certificate: OPT >= sum of the eps_j (each element must be covered and
+// every set containing j has weight >= eps_j at processing time, by a
+// standard local ratio argument), while the returned cover weighs at most
+// f * sum eps_j. lower_bound() exposes the certificate so tests can check
+// the ratio without knowing OPT.
+
+#include <vector>
+
+#include "mrlr/setcover/set_system.hpp"
+
+namespace mrlr::seq {
+
+class SetCoverLocalRatio {
+ public:
+  explicit SetCoverLocalRatio(const setcover::SetSystem& sys);
+
+  /// True if element j still has all containing sets at positive residual
+  /// weight (the paper's U_r membership test).
+  bool element_active(setcover::ElementId j) const;
+
+  /// Process element j: perform the weight reduction if j is active.
+  /// Returns the ids of sets whose residual weight reached zero now
+  /// (they are appended to cover() as a side effect).
+  std::vector<setcover::SetId> process(setcover::ElementId j);
+
+  double residual_weight(setcover::SetId i) const { return residual_[i]; }
+
+  /// Sets with zero residual weight, in the order they were zeroed.
+  const std::vector<setcover::SetId>& cover() const { return cover_; }
+
+  /// Sum of performed reductions: a lower bound on OPT.
+  double lower_bound() const { return lower_bound_; }
+
+  const setcover::SetSystem& system() const { return sys_; }
+
+ private:
+  const setcover::SetSystem& sys_;
+  std::vector<double> residual_;
+  std::vector<setcover::SetId> cover_;
+  double lower_bound_ = 0.0;
+};
+
+struct SetCoverResult {
+  std::vector<setcover::SetId> cover;
+  double weight = 0.0;
+  double lower_bound = 0.0;  ///< certified OPT lower bound (0 if none)
+};
+
+/// Runs the full sequential algorithm, processing elements in the given
+/// order (default 0..m-1). The instance must be coverable.
+SetCoverResult local_ratio_set_cover(
+    const setcover::SetSystem& sys,
+    const std::vector<setcover::ElementId>& order = {});
+
+}  // namespace mrlr::seq

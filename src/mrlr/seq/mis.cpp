@@ -1,0 +1,74 @@
+#include "mrlr/seq/mis.hpp"
+
+#include <algorithm>
+
+namespace mrlr::seq {
+
+using graph::VertexId;
+
+std::vector<VertexId> greedy_mis(const graph::Graph& g,
+                                 const std::vector<VertexId>& order) {
+  std::vector<char> blocked(g.num_vertices(), 0);
+  std::vector<VertexId> mis;
+  auto take = [&](VertexId v) {
+    if (blocked[v]) return;
+    mis.push_back(v);
+    blocked[v] = 1;
+    for (const graph::Incidence& inc : g.neighbours(v)) {
+      blocked[inc.neighbour] = 1;
+    }
+  };
+  if (order.empty()) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) take(v);
+  } else {
+    for (const VertexId v : order) take(v);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) take(v);
+  }
+  return mis;
+}
+
+LubyResult luby_mis(const graph::Graph& g, Rng& rng) {
+  LubyResult res;
+  const std::uint64_t n = g.num_vertices();
+  // live = still in the residual graph.
+  std::vector<char> live(n, 1);
+  std::vector<std::uint64_t> mark(n, 0);
+  std::uint64_t remaining = n;
+  while (remaining > 0) {
+    ++res.rounds;
+    for (VertexId v = 0; v < n; ++v) {
+      if (live[v]) mark[v] = rng();
+    }
+    // Local minima join the MIS. Ties broken by id (ordered pair compare).
+    std::vector<VertexId> winners;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!live[v]) continue;
+      bool is_min = true;
+      for (const graph::Incidence& inc : g.neighbours(v)) {
+        const VertexId u = inc.neighbour;
+        if (!live[u]) continue;
+        if (mark[u] < mark[v] || (mark[u] == mark[v] && u < v)) {
+          is_min = false;
+          break;
+        }
+      }
+      if (is_min) winners.push_back(v);
+    }
+    for (const VertexId v : winners) {
+      if (!live[v]) continue;  // neighbour of an earlier winner this round
+      res.independent_set.push_back(v);
+      live[v] = 0;
+      --remaining;
+      for (const graph::Incidence& inc : g.neighbours(v)) {
+        if (live[inc.neighbour]) {
+          live[inc.neighbour] = 0;
+          --remaining;
+        }
+      }
+    }
+  }
+  std::sort(res.independent_set.begin(), res.independent_set.end());
+  return res;
+}
+
+}  // namespace mrlr::seq

@@ -1,0 +1,29 @@
+#pragma once
+// Sequential maximal independent set algorithms: the greedy scan (used as
+// the central-machine finishing step by the paper's Algorithm 2/6) and
+// Luby's randomized algorithm (the classic PRAM baseline mentioned in
+// Section 6, O(log n) rounds when simulated in MapReduce).
+
+#include <cstdint>
+#include <vector>
+
+#include "mrlr/graph/graph.hpp"
+#include "mrlr/util/rng.hpp"
+
+namespace mrlr::seq {
+
+/// Greedy MIS in the given vertex order (default 0..n-1). Output is
+/// always maximal.
+std::vector<graph::VertexId> greedy_mis(
+    const graph::Graph& g, const std::vector<graph::VertexId>& order = {});
+
+struct LubyResult {
+  std::vector<graph::VertexId> independent_set;
+  std::uint64_t rounds = 0;  ///< number of Luby phases executed
+};
+
+/// Luby's algorithm: each round every live vertex draws a random value;
+/// local minima join the set; winners and neighbours leave the graph.
+LubyResult luby_mis(const graph::Graph& g, Rng& rng);
+
+}  // namespace mrlr::seq

@@ -1,0 +1,170 @@
+#include "mrlr/seq/misra_gries.hpp"
+
+#include <limits>
+
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::seq {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+namespace {
+
+constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+
+/// Working state: per-edge colour and, per vertex, the edge occupying
+/// each colour slot (kNoEdge when free).
+class Colourer {
+ public:
+  explicit Colourer(const graph::Graph& g)
+      : g_(g),
+        palette_(g.max_degree() + 1),
+        colour_(g.num_edges(), kNone),
+        at_(g.num_vertices() * palette_, kNoEdge),
+        in_fan_(g.num_vertices(), 0) {}
+
+  std::vector<std::uint32_t> run() {
+    for (EdgeId e = 0; e < g_.num_edges(); ++e) colour_edge(e);
+    return colour_;
+  }
+
+ private:
+  static constexpr std::uint32_t kNoEdge =
+      std::numeric_limits<std::uint32_t>::max();
+
+  std::uint32_t& at(VertexId v, std::uint32_t c) {
+    return at_[static_cast<std::size_t>(v) * palette_ + c];
+  }
+
+  bool is_free(VertexId v, std::uint32_t c) { return at(v, c) == kNoEdge; }
+
+  std::uint32_t free_colour(VertexId v) {
+    for (std::uint32_t c = 0; c < palette_; ++c) {
+      if (is_free(v, c)) return c;
+    }
+    MRLR_REQUIRE(false, "no free colour: degree exceeds palette");
+    return kNone;
+  }
+
+  void set_colour(EdgeId e, std::uint32_t c) {
+    const graph::Edge& ed = g_.edge(e);
+    if (colour_[e] != kNone) {
+      at(ed.u, colour_[e]) = kNoEdge;
+      at(ed.v, colour_[e]) = kNoEdge;
+    }
+    colour_[e] = c;
+    if (c != kNone) {
+      MRLR_REQUIRE(at(ed.u, c) == kNoEdge && at(ed.v, c) == kNoEdge,
+                   "colour slot already occupied");
+      at(ed.u, c) = e;
+      at(ed.v, c) = e;
+    }
+  }
+
+  /// Invert the maximal path through `start` whose edges alternate
+  /// colours d, c, d, ... (beginning with d). After inversion, d is free
+  /// at `start` (its d-edge, if any, became c). The walk cannot cycle:
+  /// `start` has no c-edge (c is free there), so it is an endpoint of its
+  /// path component in the c/d subgraph.
+  void invert_cd_path(VertexId start, std::uint32_t c, std::uint32_t d) {
+    VertexId cur = start;
+    std::uint32_t follow = d;
+    // Collect the path first; recolouring while walking would corrupt the
+    // slot lookups used to find the next edge.
+    std::vector<EdgeId> path;
+    while (path.size() <= g_.num_vertices()) {
+      const std::uint32_t e = at(cur, follow);
+      if (e == kNoEdge) break;
+      path.push_back(e);
+      cur = g_.edge(e).other(cur);
+      follow = (follow == d) ? c : d;
+    }
+    // Uncolour the whole path, then re-colour with swapped colours.
+    std::vector<std::uint32_t> old(path.size());
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      old[i] = colour_[path[i]];
+      set_colour(path[i], kNone);
+    }
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      set_colour(path[i], old[i] == c ? d : c);
+    }
+  }
+
+  void colour_edge(EdgeId e0) {
+    const VertexId u = g_.edge(e0).u;
+    const VertexId v = g_.edge(e0).v;
+
+    // 1. Maximal fan F of u starting at v: fan edges (u, f_i) are
+    //    coloured for i >= 1 and colour(u, f_i) is free at f_{i-1}.
+    std::vector<VertexId> fan{v};
+    std::vector<EdgeId> fan_edge{e0};
+    ++fan_epoch_;
+    in_fan_[v] = fan_epoch_;
+    bool extended = true;
+    while (extended) {
+      extended = false;
+      for (const graph::Incidence& inc : g_.neighbours(u)) {
+        const EdgeId e = inc.edge;
+        const VertexId w = inc.neighbour;
+        if (in_fan_[w] == fan_epoch_ || colour_[e] == kNone) continue;
+        if (is_free(fan.back(), colour_[e])) {
+          fan.push_back(w);
+          fan_edge.push_back(e);
+          in_fan_[w] = fan_epoch_;
+          extended = true;
+        }
+      }
+    }
+
+    // 2. c free on u, d free on the last fan vertex.
+    const std::uint32_t c = free_colour(u);
+    const std::uint32_t d = free_colour(fan.back());
+    if (c != d) {
+      // 3. Invert the cd-path from u so d becomes free at u.
+      invert_cd_path(u, c, d);
+    }
+
+    // 4. Find the shortest fan prefix f_0..f_j that is still a fan in the
+    //    current colouring and has d free at f_j; rotate it and colour
+    //    (u, f_j) with d. Misra & Gries prove such j exists.
+    std::size_t j = fan.size();
+    for (std::size_t i = 0; i < fan.size(); ++i) {
+      // Prefix validity: for 1 <= t <= i, colour(u, f_t) must be free at
+      // f_{t-1}. Checked incrementally: prefix_valid holds for i-1.
+      if (i > 0) {
+        const std::uint32_t ce = colour_[fan_edge[i]];
+        if (ce == kNone || !is_free(fan[i - 1], ce)) break;
+      }
+      if (is_free(fan[i], d) && is_free(u, d)) {
+        j = i;
+        break;
+      }
+    }
+    MRLR_REQUIRE(j < fan.size(), "Misra-Gries: no rotatable fan prefix");
+
+    // Rotate: shift the colour of (u, f_{t+1}) onto (u, f_t) for t < j.
+    for (std::size_t t = 0; t < j; ++t) {
+      const std::uint32_t ct = colour_[fan_edge[t + 1]];
+      set_colour(fan_edge[t + 1], kNone);
+      set_colour(fan_edge[t], ct);
+    }
+    set_colour(fan_edge[j], d);
+  }
+
+  const graph::Graph& g_;
+  std::uint32_t palette_;
+  std::vector<std::uint32_t> colour_;
+  std::vector<std::uint32_t> at_;
+  std::vector<std::uint64_t> in_fan_;
+  std::uint64_t fan_epoch_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> misra_gries_edge_colouring(const graph::Graph& g) {
+  if (g.num_edges() == 0) return {};
+  return Colourer(g).run();
+}
+
+}  // namespace mrlr::seq

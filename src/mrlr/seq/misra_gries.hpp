@@ -1,0 +1,18 @@
+#pragma once
+// Misra & Gries' constructive proof of Vizing's theorem: a proper edge
+// colouring with at most Delta + 1 colours in O(n*m) time. The paper's
+// edge-colouring result (Theorem 6.6, Remark 6.5) colours each random
+// group with this algorithm on a central machine.
+
+#include <cstdint>
+#include <vector>
+
+#include "mrlr/graph/graph.hpp"
+
+namespace mrlr::seq {
+
+/// Proper edge colouring of g using colours 0 .. max_degree(g) (i.e. at
+/// most Delta+1 distinct colours). Returns one colour per edge id.
+std::vector<std::uint32_t> misra_gries_edge_colouring(const graph::Graph& g);
+
+}  // namespace mrlr::seq

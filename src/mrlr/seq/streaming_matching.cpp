@@ -1,0 +1,48 @@
+#include "mrlr/seq/streaming_matching.hpp"
+
+#include <algorithm>
+
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::seq {
+
+using graph::EdgeId;
+
+StreamingMatchingResult streaming_matching(
+    const graph::Graph& g, double eps,
+    const std::vector<EdgeId>& order) {
+  MRLR_REQUIRE(eps > 0.0, "epsilon must be positive");
+  std::vector<double> phi(g.num_vertices(), 0.0);
+  std::vector<EdgeId> stack;
+  StreamingMatchingResult res;
+
+  auto process = [&](EdgeId e) {
+    const graph::Edge& ed = g.edge(e);
+    const double threshold = (1.0 + eps) * (phi[ed.u] + phi[ed.v]);
+    if (g.weight(e) <= threshold) return;  // pruned
+    const double gain = g.weight(e) - phi[ed.u] - phi[ed.v];
+    phi[ed.u] += gain;
+    phi[ed.v] += gain;
+    stack.push_back(e);
+    res.stack_peak = std::max<std::uint64_t>(res.stack_peak, stack.size());
+  };
+
+  if (order.empty()) {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) process(e);
+  } else {
+    for (const EdgeId e : order) process(e);
+  }
+
+  std::vector<char> used(g.num_vertices(), 0);
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    const graph::Edge& ed = g.edge(*it);
+    if (!used[ed.u] && !used[ed.v]) {
+      used[ed.u] = used[ed.v] = 1;
+      res.edges.push_back(*it);
+      res.weight += g.weight(*it);
+    }
+  }
+  return res;
+}
+
+}  // namespace mrlr::seq

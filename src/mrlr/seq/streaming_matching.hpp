@@ -1,0 +1,34 @@
+#pragma once
+// The (2+eps)-approximate semi-streaming matching of Paz & Schwartzman
+// (SODA 2017), which inspired the paper's randomized local ratio
+// technique (Section 1.2). One pass over the edge stream: an edge with
+// w(e) > (1+eps)(phi(u)+phi(v)) is stacked and charges its residual to
+// both endpoints; the epsilon-pruning bounds the stack at
+// O(n log(1+eps) W) instead of the unbounded plain-local-ratio stack.
+//
+// Included both as a historically faithful point of comparison (it is
+// space-efficient but *not* distributed — the contrast the paper draws)
+// and as the eps-ablation companion to Algorithm 7's epsilon-adjusted
+// reductions.
+
+#include <cstdint>
+#include <vector>
+
+#include "mrlr/graph/graph.hpp"
+#include "mrlr/seq/local_ratio_matching.hpp"
+
+namespace mrlr::seq {
+
+struct StreamingMatchingResult {
+  std::vector<graph::EdgeId> edges;
+  double weight = 0.0;
+  std::uint64_t stack_peak = 0;  ///< max stack size during the pass
+};
+
+/// Single pass in the given order (default: edge id order, i.e. an
+/// arbitrary stream). (2 + eps)-approximate; eps > 0.
+StreamingMatchingResult streaming_matching(
+    const graph::Graph& g, double eps,
+    const std::vector<graph::EdgeId>& order = {});
+
+}  // namespace mrlr::seq

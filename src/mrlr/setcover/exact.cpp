@@ -1,0 +1,103 @@
+#include "mrlr/setcover/exact.hpp"
+
+#include <limits>
+
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::setcover {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// dp[mask] = min weight covering exactly the elements of `mask` (at
+/// least). Transition: from mask, pick any uncovered element j and try
+/// every set containing j — this keeps the transition count near
+/// 2^m * f rather than 2^m * n.
+std::vector<double> cover_dp(const SetSystem& sys,
+                             std::vector<SetId>* choice_out) {
+  const std::uint64_t m = sys.universe_size();
+  MRLR_REQUIRE(m <= 24, "exact set cover limited to universe size 24");
+  const std::uint64_t full = (m == 0) ? 0 : ((1ull << m) - 1);
+
+  std::vector<std::uint32_t> set_mask(sys.num_sets(), 0);
+  for (SetId i = 0; i < sys.num_sets(); ++i) {
+    std::uint32_t mask = 0;
+    for (const ElementId j : sys.set(i)) mask |= (1u << j);
+    set_mask[i] = mask;
+  }
+
+  std::vector<double> dp(full + 1, kInf);
+  std::vector<SetId> choice(full + 1, 0);
+  std::vector<std::uint32_t> parent(full + 1, 0);
+  dp[0] = 0.0;
+  for (std::uint64_t mask = 0; mask <= full; ++mask) {
+    if (dp[mask] == kInf) continue;
+    if (mask == full) break;
+    // Lowest uncovered element.
+    const unsigned j = static_cast<unsigned>(__builtin_ctzll(~mask));
+    for (const SetId i : sys.sets_containing(static_cast<ElementId>(j))) {
+      const std::uint64_t next = mask | set_mask[i];
+      const double cand = dp[mask] + sys.weight(i);
+      if (cand < dp[next]) {
+        dp[next] = cand;
+        choice[next] = i;
+        parent[next] = static_cast<std::uint32_t>(mask);
+      }
+    }
+  }
+  if (choice_out && dp[full] != kInf) {
+    choice_out->clear();
+    std::uint64_t cur = full;
+    while (cur != 0) {
+      choice_out->push_back(choice[cur]);
+      cur = parent[cur];
+    }
+  }
+  return dp;
+}
+}  // namespace
+
+std::optional<double> exact_min_cover_weight(const SetSystem& sys) {
+  const std::uint64_t m = sys.universe_size();
+  if (m == 0) return 0.0;
+  const auto dp = cover_dp(sys, nullptr);
+  const double best = dp[(1ull << m) - 1];
+  if (best == kInf) return std::nullopt;
+  return best;
+}
+
+std::optional<ExactCover> exact_min_cover(const SetSystem& sys) {
+  const std::uint64_t m = sys.universe_size();
+  ExactCover out;
+  if (m == 0) return out;
+  const auto dp = cover_dp(sys, &out.sets);
+  out.weight = dp[(1ull << m) - 1];
+  if (out.weight == kInf) return std::nullopt;
+  return out;
+}
+
+double exact_min_vertex_cover_weight(const graph::Graph& g,
+                                     const std::vector<double>& weights) {
+  const std::uint64_t n = g.num_vertices();
+  MRLR_REQUIRE(n <= 24, "exact vertex cover limited to 24 vertices");
+  MRLR_REQUIRE(weights.size() == n, "one weight per vertex");
+  double best = kInf;
+  for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    bool covers = true;
+    for (const graph::Edge& e : g.edges()) {
+      if (((mask >> e.u) & 1) == 0 && ((mask >> e.v) & 1) == 0) {
+        covers = false;
+        break;
+      }
+    }
+    if (!covers) continue;
+    double w = 0.0;
+    for (std::uint64_t v = 0; v < n; ++v) {
+      if ((mask >> v) & 1) w += weights[v];
+    }
+    best = std::min(best, w);
+  }
+  return best;
+}
+
+}  // namespace mrlr::setcover

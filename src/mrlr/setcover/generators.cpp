@@ -1,0 +1,119 @@
+#include "mrlr/setcover/generators.hpp"
+
+#include <algorithm>
+
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::setcover {
+
+namespace {
+double draw_weight(graph::WeightDist dist, Rng& rng) {
+  // Reuse the edge-weight distributions via a 1-edge dummy call pattern is
+  // overkill; duplicate the small switch here for set weights.
+  switch (dist) {
+    case graph::WeightDist::kUniform:
+      return rng.uniform_real(1.0, 100.0);
+    case graph::WeightDist::kExponential:
+      return 1.0 + 10.0 * rng.exponential(1.0);
+    case graph::WeightDist::kIntegral:
+      return static_cast<double>(rng.uniform_int(1, 1000));
+    case graph::WeightDist::kPolarized:
+      return rng.bernoulli(0.1) ? rng.uniform_real(1000.0, 2000.0)
+                                : rng.uniform_real(1.0, 2.0);
+  }
+  return 1.0;
+}
+}  // namespace
+
+SetSystem bounded_frequency(std::uint64_t num_sets, std::uint64_t universe,
+                            std::uint64_t f, graph::WeightDist dist,
+                            Rng& rng) {
+  MRLR_REQUIRE(f >= 1, "frequency bound must be at least 1");
+  MRLR_REQUIRE(num_sets >= f, "need at least f sets");
+  std::vector<std::vector<ElementId>> sets(num_sets);
+  for (ElementId j = 0; j < universe; ++j) {
+    // Element 0 is forced to frequency exactly f so max_frequency() == f;
+    // the rest draw a frequency uniformly in [1, f].
+    const std::uint64_t freq =
+        (j == 0) ? f : 1 + rng.uniform(f);
+    const auto owners = rng.sample_without_replacement(num_sets, freq);
+    for (const auto i : owners) {
+      sets[static_cast<SetId>(i)].push_back(j);
+    }
+  }
+  std::vector<double> weights(num_sets);
+  for (auto& w : weights) w = draw_weight(dist, rng);
+  return SetSystem(universe, std::move(sets), std::move(weights));
+}
+
+SetSystem many_sets(std::uint64_t num_sets, std::uint64_t universe,
+                    std::uint64_t max_set_size, graph::WeightDist dist,
+                    Rng& rng) {
+  MRLR_REQUIRE(max_set_size >= 1, "sets must be able to hold an element");
+  std::vector<std::vector<ElementId>> sets;
+  sets.reserve(num_sets);
+  std::vector<double> weights;
+  weights.reserve(num_sets);
+
+  // Backbone: partition the universe into consecutive chunks of size
+  // max_set_size with weight ~1 each, guaranteeing coverability.
+  for (std::uint64_t start = 0; start < universe; start += max_set_size) {
+    std::vector<ElementId> s;
+    const std::uint64_t end = std::min(universe, start + max_set_size);
+    for (std::uint64_t j = start; j < end; ++j) {
+      s.push_back(static_cast<ElementId>(j));
+    }
+    sets.push_back(std::move(s));
+    weights.push_back(rng.uniform_real(1.0, 2.0));
+  }
+
+  while (sets.size() < num_sets) {
+    const std::uint64_t size = 1 + rng.uniform(max_set_size);
+    const auto members = rng.sample_without_replacement(universe, size);
+    std::vector<ElementId> s;
+    s.reserve(size);
+    for (const auto j : members) s.push_back(static_cast<ElementId>(j));
+    sets.push_back(std::move(s));
+    weights.push_back(draw_weight(dist, rng));
+  }
+  return SetSystem(universe, std::move(sets), std::move(weights));
+}
+
+SetSystem planted_cover(std::uint64_t opt_sets, std::uint64_t decoys,
+                        std::uint64_t universe, Rng& rng,
+                        double* planted_cost) {
+  MRLR_REQUIRE(opt_sets >= 1 && opt_sets <= universe,
+               "planted cover size must be in [1, universe]");
+  // Random partition of the universe into opt_sets nonempty parts.
+  auto perm = rng.permutation(universe);
+  std::vector<std::vector<ElementId>> sets(opt_sets);
+  // Give each part one element first, then spread the rest randomly.
+  for (std::uint64_t i = 0; i < opt_sets; ++i) {
+    sets[i].push_back(static_cast<ElementId>(perm[i]));
+  }
+  for (std::uint64_t j = opt_sets; j < universe; ++j) {
+    sets[rng.uniform(opt_sets)].push_back(static_cast<ElementId>(perm[j]));
+  }
+  std::vector<double> weights;
+  double cost = 0.0;
+  for (std::uint64_t i = 0; i < opt_sets; ++i) {
+    const double w = rng.uniform_real(1.0, 2.0);
+    weights.push_back(w);
+    cost += w;
+  }
+  // Decoys: random subsets with weight large enough that any cover using
+  // them is far from the planted one.
+  for (std::uint64_t d = 0; d < decoys; ++d) {
+    const std::uint64_t size = 1 + rng.uniform(std::max<std::uint64_t>(
+                                       1, universe / 4));
+    const auto members = rng.sample_without_replacement(universe, size);
+    std::vector<ElementId> s;
+    for (const auto j : members) s.push_back(static_cast<ElementId>(j));
+    sets.push_back(std::move(s));
+    weights.push_back(rng.uniform_real(50.0, 100.0));
+  }
+  if (planted_cost) *planted_cost = cost;
+  return SetSystem(universe, std::move(sets), std::move(weights));
+}
+
+}  // namespace mrlr::setcover

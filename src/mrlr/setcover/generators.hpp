@@ -1,0 +1,38 @@
+#pragma once
+// Set system generators for the two regimes the paper distinguishes:
+// Theorem 2.4 targets n >> m handled via bounded frequency f; Theorem 4.6
+// targets m << n with many sets of bounded size Delta.
+
+#include <cstdint>
+
+#include "mrlr/graph/generators.hpp"
+#include "mrlr/setcover/set_system.hpp"
+#include "mrlr/util/rng.hpp"
+
+namespace mrlr::setcover {
+
+/// System where every element appears in at least 1 and at most f sets,
+/// and some element attains frequency exactly f (so max_frequency() == f).
+/// Weights drawn from `dist`. Coverage is guaranteed.
+SetSystem bounded_frequency(std::uint64_t num_sets, std::uint64_t universe,
+                            std::uint64_t f, graph::WeightDist dist,
+                            Rng& rng);
+
+/// Many-sets regime (m << n): `num_sets` random subsets of [universe],
+/// each of size in [1, max_set_size], plus a forced partition of the
+/// universe into cheap "backbone" sets so a low-cost cover exists and the
+/// instance is always coverable. The backbone sets get weight ~1; the
+/// rest get weights from `dist` (typically much larger).
+SetSystem many_sets(std::uint64_t num_sets, std::uint64_t universe,
+                    std::uint64_t max_set_size, graph::WeightDist dist,
+                    Rng& rng);
+
+/// Instance with a *planted* cover: `opt_sets` disjoint cheap sets exactly
+/// partition the universe (their total weight is returned through
+/// planted_cost); `decoys` additional expensive overlapping sets are added.
+/// Gives a known upper bound on OPT for approximation-ratio reporting.
+SetSystem planted_cover(std::uint64_t opt_sets, std::uint64_t decoys,
+                        std::uint64_t universe, Rng& rng,
+                        double* planted_cost);
+
+}  // namespace mrlr::setcover

@@ -1,0 +1,62 @@
+#include "mrlr/setcover/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::setcover {
+
+void write_set_system(const SetSystem& sys, std::ostream& os) {
+  os << sys.num_sets() << ' ' << sys.universe_size() << " weighted\n";
+  for (SetId i = 0; i < sys.num_sets(); ++i) {
+    os << sys.weight(i) << ' ' << sys.set(i).size();
+    for (const ElementId j : sys.set(i)) os << ' ' << j;
+    os << '\n';
+  }
+}
+
+SetSystem read_set_system(std::istream& is) {
+  std::string line;
+  auto next_content_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+
+  MRLR_REQUIRE(next_content_line(), "set system: missing header");
+  std::istringstream header(line);
+  std::uint64_t n = 0, m = 0;
+  std::string flag;
+  header >> n >> m >> flag;
+  const bool weighted = flag == "weighted";
+
+  std::vector<std::vector<ElementId>> sets;
+  std::vector<double> weights;
+  sets.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    MRLR_REQUIRE(next_content_line(), "set system: truncated file");
+    std::istringstream ls(line);
+    double w = 1.0;
+    if (weighted) ls >> w;
+    std::uint64_t k = 0;
+    ls >> k;
+    std::vector<ElementId> s;
+    s.reserve(k);
+    for (std::uint64_t t = 0; t < k; ++t) {
+      std::uint64_t j = 0;
+      ls >> j;
+      MRLR_REQUIRE(j < m, "set system: element outside universe");
+      s.push_back(static_cast<ElementId>(j));
+    }
+    sets.push_back(std::move(s));
+    weights.push_back(w);
+  }
+  return SetSystem(m, std::move(sets), std::move(weights));
+}
+
+}  // namespace mrlr::setcover

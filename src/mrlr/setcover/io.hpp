@@ -1,0 +1,19 @@
+#pragma once
+// Plain-text set system I/O so examples and the CLI can load
+// user-provided cover instances.
+//
+// Format: header "n m [weighted]" (n sets over universe [m]); then one
+// line per set: "[w] k e1 e2 ... ek" (weight first when the header says
+// weighted). '#' lines are comments.
+
+#include <iosfwd>
+
+#include "mrlr/setcover/set_system.hpp"
+
+namespace mrlr::setcover {
+
+void write_set_system(const SetSystem& sys, std::ostream& os);
+
+SetSystem read_set_system(std::istream& is);
+
+}  // namespace mrlr::setcover

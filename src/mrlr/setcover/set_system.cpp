@@ -1,0 +1,74 @@
+#include "mrlr/setcover/set_system.hpp"
+
+#include <algorithm>
+
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::setcover {
+
+SetSystem::SetSystem(std::uint64_t universe_size,
+                     std::vector<std::vector<ElementId>> sets)
+    : SetSystem(universe_size, std::move(sets), {}) {}
+
+SetSystem::SetSystem(std::uint64_t universe_size,
+                     std::vector<std::vector<ElementId>> sets,
+                     std::vector<double> weights)
+    : m_(universe_size), sets_(std::move(sets)), weights_(std::move(weights)) {
+  if (weights_.empty()) {
+    weights_.assign(sets_.size(), 1.0);
+  }
+  MRLR_REQUIRE(weights_.size() == sets_.size(),
+               "one weight per set required");
+  for (const double w : weights_) {
+    MRLR_REQUIRE(w > 0.0, "set weights must be positive");
+  }
+  build_dual();
+}
+
+void SetSystem::build_dual() {
+  element_sets_.assign(m_, {});
+  max_set_size_ = 0;
+  total_incidences_ = 0;
+  for (SetId i = 0; i < sets_.size(); ++i) {
+    auto& s = sets_[i];
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    for (const ElementId j : s) {
+      MRLR_REQUIRE(j < m_, "set element outside the universe");
+      element_sets_[j].push_back(i);
+    }
+    max_set_size_ = std::max<std::uint64_t>(max_set_size_, s.size());
+    total_incidences_ += s.size();
+  }
+  max_frequency_ = 0;
+  for (const auto& t : element_sets_) {
+    max_frequency_ = std::max<std::uint64_t>(max_frequency_, t.size());
+  }
+  max_weight_ = 0.0;
+  min_weight_ = weights_.empty() ? 0.0 : weights_[0];
+  for (const double w : weights_) {
+    max_weight_ = std::max(max_weight_, w);
+    min_weight_ = std::min(min_weight_, w);
+  }
+}
+
+bool SetSystem::coverable() const {
+  return std::all_of(element_sets_.begin(), element_sets_.end(),
+                     [](const auto& t) { return !t.empty(); });
+}
+
+SetSystem SetSystem::vertex_cover_instance(
+    const graph::Graph& g, const std::vector<double>& vertex_weights) {
+  MRLR_REQUIRE(vertex_weights.size() == g.num_vertices(),
+               "one weight per vertex required");
+  std::vector<std::vector<ElementId>> sets(g.num_vertices());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    sets[v].reserve(g.degree(v));
+    for (const graph::Incidence& inc : g.neighbours(v)) {
+      sets[v].push_back(inc.edge);
+    }
+  }
+  return SetSystem(g.num_edges(), std::move(sets), vertex_weights);
+}
+
+}  // namespace mrlr::setcover

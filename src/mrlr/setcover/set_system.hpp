@@ -1,0 +1,80 @@
+#pragma once
+// Weighted set systems for the set cover problems (Sections 2 and 4).
+//
+// Notation follows the paper: n sets S_1..S_n over universe U = [m] with
+// positive weights w_1..w_n. The *frequency* of element j is the number
+// of sets containing it; f is the maximum frequency. Delta is the largest
+// set size. The dual view T_j = { i : j in S_i } ("element incidence") is
+// precomputed because both the f-approximation (which distributes the
+// dual sets across machines, Theorem 2.4) and the validators need it.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mrlr/graph/graph.hpp"
+
+namespace mrlr::setcover {
+
+using SetId = std::uint32_t;
+using ElementId = std::uint32_t;
+
+class SetSystem {
+ public:
+  /// Builds a system of `sets` over universe [universe_size] with unit
+  /// weights.
+  SetSystem(std::uint64_t universe_size,
+            std::vector<std::vector<ElementId>> sets);
+
+  /// As above with explicit positive weights (one per set).
+  SetSystem(std::uint64_t universe_size,
+            std::vector<std::vector<ElementId>> sets,
+            std::vector<double> weights);
+
+  std::uint64_t num_sets() const { return sets_.size(); }
+  std::uint64_t universe_size() const { return m_; }
+
+  std::span<const ElementId> set(SetId i) const { return sets_[i]; }
+  double weight(SetId i) const { return weights_[i]; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Dual incidence T_j: ids of all sets containing element j.
+  std::span<const SetId> sets_containing(ElementId j) const {
+    return element_sets_[j];
+  }
+
+  /// Maximum frequency f = max_j |T_j|.
+  std::uint64_t max_frequency() const { return max_frequency_; }
+
+  /// Delta = max_i |S_i|.
+  std::uint64_t max_set_size() const { return max_set_size_; }
+
+  /// Sum over all sets of |S_i| (the paper's Phi upper bound in Thm 4.5).
+  std::uint64_t total_incidences() const { return total_incidences_; }
+
+  double max_weight() const { return max_weight_; }
+  double min_weight() const { return min_weight_; }
+
+  /// True if every element belongs to at least one set (a cover exists).
+  bool coverable() const;
+
+  /// The weighted vertex cover instance of a graph: one set per vertex
+  /// (covering its incident edges), universe = edges, f = 2.
+  static SetSystem vertex_cover_instance(
+      const graph::Graph& g, const std::vector<double>& vertex_weights);
+
+ private:
+  void build_dual();
+
+  std::uint64_t m_;
+  std::vector<std::vector<ElementId>> sets_;
+  std::vector<double> weights_;
+  std::vector<std::vector<SetId>> element_sets_;
+  std::uint64_t max_frequency_ = 0;
+  std::uint64_t max_set_size_ = 0;
+  std::uint64_t total_incidences_ = 0;
+  double max_weight_ = 0.0;
+  double min_weight_ = 0.0;
+};
+
+}  // namespace mrlr::setcover

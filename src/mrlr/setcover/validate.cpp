@@ -1,0 +1,68 @@
+#include "mrlr/setcover/validate.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mrlr::setcover {
+
+bool is_cover(const SetSystem& sys, const std::vector<SetId>& chosen) {
+  std::vector<char> covered(sys.universe_size(), 0);
+  for (const SetId i : chosen) {
+    if (i >= sys.num_sets()) return false;
+    for (const ElementId j : sys.set(i)) covered[j] = 1;
+  }
+  return std::all_of(covered.begin(), covered.end(),
+                     [](char c) { return c != 0; });
+}
+
+double cover_weight(const SetSystem& sys, const std::vector<SetId>& chosen) {
+  std::unordered_set<SetId> distinct(chosen.begin(), chosen.end());
+  double s = 0.0;
+  for (const SetId i : distinct) s += sys.weight(i);
+  return s;
+}
+
+bool is_minimal_cover(const SetSystem& sys,
+                      const std::vector<SetId>& chosen) {
+  if (!is_cover(sys, chosen)) return false;
+  // coverage count per element
+  std::vector<std::uint32_t> count(sys.universe_size(), 0);
+  for (const SetId i : chosen) {
+    for (const ElementId j : sys.set(i)) ++count[j];
+  }
+  for (const SetId i : chosen) {
+    const bool redundant =
+        std::all_of(sys.set(i).begin(), sys.set(i).end(),
+                    [&](ElementId j) { return count[j] >= 2; });
+    if (redundant) return false;
+  }
+  return true;
+}
+
+std::vector<SetId> prune_cover(const SetSystem& sys,
+                               std::vector<SetId> chosen) {
+  std::sort(chosen.begin(), chosen.end());
+  chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+  std::vector<std::uint32_t> count(sys.universe_size(), 0);
+  for (const SetId i : chosen) {
+    for (const ElementId j : sys.set(i)) ++count[j];
+  }
+  // Try to drop sets from most expensive to cheapest.
+  std::vector<SetId> order = chosen;
+  std::sort(order.begin(), order.end(), [&](SetId a, SetId b) {
+    return sys.weight(a) > sys.weight(b);
+  });
+  std::unordered_set<SetId> kept(chosen.begin(), chosen.end());
+  for (const SetId i : order) {
+    const bool redundant =
+        std::all_of(sys.set(i).begin(), sys.set(i).end(),
+                    [&](ElementId j) { return count[j] >= 2; });
+    if (redundant) {
+      kept.erase(i);
+      for (const ElementId j : sys.set(i)) --count[j];
+    }
+  }
+  return {kept.begin(), kept.end()};
+}
+
+}  // namespace mrlr::setcover

@@ -1,0 +1,26 @@
+#pragma once
+// Independent validation of set cover solutions.
+
+#include <vector>
+
+#include "mrlr/setcover/set_system.hpp"
+
+namespace mrlr::setcover {
+
+/// True if the chosen sets cover the entire universe.
+bool is_cover(const SetSystem& sys, const std::vector<SetId>& chosen);
+
+/// Total weight of the chosen sets (duplicates counted once).
+double cover_weight(const SetSystem& sys, const std::vector<SetId>& chosen);
+
+/// True if removing any single chosen set breaks coverage (no redundant
+/// set). The paper's algorithms do not guarantee minimality; this is used
+/// by tests of the optional prune post-pass.
+bool is_minimal_cover(const SetSystem& sys, const std::vector<SetId>& chosen);
+
+/// Drop redundant sets greedily (highest weight first). Preserves
+/// coverage; used as an optional post-processing step.
+std::vector<SetId> prune_cover(const SetSystem& sys,
+                               std::vector<SetId> chosen);
+
+}  // namespace mrlr::setcover

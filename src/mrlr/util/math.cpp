@@ -1,0 +1,79 @@
+#include "mrlr/util/math.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "mrlr/util/require.hpp"
+
+namespace mrlr {
+
+double harmonic(std::uint64_t k) {
+  // Exact summation below a threshold; asymptotic expansion above it.
+  if (k == 0) return 0.0;
+  if (k <= 1u << 20) {
+    double h = 0.0;
+    for (std::uint64_t i = 1; i <= k; ++i) h += 1.0 / static_cast<double>(i);
+    return h;
+  }
+  const double kd = static_cast<double>(k);
+  constexpr double kEulerMascheroni = 0.57721566490153286060651209;
+  return std::log(kd) + kEulerMascheroni + 1.0 / (2.0 * kd) -
+         1.0 / (12.0 * kd * kd);
+}
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  MRLR_REQUIRE(b != 0, "ceil_div by zero");
+  return a / b + (a % b != 0);
+}
+
+unsigned floor_log2(std::uint64_t x) {
+  MRLR_REQUIRE(x >= 1, "floor_log2 requires x >= 1");
+  return 63u - static_cast<unsigned>(__builtin_clzll(x));
+}
+
+unsigned ceil_log(std::uint64_t x, std::uint64_t base) {
+  MRLR_REQUIRE(x >= 1 && base >= 2, "ceil_log requires x >= 1, base >= 2");
+  unsigned levels = 0;
+  std::uint64_t reach = 1;
+  while (reach < x) {
+    // Saturating multiply so enormous x cannot overflow reach.
+    if (reach > std::numeric_limits<std::uint64_t>::max() / base) {
+      return levels + 1;
+    }
+    reach *= base;
+    ++levels;
+  }
+  return levels;
+}
+
+std::uint64_t ipow_real(std::uint64_t n, double exponent,
+                        std::uint64_t min_value) {
+  if (n == 0) return min_value;
+  const double v = std::pow(static_cast<double>(n), exponent);
+  if (!(v < 1.8e19)) {  // also catches NaN / inf
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  const auto r = static_cast<std::uint64_t>(std::llround(v));
+  return r < min_value ? min_value : r;
+}
+
+std::uint64_t ipow(std::uint64_t n, unsigned k) {
+  std::uint64_t r = 1;
+  for (unsigned i = 0; i < k; ++i) {
+    if (n != 0 && r > std::numeric_limits<std::uint64_t>::max() / n) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    r *= n;
+  }
+  return r;
+}
+
+double density_exponent(std::uint64_t n, std::uint64_t m) {
+  if (n < 2 || m == 0) return 0.0;
+  const double c =
+      std::log(static_cast<double>(m)) / std::log(static_cast<double>(n)) -
+      1.0;
+  return c > 0.0 ? c : 0.0;
+}
+
+}  // namespace mrlr

@@ -1,0 +1,33 @@
+#pragma once
+// Small numeric helpers shared across modules.
+
+#include <cstdint>
+
+namespace mrlr {
+
+/// Harmonic number H_k = sum_{i=1..k} 1/i; H_0 = 0.
+double harmonic(std::uint64_t k);
+
+/// ceil(a / b) for positive integers; b must be nonzero.
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b);
+
+/// floor(log2(x)) for x >= 1.
+unsigned floor_log2(std::uint64_t x);
+
+/// ceil(log_base(x)) for x >= 1 and integer base >= 2; returns the number
+/// of levels a fanout-`base` broadcast tree needs to reach x leaves.
+unsigned ceil_log(std::uint64_t x, std::uint64_t base);
+
+/// n^e for real exponent e, rounded to the nearest integer and clamped to
+/// at least `min_value`. Used for the paper's parameter expressions
+/// (eta = n^{1+mu}, kappa = n^{(c-mu)/2}, group counts m^{alpha}, ...).
+std::uint64_t ipow_real(std::uint64_t n, double exponent,
+                        std::uint64_t min_value = 1);
+
+/// Integer power n^k with saturation at uint64 max.
+std::uint64_t ipow(std::uint64_t n, unsigned k);
+
+/// The density exponent c such that m = n^{1+c}; returns 0 for n < 2.
+double density_exponent(std::uint64_t n, std::uint64_t m);
+
+}  // namespace mrlr

@@ -1,0 +1,27 @@
+#pragma once
+// Lightweight precondition checking used throughout the library.
+//
+// MRLR_REQUIRE is for conditions that indicate API misuse (caller bugs);
+// it is always on, independent of NDEBUG, because the library is used as a
+// research harness where silent corruption would invalidate experiments.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mrlr::detail {
+
+[[noreturn]] inline void require_failed(const char* cond, const char* file,
+                                        int line, const char* msg) {
+  std::fprintf(stderr, "mrlr: requirement failed: %s\n  at %s:%d\n  %s\n",
+               cond, file, line, msg);
+  std::abort();
+}
+
+}  // namespace mrlr::detail
+
+#define MRLR_REQUIRE(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::mrlr::detail::require_failed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,82 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component of the library takes an explicit 64-bit seed
+// and derives all of its randomness from an Rng constructed from it, so a
+// run is fully reproducible from (algorithm, instance, seed).
+//
+// The generator is xoshiro256** (Blackman & Vigna), seeded via splitmix64,
+// which is the standard recommended seeding procedure. Both are implemented
+// from the public-domain reference algorithms.
+
+#include <cstdint>
+#include <vector>
+
+namespace mrlr {
+
+/// Advances a splitmix64 state and returns the next output. Used for
+/// seeding and for cheap stateless hashing of (seed, index) pairs.
+std::uint64_t splitmix64_next(std::uint64_t& state);
+
+/// xoshiro256** generator with convenience distributions.
+///
+/// Satisfies std::uniform_random_bit_generator so it can be used with
+/// standard <random> distributions, though the built-in helpers below are
+/// preferred (they are deterministic across standard library versions).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Raw 64 uniformly random bits.
+  result_type operator()();
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed double with rate lambda > 0.
+  double exponential(double lambda);
+
+  /// Derive an independent child generator; child streams for distinct
+  /// labels are statistically independent of each other and the parent.
+  Rng fork(std::uint64_t label);
+
+  /// Fisher-Yates shuffle of v.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) uniformly (k <= n), in
+  /// O(k) expected time for k << n and O(n) worst case.
+  std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
+                                                        std::uint64_t k);
+
+  /// A uniformly random permutation of [0, n).
+  std::vector<std::uint64_t> permutation(std::uint64_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mrlr

@@ -1,0 +1,97 @@
+#include "mrlr/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "mrlr/util/require.hpp"
+
+namespace mrlr {
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double Accumulator::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double Accumulator::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double percentile(std::vector<double> values, double q) {
+  MRLR_REQUIRE(!values.empty(), "percentile of empty sample");
+  MRLR_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q out of [0,1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+LinearFit fit_line(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  MRLR_REQUIRE(x.size() == y.size(), "fit_line requires equal-length vectors");
+  MRLR_REQUIRE(x.size() >= 2, "fit_line requires at least two points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit f;
+  if (denom == 0.0) {
+    f.intercept = sy / n;
+    return f;
+  }
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - (f.intercept + f.slope * x[i]);
+    ss_res += r * r;
+  }
+  f.r2 = ss_tot <= 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return f;
+}
+
+std::string format_si(double v) {
+  char buf[32];
+  const char* suffix = "";
+  double scaled = v;
+  if (std::fabs(v) >= 1e9) {
+    scaled = v / 1e9;
+    suffix = "G";
+  } else if (std::fabs(v) >= 1e6) {
+    scaled = v / 1e6;
+    suffix = "M";
+  } else if (std::fabs(v) >= 1e3) {
+    scaled = v / 1e3;
+    suffix = "k";
+  }
+  std::snprintf(buf, sizeof(buf), "%.3g%s", scaled, suffix);
+  return buf;
+}
+
+}  // namespace mrlr

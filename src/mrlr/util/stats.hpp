@@ -1,0 +1,52 @@
+#pragma once
+// Streaming statistics and simple summaries used by the bench harness and
+// by tests that assert distributional properties (e.g. concentration of
+// per-machine load).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrlr {
+
+/// Welford-style streaming accumulator: mean / variance / min / max.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (divides by n-1); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample (q in [0,1], linear interpolation). The input is
+/// copied; suitable for the modest sample sizes in the harness.
+double percentile(std::vector<double> values, double q);
+
+/// Fit an ordinary-least-squares line y = a + b*x and return (a, b, r2).
+/// Used by benches to verify scaling shapes (e.g. rounds vs c/mu linear).
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Human-readable "1234567 -> 1.23M"-style formatting for table output.
+std::string format_si(double v);
+
+}  // namespace mrlr

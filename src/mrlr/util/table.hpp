@@ -1,0 +1,43 @@
+#pragma once
+// Console table and CSV emission for the bench harness. Each Figure-1
+// bench prints both a human-readable fixed-width table (the "paper table")
+// and, optionally, machine-readable CSV for plotting.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mrlr {
+
+/// A simple row/column table. All cells are strings; numeric helpers
+/// format with sensible precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent `cell` calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& s);
+  Table& cell(const char* s);
+  Table& cell(double v, int precision = 3);
+  Table& cell(std::uint64_t v);
+  Table& cell(std::uint32_t v);
+  Table& cell(std::int64_t v);
+  Table& cell(int v);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Fixed-width, pipe-separated rendering with a header rule.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (no quoting of embedded commas is needed because the
+  /// harness never emits them; enforced by a check).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mrlr

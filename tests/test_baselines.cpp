@@ -1,0 +1,148 @@
+// Tests for the Figure 1 comparator baselines: filtering matching /
+// vertex cover (Lattanzi et al.) and sample-and-prune set cover
+// (Kumar et al. flavour).
+
+#include <gtest/gtest.h>
+
+#include "mrlr/baselines/filtering_matching.hpp"
+#include "mrlr/baselines/filtering_vertex_cover.hpp"
+#include "mrlr/baselines/sample_prune_setcover.hpp"
+#include "mrlr/graph/generators.hpp"
+#include "mrlr/graph/validate.hpp"
+#include "mrlr/seq/exact_matching.hpp"
+#include "mrlr/setcover/generators.hpp"
+#include "mrlr/setcover/validate.hpp"
+
+namespace mrlr::baselines {
+namespace {
+
+using graph::Graph;
+
+core::MrParams test_params(std::uint64_t seed = 1, double mu = 0.25) {
+  core::MrParams p;
+  p.mu = mu;
+  p.seed = seed;
+  p.max_iterations = 2000;
+  return p;
+}
+
+// --------------------------------------------------------- filtering --
+
+class FilteringMatchingSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(FilteringMatchingSweep, MaximalAndSpaceClean) {
+  const auto [n, c, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 6700417u + n);
+  const Graph g = graph::gnm_density(n, c, rng);
+  const auto res = filtering_matching(g, test_params(seed));
+  EXPECT_TRUE(graph::is_maximal_matching(g, res.matching));
+  EXPECT_EQ(res.outcome.space_violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FilteringMatchingSweep,
+    ::testing::Combine(::testing::Values(60, 200, 400),
+                       ::testing::Values(0.3, 0.5),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(FilteringMatching, UnweightedTwoApproximation) {
+  // A maximal matching is >= half the maximum matching in cardinality.
+  Rng rng(1);
+  for (int t = 0; t < 6; ++t) {
+    const Graph g = graph::gnm(16, 40, rng);
+    const auto res = filtering_matching(g, test_params(t + 1));
+    ASSERT_TRUE(graph::is_maximal_matching(g, res.matching));
+    const double opt = seq::exact_max_matching_weight(g);  // unit weights
+    EXPECT_GE(static_cast<double>(res.matching.size()), opt / 2.0 - 1e-9);
+  }
+}
+
+TEST(FilteringMatching, DeterministicForSeed) {
+  Rng rng(2);
+  const Graph g = graph::gnm(150, 1500, rng);
+  const auto a = filtering_matching(g, test_params(4));
+  const auto b = filtering_matching(g, test_params(4));
+  EXPECT_EQ(a.matching, b.matching);
+}
+
+TEST(FilteringWeightedMatching, FeasibleAndLayered) {
+  Rng rng(3);
+  Graph g = graph::gnm(120, 1200, rng);
+  g = g.with_weights(
+      graph::random_edge_weights(g, graph::WeightDist::kPolarized, rng));
+  const auto res = filtering_weighted_matching(g, test_params(1));
+  EXPECT_TRUE(graph::is_matching(g, res.matching));
+  EXPECT_GT(res.weight, 0.0);
+}
+
+TEST(FilteringWeightedMatching, PrefersHeavyLayer) {
+  // Heavy perfect matching + light clutter: layering should recover a
+  // large fraction of the heavy weight (constant-factor guarantee).
+  std::vector<graph::Edge> edges;
+  std::vector<double> w;
+  const int pairs = 20;
+  for (int i = 0; i < pairs; ++i) {
+    edges.push_back({static_cast<graph::VertexId>(2 * i),
+                     static_cast<graph::VertexId>(2 * i + 1)});
+    w.push_back(512.0);
+  }
+  for (int i = 0; i + 2 < 2 * pairs; ++i) {
+    edges.push_back({static_cast<graph::VertexId>(i),
+                     static_cast<graph::VertexId>(i + 2)});
+    w.push_back(1.0);
+  }
+  const Graph g(2 * pairs, std::move(edges), std::move(w));
+  const auto res = filtering_weighted_matching(g, test_params(5));
+  ASSERT_TRUE(graph::is_matching(g, res.matching));
+  EXPECT_GE(res.weight, 512.0 * pairs / 8.0);
+}
+
+TEST(FilteringVertexCover, CoversAllEdges) {
+  Rng rng(4);
+  for (int t = 0; t < 5; ++t) {
+    const Graph g = graph::gnm(100, 800, rng);
+    const auto res = filtering_vertex_cover(g, test_params(t + 1));
+    EXPECT_TRUE(graph::is_vertex_cover(g, res.cover));
+    // 2-approximation in cardinality: |cover| = 2|matching| <= 2 OPT.
+    EXPECT_EQ(res.cover.size() % 2, 0u);
+  }
+}
+
+// ---------------------------------------------------- sample & prune --
+
+class SamplePruneSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(SamplePruneSweep, CoversUniverse) {
+  const auto [universe, eps, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 87178291u + universe);
+  const auto s = setcover::many_sets(
+      80, universe, 8, graph::WeightDist::kUniform, rng);
+  const auto res = sample_prune_set_cover(s, eps, test_params(seed));
+  EXPECT_FALSE(res.outcome.failed);
+  EXPECT_TRUE(setcover::is_cover(s, res.cover));
+  EXPECT_EQ(res.outcome.space_violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SamplePruneSweep,
+    ::testing::Combine(::testing::Values(40, 120),
+                       ::testing::Values(0.2, 0.5),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(SamplePrune, QualityComparableToGreedy) {
+  Rng rng(5);
+  const auto s = setcover::many_sets(
+      200, 100, 10, graph::WeightDist::kExponential, rng);
+  const auto res = sample_prune_set_cover(s, 0.2, test_params(2));
+  ASSERT_TRUE(setcover::is_cover(s, res.cover));
+  // Against the cheap backbone (weight ~1.5 per chunk of 10):
+  // the epsilon-greedy should stay within a small factor.
+  double backbone = 0.0;
+  for (setcover::SetId i = 0; i < 10; ++i) backbone += s.weight(i);
+  EXPECT_LE(res.weight, 10.0 * backbone);
+}
+
+}  // namespace
+}  // namespace mrlr::baselines

@@ -1,0 +1,167 @@
+// Tests for the (1+o(1))*Delta colouring algorithms (Algorithm 5,
+// Theorems 6.4 and 6.6).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mrlr/core/colouring.hpp"
+#include "mrlr/graph/generators.hpp"
+#include "mrlr/graph/validate.hpp"
+
+namespace mrlr::core {
+namespace {
+
+using graph::Graph;
+
+MrParams test_params(std::uint64_t seed = 1, double mu = 0.2) {
+  MrParams p;
+  p.mu = mu;
+  p.seed = seed;
+  return p;
+}
+
+// ------------------------------------------------------------ vertex --
+
+TEST(MrVertexColouring, ProperOnTinyGraphs) {
+  Rng rng(1);
+  const std::vector<Graph> graphs{graph::complete(12), graph::cycle(9),
+                                  graph::star(15), graph::gnm(40, 200, rng)};
+  for (const Graph& g : graphs) {
+    const auto res = mr_vertex_colouring(g, test_params());
+    ASSERT_FALSE(res.failed);
+    EXPECT_TRUE(graph::is_proper_vertex_colouring(g, res.colour));
+  }
+}
+
+class VertexColouringSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, double, int>> {
+};
+
+TEST_P(VertexColouringSweep, ProperAndWithinPalette) {
+  const auto [n, c, mu, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 32452843u + n);
+  const Graph g = graph::gnm_density(n, c, rng);
+  const auto res = mr_vertex_colouring(g, test_params(seed, mu));
+  ASSERT_FALSE(res.failed) << "group too large: Lemma 6.2 violated";
+  ASSERT_TRUE(graph::is_proper_vertex_colouring(g, res.colour));
+  // (1+o(1))*Delta: on finite instances the paper's slack is
+  // (1 + sqrt(6 ln n) * n^{-mu/2} + n^{-mu}); verify a concrete form of
+  // it: colours <= Delta * (1 + slack) + kappa (the +1 per group).
+  const double slack =
+      std::sqrt(6.0 * std::log(static_cast<double>(n))) *
+          std::pow(static_cast<double>(n), -mu / 2.0) +
+      std::pow(static_cast<double>(n), -mu);
+  const double bound =
+      static_cast<double>(g.max_degree()) * (1.0 + slack) +
+      static_cast<double>(res.groups);
+  EXPECT_LE(static_cast<double>(res.colours_used), bound + 1e-9);
+  EXPECT_EQ(res.outcome.space_violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VertexColouringSweep,
+    ::testing::Combine(::testing::Values(100, 300, 800),
+                       ::testing::Values(0.3, 0.5),
+                       ::testing::Values(0.15, 0.25),
+                       ::testing::Values(1, 2)));
+
+TEST(MrVertexColouring, ConstantRounds) {
+  Rng rng(2);
+  const Graph g = graph::gnm_density(400, 0.45, rng);
+  const auto res = mr_vertex_colouring(g, test_params());
+  ASSERT_FALSE(res.failed);
+  // Algorithm 5 is two genuine rounds: ship groups, colour groups.
+  EXPECT_LE(res.outcome.rounds, 2u);
+}
+
+TEST(MrVertexColouring, DeterministicForSeed) {
+  Rng rng(3);
+  const Graph g = graph::gnm(200, 2000, rng);
+  const auto a = mr_vertex_colouring(g, test_params(9));
+  const auto b = mr_vertex_colouring(g, test_params(9));
+  EXPECT_EQ(a.colour, b.colour);
+}
+
+TEST(MrVertexColouring, EmptyAndEdgelessGraphs) {
+  const auto res = mr_vertex_colouring(Graph(10, {}), test_params());
+  ASSERT_FALSE(res.failed);
+  EXPECT_TRUE(graph::is_proper_vertex_colouring(Graph(10, {}), res.colour));
+  EXPECT_LE(res.colours_used, 10u);
+}
+
+// -------------------------------------------------------------- edge --
+
+TEST(MrEdgeColouring, ProperOnTinyGraphs) {
+  Rng rng(4);
+  const std::vector<Graph> graphs{graph::complete(10), graph::cycle(9),
+                                  graph::star(15), graph::gnm(40, 200, rng)};
+  for (const Graph& g : graphs) {
+    const auto res = mr_edge_colouring(g, test_params());
+    ASSERT_FALSE(res.failed);
+    EXPECT_TRUE(graph::is_proper_edge_colouring(g, res.colour));
+  }
+}
+
+class EdgeColouringSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, double, int>> {
+};
+
+TEST_P(EdgeColouringSweep, ProperAndWithinPalette) {
+  const auto [n, c, mu, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 49979687u + n);
+  const Graph g = graph::gnm_density(n, c, rng);
+  const auto res = mr_edge_colouring(g, test_params(seed, mu));
+  ASSERT_FALSE(res.failed);
+  ASSERT_TRUE(graph::is_proper_edge_colouring(g, res.colour));
+  // Per-group palettes are Delta_i + 1 with Delta_i concentrated around
+  // Delta/kappa; the realized total must stay within the same slack form
+  // as the vertex bound (edge partition concentrates even better).
+  const double slack =
+      std::sqrt(6.0 * std::log(static_cast<double>(n))) *
+          std::pow(static_cast<double>(n), -mu / 2.0) +
+      std::pow(static_cast<double>(n), -mu);
+  const double bound =
+      static_cast<double>(g.max_degree()) * (1.0 + slack) +
+      static_cast<double>(res.groups);
+  EXPECT_LE(static_cast<double>(res.colours_used), bound + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EdgeColouringSweep,
+    ::testing::Combine(::testing::Values(100, 300),
+                       ::testing::Values(0.3, 0.5),
+                       ::testing::Values(0.15, 0.25),
+                       ::testing::Values(1, 2)));
+
+TEST(MrEdgeColouring, ConstantRounds) {
+  Rng rng(5);
+  const Graph g = graph::gnm_density(300, 0.5, rng);
+  const auto res = mr_edge_colouring(g, test_params());
+  ASSERT_FALSE(res.failed);
+  EXPECT_LE(res.outcome.rounds, 2u);
+}
+
+TEST(MrEdgeColouring, DisjointPalettesAcrossGroups) {
+  // Edges sharing a vertex but living in different groups must already
+  // differ through the palette offsets; verified implicitly by
+  // properness, but also check the palette structure: max colour <
+  // colours_used.
+  Rng rng(6);
+  const Graph g = graph::gnm(150, 1500, rng);
+  const auto res = mr_edge_colouring(g, test_params(3));
+  ASSERT_FALSE(res.failed);
+  std::uint32_t max_colour = 0;
+  for (const auto c : res.colour) max_colour = std::max(max_colour, c);
+  EXPECT_LT(max_colour, res.colours_used);
+}
+
+TEST(MrEdgeColouring, EmptyGraph) {
+  const auto res = mr_edge_colouring(Graph(5, {}), test_params());
+  ASSERT_FALSE(res.failed);
+  EXPECT_TRUE(res.colour.empty());
+  EXPECT_EQ(res.colours_used, 0u);
+}
+
+}  // namespace
+}  // namespace mrlr::core

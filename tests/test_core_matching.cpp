@@ -1,0 +1,252 @@
+// Tests for the paper's MapReduce matching algorithms: Algorithm 4
+// (randomized local ratio matching, Theorems 5.5/5.6 and Appendix C) and
+// Algorithm 7 (epsilon-adjusted b-matching, Appendix D).
+
+#include <gtest/gtest.h>
+
+#include "mrlr/core/rlr_bmatching.hpp"
+#include "mrlr/core/rlr_matching.hpp"
+#include "mrlr/graph/generators.hpp"
+#include "mrlr/graph/validate.hpp"
+#include "mrlr/seq/exact_matching.hpp"
+#include "mrlr/seq/local_ratio_matching.hpp"
+
+namespace mrlr::core {
+namespace {
+
+using graph::Graph;
+
+MrParams test_params(std::uint64_t seed = 1, double mu = 0.25) {
+  MrParams p;
+  p.mu = mu;
+  p.seed = seed;
+  p.max_iterations = 2000;
+  return p;
+}
+
+// ------------------------------------------------- Algorithm 4 (MWM) --
+
+TEST(RlrMatching, TinyTriangle) {
+  const Graph g(3, {{0, 1}, {1, 2}, {0, 2}}, {3.0, 1.0, 2.0});
+  const auto res = rlr_matching(g, test_params());
+  EXPECT_FALSE(res.outcome.failed);
+  EXPECT_TRUE(graph::is_matching(g, res.matching));
+  EXPECT_GE(res.weight, 1.5);  // OPT/2 = 1.5
+}
+
+class RlrMatchingSweep
+    : public ::testing::TestWithParam<
+          std::tuple<int, double, graph::WeightDist, int>> {};
+
+TEST_P(RlrMatchingSweep, FeasibleAndSpaceClean) {
+  const auto [n, c, dist, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7727u + n);
+  Graph g = graph::gnm_density(n, c, rng);
+  g = g.with_weights(graph::random_edge_weights(g, dist, rng));
+  const auto res = rlr_matching(g, test_params(seed));
+  ASSERT_FALSE(res.outcome.failed);
+  EXPECT_TRUE(graph::is_matching(g, res.matching));
+  EXPECT_EQ(res.outcome.space_violations, 0u);
+  EXPECT_GT(res.outcome.rounds, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RlrMatchingSweep,
+    ::testing::Combine(::testing::Values(60, 200),
+                       ::testing::Values(0.25, 0.45),
+                       ::testing::Values(graph::WeightDist::kUniform,
+                                         graph::WeightDist::kPolarized),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(RlrMatching, TwoApproximationAgainstExact) {
+  Rng rng(3);
+  for (int t = 0; t < 8; ++t) {
+    Graph g = graph::gnm(14, 40, rng);
+    g = g.with_weights(
+        graph::random_edge_weights(g, graph::WeightDist::kUniform, rng));
+    const auto res = rlr_matching(g, test_params(t + 1));
+    ASSERT_FALSE(res.outcome.failed);
+    ASSERT_TRUE(graph::is_matching(g, res.matching));
+    const double opt = seq::exact_max_matching_weight(g);
+    EXPECT_GE(res.weight, opt / 2.0 - 1e-9);
+    EXPECT_LE(res.weight, opt + 1e-9);
+  }
+}
+
+TEST(RlrMatching, QualityVsSequentialLocalRatio) {
+  Rng rng(4);
+  Graph g = graph::gnm(300, 3000, rng);
+  g = g.with_weights(
+      graph::random_edge_weights(g, graph::WeightDist::kExponential, rng));
+  const auto mr = rlr_matching(g, test_params(5));
+  ASSERT_FALSE(mr.outcome.failed);
+  const auto seq_res = seq::local_ratio_matching(g);
+  // Both carry the same 1/2 worst-case guarantee; empirically they land
+  // in the same ballpark. Allow 30% slack either way.
+  EXPECT_GE(mr.weight, 0.7 * seq_res.weight);
+}
+
+TEST(RlrMatching, DeterministicForSeed) {
+  Rng rng(5);
+  Graph g = graph::gnm(100, 800, rng);
+  g = g.with_weights(
+      graph::random_edge_weights(g, graph::WeightDist::kUniform, rng));
+  const auto a = rlr_matching(g, test_params(7));
+  const auto b = rlr_matching(g, test_params(7));
+  EXPECT_EQ(a.matching, b.matching);
+  EXPECT_EQ(a.outcome.rounds, b.outcome.rounds);
+}
+
+TEST(RlrMatching, MuZeroRegimeTerminatesInLogRounds) {
+  // Appendix C: eta = n, expected 0.975 decay per iteration.
+  Rng rng(6);
+  Graph g = graph::gnm(120, 2000, rng);
+  g = g.with_weights(
+      graph::random_edge_weights(g, graph::WeightDist::kUniform, rng));
+  const auto res = rlr_matching(g, test_params(1, /*mu=*/0.0));
+  ASSERT_FALSE(res.outcome.failed);
+  EXPECT_TRUE(graph::is_matching(g, res.matching));
+  // 200*log(n) is the theorem's constant; anything near it is fine.
+  EXPECT_LE(res.outcome.iterations, 300u);
+}
+
+TEST(RlrMatching, EmptyGraph) {
+  const Graph g(5, {});
+  const auto res = rlr_matching(g, test_params());
+  EXPECT_TRUE(res.matching.empty());
+  EXPECT_EQ(res.outcome.iterations, 0u);
+}
+
+TEST(RlrMatching, PolarizedWeightsPickHeavyEdges) {
+  // A perfect matching of heavy edges exists; the 2-approximation must
+  // recover at least half the heavy weight, far beyond any light-only
+  // matching.
+  std::vector<graph::Edge> edges;
+  std::vector<double> w;
+  const int pairs = 30;
+  // Heavy disjoint pairs (2i, 2i+1), plus light clutter edges.
+  for (int i = 0; i < pairs; ++i) {
+    edges.push_back({static_cast<graph::VertexId>(2 * i),
+                     static_cast<graph::VertexId>(2 * i + 1)});
+    w.push_back(1000.0);
+  }
+  for (int i = 0; i + 2 < 2 * pairs; ++i) {
+    edges.push_back({static_cast<graph::VertexId>(i),
+                     static_cast<graph::VertexId>(i + 2)});
+    w.push_back(1.0);
+  }
+  const Graph g(2 * pairs, std::move(edges), std::move(w));
+  const auto res = rlr_matching(g, test_params(8));
+  ASSERT_TRUE(graph::is_matching(g, res.matching));
+  EXPECT_GE(res.weight, 1000.0 * pairs / 2.0);
+}
+
+// ----------------------------------------- Algorithm 7 (b-matching) --
+
+TEST(SeqBMatchingLocalRatio, FeasibleAndApproximate) {
+  Rng rng(7);
+  for (int t = 0; t < 8; ++t) {
+    Graph g = graph::gnm(8, 14, rng);
+    g = g.with_weights(
+        graph::random_edge_weights(g, graph::WeightDist::kUniform, rng));
+    std::vector<std::uint32_t> b(8);
+    for (auto& x : b) x = 1 + static_cast<std::uint32_t>(rng.uniform(3));
+    const double eps = 0.1;
+    const auto res = seq_b_matching_local_ratio(g, b, eps);
+    ASSERT_TRUE(graph::is_b_matching(g, res.matching, b));
+    if (g.num_edges() <= 22) {
+      const double opt = seq::exact_max_b_matching_weight(g, b);
+      const double bmax = *std::max_element(b.begin(), b.end());
+      const double ratio = 3.0 - 2.0 / std::max(2.0, bmax) + 2.0 * eps;
+      EXPECT_GE(res.weight, opt / ratio - 1e-9);
+    }
+  }
+}
+
+TEST(SeqBMatchingLocalRatio, BEqualsOneMatchesPlainLocalRatio) {
+  // With b = 1 the guarantee degrades to the plain matching bound.
+  Rng rng(8);
+  Graph g = graph::gnm(12, 20, rng);
+  g = g.with_weights(
+      graph::random_edge_weights(g, graph::WeightDist::kUniform, rng));
+  std::vector<std::uint32_t> b(12, 1);
+  const auto res = seq_b_matching_local_ratio(g, b, 0.05);
+  ASSERT_TRUE(graph::is_matching(g, res.matching));
+  const double opt = seq::exact_max_matching_weight(g);
+  EXPECT_GE(res.weight, opt / (2.0 + 0.1) - 1e-9);
+}
+
+class RlrBMatchingSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double, int>> {};
+
+TEST_P(RlrBMatchingSweep, FeasibleAndSpaceClean) {
+  const auto [n, b_cap, eps, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 50021u + n);
+  Graph g = graph::gnm_density(n, 0.4, rng);
+  g = g.with_weights(
+      graph::random_edge_weights(g, graph::WeightDist::kUniform, rng));
+  std::vector<std::uint32_t> b(n, static_cast<std::uint32_t>(b_cap));
+  const auto res = rlr_b_matching(g, b, eps, test_params(seed));
+  ASSERT_FALSE(res.outcome.failed);
+  EXPECT_TRUE(graph::is_b_matching(g, res.matching, b));
+  EXPECT_EQ(res.outcome.space_violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RlrBMatchingSweep,
+    ::testing::Combine(::testing::Values(50, 150),
+                       ::testing::Values(2, 3, 5),
+                       ::testing::Values(0.1, 0.5),
+                       ::testing::Values(1, 2)));
+
+TEST(RlrBMatching, ApproximationAgainstExact) {
+  Rng rng(9);
+  for (int t = 0; t < 6; ++t) {
+    Graph g = graph::gnm(10, 18, rng);
+    g = g.with_weights(
+        graph::random_edge_weights(g, graph::WeightDist::kUniform, rng));
+    std::vector<std::uint32_t> b(10, 2);
+    const double eps = 0.1;
+    const auto res = rlr_b_matching(g, b, eps, test_params(t + 1));
+    ASSERT_FALSE(res.outcome.failed);
+    ASSERT_TRUE(graph::is_b_matching(g, res.matching, b));
+    const double opt = seq::exact_max_b_matching_weight(g, b);
+    const double ratio = 3.0 - 2.0 / 2.0 + 2.0 * eps;  // 2 + 2eps for b=2
+    EXPECT_GE(res.weight, opt / ratio - 1e-9);
+  }
+}
+
+TEST(RlrBMatching, HigherCapacityNeverHurts) {
+  Rng rng(10);
+  Graph g = graph::gnm(60, 500, rng);
+  g = g.with_weights(
+      graph::random_edge_weights(g, graph::WeightDist::kUniform, rng));
+  std::vector<std::uint32_t> b1(60, 1), b3(60, 3);
+  const auto r1 = rlr_b_matching(g, b1, 0.2, test_params(2));
+  const auto r3 = rlr_b_matching(g, b3, 0.2, test_params(2));
+  // More capacity admits strictly more edges; weight should not shrink
+  // much (allow small sampling noise).
+  EXPECT_GE(r3.weight, r1.weight * 0.95);
+}
+
+TEST(RlrBMatching, DeterministicForSeed) {
+  Rng rng(11);
+  Graph g = graph::gnm(80, 600, rng);
+  g = g.with_weights(
+      graph::random_edge_weights(g, graph::WeightDist::kUniform, rng));
+  std::vector<std::uint32_t> b(80, 2);
+  const auto a1 = rlr_b_matching(g, b, 0.2, test_params(3));
+  const auto a2 = rlr_b_matching(g, b, 0.2, test_params(3));
+  EXPECT_EQ(a1.matching, a2.matching);
+}
+
+TEST(RlrBMatching, RejectsBadInputs) {
+  const Graph g(2, {{0, 1}});
+  EXPECT_DEATH((void)rlr_b_matching(g, {1, 1}, 0.0, test_params()),
+               "epsilon");
+  EXPECT_DEATH((void)rlr_b_matching(g, {1}, 0.1, test_params()),
+               "mismatch");
+}
+
+}  // namespace
+}  // namespace mrlr::core

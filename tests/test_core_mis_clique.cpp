@@ -1,0 +1,175 @@
+// Tests for the hungry-greedy algorithms: maximal independent set
+// (Algorithms 2 and 6) and maximal clique (Appendix B).
+
+#include <gtest/gtest.h>
+
+#include "mrlr/core/hungry_clique.hpp"
+#include "mrlr/core/hungry_mis.hpp"
+#include "mrlr/graph/generators.hpp"
+#include "mrlr/graph/validate.hpp"
+
+namespace mrlr::core {
+namespace {
+
+using graph::Graph;
+
+MrParams test_params(std::uint64_t seed = 1, double mu = 0.3) {
+  MrParams p;
+  p.mu = mu;
+  p.seed = seed;
+  p.max_iterations = 2000;
+  return p;
+}
+
+// -------------------------------------------------- Algorithm 2 (MIS) --
+
+TEST(HungryMisSimple, StructuredFamilies) {
+  Rng rng(1);
+  const std::vector<Graph> graphs{
+      graph::complete(20), graph::star(30), graph::cycle(15),
+      graph::path(12), graph::circulant(24, 6), Graph(7, {})};
+  for (const Graph& g : graphs) {
+    const auto res = hungry_mis_simple(g, test_params());
+    EXPECT_TRUE(
+        graph::is_maximal_independent_set(g, res.independent_set))
+        << "n=" << g.num_vertices() << " m=" << g.num_edges();
+  }
+}
+
+class HungryMisSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, double, int>> {
+};
+
+TEST_P(HungryMisSweep, SimpleVariantIsMaximalIndependent) {
+  const auto [n, c, mu, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 1299709u + n);
+  const Graph g = graph::gnm_density(n, c, rng);
+  const auto res = hungry_mis_simple(g, test_params(seed, mu));
+  ASSERT_TRUE(graph::is_maximal_independent_set(g, res.independent_set));
+  EXPECT_EQ(res.outcome.space_violations, 0u);
+}
+
+TEST_P(HungryMisSweep, ImprovedVariantIsMaximalIndependent) {
+  const auto [n, c, mu, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 15485863u + n);
+  const Graph g = graph::gnm_density(n, c, rng);
+  const auto res = hungry_mis_improved(g, test_params(seed, mu));
+  ASSERT_TRUE(graph::is_maximal_independent_set(g, res.independent_set));
+  EXPECT_EQ(res.outcome.space_violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HungryMisSweep,
+    ::testing::Combine(::testing::Values(60, 200, 500),
+                       ::testing::Values(0.25, 0.45),
+                       ::testing::Values(0.2, 0.35),
+                       ::testing::Values(1, 2)));
+
+TEST(HungryMis, PowerLawGraphs) {
+  Rng rng(2);
+  const Graph g = graph::chung_lu_power_law(400, 2400, 2.3, rng);
+  const auto simple = hungry_mis_simple(g, test_params(1));
+  const auto improved = hungry_mis_improved(g, test_params(1));
+  EXPECT_TRUE(
+      graph::is_maximal_independent_set(g, simple.independent_set));
+  EXPECT_TRUE(
+      graph::is_maximal_independent_set(g, improved.independent_set));
+}
+
+TEST(HungryMis, DeterministicForSeed) {
+  Rng rng(3);
+  const Graph g = graph::gnm(200, 2000, rng);
+  const auto a = hungry_mis_simple(g, test_params(11));
+  const auto b = hungry_mis_simple(g, test_params(11));
+  EXPECT_EQ(a.independent_set, b.independent_set);
+  EXPECT_EQ(a.outcome.rounds, b.outcome.rounds);
+}
+
+TEST(HungryMis, ImprovedUsesFewerOrEqualIterations) {
+  // The improved variant's whole point (Theorem A.3) is fewer sweeps on
+  // dense graphs. Compare loosely (allow equality and small inversions
+  // on this moderate size, but catch gross regressions).
+  Rng rng(4);
+  const Graph g = graph::gnm_density(400, 0.45, rng);
+  const auto simple = hungry_mis_simple(g, test_params(1, 0.25));
+  const auto improved = hungry_mis_improved(g, test_params(1, 0.25));
+  EXPECT_LE(improved.outcome.iterations,
+            2 * std::max<std::uint64_t>(simple.outcome.iterations, 1));
+}
+
+TEST(HungryMis, CompleteGraphYieldsSingleton) {
+  const Graph g = graph::complete(40);
+  const auto res = hungry_mis_simple(g, test_params());
+  EXPECT_EQ(res.independent_set.size(), 1u);
+}
+
+TEST(HungryMis, EmptyGraphYieldsEverything) {
+  const Graph g(25, {});
+  const auto res = hungry_mis_improved(g, test_params());
+  EXPECT_EQ(res.independent_set.size(), 25u);
+}
+
+// ------------------------------------------------- Appendix B (clique) --
+
+TEST(HungryClique, StructuredFamilies) {
+  Rng rng(5);
+  const std::vector<Graph> graphs{
+      graph::complete(15), graph::cycle(9), graph::star(12),
+      graph::planted_clique(60, 200, 8, rng)};
+  for (const Graph& g : graphs) {
+    const auto res = hungry_clique(g, test_params());
+    EXPECT_TRUE(graph::is_maximal_clique(g, res.clique))
+        << "n=" << g.num_vertices() << " m=" << g.num_edges();
+  }
+}
+
+class HungryCliqueSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(HungryCliqueSweep, ProducesMaximalClique) {
+  const auto [n, c, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 179424673u + n);
+  const Graph g = graph::gnm_density(n, c, rng);
+  const auto res = hungry_clique(g, test_params(seed));
+  ASSERT_TRUE(graph::is_maximal_clique(g, res.clique));
+  EXPECT_EQ(res.outcome.space_violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HungryCliqueSweep,
+    ::testing::Combine(::testing::Values(40, 120, 300),
+                       ::testing::Values(0.3, 0.5),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(HungryClique, CompleteGraphGivesEverything) {
+  const Graph g = graph::complete(30);
+  const auto res = hungry_clique(g, test_params());
+  EXPECT_EQ(res.clique.size(), 30u);
+}
+
+TEST(HungryClique, EmptyGraphGivesSingleton) {
+  const Graph g(10, {});
+  const auto res = hungry_clique(g, test_params());
+  EXPECT_EQ(res.clique.size(), 1u);
+}
+
+TEST(HungryClique, FindsPlantedCliqueSizeOrBetter) {
+  // The planted clique dominates a sparse background; the maximal clique
+  // found should be nontrivial (>= 3 on this density).
+  Rng rng(6);
+  const Graph g = graph::planted_clique(120, 300, 10, rng);
+  const auto res = hungry_clique(g, test_params(2));
+  ASSERT_TRUE(graph::is_maximal_clique(g, res.clique));
+  EXPECT_GE(res.clique.size(), 2u);
+}
+
+TEST(HungryClique, DeterministicForSeed) {
+  Rng rng(7);
+  const Graph g = graph::gnm(150, 2500, rng);
+  const auto a = hungry_clique(g, test_params(5));
+  const auto b = hungry_clique(g, test_params(5));
+  EXPECT_EQ(a.clique, b.clique);
+}
+
+}  // namespace
+}  // namespace mrlr::core

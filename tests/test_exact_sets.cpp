@@ -1,0 +1,149 @@
+// Tests for the exact maximum independent set / clique oracles, plus
+// quality reporting hooks: how maximal solutions compare to maximum.
+
+#include <gtest/gtest.h>
+
+#include "mrlr/baselines/luby_mr.hpp"
+#include "mrlr/core/hungry_clique.hpp"
+#include "mrlr/core/hungry_mis.hpp"
+#include "mrlr/graph/generators.hpp"
+#include "mrlr/graph/validate.hpp"
+#include "mrlr/seq/exact_sets.hpp"
+#include "mrlr/seq/mis.hpp"
+
+namespace mrlr::seq {
+namespace {
+
+TEST(ExactMis, StructuredFamilies) {
+  EXPECT_EQ(exact_max_independent_set_size(graph::complete(7)), 1u);
+  EXPECT_EQ(exact_max_independent_set_size(graph::star(10)), 9u);
+  EXPECT_EQ(exact_max_independent_set_size(graph::path(6)), 3u);
+  EXPECT_EQ(exact_max_independent_set_size(graph::cycle(6)), 3u);
+  EXPECT_EQ(exact_max_independent_set_size(graph::cycle(7)), 3u);
+  EXPECT_EQ(exact_max_independent_set_size(graph::Graph(5, {})), 5u);
+  EXPECT_EQ(exact_max_independent_set_size(graph::Graph(0, {})), 0u);
+}
+
+TEST(ExactClique, StructuredFamilies) {
+  EXPECT_EQ(exact_max_clique_size(graph::complete(7)), 7u);
+  EXPECT_EQ(exact_max_clique_size(graph::star(10)), 2u);
+  EXPECT_EQ(exact_max_clique_size(graph::cycle(5)), 2u);
+  EXPECT_EQ(exact_max_clique_size(graph::Graph(5, {})), 1u);
+}
+
+TEST(ExactMis, AgreesWithBruteForceOnRandomGraphs) {
+  Rng rng(1);
+  for (int t = 0; t < 20; ++t) {
+    const graph::Graph g = graph::gnm(12, 20, rng);
+    // Brute force over all subsets.
+    std::uint64_t best = 0;
+    for (std::uint32_t mask = 0; mask < (1u << 12); ++mask) {
+      bool ok = true;
+      for (const graph::Edge& e : g.edges()) {
+        if (((mask >> e.u) & 1) && ((mask >> e.v) & 1)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        best = std::max<std::uint64_t>(
+            best, __builtin_popcount(mask));
+      }
+    }
+    EXPECT_EQ(exact_max_independent_set_size(g), best);
+  }
+}
+
+TEST(ExactClique, FindsPlantedClique) {
+  Rng rng(2);
+  const graph::Graph g = graph::planted_clique(30, 60, 6, rng);
+  EXPECT_GE(exact_max_clique_size(g), 6u);
+}
+
+TEST(MaximalVsMaximum, GreedyMisAtLeastHalfOnBoundedDegree) {
+  // On graphs with max degree D, any maximal IS has size >= n/(D+1);
+  // spot-check the maximal algorithms against the exact maximum.
+  Rng rng(3);
+  for (int t = 0; t < 10; ++t) {
+    const graph::Graph g = graph::gnm(20, 40, rng);
+    const auto greedy = greedy_mis(g);
+    const std::uint64_t opt = exact_max_independent_set_size(g);
+    EXPECT_LE(greedy.size(), opt);
+    EXPECT_GE(greedy.size(),
+              g.num_vertices() / (g.max_degree() + 1));
+  }
+}
+
+TEST(MaximalVsMaximum, HungryMisQualityReported) {
+  Rng rng(4);
+  const graph::Graph g = graph::gnm(24, 60, rng);
+  core::MrParams p;
+  p.mu = 0.3;
+  p.seed = 1;
+  const auto res = core::hungry_mis_improved(g, p);
+  const std::uint64_t opt = exact_max_independent_set_size(g);
+  EXPECT_LE(res.independent_set.size(), opt);
+  EXPECT_GE(res.independent_set.size(), 1u);
+}
+
+TEST(MaximalVsMaximum, HungryCliqueBoundedByMaximum) {
+  Rng rng(5);
+  const graph::Graph g = graph::planted_clique(30, 80, 7, rng);
+  core::MrParams p;
+  p.mu = 0.3;
+  p.seed = 2;
+  const auto res = core::hungry_clique(g, p);
+  EXPECT_LE(res.clique.size(), exact_max_clique_size(g));
+}
+
+}  // namespace
+}  // namespace mrlr::seq
+
+namespace mrlr::baselines {
+namespace {
+
+core::MrParams bp(std::uint64_t seed) {
+  core::MrParams p;
+  p.mu = 0.25;
+  p.seed = seed;
+  return p;
+}
+
+class LubyMrSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(LubyMrSweep, MaximalIndependentAndSpaceClean) {
+  const auto [n, c, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919u + n);
+  const graph::Graph g = graph::gnm_density(n, c, rng);
+  const auto res = luby_mis_mr(g, bp(seed));
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, res.independent_set));
+  EXPECT_EQ(res.outcome.space_violations, 0u);
+  EXPECT_GE(res.phases, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LubyMrSweep,
+    ::testing::Combine(::testing::Values(50, 200, 600),
+                       ::testing::Values(0.3, 0.5),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(LubyMr, PhasesLogarithmic) {
+  Rng rng(6);
+  const graph::Graph g = graph::gnm_density(1000, 0.4, rng);
+  const auto res = luby_mis_mr(g, bp(1));
+  EXPECT_LE(res.phases, 30u);
+  // Three engine rounds per phase.
+  EXPECT_EQ(res.outcome.rounds, 3 * res.phases);
+}
+
+TEST(LubyMr, DeterministicForSeed) {
+  Rng rng(7);
+  const graph::Graph g = graph::gnm(150, 1200, rng);
+  const auto a = luby_mis_mr(g, bp(3));
+  const auto b = luby_mis_mr(g, bp(3));
+  EXPECT_EQ(a.independent_set, b.independent_set);
+}
+
+}  // namespace
+}  // namespace mrlr::baselines

@@ -1,0 +1,172 @@
+// Tests for the literal Karloff-style key-value MapReduce layer.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mrlr/graph/generators.hpp"
+#include "mrlr/mrc/keyvalue.hpp"
+
+namespace mrlr::mrc {
+namespace {
+
+Topology topo(std::uint64_t machines, std::uint64_t cap = 1 << 20) {
+  Topology t;
+  t.num_machines = machines;
+  t.words_per_machine = cap;
+  t.fanout = 2;
+  return t;
+}
+
+/// Identity mapper / concatenating reducer used by several tests.
+std::vector<KeyValue> identity_map(const KeyValue& kv) { return {kv}; }
+
+TEST(KeyValue, IdentityRoundPreservesData) {
+  Engine e(topo(4));
+  std::vector<KeyValue> input;
+  for (Word k = 0; k < 20; ++k) input.push_back({k, {k * 10}});
+  MapReduceJob job(e, input);
+  job.round("id", identity_map,
+            [](Word key, const std::vector<std::vector<Word>>& values) {
+              std::vector<KeyValue> out;
+              for (const auto& v : values) out.push_back({key, v});
+              return out;
+            });
+  const auto all = job.collect();
+  ASSERT_EQ(all.size(), 20u);
+  for (Word k = 0; k < 20; ++k) {
+    EXPECT_EQ(all[k].key, k);
+    EXPECT_EQ(all[k].value, std::vector<Word>{k * 10});
+  }
+}
+
+TEST(KeyValue, WordCountStyleAggregation) {
+  // Classic histogram: input pairs (word, 1); reducer sums counts.
+  Engine e(topo(3));
+  std::vector<KeyValue> input;
+  for (int i = 0; i < 30; ++i) input.push_back({static_cast<Word>(i % 5), {1}});
+  MapReduceJob job(e, input);
+  job.round("count", identity_map,
+            [](Word key, const std::vector<std::vector<Word>>& values) {
+              Word total = 0;
+              for (const auto& v : values) total += v[0];
+              return std::vector<KeyValue>{{key, {total}}};
+            });
+  const auto all = job.collect();
+  ASSERT_EQ(all.size(), 5u);
+  for (const auto& kv : all) {
+    EXPECT_EQ(kv.value, std::vector<Word>{6});
+  }
+}
+
+TEST(KeyValue, DegreeCountOnGraph) {
+  // Edges map to two (vertex, 1) emissions; reducer sums to degrees.
+  Rng rng(1);
+  const graph::Graph g = graph::gnm(40, 200, rng);
+  Engine e(topo(5));
+  std::vector<KeyValue> input;
+  for (const graph::Edge& ed : g.edges()) {
+    input.push_back({0, {ed.u, ed.v}});
+  }
+  MapReduceJob job(e, input);
+  job.round("degrees",
+            [](const KeyValue& kv) {
+              return std::vector<KeyValue>{{kv.value[0], {1}},
+                                           {kv.value[1], {1}}};
+            },
+            [](Word key, const std::vector<std::vector<Word>>& values) {
+              return std::vector<KeyValue>{
+                  {key, {static_cast<Word>(values.size())}}};
+            });
+  const auto all = job.collect();
+  for (const auto& kv : all) {
+    EXPECT_EQ(kv.value[0],
+              g.degree(static_cast<graph::VertexId>(kv.key)));
+  }
+}
+
+TEST(KeyValue, MultiRoundPipelineComposes) {
+  // Round 1: square values. Round 2: sum everything under one key.
+  Engine e(topo(4));
+  std::vector<KeyValue> input;
+  for (Word k = 1; k <= 10; ++k) input.push_back({k, {k}});
+  MapReduceJob job(e, input);
+  job.round("square", identity_map,
+            [](Word key, const std::vector<std::vector<Word>>& values) {
+              return std::vector<KeyValue>{{key, {values[0][0] * values[0][0]}}};
+            });
+  job.round("sum",
+            [](const KeyValue& kv) {
+              return std::vector<KeyValue>{{0, kv.value}};
+            },
+            [](Word key, const std::vector<std::vector<Word>>& values) {
+              Word total = 0;
+              for (const auto& v : values) total += v[0];
+              return std::vector<KeyValue>{{key, {total}}};
+            });
+  const auto all = job.collect();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].value, std::vector<Word>{385});  // 1^2 + ... + 10^2
+}
+
+TEST(KeyValue, EachRoundCostsTwoEngineRounds) {
+  Engine e(topo(4));
+  MapReduceJob job(e, {{1, {2}}});
+  job.round("r1", identity_map,
+            [](Word key, const std::vector<std::vector<Word>>& values) {
+              return std::vector<KeyValue>{{key, values[0]}};
+            });
+  EXPECT_EQ(e.metrics().rounds(), 2u);
+}
+
+TEST(KeyValue, ShuffleTrafficAudited) {
+  // A mapper that fans every pair out to many keys must show up in the
+  // communication metrics.
+  Engine e(topo(4));
+  MapReduceJob job(e, {{0, {1}}});
+  job.round("fan",
+            [](const KeyValue&) {
+              std::vector<KeyValue> out;
+              for (Word k = 0; k < 100; ++k) out.push_back({k, {k}});
+              return out;
+            },
+            [](Word key, const std::vector<std::vector<Word>>& values) {
+              return std::vector<KeyValue>{{key, values[0]}};
+            });
+  EXPECT_GE(e.metrics().total_communication(), 300u);  // 3 words/pair
+  EXPECT_EQ(job.collect().size(), 100u);
+}
+
+TEST(KeyValue, SpaceCapEnforcedOnShuffle) {
+  // Shuffling 1000 three-word pairs through a 100-word cap must throw.
+  Engine e(topo(2, /*cap=*/100));
+  MapReduceJob job(e, {{0, {1}}});
+  EXPECT_THROW(
+      job.round("overflow",
+                [](const KeyValue&) {
+                  std::vector<KeyValue> out;
+                  for (Word k = 0; k < 1000; ++k) out.push_back({k, {k}});
+                  return out;
+                },
+                [](Word key, const std::vector<std::vector<Word>>& values) {
+                  return std::vector<KeyValue>{{key, values[0]}};
+                }),
+      SpaceLimitExceeded);
+}
+
+TEST(KeyValue, ValuesArriveGroupedPerKey) {
+  Engine e(topo(3));
+  std::vector<KeyValue> input;
+  for (Word i = 0; i < 12; ++i) input.push_back({i % 3, {i}});
+  MapReduceJob job(e, input);
+  job.round("group", identity_map,
+            [](Word key, const std::vector<std::vector<Word>>& values) {
+              // Each of the 3 keys receives exactly 4 values.
+              EXPECT_EQ(values.size(), 4u);
+              return std::vector<KeyValue>{{key, {}}};
+            });
+  EXPECT_EQ(job.collect().size(), 3u);
+}
+
+}  // namespace
+}  // namespace mrlr::mrc

@@ -1,0 +1,267 @@
+// Tests for the MapReduce round engine: message delivery, cost
+// accounting, space auditing, and the broadcast / converge-cast trees.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "mrlr/mrc/broadcast.hpp"
+#include "mrlr/mrc/engine.hpp"
+#include "mrlr/mrc/trace.hpp"
+
+namespace mrlr::mrc {
+namespace {
+
+Topology small_topo(std::uint64_t machines, std::uint64_t cap = 1 << 20,
+                    std::uint64_t fanout = 2, bool enforce = true) {
+  Topology t;
+  t.num_machines = machines;
+  t.words_per_machine = cap;
+  t.fanout = fanout;
+  t.enforce = enforce;
+  return t;
+}
+
+// ------------------------------------------------------------- engine --
+
+TEST(Engine, DeliversMessagesNextRound) {
+  Engine e(small_topo(4));
+  e.run_round("send", [](MachineContext& ctx) {
+    if (ctx.id() == 1) ctx.send(3, {7, 8, 9});
+  });
+  std::vector<Word> got;
+  MachineId from = 99;
+  e.run_round("recv", [&](MachineContext& ctx) {
+    if (ctx.id() == 3) {
+      ASSERT_EQ(ctx.inbox().size(), 1u);
+      got = ctx.inbox()[0].payload;
+      from = ctx.inbox()[0].from;
+    } else {
+      EXPECT_TRUE(ctx.inbox().empty());
+    }
+  });
+  EXPECT_EQ(got, (std::vector<Word>{7, 8, 9}));
+  EXPECT_EQ(from, 1u);
+}
+
+TEST(Engine, MessagesDoNotPersistBeyondOneRound) {
+  Engine e(small_topo(2));
+  e.run_round("send", [](MachineContext& ctx) {
+    if (ctx.id() == 0) ctx.send(1, {1});
+  });
+  e.run_round("recv", [](MachineContext&) {});
+  e.run_round("check", [](MachineContext& ctx) {
+    EXPECT_TRUE(ctx.inbox().empty());
+  });
+}
+
+TEST(Engine, CountsRounds) {
+  Engine e(small_topo(2));
+  for (int i = 0; i < 5; ++i) e.run_round("r", [](MachineContext&) {});
+  EXPECT_EQ(e.metrics().rounds(), 5u);
+}
+
+TEST(Engine, SelfSendAllowed) {
+  Engine e(small_topo(2));
+  e.run_round("send", [](MachineContext& ctx) {
+    if (ctx.id() == 0) ctx.send(0, {5});
+  });
+  bool seen = false;
+  e.run_round("recv", [&](MachineContext& ctx) {
+    if (ctx.id() == 0 && !ctx.inbox().empty()) {
+      seen = (ctx.inbox()[0].payload[0] == 5);
+    }
+  });
+  EXPECT_TRUE(seen);
+}
+
+TEST(Engine, MetricsTrackCommunication) {
+  Engine e(small_topo(3));
+  e.run_round("send", [](MachineContext& ctx) {
+    if (ctx.id() == 0) {
+      ctx.send(1, {1, 2});
+      ctx.send(2, {3});
+    }
+    if (ctx.id() == 1) ctx.send(2, {4, 5, 6});
+  });
+  const auto& r = e.metrics().per_round().back();
+  EXPECT_EQ(r.total_sent, 6u);
+  EXPECT_EQ(r.max_outbox, 3u);  // both machine 0 and machine 1 sent 3
+  e.run_round("recv", [](MachineContext&) {});
+  const auto& r2 = e.metrics().per_round().back();
+  EXPECT_EQ(r2.max_inbox, 4u);  // machine 2 received 1 + 3 words
+}
+
+TEST(Engine, CentralInboxTracked) {
+  Engine e(small_topo(3));
+  e.run_round("send", [](MachineContext& ctx) {
+    if (!ctx.is_central()) ctx.send(kCentral, {ctx.id()});
+  });
+  e.run_round("recv", [](MachineContext&) {});
+  EXPECT_EQ(e.metrics().max_central_inbox(), 2u);
+}
+
+TEST(Engine, ResidentChargeRecorded) {
+  Engine e(small_topo(2));
+  e.run_round("r", [](MachineContext& ctx) {
+    ctx.charge_resident(ctx.id() == 1 ? 500u : 10u);
+  });
+  EXPECT_EQ(e.metrics().per_round().back().max_resident, 500u);
+  EXPECT_EQ(e.metrics().max_machine_words(), 500u);
+}
+
+TEST(Engine, SpaceViolationThrowsWhenEnforced) {
+  Engine e(small_topo(2, /*cap=*/100));
+  EXPECT_THROW(e.run_round("r",
+                           [](MachineContext& ctx) {
+                             ctx.charge_resident(101);
+                           }),
+               SpaceLimitExceeded);
+}
+
+TEST(Engine, SpaceViolationRecordedWhenNotEnforced) {
+  Engine e(small_topo(2, /*cap=*/100, /*fanout=*/2, /*enforce=*/false));
+  e.run_round("r", [](MachineContext& ctx) { ctx.charge_resident(101); });
+  EXPECT_EQ(e.metrics().violations(), 1u);
+  EXPECT_TRUE(e.metrics().per_round().back().space_violation);
+}
+
+TEST(Engine, OutboxCountsAgainstCap) {
+  Engine e(small_topo(2, /*cap=*/10));
+  EXPECT_THROW(e.run_round("r",
+                           [](MachineContext& ctx) {
+                             if (ctx.id() == 0) {
+                               ctx.send(1, std::vector<Word>(11, 0));
+                             }
+                           }),
+               SpaceLimitExceeded);
+}
+
+TEST(Engine, InboxCountsAgainstCap) {
+  Engine e(small_topo(3, /*cap=*/10));
+  // Two senders, 6 words each: outboxes fit (6 <= 10) but machine 2's
+  // inbox in the next round holds 12 > 10.
+  e.run_round("send", [](MachineContext& ctx) {
+    if (ctx.id() != 2) ctx.send(2, std::vector<Word>(6, 1));
+  });
+  EXPECT_THROW(e.run_round("recv", [](MachineContext&) {}),
+               SpaceLimitExceeded);
+}
+
+TEST(Engine, CentralRoundRunsOnlyCentral) {
+  Engine e(small_topo(4));
+  int runs = 0;
+  e.run_central_round("c", [&](MachineContext& ctx) {
+    EXPECT_TRUE(ctx.is_central());
+    ++runs;
+  });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Engine, RejectsBadDestination) {
+  Engine e(small_topo(2));
+  EXPECT_DEATH(e.run_round("r",
+                           [](MachineContext& ctx) {
+                             if (ctx.id() == 0) ctx.send(7, {1});
+                           }),
+               "nonexistent");
+}
+
+// ---------------------------------------------------------- broadcast --
+
+TEST(BroadcastTree, ParentDepthConsistency) {
+  for (std::uint64_t fanout : {2ull, 3ull, 5ull}) {
+    for (MachineId m = 1; m < 100; ++m) {
+      const MachineId p = tree_parent(m, fanout);
+      EXPECT_LT(p, m);
+      EXPECT_EQ(tree_depth(m, fanout), tree_depth(p, fanout) + 1);
+    }
+    EXPECT_EQ(tree_depth(0, fanout), 0u);
+  }
+}
+
+TEST(BroadcastTree, RoundsFormula) {
+  EXPECT_EQ(broadcast_rounds(1, 2), 0u);
+  EXPECT_EQ(broadcast_rounds(2, 2), 1u);
+  EXPECT_EQ(broadcast_rounds(3, 2), 1u);
+  EXPECT_EQ(broadcast_rounds(4, 2), 2u);
+  EXPECT_EQ(broadcast_rounds(7, 2), 2u);
+  EXPECT_EQ(broadcast_rounds(8, 2), 3u);
+  EXPECT_EQ(broadcast_rounds(4, 3), 1u);
+  EXPECT_EQ(broadcast_rounds(5, 3), 2u);
+  EXPECT_EQ(broadcast_rounds(13, 3), 2u);
+  EXPECT_EQ(broadcast_rounds(14, 3), 3u);
+}
+
+TEST(Broadcast, AllMachinesReceivePayload) {
+  for (std::uint64_t machines : {1ull, 2ull, 5ull, 16ull, 33ull}) {
+    Engine e(small_topo(machines, 1 << 20, 3));
+    std::vector<std::vector<Word>> received;
+    const std::vector<Word> payload{1, 2, 3, 4};
+    broadcast_from_central(e, payload, "b", &received);
+    ASSERT_EQ(received.size(), machines);
+    for (const auto& r : received) EXPECT_EQ(r, payload);
+  }
+}
+
+TEST(Broadcast, UsesTreeDepthRounds) {
+  Engine e(small_topo(16, 1 << 20, 2));
+  const auto rounds = broadcast_from_central(e, {42}, "b");
+  // 16 machines in a binary heap tree: deepest machine is at depth 4;
+  // plus the final drain round.
+  EXPECT_EQ(rounds, broadcast_rounds(16, 2) + 1);
+  EXPECT_EQ(e.metrics().rounds(), rounds);
+}
+
+TEST(Broadcast, RespectsFanoutCap) {
+  // With cap 10 and payload 4, a machine forwarding to 2 children sends 8
+  // words -- fits; a flat broadcast from the root to 15 machines would
+  // send 60 and violate. The tree must succeed.
+  Engine e(small_topo(16, /*cap=*/10, /*fanout=*/2));
+  EXPECT_NO_THROW(broadcast_from_central(e, {1, 2, 3, 4}, "b"));
+}
+
+TEST(Aggregate, SumsAcrossMachines) {
+  for (std::uint64_t machines : {1ull, 2ull, 7ull, 20ull}) {
+    Engine e(small_topo(machines, 1 << 20, 3));
+    std::vector<Word> values(machines);
+    std::iota(values.begin(), values.end(), 1);  // 1..M
+    Word sum = 0;
+    aggregate_sum(e, values, "agg", &sum);
+    EXPECT_EQ(sum, machines * (machines + 1) / 2);
+  }
+}
+
+TEST(Aggregate, AllreduceDeliversToAll) {
+  Engine e(small_topo(9, 1 << 20, 2));
+  std::vector<Word> values(9, 2);
+  Word sum = 0;
+  allreduce_sum(e, values, "ar", &sum);
+  EXPECT_EQ(sum, 18u);
+}
+
+// -------------------------------------------------------------- trace --
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  Engine e(small_topo(2));
+  e.run_round("alpha", [](MachineContext& ctx) {
+    if (ctx.id() == 0) ctx.send(1, {1});
+  });
+  std::ostringstream os;
+  write_trace_csv(e.metrics(), os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("round,label"), std::string::npos);
+  EXPECT_NE(s.find("0,alpha,1"), std::string::npos);
+}
+
+TEST(Trace, SummaryMentionsRounds) {
+  Engine e(small_topo(2));
+  e.run_round("r", [](MachineContext&) {});
+  std::ostringstream os;
+  print_summary(e.metrics(), os);
+  EXPECT_NE(os.str().find("rounds=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrlr::mrc

@@ -1,0 +1,178 @@
+// Broad cross-product property sweeps: every core algorithm against
+// every instance family and weight distribution, checking the full
+// invariant set (feasibility, guarantee vs certificate, space
+// discipline, determinism). These are the "does it hold up everywhere"
+// tests complementing the per-algorithm suites.
+
+#include <gtest/gtest.h>
+
+#include "mrlr/core/colouring.hpp"
+#include "mrlr/core/hungry_clique.hpp"
+#include "mrlr/core/hungry_mis.hpp"
+#include "mrlr/core/rlr_bmatching.hpp"
+#include "mrlr/core/rlr_matching.hpp"
+#include "mrlr/core/rlr_setcover.hpp"
+#include "mrlr/graph/generators.hpp"
+#include "mrlr/graph/validate.hpp"
+#include "mrlr/setcover/validate.hpp"
+
+namespace mrlr {
+namespace {
+
+using graph::Graph;
+using graph::WeightDist;
+
+enum class Family { kGnm, kPowerLaw, kBipartite, kCirculant, kPlanted };
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kGnm: return "gnm";
+    case Family::kPowerLaw: return "powerlaw";
+    case Family::kBipartite: return "bipartite";
+    case Family::kCirculant: return "circulant";
+    case Family::kPlanted: return "planted";
+  }
+  return "?";
+}
+
+Graph make_family(Family f, std::uint64_t n, Rng& rng) {
+  switch (f) {
+    case Family::kGnm:
+      return graph::gnm_density(n, 0.4, rng);
+    case Family::kPowerLaw:
+      return graph::chung_lu_power_law(n, 5 * n, 2.4, rng);
+    case Family::kBipartite:
+      return graph::random_bipartite(n / 2, n - n / 2, 4 * n, rng);
+    case Family::kCirculant:
+      return graph::circulant(n, 8);
+    case Family::kPlanted:
+      return graph::planted_clique(n, 4 * n, n / 15 + 2, rng);
+  }
+  return Graph(0, {});
+}
+
+struct SweepCase {
+  Family family;
+  WeightDist dist;
+  int seed;
+};
+
+class PortfolioSweep : public ::testing::TestWithParam<SweepCase> {};
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  const char* dist =
+      info.param.dist == WeightDist::kUniform       ? "uniform"
+      : info.param.dist == WeightDist::kExponential ? "exp"
+      : info.param.dist == WeightDist::kIntegral    ? "int"
+                                                    : "polar";
+  return std::string(family_name(info.param.family)) + "_" + dist + "_s" +
+         std::to_string(info.param.seed);
+}
+
+TEST_P(PortfolioSweep, AllInvariantsHold) {
+  const SweepCase& sc = GetParam();
+  const std::uint64_t n = 220;
+  Rng rng(static_cast<std::uint64_t>(sc.seed) * 65537u +
+          static_cast<std::uint64_t>(sc.family) * 101u);
+  Graph base = make_family(sc.family, n, rng);
+  Graph g =
+      base.with_weights(graph::random_edge_weights(base, sc.dist, rng));
+  core::MrParams p;
+  p.mu = 0.25;
+  p.seed = static_cast<std::uint64_t>(sc.seed);
+
+  // Matching.
+  const auto mwm = core::rlr_matching(g, p);
+  ASSERT_FALSE(mwm.outcome.failed);
+  EXPECT_TRUE(graph::is_matching(g, mwm.matching));
+  EXPECT_EQ(mwm.outcome.space_violations, 0u);
+
+  // b-matching with mixed capacities.
+  std::vector<std::uint32_t> b(g.num_vertices());
+  for (auto& x : b) x = 1 + static_cast<std::uint32_t>(rng.uniform(3));
+  const auto bm = core::rlr_b_matching(g, b, 0.2, p);
+  ASSERT_FALSE(bm.outcome.failed);
+  EXPECT_TRUE(graph::is_b_matching(g, bm.matching, b));
+
+  // Vertex cover.
+  const auto vw =
+      graph::random_vertex_weights(g.num_vertices(), sc.dist, rng);
+  const auto vc = core::rlr_vertex_cover(g, vw, p);
+  ASSERT_FALSE(vc.outcome.failed);
+  EXPECT_TRUE(graph::is_vertex_cover(g, vc.cover));
+  EXPECT_LE(vc.weight, 2.0 * vc.lower_bound + 1e-9);
+
+  // MIS + clique.
+  const auto mis = core::hungry_mis_improved(g, p);
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, mis.independent_set));
+  const auto clique = core::hungry_clique(g, p);
+  EXPECT_TRUE(graph::is_maximal_clique(g, clique.clique));
+
+  // Colourings.
+  const auto vcol = core::mr_vertex_colouring(g, p);
+  ASSERT_FALSE(vcol.failed);
+  EXPECT_TRUE(graph::is_proper_vertex_colouring(g, vcol.colour));
+  const auto ecol = core::mr_edge_colouring(g, p);
+  ASSERT_FALSE(ecol.failed);
+  EXPECT_TRUE(graph::is_proper_edge_colouring(g, ecol.colour));
+}
+
+std::vector<SweepCase> all_cases() {
+  std::vector<SweepCase> cases;
+  for (const Family f :
+       {Family::kGnm, Family::kPowerLaw, Family::kBipartite,
+        Family::kCirculant, Family::kPlanted}) {
+    for (const WeightDist d :
+         {WeightDist::kUniform, WeightDist::kExponential,
+          WeightDist::kPolarized}) {
+      for (int seed = 1; seed <= 2; ++seed) {
+        cases.push_back({f, d, seed});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, PortfolioSweep,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+// Determinism holds across the whole portfolio, not just per algorithm.
+TEST(PortfolioDeterminism, IdenticalSeedsIdenticalEverything) {
+  Rng rng(42);
+  Graph base = graph::gnm_density(300, 0.45, rng);
+  Graph g = base.with_weights(
+      graph::random_edge_weights(base, WeightDist::kExponential, rng));
+  core::MrParams p;
+  p.mu = 0.2;
+  p.seed = 77;
+
+  EXPECT_EQ(core::rlr_matching(g, p).matching,
+            core::rlr_matching(g, p).matching);
+  EXPECT_EQ(core::hungry_mis_simple(g, p).independent_set,
+            core::hungry_mis_simple(g, p).independent_set);
+  EXPECT_EQ(core::hungry_clique(g, p).clique,
+            core::hungry_clique(g, p).clique);
+  EXPECT_EQ(core::mr_vertex_colouring(g, p).colour,
+            core::mr_vertex_colouring(g, p).colour);
+  EXPECT_EQ(core::mr_edge_colouring(g, p).colour,
+            core::mr_edge_colouring(g, p).colour);
+}
+
+// Seeds change the transcript but never the validity.
+TEST(PortfolioDeterminism, SeedsVaryButStayValid) {
+  Rng rng(43);
+  Graph base = graph::gnm_density(250, 0.4, rng);
+  Graph g = base.with_weights(
+      graph::random_edge_weights(base, WeightDist::kUniform, rng));
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    core::MrParams p;
+    p.mu = 0.25;
+    p.seed = seed;
+    const auto r = core::rlr_matching(g, p);
+    ASSERT_FALSE(r.outcome.failed);
+    EXPECT_TRUE(graph::is_matching(g, r.matching));
+  }
+}
+
+}  // namespace
+}  // namespace mrlr

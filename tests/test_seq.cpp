@@ -1,0 +1,403 @@
+// Tests for the sequential reference algorithms: local ratio engines,
+// greedy baselines, Luby, Misra-Gries, and the exact solvers — including
+// property sweeps certifying the approximation guarantees against OPT on
+// small random instances.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "mrlr/graph/generators.hpp"
+#include "mrlr/graph/validate.hpp"
+#include "mrlr/seq/clique.hpp"
+#include "mrlr/seq/colouring.hpp"
+#include "mrlr/seq/exact_matching.hpp"
+#include "mrlr/seq/greedy_matching.hpp"
+#include "mrlr/seq/greedy_setcover.hpp"
+#include "mrlr/seq/local_ratio_matching.hpp"
+#include "mrlr/seq/local_ratio_setcover.hpp"
+#include "mrlr/seq/misra_gries.hpp"
+#include "mrlr/seq/mis.hpp"
+#include "mrlr/setcover/exact.hpp"
+#include "mrlr/setcover/generators.hpp"
+#include "mrlr/setcover/validate.hpp"
+#include "mrlr/util/math.hpp"
+
+namespace mrlr::seq {
+namespace {
+
+using graph::Graph;
+using setcover::SetSystem;
+
+// ------------------------------------------- local ratio set cover ----
+
+TEST(LocalRatioSetCover, CoversAndCertifies) {
+  const SetSystem s(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}},
+                    {1.0, 2.0, 1.0, 2.0});
+  const auto res = local_ratio_set_cover(s);
+  EXPECT_TRUE(setcover::is_cover(s, res.cover));
+  EXPECT_GT(res.lower_bound, 0.0);
+  EXPECT_LE(res.weight,
+            static_cast<double>(s.max_frequency()) * res.lower_bound + 1e-9);
+}
+
+TEST(LocalRatioSetCover, StatefulStepZeroesASet) {
+  const SetSystem s(2, {{0}, {0, 1}}, {3.0, 5.0});
+  SetCoverLocalRatio lr(s);
+  EXPECT_TRUE(lr.element_active(0));
+  const auto zeroed = lr.process(0);
+  ASSERT_EQ(zeroed.size(), 1u);
+  EXPECT_EQ(zeroed[0], 0u);  // the cheaper set hits zero
+  EXPECT_DOUBLE_EQ(lr.residual_weight(1), 2.0);
+  EXPECT_FALSE(lr.element_active(0));  // now covered
+  EXPECT_TRUE(lr.element_active(1));
+}
+
+TEST(LocalRatioSetCover, ProcessInactiveIsNoop) {
+  const SetSystem s(2, {{0, 1}}, {1.0});
+  SetCoverLocalRatio lr(s);
+  (void)lr.process(0);
+  EXPECT_TRUE(lr.process(1).empty());  // set already zero; element covered
+  EXPECT_EQ(lr.cover().size(), 1u);
+}
+
+class LocalRatioSetCoverSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LocalRatioSetCoverSweep, FApproximationHolds) {
+  const auto [num_sets, universe, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const SetSystem s = setcover::bounded_frequency(
+      num_sets, universe, 3, graph::WeightDist::kIntegral, rng);
+  const auto res = local_ratio_set_cover(s);
+  ASSERT_TRUE(setcover::is_cover(s, res.cover));
+  const auto opt = setcover::exact_min_cover_weight(s);
+  ASSERT_TRUE(opt.has_value());
+  const double f = static_cast<double>(s.max_frequency());
+  EXPECT_LE(res.weight, f * (*opt) + 1e-9);
+  // The certificate is a genuine lower bound on OPT.
+  EXPECT_LE(res.lower_bound, *opt + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LocalRatioSetCoverSweep,
+    ::testing::Combine(::testing::Values(6, 10, 16),
+                       ::testing::Values(8, 14, 20),
+                       ::testing::Values(1, 2, 3, 4)));
+
+TEST(LocalRatioSetCover, ArbitraryOrderStillFApproximate) {
+  Rng rng(99);
+  const SetSystem s = setcover::bounded_frequency(
+      10, 16, 2, graph::WeightDist::kUniform, rng);
+  const auto opt = setcover::exact_min_cover_weight(s);
+  ASSERT_TRUE(opt.has_value());
+  for (int t = 0; t < 10; ++t) {
+    auto perm64 = rng.permutation(16);
+    std::vector<setcover::ElementId> order(perm64.begin(), perm64.end());
+    const auto res = local_ratio_set_cover(s, order);
+    ASSERT_TRUE(setcover::is_cover(s, res.cover));
+    EXPECT_LE(res.weight, 2.0 * (*opt) + 1e-9);
+  }
+}
+
+// ------------------------------------------------ greedy set cover ----
+
+TEST(GreedySetCover, PicksBestRatioFirst) {
+  // S0 covers 3 elements at weight 1 (ratio 3); S1..S3 singletons ratio 1.
+  const SetSystem s(3, {{0, 1, 2}, {0}, {1}, {2}}, {1.0, 1.0, 1.0, 1.0});
+  const auto res = greedy_set_cover(s);
+  EXPECT_EQ(res.cover.size(), 1u);
+  EXPECT_EQ(res.cover[0], 0u);
+  EXPECT_EQ(res.iterations, 1u);
+}
+
+class GreedySetCoverSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GreedySetCoverSweep, HDeltaApproximationHolds) {
+  const auto [universe, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919);
+  const SetSystem s = setcover::many_sets(
+      30, universe, 6, graph::WeightDist::kUniform, rng);
+  const auto res = greedy_set_cover(s);
+  ASSERT_TRUE(setcover::is_cover(s, res.cover));
+  const auto opt = setcover::exact_min_cover_weight(s);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_LE(res.weight, harmonic(s.max_set_size()) * (*opt) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GreedySetCoverSweep,
+                         ::testing::Combine(::testing::Values(10, 16, 22),
+                                            ::testing::Values(1, 2, 3, 4,
+                                                              5)));
+
+// --------------------------------------------- local ratio matching ----
+
+TEST(LocalRatioMatching, HalfApproximationOnTriangle) {
+  const Graph g(3, {{0, 1}, {1, 2}, {0, 2}}, {3.0, 1.0, 2.0});
+  const auto res = local_ratio_matching(g);
+  EXPECT_TRUE(graph::is_matching(g, res.edges));
+  EXPECT_GE(res.weight, 1.5);  // OPT = 3 (one edge max in a triangle)
+}
+
+TEST(LocalRatioMatching, StatefulPhiBookkeeping) {
+  const Graph g(3, {{0, 1}, {1, 2}}, {5.0, 3.0});
+  MatchingLocalRatio lr(g);
+  EXPECT_DOUBLE_EQ(lr.modified_weight(0), 5.0);
+  EXPECT_TRUE(lr.process(0));
+  EXPECT_DOUBLE_EQ(lr.phi(0), 5.0);
+  EXPECT_DOUBLE_EQ(lr.phi(1), 5.0);
+  // Edge 1 is now dead: 3 - phi(1) - phi(2) = -2.
+  EXPECT_DOUBLE_EQ(lr.modified_weight(1), -2.0);
+  EXPECT_FALSE(lr.edge_alive(1));
+  EXPECT_FALSE(lr.process(1));
+  const auto res = lr.unwind();
+  EXPECT_EQ(res.edges, (std::vector<graph::EdgeId>{0}));
+}
+
+class LocalRatioMatchingSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LocalRatioMatchingSweep, TwoApproximationVsExact) {
+  const auto [n, m_req, seed] = GetParam();
+  const auto m = std::min<std::uint64_t>(
+      m_req, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+  Rng rng(static_cast<std::uint64_t>(seed) * 104729);
+  Graph g = graph::gnm(n, m, rng);
+  g = g.with_weights(
+      graph::random_edge_weights(g, graph::WeightDist::kUniform, rng));
+  const auto res = local_ratio_matching(g);
+  ASSERT_TRUE(graph::is_matching(g, res.edges));
+  const double opt = exact_max_matching_weight(g);
+  EXPECT_GE(res.weight, opt / 2.0 - 1e-9);
+  EXPECT_LE(res.weight, opt + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LocalRatioMatchingSweep,
+    ::testing::Combine(::testing::Values(8, 12, 16),
+                       ::testing::Values(10, 20, 40),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(LocalRatioMatching, RandomOrdersAllTwoApproximate) {
+  Rng rng(7);
+  Graph g = graph::gnm(14, 40, rng);
+  g = g.with_weights(
+      graph::random_edge_weights(g, graph::WeightDist::kPolarized, rng));
+  const double opt = exact_max_matching_weight(g);
+  for (int t = 0; t < 10; ++t) {
+    auto perm64 = rng.permutation(g.num_edges());
+    std::vector<graph::EdgeId> order(perm64.begin(), perm64.end());
+    const auto res = local_ratio_matching(g, order);
+    ASSERT_TRUE(graph::is_matching(g, res.edges));
+    EXPECT_GE(res.weight, opt / 2.0 - 1e-9);
+  }
+}
+
+// ------------------------------------------------- greedy matching ----
+
+TEST(GreedyMatching, TakesHeaviestFirst) {
+  const Graph g(4, {{0, 1}, {1, 2}, {2, 3}}, {1.0, 10.0, 1.0});
+  const auto res = greedy_matching(g);
+  EXPECT_DOUBLE_EQ(res.weight, 10.0);
+}
+
+TEST(GreedyMatching, HalfApproximateSweep) {
+  Rng rng(11);
+  for (int t = 0; t < 15; ++t) {
+    Graph g = graph::gnm(12, 25, rng);
+    g = g.with_weights(
+        graph::random_edge_weights(g, graph::WeightDist::kExponential, rng));
+    const auto res = greedy_matching(g);
+    ASSERT_TRUE(graph::is_matching(g, res.edges));
+    EXPECT_GE(res.weight, exact_max_matching_weight(g) / 2.0 - 1e-9);
+  }
+}
+
+TEST(MaximalMatching, IsMaximal) {
+  Rng rng(13);
+  for (int t = 0; t < 10; ++t) {
+    const Graph g = graph::gnm(30, 100, rng);
+    const auto res = maximal_matching(g);
+    EXPECT_TRUE(graph::is_maximal_matching(g, res.edges));
+  }
+}
+
+TEST(GreedyBMatching, RespectsCapacities) {
+  Rng rng(17);
+  Graph g = graph::gnm(10, 20, rng);
+  g = g.with_weights(
+      graph::random_edge_weights(g, graph::WeightDist::kUniform, rng));
+  std::vector<std::uint32_t> b(10, 2);
+  const auto res = greedy_b_matching(g, b);
+  EXPECT_TRUE(graph::is_b_matching(g, res.edges, b));
+}
+
+// ---------------------------------------------------- exact matching ----
+
+TEST(ExactMatching, KnownValues) {
+  // Path 0-1-2-3 with weights 1, 5, 1: OPT = 5 (middle) vs 2 (outer two)?
+  // Outer two are disjoint: weight 2. So OPT = 5.
+  const Graph g(4, {{0, 1}, {1, 2}, {2, 3}}, {1.0, 5.0, 1.0});
+  EXPECT_DOUBLE_EQ(exact_max_matching_weight(g), 5.0);
+  // With weights 3, 5, 3 the two outer edges win: 6 > 5.
+  const Graph h(4, {{0, 1}, {1, 2}, {2, 3}}, {3.0, 5.0, 3.0});
+  EXPECT_DOUBLE_EQ(exact_max_matching_weight(h), 6.0);
+}
+
+TEST(ExactMatching, EmptyAndSingleEdge) {
+  EXPECT_DOUBLE_EQ(exact_max_matching_weight(Graph(5, {})), 0.0);
+  EXPECT_DOUBLE_EQ(
+      exact_max_matching_weight(Graph(2, {{0, 1}}, {4.0})), 4.0);
+}
+
+TEST(ExactBMatching, CapacityTwoTriangle) {
+  // Triangle with b=2 everywhere: all three edges are feasible.
+  const Graph g(3, {{0, 1}, {1, 2}, {0, 2}}, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(
+      exact_max_b_matching_weight(g, {2, 2, 2}), 6.0);
+  // b=1: ordinary matching, best single edge.
+  EXPECT_DOUBLE_EQ(
+      exact_max_b_matching_weight(g, {1, 1, 1}), 3.0);
+}
+
+// ---------------------------------------------------------------- MIS --
+
+TEST(GreedyMis, MaximalOnFamilies) {
+  Rng rng(19);
+  const std::vector<Graph> graphs{
+      graph::complete(10), graph::star(10),      graph::path(10),
+      graph::cycle(10),    graph::gnm(30, 100, rng), Graph(5, {})};
+  for (const Graph& g : graphs) {
+    const auto mis = greedy_mis(g);
+    EXPECT_TRUE(graph::is_maximal_independent_set(g, mis));
+  }
+}
+
+TEST(GreedyMis, RespectsOrder) {
+  const Graph g(3, {{0, 1}, {1, 2}});
+  const auto mis = greedy_mis(g, {1});
+  // Vertex 1 blocks 0 and 2; result is exactly {1}.
+  EXPECT_EQ(mis, (std::vector<graph::VertexId>{1}));
+}
+
+class LubySweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LubySweep, ProducesMaximalIndependentSet) {
+  const auto [n, seed] = GetParam();
+  Rng grng(static_cast<std::uint64_t>(seed));
+  const Graph g = graph::gnm(n, std::min<std::uint64_t>(4 * n, n * (n - 1) / 2), grng);
+  Rng rng(static_cast<std::uint64_t>(seed) + 1000);
+  const auto res = luby_mis(g, rng);
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, res.independent_set));
+  EXPECT_GE(res.rounds, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LubySweep,
+                         ::testing::Combine(::testing::Values(10, 50, 200),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+TEST(Luby, FewRoundsOnRandomGraphs) {
+  Rng grng(23);
+  const Graph g = graph::gnm(500, 3000, grng);
+  Rng rng(24);
+  const auto res = luby_mis(g, rng);
+  // O(log n) with small constants; generous bound.
+  EXPECT_LE(res.rounds, 30u);
+}
+
+// -------------------------------------------------------------- clique --
+
+TEST(GreedyClique, MaximalOnFamilies) {
+  Rng rng(29);
+  const std::vector<Graph> graphs{
+      graph::complete(8), graph::cycle(9), graph::planted_clique(40, 80, 6, rng),
+      graph::gnm(25, 100, rng)};
+  for (const Graph& g : graphs) {
+    const auto c = greedy_clique(g);
+    EXPECT_TRUE(graph::is_maximal_clique(g, c));
+  }
+}
+
+TEST(GreedyClique, CompleteGraphGivesEverything) {
+  const auto c = greedy_clique(graph::complete(7));
+  EXPECT_EQ(c.size(), 7u);
+}
+
+TEST(GreedyClique, SingleVertex) {
+  const auto c = greedy_clique(Graph(1, {}));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+// ----------------------------------------------------------- colouring --
+
+class GreedyColouringSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GreedyColouringSweep, ProperWithinDeltaPlusOne) {
+  const auto [n, m, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 31);
+  const Graph g = graph::gnm(
+      n, std::min<std::uint64_t>(m, static_cast<std::uint64_t>(n) * (n - 1) / 2), rng);
+  const auto col = greedy_colouring(g);
+  EXPECT_TRUE(graph::is_proper_vertex_colouring(g, col));
+  EXPECT_LE(graph::num_colours(col), g.max_degree() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GreedyColouringSweep,
+    ::testing::Combine(::testing::Values(10, 50, 120),
+                       ::testing::Values(20, 200, 600),
+                       ::testing::Values(1, 2, 3)));
+
+// --------------------------------------------------------- Misra-Gries --
+
+class MisraGriesSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MisraGriesSweep, ProperWithinDeltaPlusOne) {
+  const auto [n, m, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 37);
+  const Graph g = graph::gnm(
+      n, std::min<std::uint64_t>(m, static_cast<std::uint64_t>(n) * (n - 1) / 2), rng);
+  const auto col = misra_gries_edge_colouring(g);
+  ASSERT_EQ(col.size(), g.num_edges());
+  EXPECT_TRUE(graph::is_proper_edge_colouring(g, col));
+  EXPECT_LE(graph::num_colours(col), g.max_degree() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MisraGriesSweep,
+    ::testing::Combine(::testing::Values(8, 20, 60, 120),
+                       ::testing::Values(10, 60, 400),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(MisraGries, StructuredFamilies) {
+  Rng rng(41);
+  const std::vector<Graph> graphs{graph::complete(9), graph::star(20),
+                                  graph::cycle(11), graph::path(15),
+                                  graph::circulant(20, 6)};
+  for (const Graph& g : graphs) {
+    const auto col = misra_gries_edge_colouring(g);
+    EXPECT_TRUE(graph::is_proper_edge_colouring(g, col));
+    EXPECT_LE(graph::num_colours(col), g.max_degree() + 1);
+  }
+}
+
+TEST(MisraGries, EmptyGraph) {
+  EXPECT_TRUE(misra_gries_edge_colouring(Graph(4, {})).empty());
+}
+
+TEST(MisraGries, BipartiteUsesFewColours) {
+  // Bipartite graphs are Delta-edge-colourable (Konig); Misra-Gries may
+  // use Delta+1 but must stay within it.
+  Rng rng(43);
+  const Graph g = graph::random_bipartite(15, 15, 100, rng);
+  const auto col = misra_gries_edge_colouring(g);
+  EXPECT_TRUE(graph::is_proper_edge_colouring(g, col));
+  EXPECT_LE(graph::num_colours(col), g.max_degree() + 1);
+}
+
+}  // namespace
+}  // namespace mrlr::seq

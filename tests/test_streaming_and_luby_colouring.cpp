@@ -1,0 +1,143 @@
+// Tests for the Paz-Schwartzman streaming matching (the paper's
+// technique lineage) and the Luby-style (Delta+1) colouring MR baseline.
+
+#include <gtest/gtest.h>
+
+#include "mrlr/baselines/luby_colouring_mr.hpp"
+#include "mrlr/graph/generators.hpp"
+#include "mrlr/graph/validate.hpp"
+#include "mrlr/seq/exact_matching.hpp"
+#include "mrlr/seq/local_ratio_matching.hpp"
+#include "mrlr/seq/streaming_matching.hpp"
+
+namespace mrlr::seq {
+namespace {
+
+using graph::Graph;
+
+TEST(StreamingMatching, SimpleInstances) {
+  const Graph g(4, {{0, 1}, {1, 2}, {2, 3}}, {3.0, 5.0, 3.0});
+  const auto res = streaming_matching(g, 0.1);
+  EXPECT_TRUE(graph::is_matching(g, res.edges));
+  // OPT = 6 (outer pair); 2+eps approx must reach >= 6 / 2.1.
+  EXPECT_GE(res.weight, 6.0 / 2.1 - 1e-9);
+}
+
+class StreamingSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(StreamingSweep, TwoPlusEpsApproximation) {
+  const auto [n, eps, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 6151u + n);
+  Graph g = graph::gnm(
+      n, std::min<std::uint64_t>(3 * n, static_cast<std::uint64_t>(n) * (n - 1) / 2), rng);
+  g = g.with_weights(
+      graph::random_edge_weights(g, graph::WeightDist::kUniform, rng));
+  const auto res = streaming_matching(g, eps);
+  ASSERT_TRUE(graph::is_matching(g, res.edges));
+  const double opt = exact_max_matching_weight(g);
+  EXPECT_GE(res.weight, opt / (2.0 + 2.0 * eps) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StreamingSweep,
+    ::testing::Combine(::testing::Values(10, 14, 18),
+                       ::testing::Values(0.05, 0.2, 0.5),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(StreamingMatching, PruningShrinksStack) {
+  // The whole point of the eps-pruning: larger eps, smaller stack.
+  Rng rng(4);
+  Graph g = graph::gnm(200, 3000, rng);
+  g = g.with_weights(
+      graph::random_edge_weights(g, graph::WeightDist::kExponential, rng));
+  const auto tight = streaming_matching(g, 0.01);
+  const auto loose = streaming_matching(g, 1.0);
+  EXPECT_LE(loose.stack_peak, tight.stack_peak);
+  EXPECT_GT(loose.stack_peak, 0u);
+}
+
+TEST(StreamingMatching, StackSmallerThanPlainLocalRatio) {
+  Rng rng(5);
+  Graph g = graph::gnm(200, 3000, rng);
+  g = g.with_weights(
+      graph::random_edge_weights(g, graph::WeightDist::kExponential, rng));
+  const auto plain = local_ratio_matching(g);
+  const auto pruned = streaming_matching(g, 0.3);
+  EXPECT_LE(pruned.stack_peak, plain.stack_size);
+}
+
+TEST(StreamingMatching, RejectsZeroEpsilon) {
+  const Graph g(2, {{0, 1}});
+  EXPECT_DEATH((void)streaming_matching(g, 0.0), "epsilon");
+}
+
+}  // namespace
+}  // namespace mrlr::seq
+
+namespace mrlr::baselines {
+namespace {
+
+using graph::Graph;
+
+core::MrParams bp(std::uint64_t seed) {
+  core::MrParams p;
+  p.mu = 0.25;
+  p.seed = seed;
+  return p;
+}
+
+class LubyColouringSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(LubyColouringSweep, ProperWithinDeltaPlusOne) {
+  const auto [n, c, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 3271u + n);
+  const Graph g = graph::gnm_density(n, c, rng);
+  const auto res = luby_colouring_mr(g, bp(seed));
+  EXPECT_TRUE(graph::is_proper_vertex_colouring(g, res.colour));
+  EXPECT_LE(res.colours_used, g.max_degree() + 1);
+  EXPECT_EQ(res.outcome.space_violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LubyColouringSweep,
+    ::testing::Combine(::testing::Values(50, 200, 500),
+                       ::testing::Values(0.3, 0.5),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(LubyColouring, StructuredFamilies) {
+  for (const Graph& g :
+       {graph::complete(12), graph::star(20), graph::cycle(9),
+        graph::circulant(20, 6)}) {
+    const auto res = luby_colouring_mr(g, bp(1));
+    EXPECT_TRUE(graph::is_proper_vertex_colouring(g, res.colour));
+    EXPECT_LE(res.colours_used, g.max_degree() + 1);
+  }
+}
+
+TEST(LubyColouring, PhasesLogarithmic) {
+  Rng rng(6);
+  const Graph g = graph::gnm_density(1000, 0.4, rng);
+  const auto res = luby_colouring_mr(g, bp(1));
+  EXPECT_LE(res.phases, 40u);
+  EXPECT_EQ(res.outcome.rounds, 2 * res.phases);
+}
+
+TEST(LubyColouring, DeterministicForSeed) {
+  Rng rng(7);
+  const Graph g = graph::gnm(150, 1200, rng);
+  const auto a = luby_colouring_mr(g, bp(4));
+  const auto b = luby_colouring_mr(g, bp(4));
+  EXPECT_EQ(a.colour, b.colour);
+}
+
+TEST(LubyColouring, EmptyGraphUsesOneColour) {
+  const Graph g(10, {});
+  const auto res = luby_colouring_mr(g, bp(1));
+  EXPECT_TRUE(graph::is_proper_vertex_colouring(g, res.colour));
+  EXPECT_EQ(res.colours_used, 1u);
+}
+
+}  // namespace
+}  // namespace mrlr::baselines

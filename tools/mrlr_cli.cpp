@@ -1,0 +1,305 @@
+// Command-line driver: run any algorithm in the library on a generated
+// or user-provided instance and print the solution summary plus the
+// Figure-1 cost metrics (rounds, space, communication).
+//
+// Usage:
+//   mrlr_cli <algorithm> [--n N] [--c C] [--mu MU] [--seed S]
+//            [--eps E] [--b B] [--dist uniform|exp|int|polarized]
+//            [--graph FILE] [--sets FILE] [--trace]
+//
+// Algorithms:
+//   matching | vertex-cover | set-cover-f | set-cover-greedy |
+//   b-matching | mis | mis-simple | clique | colour-vertex |
+//   colour-edge | filtering-matching | filtering-weighted |
+//   luby-mis | luby-colouring | coreset-matching
+//
+// Examples:
+//   mrlr_cli matching --n 5000 --c 0.4 --mu 0.2
+//   mrlr_cli set-cover-greedy --sets instance.txt --eps 0.2
+//   mrlr_cli colour-vertex --graph mygraph.txt --trace
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "mrlr/baselines/coreset_matching.hpp"
+#include "mrlr/baselines/filtering_matching.hpp"
+#include "mrlr/baselines/luby_colouring_mr.hpp"
+#include "mrlr/baselines/luby_mr.hpp"
+#include "mrlr/core/colouring.hpp"
+#include "mrlr/core/greedy_setcover_mr.hpp"
+#include "mrlr/core/hungry_clique.hpp"
+#include "mrlr/core/hungry_mis.hpp"
+#include "mrlr/core/rlr_bmatching.hpp"
+#include "mrlr/core/rlr_matching.hpp"
+#include "mrlr/core/rlr_setcover.hpp"
+#include "mrlr/graph/generators.hpp"
+#include "mrlr/graph/io.hpp"
+#include "mrlr/graph/stats.hpp"
+#include "mrlr/graph/validate.hpp"
+#include "mrlr/setcover/generators.hpp"
+#include "mrlr/setcover/io.hpp"
+#include "mrlr/setcover/validate.hpp"
+
+namespace {
+
+struct Options {
+  std::string algorithm;
+  std::uint64_t n = 2000;
+  double c = 0.4;
+  double mu = 0.2;
+  std::uint64_t seed = 1;
+  double eps = 0.2;
+  std::uint32_t b = 2;
+  mrlr::graph::WeightDist dist = mrlr::graph::WeightDist::kUniform;
+  std::optional<std::string> graph_file;
+  std::optional<std::string> sets_file;
+  bool trace = false;
+};
+
+void usage() {
+  std::cerr
+      << "usage: mrlr_cli <algorithm> [--n N] [--c C] [--mu MU] "
+         "[--seed S] [--eps E] [--b B] [--dist D] [--graph FILE] "
+         "[--sets FILE] [--trace]\n"
+         "algorithms: matching vertex-cover set-cover-f "
+         "set-cover-greedy b-matching mis mis-simple clique "
+         "colour-vertex colour-edge filtering-matching "
+         "filtering-weighted luby-mis luby-colouring coreset-matching\n";
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Options o;
+  o.algorithm = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--n") {
+      o.n = std::stoull(value());
+    } else if (flag == "--c") {
+      o.c = std::stod(value());
+    } else if (flag == "--mu") {
+      o.mu = std::stod(value());
+    } else if (flag == "--seed") {
+      o.seed = std::stoull(value());
+    } else if (flag == "--eps") {
+      o.eps = std::stod(value());
+    } else if (flag == "--b") {
+      o.b = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (flag == "--dist") {
+      const std::string d = value();
+      if (d == "uniform") {
+        o.dist = mrlr::graph::WeightDist::kUniform;
+      } else if (d == "exp") {
+        o.dist = mrlr::graph::WeightDist::kExponential;
+      } else if (d == "int") {
+        o.dist = mrlr::graph::WeightDist::kIntegral;
+      } else if (d == "polarized") {
+        o.dist = mrlr::graph::WeightDist::kPolarized;
+      } else {
+        std::cerr << "unknown dist " << d << "\n";
+        return std::nullopt;
+      }
+    } else if (flag == "--graph") {
+      o.graph_file = value();
+    } else if (flag == "--sets") {
+      o.sets_file = value();
+    } else if (flag == "--trace") {
+      o.trace = true;
+    } else {
+      std::cerr << "unknown flag " << flag << "\n";
+      return std::nullopt;
+    }
+  }
+  return o;
+}
+
+mrlr::graph::Graph load_graph(const Options& o, bool weighted) {
+  if (o.graph_file) {
+    std::ifstream in(*o.graph_file);
+    if (!in) {
+      std::cerr << "cannot open " << *o.graph_file << "\n";
+      std::exit(2);
+    }
+    return mrlr::graph::read_edge_list(in);
+  }
+  mrlr::Rng rng(o.seed ^ 0xFEEDFACEull);
+  mrlr::graph::Graph g = mrlr::graph::gnm_density(o.n, o.c, rng);
+  if (weighted) {
+    return g.with_weights(
+        mrlr::graph::random_edge_weights(g, o.dist, rng));
+  }
+  return g;
+}
+
+mrlr::setcover::SetSystem load_sets(const Options& o, bool many_regime) {
+  if (o.sets_file) {
+    std::ifstream in(*o.sets_file);
+    if (!in) {
+      std::cerr << "cannot open " << *o.sets_file << "\n";
+      std::exit(2);
+    }
+    return mrlr::setcover::read_set_system(in);
+  }
+  mrlr::Rng rng(o.seed ^ 0xFEEDFACEull);
+  if (many_regime) {
+    return mrlr::setcover::many_sets(o.n, o.n / 8 + 2, 12, o.dist, rng);
+  }
+  return mrlr::setcover::bounded_frequency(o.n, 8 * o.n, 3, o.dist, rng);
+}
+
+void report(const mrlr::core::MrOutcome& outcome) {
+  std::cout << "cost: rounds=" << outcome.rounds
+            << " iterations=" << outcome.iterations
+            << " max_words/machine=" << outcome.max_machine_words
+            << " central_inbox=" << outcome.max_central_inbox
+            << " total_comm=" << outcome.total_communication
+            << " violations=" << outcome.space_violations
+            << (outcome.failed ? "  ** FAILED **" : "") << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse(argc, argv);
+  if (!opts) {
+    usage();
+    return 2;
+  }
+  const Options& o = *opts;
+  mrlr::core::MrParams params;
+  params.mu = o.mu;
+  params.c = o.c;
+  params.seed = o.seed;
+
+  using namespace mrlr;
+  const std::string& a = o.algorithm;
+
+  if (a == "matching" || a == "filtering-matching" ||
+      a == "filtering-weighted" || a == "coreset-matching") {
+    const graph::Graph g = load_graph(o, /*weighted=*/true);
+    const auto st = graph::compute_stats(g);
+    std::cout << "instance: n=" << st.n << " m=" << st.m
+              << " c=" << st.density_exponent << "\n";
+    if (a == "matching") {
+      const auto r = core::rlr_matching(g, params);
+      std::cout << "matching: " << r.matching.size() << " edges, weight "
+                << r.weight << ", valid="
+                << graph::is_matching(g, r.matching) << "\n";
+      report(r.outcome);
+    } else if (a == "filtering-matching") {
+      const auto r = baselines::filtering_matching(g, params);
+      std::cout << "matching: " << r.matching.size() << " edges, weight "
+                << r.weight << ", maximal="
+                << graph::is_maximal_matching(g, r.matching) << "\n";
+      report(r.outcome);
+    } else if (a == "filtering-weighted") {
+      const auto r = baselines::filtering_weighted_matching(g, params);
+      std::cout << "matching: " << r.matching.size() << " edges, weight "
+                << r.weight << ", valid="
+                << graph::is_matching(g, r.matching) << "\n";
+      report(r.outcome);
+    } else {
+      const auto r = baselines::coreset_matching(g, params);
+      std::cout << "matching: " << r.matching.size() << " edges, weight "
+                << r.weight << ", coreset union "
+                << r.coreset_union_size << " edges, valid="
+                << graph::is_matching(g, r.matching) << "\n";
+      report(r.outcome);
+    }
+  } else if (a == "b-matching") {
+    const graph::Graph g = load_graph(o, /*weighted=*/true);
+    std::vector<std::uint32_t> b(g.num_vertices(), o.b);
+    const auto r = core::rlr_b_matching(g, b, o.eps, params);
+    std::cout << "b-matching (b=" << o.b << ", eps=" << o.eps
+              << "): " << r.matching.size() << " edges, weight "
+              << r.weight << ", valid="
+              << graph::is_b_matching(g, r.matching, b) << "\n";
+    report(r.outcome);
+  } else if (a == "vertex-cover") {
+    const graph::Graph g = load_graph(o, /*weighted=*/false);
+    Rng rng(o.seed ^ 0xC0FFEEull);
+    const auto w =
+        graph::random_vertex_weights(g.num_vertices(), o.dist, rng);
+    const auto r = core::rlr_vertex_cover(g, w, params);
+    std::cout << "vertex cover: " << r.cover.size() << " vertices, weight "
+              << r.weight << " (certified OPT >= " << r.lower_bound
+              << "), valid=" << graph::is_vertex_cover(g, r.cover) << "\n";
+    report(r.outcome);
+  } else if (a == "set-cover-f") {
+    const auto sys = load_sets(o, /*many_regime=*/false);
+    const auto r = core::rlr_set_cover(sys, params);
+    std::cout << "set cover (f=" << sys.max_frequency()
+              << "): " << r.cover.size() << " sets, weight " << r.weight
+              << " (certified OPT >= " << r.lower_bound << "), valid="
+              << setcover::is_cover(sys, r.cover) << "\n";
+    report(r.outcome);
+  } else if (a == "set-cover-greedy") {
+    const auto sys = load_sets(o, /*many_regime=*/true);
+    const auto r = core::greedy_set_cover_mr(sys, o.eps, params);
+    std::cout << "set cover (greedy, eps=" << o.eps
+              << "): " << r.cover.size() << " sets, weight " << r.weight
+              << ", valid=" << setcover::is_cover(sys, r.cover) << "\n";
+    report(r.outcome);
+  } else if (a == "mis" || a == "mis-simple" || a == "luby-mis") {
+    const graph::Graph g = load_graph(o, /*weighted=*/false);
+    if (a == "luby-mis") {
+      const auto r = baselines::luby_mis_mr(g, params);
+      std::cout << "MIS (Luby): " << r.independent_set.size()
+                << " vertices, maximal="
+                << graph::is_maximal_independent_set(g, r.independent_set)
+                << "\n";
+      report(r.outcome);
+    } else {
+      const auto r = (a == "mis") ? core::hungry_mis_improved(g, params)
+                                  : core::hungry_mis_simple(g, params);
+      std::cout << "MIS (" << (a == "mis" ? "Alg 6" : "Alg 2")
+                << "): " << r.independent_set.size()
+                << " vertices, maximal="
+                << graph::is_maximal_independent_set(g, r.independent_set)
+                << "\n";
+      report(r.outcome);
+    }
+  } else if (a == "clique") {
+    const graph::Graph g = load_graph(o, /*weighted=*/false);
+    const auto r = core::hungry_clique(g, params);
+    std::cout << "clique: " << r.clique.size() << " vertices, maximal="
+              << graph::is_maximal_clique(g, r.clique) << "\n";
+    report(r.outcome);
+  } else if (a == "colour-vertex" || a == "luby-colouring") {
+    const graph::Graph g = load_graph(o, /*weighted=*/false);
+    if (a == "colour-vertex") {
+      const auto r = core::mr_vertex_colouring(g, params);
+      std::cout << "vertex colouring: " << r.colours_used
+                << " colours (Delta=" << g.max_degree() << "), proper="
+                << graph::is_proper_vertex_colouring(g, r.colour) << "\n";
+      report(r.outcome);
+    } else {
+      const auto r = baselines::luby_colouring_mr(g, params);
+      std::cout << "vertex colouring (Luby): " << r.colours_used
+                << " colours (Delta=" << g.max_degree() << "), proper="
+                << graph::is_proper_vertex_colouring(g, r.colour) << "\n";
+      report(r.outcome);
+    }
+  } else if (a == "colour-edge") {
+    const graph::Graph g = load_graph(o, /*weighted=*/false);
+    const auto r = core::mr_edge_colouring(g, params);
+    std::cout << "edge colouring: " << r.colours_used
+              << " colours (Delta=" << g.max_degree() << "), proper="
+              << graph::is_proper_edge_colouring(g, r.colour) << "\n";
+    report(r.outcome);
+  } else {
+    usage();
+    return 2;
+  }
+  return 0;
+}

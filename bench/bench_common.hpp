@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -28,11 +29,26 @@
 
 namespace mrlr::bench {
 
+/// Session-wide execution-backend knob picked up by params(): seeded
+/// from MRLR_THREADS, overridden by a --threads flag once a bench main
+/// reaches run_benchmarks (which strips it from argv via parse_threads).
+inline std::uint64_t& bench_threads() {
+  static std::uint64_t threads = [] {
+    std::uint64_t t = 1;
+    if (const char* env = std::getenv("MRLR_THREADS")) {
+      if (*env != '\0') t = std::strtoull(env, nullptr, 10);
+    }
+    return t;
+  }();
+  return threads;
+}
+
 inline core::MrParams params(double mu, std::uint64_t seed = 1) {
   core::MrParams p;
   p.mu = mu;
   p.seed = seed;
   p.max_iterations = 20000;
+  p.num_threads = bench_threads();
   return p;
 }
 
@@ -69,8 +85,94 @@ inline void emit_table(const Table& t, const std::string& name) {
   std::cout << "[csv written: " << dir << "/" << name << ".csv]\n";
 }
 
+/// One flat JSON object per call, written as a single line (JSONL) so
+/// downstream tooling can stream-parse bench output without scraping the
+/// tables. When MRLR_BENCH_JSON is set in the environment the row is
+/// also appended to $MRLR_BENCH_JSON/<name>.jsonl.
+class JsonRow {
+ public:
+  explicit JsonRow(std::string name) : name_(std::move(name)) {
+    body_ = "{\"bench\":\"" + escaped(name_) + "\"";
+  }
+
+  JsonRow& field(const std::string& key, const std::string& value) {
+    body_ += ",\"" + escaped(key) + "\":\"" + escaped(value) + "\"";
+    return *this;
+  }
+  JsonRow& field(const std::string& key, double value) {
+    // JSON has no inf/nan literals; null keeps the row parseable.
+    body_ += ",\"" + escaped(key) +
+             "\":" + (std::isfinite(value) ? fmt(value, 6) : "null");
+    return *this;
+  }
+  JsonRow& field(const std::string& key, std::uint64_t value) {
+    body_ += ",\"" + key + "\":" + std::to_string(value);
+    return *this;
+  }
+
+  void emit() const {
+    const std::string row = body_ + "}";
+    std::cout << row << "\n";
+    const char* dir = std::getenv("MRLR_BENCH_JSON");
+    if (dir == nullptr || *dir == '\0') return;
+    std::filesystem::create_directories(dir);
+    std::ofstream out(std::filesystem::path(dir) / (name_ + ".jsonl"),
+                      std::ios::app);
+    out << row << "\n";
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::string body_;
+};
+
+/// Shared --threads handling for bench binaries: consumes a
+/// "--threads T" pair from argv (so google-benchmark never sees it) and
+/// returns T, or `fallback` when the flag is absent (a bare trailing
+/// "--threads" is stripped and ignored). The MRLR_THREADS environment
+/// fallback lives in bench_threads(), not here, so a flag already
+/// parsed by a bench main is never overridden by a re-parse in
+/// run_benchmarks. Uses the library-wide convention (1 = serial,
+/// N > 1 = pool, 0 = hardware). Non-numeric values exit with an error.
+inline std::uint64_t parse_threads(int& argc, char** argv,
+                                   std::uint64_t fallback = 1) {
+  std::uint64_t threads = fallback;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") {
+      const int consumed = (i + 1 < argc) ? 2 : 1;
+      if (consumed == 2) {
+        char* end = nullptr;
+        threads = std::strtoull(argv[i + 1], &end, 10);
+        if (end == argv[i + 1] || *end != '\0') {
+          std::fprintf(stderr, "invalid --threads value '%s'\n",
+                       argv[i + 1]);
+          std::exit(2);
+        }
+      }
+      for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
+      argc -= consumed;
+      break;
+    }
+  }
+  return threads;
+}
+
 /// Runs the table section and then google-benchmark. Call from main().
+/// Consumes --threads, so the google-benchmark phase of every bench
+/// binary honors it through params(); tables printed before this call
+/// use MRLR_THREADS (or a bench main that calls parse_threads itself).
 inline int run_benchmarks(int argc, char** argv) {
+  bench_threads() = parse_threads(argc, argv, bench_threads());
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -59,6 +59,7 @@ CoresetMatchingResult coreset_matching(const graph::Graph& g,
       64;
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
   topo.enforce = params.enforce_space;
+  topo.num_threads = params.num_threads;
   mrc::Engine engine(topo);
 
   // Random partition of edges into parts (seeded).
@@ -71,23 +72,30 @@ CoresetMatchingResult coreset_matching(const graph::Graph& g,
   CoresetMatchingResult res;
 
   // Round 1: each machine computes its coreset and ships it to central.
-  std::vector<EdgeId> coreset_union;
+  // Coresets stage per machine and concatenate in machine-id order, so
+  // the union's tie-break order is backend-independent.
+  std::vector<std::vector<EdgeId>> coreset_by(machines);
   engine.run_round("coreset", [&](MachineContext& ctx) {
     ctx.charge_resident(part_words[ctx.id()]);
     std::vector<EdgeId> mine;
     for (EdgeId e = 0; e < m; ++e) {
       if (part[e] == ctx.id()) mine.push_back(e);
     }
-    const auto core = local_greedy(g, std::move(mine));
+    auto core = local_greedy(g, std::move(mine));
     std::vector<Word> payload;
     payload.reserve(2 * core.size());
     for (const EdgeId e : core) {
       payload.push_back(e);
       payload.push_back(core::pack_double(g.weight(e)));
-      coreset_union.push_back(e);
     }
+    coreset_by[ctx.id()] = std::move(core);
     if (!payload.empty()) ctx.send(mrc::kCentral, std::move(payload));
   });
+  std::vector<EdgeId> coreset_union;
+  for (const auto& part_core : coreset_by) {
+    coreset_union.insert(coreset_union.end(), part_core.begin(),
+                         part_core.end());
+  }
 
   // Round 2: central matches the union.
   engine.run_central_round("combine", [&](MachineContext& ctx) {

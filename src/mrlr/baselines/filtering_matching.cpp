@@ -49,18 +49,25 @@ void filter_rounds(mrc::Engine& engine, const graph::Graph& g,
                  : std::min(1.0, static_cast<double>(eta) /
                                      static_cast<double>(alive_total));
 
-    std::vector<EdgeId> sampled;
+    // Per-machine staging keeps the sample race-free under the threaded
+    // backend; machine-id-order concatenation preserves the order the
+    // central matching pass has always seen.
+    std::vector<std::vector<EdgeId>> sampled_by(machines);
     engine.run_round("sample", [&](MachineContext& ctx) {
       ctx.charge_resident(footprint[ctx.id()]);
-      Rng rng = root_rng.fork((iter << 20) ^ ctx.id());
+      Rng rng = root_rng.stream((iter << 20) ^ ctx.id());
       for (EdgeId e = static_cast<EdgeId>(ctx.id()); e < g.num_edges();
            e = static_cast<EdgeId>(e + machines)) {
         if (!alive[e] || !rng.bernoulli(p)) continue;
-        sampled.push_back(e);
+        sampled_by[ctx.id()].push_back(e);
         const graph::Edge& ed = g.edge(e);
         ctx.send(mrc::kCentral, {e, ed.u, ed.v});
       }
     });
+    std::vector<EdgeId> sampled;
+    for (const auto& part : sampled_by) {
+      sampled.insert(sampled.end(), part.begin(), part.end());
+    }
 
     // Central: maximal matching on the sample (respecting already-used
     // vertices), then announce the matched vertices.
@@ -106,6 +113,7 @@ FilteringMatchingResult filtering_matching(const graph::Graph& g,
                            64;
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
   topo.enforce = params.enforce_space;
+  topo.num_threads = params.num_threads;
   mrc::Engine engine(topo);
 
   FilteringMatchingResult res;
@@ -134,6 +142,7 @@ FilteringMatchingResult filtering_weighted_matching(const graph::Graph& g,
                            64;
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
   topo.enforce = params.enforce_space;
+  topo.num_threads = params.num_threads;
   mrc::Engine engine(topo);
 
   FilteringMatchingResult res;
@@ -167,8 +176,13 @@ FilteringMatchingResult filtering_weighted_matching(const graph::Graph& g,
       }
     }
     if (!any) continue;
+    // Fresh root per layer: filter_rounds restarts its iteration count
+    // at 0, and stream() is a pure function of (state, label), so
+    // reusing one root would hand every layer the same per-machine
+    // streams. fork() advances the parent (host-side, deterministic).
+    Rng layer_rng = rng.fork(k);
     filter_rounds(engine, g, alive, used, res.matching, eta, params,
-                  res.outcome, rng);
+                  res.outcome, layer_rng);
   }
   for (const EdgeId e : res.matching) res.weight += g.weight(e);
   res.outcome.fill_from(engine.metrics());

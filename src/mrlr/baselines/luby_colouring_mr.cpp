@@ -32,6 +32,7 @@ LubyColouringResult luby_colouring_mr(const graph::Graph& g,
                            64;
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
   topo.enforce = params.enforce_space;
+  topo.num_threads = params.num_threads;
   mrc::Engine engine(topo);
   const std::uint64_t machines = topo.num_machines;
 
@@ -55,7 +56,7 @@ LubyColouringResult luby_colouring_mr(const graph::Graph& g,
     // and tell uncoloured neighbours.
     engine.run_round("propose", [&](MachineContext& ctx) {
       ctx.charge_resident(footprint[ctx.id()]);
-      Rng rng = root_rng.fork((res.phases << 20) ^ ctx.id());
+      Rng rng = root_rng.stream((res.phases << 20) ^ ctx.id());
       for (VertexId v = static_cast<VertexId>(ctx.id());
            v < g.num_vertices();
            v = static_cast<VertexId>(v + machines)) {

@@ -26,6 +26,7 @@ LubyMrResult luby_mis_mr(const graph::Graph& g, const MrParams& params) {
                            64;
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
   topo.enforce = params.enforce_space;
+  topo.num_threads = params.num_threads;
   mrc::Engine engine(topo);
   const std::uint64_t machines = topo.num_machines;
 
@@ -47,7 +48,7 @@ LubyMrResult luby_mis_mr(const graph::Graph& g, const MrParams& params) {
     // owners of its live neighbours.
     engine.run_round("luby-marks", [&](MachineContext& ctx) {
       ctx.charge_resident(footprint[ctx.id()]);
-      Rng rng = root_rng.fork((res.phases << 20) ^ ctx.id());
+      Rng rng = root_rng.stream((res.phases << 20) ^ ctx.id());
       for (VertexId v = static_cast<VertexId>(ctx.id());
            v < g.num_vertices();
            v = static_cast<VertexId>(v + machines)) {
@@ -63,8 +64,9 @@ LubyMrResult luby_mis_mr(const graph::Graph& g, const MrParams& params) {
     });
 
     // Round 2: local minima declare themselves winners and notify
-    // neighbours.
-    std::vector<VertexId> winners;
+    // neighbours. Winners stage per machine and concatenate in
+    // machine-id order, matching the sequential discovery order.
+    std::vector<std::vector<VertexId>> winners_by(machines);
     engine.run_round("luby-winners", [&](MachineContext& ctx) {
       ctx.charge_resident(footprint[ctx.id()] + ctx.inbox_words());
       for (VertexId v = static_cast<VertexId>(ctx.id());
@@ -81,7 +83,7 @@ LubyMrResult luby_mis_mr(const graph::Graph& g, const MrParams& params) {
           }
         }
         if (is_min) {
-          winners.push_back(v);
+          winners_by[ctx.id()].push_back(v);
           for (const Incidence& inc : g.neighbours(v)) {
             if (live[inc.neighbour]) {
               ctx.send(owner_of(inc.neighbour, machines),
@@ -91,6 +93,10 @@ LubyMrResult luby_mis_mr(const graph::Graph& g, const MrParams& params) {
         }
       }
     });
+    std::vector<VertexId> winners;
+    for (const auto& part : winners_by) {
+      winners.insert(winners.end(), part.begin(), part.end());
+    }
 
     // Round 3: winners join the MIS; dominated vertices leave.
     engine.run_round("luby-drop", [&](MachineContext& ctx) {

@@ -34,6 +34,7 @@ SamplePruneResult sample_prune_set_cover(const setcover::SetSystem& sys,
                            64;
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(m, params.mu, 2));
   topo.enforce = params.enforce_space;
+  topo.num_threads = params.num_threads;
   mrc::Engine engine(topo);
   const std::uint64_t machines = topo.num_machines;
 
@@ -95,15 +96,18 @@ SamplePruneResult sample_prune_set_cover(const setcover::SetSystem& sys,
 
       const double p = std::min(1.0, static_cast<double>(budget) /
                                          static_cast<double>(qualifying));
-      std::vector<SetId> sampled;
+      // Per-machine staging, concatenated in machine-id order after the
+      // barrier: the central prune scans the sample in the same order on
+      // every backend.
+      std::vector<std::vector<SetId>> sampled_by(machines);
       engine.run_round("sample", [&](MachineContext& ctx) {
         ctx.charge_resident(footprint[ctx.id()]);
-        Rng rng = root_rng.fork((guard << 20) ^ ctx.id());
+        Rng rng = root_rng.stream((guard << 20) ^ ctx.id());
         for (SetId l = static_cast<SetId>(ctx.id()); l < n;
              l = static_cast<SetId>(l + machines)) {
           if (taken[l] || residual[l] == 0 || ratio(l) < threshold) continue;
           if (!rng.bernoulli(p)) continue;
-          sampled.push_back(l);
+          sampled_by[ctx.id()].push_back(l);
           std::vector<Word> payload{l, core::pack_double(sys.weight(l))};
           for (const ElementId j : sys.set(l)) {
             if (!covered[j]) payload.push_back(j);
@@ -111,6 +115,10 @@ SamplePruneResult sample_prune_set_cover(const setcover::SetSystem& sys,
           ctx.send(mrc::kCentral, std::move(payload));
         }
       });
+      std::vector<SetId> sampled;
+      for (const auto& part : sampled_by) {
+        sampled.insert(sampled.end(), part.begin(), part.end());
+      }
 
       std::vector<ElementId> newly;
       engine.run_central_round("prune", [&](MachineContext& ctx) {

@@ -54,6 +54,7 @@ ColouringResult mr_vertex_colouring(const graph::Graph& g,
   topo.fanout = std::max<std::uint64_t>(
       2, ipow_real(std::max<std::uint64_t>(g.num_vertices(), 2), params.mu, 2));
   topo.enforce = params.enforce_space;
+  topo.num_threads = params.num_threads;
   mrc::Engine engine(topo);
 
   // Random group per vertex.
@@ -152,6 +153,7 @@ ColouringResult mr_edge_colouring(const graph::Graph& g,
   topo.fanout = std::max<std::uint64_t>(
       2, ipow_real(std::max<std::uint64_t>(g.num_vertices(), 2), params.mu, 2));
   topo.enforce = params.enforce_space;
+  topo.num_threads = params.num_threads;
   mrc::Engine engine(topo);
 
   // Random group per *edge* (Remark 6.5).

@@ -71,6 +71,7 @@ GreedySetCoverMrResult greedy_set_cover_mr(const setcover::SetSystem& sys,
       64;
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(m, params.mu, 2));
   topo.enforce = params.enforce_space;
+  topo.num_threads = params.num_threads;
   mrc::Engine engine(topo);
   const std::uint64_t machines = topo.num_machines;
 

@@ -105,6 +105,7 @@ HungryCliqueResult hungry_clique(const graph::Graph& g,
                            64;
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
   topo.enforce = params.enforce_space;
+  topo.num_threads = params.num_threads;
   mrc::Engine engine(topo);
   const std::uint64_t machines = topo.num_machines;
 

@@ -210,6 +210,7 @@ HungryMisResult hungry_mis_simple(const graph::Graph& g,
                            64;
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
   topo.enforce = params.enforce_space;
+  topo.num_threads = params.num_threads;
   mrc::Engine engine(topo);
 
   MisState state(g);
@@ -300,6 +301,7 @@ HungryMisResult hungry_mis_improved(const graph::Graph& g,
                            64;
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
   topo.enforce = params.enforce_space;
+  topo.num_threads = params.num_threads;
   mrc::Engine engine(topo);
 
   MisState state(g);

@@ -28,6 +28,10 @@ struct MrParams {
   std::uint64_t max_iterations = 10000;
   /// When false, the engine records space violations instead of throwing.
   bool enforce_space = true;
+  /// Execution backend, forwarded to Topology::num_threads: 1 = serial,
+  /// N > 1 = persistent N-thread pool, 0 = pool sized to the hardware.
+  /// Results are byte-identical at any setting; only wall-clock changes.
+  std::uint64_t num_threads = 1;
   /// Sample-size multiplier ablation (DESIGN.md §5): scales the paper's
   /// sampling probability (2*eta/|U_r| for Alg. 1, eta/|E_i| for Alg. 4).
   double sample_boost = 1.0;

@@ -132,6 +132,7 @@ RlrBMatchingResult rlr_b_matching(const graph::Graph& g,
       64;
   topo.fanout = std::max<std::uint64_t>(2, n_mu);
   topo.enforce = params.enforce_space;
+  topo.num_threads = params.num_threads;
   mrc::Engine engine(topo);
   const std::uint64_t machines = topo.num_machines;
 
@@ -168,7 +169,7 @@ RlrBMatchingResult rlr_b_matching(const graph::Graph& g,
     std::vector<std::vector<EdgeId>> sampled(n);
     engine.run_round("sample", [&](MachineContext& ctx) {
       ctx.charge_resident(footprint[ctx.id()]);
-      Rng rng = root_rng.fork((iter << 20) ^ ctx.id());
+      Rng rng = root_rng.stream((iter << 20) ^ ctx.id());
       for (VertexId v = static_cast<VertexId>(ctx.id()); v < n;
            v = static_cast<VertexId>(v + machines)) {
         std::vector<EdgeId> alive;

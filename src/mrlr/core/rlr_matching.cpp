@@ -39,6 +39,7 @@ RlrMatchingResult rlr_matching(const graph::Graph& g,
       64;
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
   topo.enforce = params.enforce_space;
+  topo.num_threads = params.num_threads;
   mrc::Engine engine(topo);
   const std::uint64_t machines = topo.num_machines;
 
@@ -77,12 +78,14 @@ RlrMatchingResult rlr_matching(const graph::Graph& g,
 
     // --- 2. Per-vertex sampling; ship (edge, weight) pairs to central. --
     // sampled_per_vertex[v] lists the sampled edge ids for v, in the order
-    // they were drawn; only alive edges are eligible.
+    // they were drawn; only alive edges are eligible. Sample counts
+    // accumulate in per-machine slots (machines may run concurrently) and
+    // are summed after the round.
     std::vector<std::vector<EdgeId>> sampled(n);
-    std::uint64_t total_sampled = 0;
+    std::vector<std::uint64_t> sampled_by(machines, 0);
     engine.run_round("sample", [&](MachineContext& ctx) {
       ctx.charge_resident(footprint[ctx.id()]);
-      Rng rng = root_rng.fork((iter << 20) ^ ctx.id());
+      Rng rng = root_rng.stream((iter << 20) ^ ctx.id());
       for (VertexId v = static_cast<VertexId>(ctx.id()); v < n;
            v = static_cast<VertexId>(v + machines)) {
         std::vector<Word> payload;
@@ -94,12 +97,14 @@ RlrMatchingResult rlr_matching(const graph::Graph& g,
             payload.push_back(pack_double(g.weight(inc.edge)));
           }
         }
-        total_sampled += sampled[v].size();
+        sampled_by[ctx.id()] += sampled[v].size();
         if (!payload.empty()) {
           ctx.send(mrc::kCentral, std::move(payload));
         }
       }
     });
+    std::uint64_t total_sampled = 0;
+    for (const std::uint64_t s : sampled_by) total_sampled += s;
 
     if (!ship_all &&
         total_sampled > static_cast<std::uint64_t>(

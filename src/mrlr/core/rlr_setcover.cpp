@@ -51,6 +51,7 @@ RlrSetCoverResult rlr_set_cover(const setcover::SetSystem& sys,
                            64;
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
   topo.enforce = params.enforce_space;
+  topo.num_threads = params.num_threads;
   mrc::Engine engine(topo);
 
   // Distributed state. The simulator shares memory; the distribution is
@@ -83,14 +84,17 @@ RlrSetCoverResult rlr_set_cover(const setcover::SetSystem& sys,
                  static_cast<double>(ur));
 
     // --- 2. Sampling round: machines ship sampled T_j to central. ---
-    std::vector<ElementId> sampled;
+    // Each machine stages its draws in its own slot; concatenating in
+    // machine-id order after the barrier reproduces the sequential scan
+    // order, so the central pass below is backend-independent.
+    std::vector<std::vector<ElementId>> sampled_by(sz.machines);
     engine.run_round("sample", [&](MachineContext& ctx) {
       ctx.charge_resident(footprint[ctx.id()]);
-      Rng rng = root_rng.fork((iter << 20) ^ ctx.id());
+      Rng rng = root_rng.stream((iter << 20) ^ ctx.id());
       for (ElementId j = static_cast<ElementId>(ctx.id()); j < m;
            j = static_cast<ElementId>(j + sz.machines)) {
         if (!active[j] || !rng.bernoulli(p)) continue;
-        sampled.push_back(j);
+        sampled_by[ctx.id()].push_back(j);
         std::vector<Word> payload;
         const auto owners = sys.sets_containing(j);
         payload.reserve(2 + owners.size());
@@ -100,6 +104,10 @@ RlrSetCoverResult rlr_set_cover(const setcover::SetSystem& sys,
         ctx.send(mrc::kCentral, std::move(payload));
       }
     });
+    std::vector<ElementId> sampled;
+    for (const auto& part : sampled_by) {
+      sampled.insert(sampled.end(), part.begin(), part.end());
+    }
 
     const std::uint64_t sample_cap = static_cast<std::uint64_t>(
         6.0 * params.sample_boost * static_cast<double>(sz.eta));
@@ -163,6 +171,7 @@ RlrVertexCoverResult rlr_vertex_cover(const graph::Graph& g,
                            64;
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
   topo.enforce = params.enforce_space;
+  topo.num_threads = params.num_threads;
   mrc::Engine engine(topo);
 
   const setcover::SetSystem sys =
@@ -197,18 +206,22 @@ RlrVertexCoverResult rlr_vertex_cover(const graph::Graph& g,
         1.0, params.sample_boost * 2.0 * static_cast<double>(sz.eta) /
                  static_cast<double>(ur));
 
-    std::vector<ElementId> sampled;
+    std::vector<std::vector<ElementId>> sampled_by(sz.machines);
     engine.run_round("sample", [&](MachineContext& ctx) {
       ctx.charge_resident(footprint[ctx.id()]);
-      Rng rng = root_rng.fork((iter << 20) ^ ctx.id());
+      Rng rng = root_rng.stream((iter << 20) ^ ctx.id());
       for (ElementId j = static_cast<ElementId>(ctx.id()); j < m;
            j = static_cast<ElementId>(j + sz.machines)) {
         if (!active[j] || !rng.bernoulli(p)) continue;
-        sampled.push_back(j);
+        sampled_by[ctx.id()].push_back(j);
         const graph::Edge& e = g.edge(j);
         ctx.send(mrc::kCentral, {j, e.u, e.v});
       }
     });
+    std::vector<ElementId> sampled;
+    for (const auto& part : sampled_by) {
+      sampled.insert(sampled.end(), part.begin(), part.end());
+    }
 
     const std::uint64_t sample_cap = static_cast<std::uint64_t>(
         6.0 * params.sample_boost * static_cast<double>(sz.eta));

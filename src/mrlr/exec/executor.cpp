@@ -1,0 +1,21 @@
+#include "mrlr/exec/executor.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "mrlr/exec/serial_executor.hpp"
+#include "mrlr/exec/thread_pool_executor.hpp"
+
+namespace mrlr::exec {
+
+std::unique_ptr<Executor> make_executor(std::uint64_t num_threads) {
+  std::uint64_t n = num_threads;
+  if (n == 0) {
+    n = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (n == 1) return std::make_unique<SerialExecutor>();
+  return std::make_unique<ThreadPoolExecutor>(static_cast<unsigned>(
+      std::min<std::uint64_t>(n, 1024)));
+}
+
+}  // namespace mrlr::exec

@@ -1,0 +1,49 @@
+#pragma once
+// Execution backends for the round engine: how the M simulated machines
+// of one synchronous round are mapped onto OS threads.
+//
+// Machines within a round are data-independent — each reads only its own
+// inbox and writes only its own staging outbox and accounting slots — so
+// an Executor is free to run them in any order and on any thread. The
+// engine restores full determinism after the barrier by merging staged
+// messages in machine-id order, which makes traces, metrics, and
+// algorithm outputs byte-identical across backends and thread counts.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+namespace mrlr::exec {
+
+/// Abstract machine-range runner.
+class Executor {
+ public:
+  /// Per-machine callback; the argument is the machine id.
+  using MachineFn = std::function<void(std::uint64_t)>;
+
+  virtual ~Executor() = default;
+
+  /// Invokes fn(m) exactly once for every m in [first, last). All
+  /// invocations have completed (the round barrier) when this returns.
+  /// No ordering is promised between machines; callbacks must touch only
+  /// machine-disjoint state. If callbacks throw, the exception of the
+  /// lowest-id throwing machine is rethrown after the barrier.
+  virtual void run_machines(std::uint64_t first, std::uint64_t last,
+                            const MachineFn& fn) = 0;
+
+  /// Backend name for traces and --help output.
+  virtual std::string_view name() const = 0;
+
+  /// Number of OS threads that may run callbacks concurrently (>= 1).
+  virtual unsigned num_threads() const = 0;
+};
+
+/// Builds a backend from the shared `num_threads` knob (Topology,
+/// MrParams, --threads all use the same convention):
+///   1  -> SerialExecutor (the historical sequential simulation),
+///   N>1-> ThreadPoolExecutor with N persistent workers,
+///   0  -> ThreadPoolExecutor sized to the hardware.
+std::unique_ptr<Executor> make_executor(std::uint64_t num_threads);
+
+}  // namespace mrlr::exec

@@ -1,0 +1,25 @@
+#include "mrlr/exec/serial_executor.hpp"
+
+#include <exception>
+
+namespace mrlr::exec {
+
+void SerialExecutor::run_machines(std::uint64_t first, std::uint64_t last,
+                                  const MachineFn& fn) {
+  // Honor the Executor exception contract: every machine runs even if an
+  // earlier one throws, and the lowest-id exception surfaces after the
+  // barrier — ascending order makes the first capture the lowest id.
+  // Engine and algorithm state thus stay identical to the thread-pool
+  // backend even on the exceptional path.
+  std::exception_ptr error;
+  for (std::uint64_t m = first; m < last; ++m) {
+    try {
+      fn(m);
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace mrlr::exec

@@ -1,0 +1,17 @@
+#pragma once
+// The sequential backend: machines run in ascending id order on the
+// calling thread, exactly as the engine did before the exec layer.
+
+#include "mrlr/exec/executor.hpp"
+
+namespace mrlr::exec {
+
+class SerialExecutor final : public Executor {
+ public:
+  void run_machines(std::uint64_t first, std::uint64_t last,
+                    const MachineFn& fn) override;
+  std::string_view name() const override { return "serial"; }
+  unsigned num_threads() const override { return 1; }
+};
+
+}  // namespace mrlr::exec

@@ -1,0 +1,87 @@
+#include "mrlr/exec/thread_pool_executor.hpp"
+
+#include <algorithm>
+
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::exec {
+
+ThreadPoolExecutor::ThreadPoolExecutor(unsigned num_threads) {
+  MRLR_REQUIRE(num_threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPoolExecutor::~ThreadPoolExecutor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPoolExecutor::run_chunks() {
+  for (;;) {
+    const std::uint64_t begin =
+        cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (begin >= last_) break;
+    const std::uint64_t end = std::min(begin + chunk_, last_);
+    for (std::uint64_t m = begin; m < end; ++m) {
+      try {
+        (*fn_)(m);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        errors_.emplace_back(m, std::current_exception());
+      }
+    }
+  }
+}
+
+void ThreadPoolExecutor::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    run_chunks();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPoolExecutor::run_machines(std::uint64_t first, std::uint64_t last,
+                                      const MachineFn& fn) {
+  if (first >= last) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  MRLR_REQUIRE(pending_ == 0, "run_machines is not reentrant");
+  fn_ = &fn;
+  last_ = last;
+  // Several chunks per worker so a skewed machine doesn't serialize the
+  // round; single-machine chunks once ranges are small.
+  chunk_ = std::max<std::uint64_t>(
+      1, (last - first) / (4 * static_cast<std::uint64_t>(workers_.size())));
+  cursor_.store(first, std::memory_order_relaxed);
+  pending_ = static_cast<unsigned>(workers_.size());
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lk, [&] { return pending_ == 0; });
+  fn_ = nullptr;
+  if (!errors_.empty()) {
+    auto lowest = std::min_element(
+        errors_.begin(), errors_.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    const std::exception_ptr ep = lowest->second;
+    errors_.clear();
+    std::rethrow_exception(ep);
+  }
+}
+
+}  // namespace mrlr::exec

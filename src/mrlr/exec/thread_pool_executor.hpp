@@ -1,0 +1,65 @@
+#pragma once
+// The threaded backend: a persistent worker pool that carves each
+// [first, last) machine range into chunks claimed via an atomic cursor.
+//
+// Workers are spawned once and reused across every round of every
+// algorithm run on the same engine, so the per-round cost is one
+// notify/wait handshake rather than thread creation. Work-stealing is
+// implicit in the shared cursor: a worker that finishes its chunk grabs
+// the next one, which balances rounds whose per-machine cost is skewed
+// (e.g. central-heavy rounds where machine 0 does all the work).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "mrlr/exec/executor.hpp"
+
+namespace mrlr::exec {
+
+class ThreadPoolExecutor final : public Executor {
+ public:
+  /// Spawns `num_threads` persistent workers (>= 1).
+  explicit ThreadPoolExecutor(unsigned num_threads);
+  ~ThreadPoolExecutor() override;
+
+  ThreadPoolExecutor(const ThreadPoolExecutor&) = delete;
+  ThreadPoolExecutor& operator=(const ThreadPoolExecutor&) = delete;
+
+  void run_machines(std::uint64_t first, std::uint64_t last,
+                    const MachineFn& fn) override;
+  std::string_view name() const override { return "thread-pool"; }
+  unsigned num_threads() const override {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+  void run_chunks();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;  // bumped once per run_machines batch
+  unsigned pending_ = 0;          // workers still in the current batch
+
+  // Current batch, valid while pending_ > 0.
+  const MachineFn* fn_ = nullptr;
+  std::uint64_t last_ = 0;
+  std::uint64_t chunk_ = 1;
+  std::atomic<std::uint64_t> cursor_{0};
+
+  // Exceptions thrown by callbacks, keyed by machine id; the lowest id
+  // is rethrown after the barrier so failures are deterministic.
+  std::vector<std::pair<std::uint64_t, std::exception_ptr>> errors_;
+};
+
+}  // namespace mrlr::exec

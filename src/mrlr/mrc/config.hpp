@@ -37,6 +37,13 @@ struct Topology {
   /// (useful for benches that chart how close algorithms run to the cap).
   bool enforce = true;
 
+  /// Execution backend for simulating the machines of one round:
+  /// 1 = serial (the historical sequential simulation), N > 1 = a
+  /// persistent pool of N threads, 0 = a pool sized to the hardware.
+  /// Never affects results: rounds, words, traces, and algorithm
+  /// outputs are byte-identical at any setting.
+  std::uint64_t num_threads = 1;
+
   /// Builds the paper's standard graph topology: M = ceil(n^{c-mu})
   /// machines with slack * n^{1+mu} words each.
   ///

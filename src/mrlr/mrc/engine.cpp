@@ -27,7 +27,7 @@ std::uint64_t MachineContext::inbox_words() const {
 void MachineContext::send(MachineId to, std::vector<Word> payload) {
   MRLR_REQUIRE(to < engine_.num_machines(), "send to nonexistent machine");
   engine_.outbox_words_[id_] += payload.size();
-  engine_.next_[to].push_back(Message{id_, std::move(payload)});
+  engine_.staging_[id_].push_back({to, Message{id_, std::move(payload)}});
 }
 
 void MachineContext::send(MachineId to, std::initializer_list<Word> payload) {
@@ -39,11 +39,17 @@ void MachineContext::charge_resident(std::uint64_t words) {
       std::max(engine_.resident_words_[id_], words);
 }
 
-Engine::Engine(Topology topology) : topology_(topology) {
+Engine::Engine(Topology topology)
+    : Engine(topology, exec::make_executor(topology.num_threads)) {}
+
+Engine::Engine(Topology topology, std::shared_ptr<exec::Executor> executor)
+    : topology_(topology), executor_(std::move(executor)) {
   MRLR_REQUIRE(topology_.num_machines >= 1, "need at least one machine");
   MRLR_REQUIRE(topology_.fanout >= 2, "broadcast fanout must be >= 2");
+  MRLR_REQUIRE(executor_ != nullptr, "engine needs an executor");
   inboxes_.resize(topology_.num_machines);
   next_.resize(topology_.num_machines);
+  staging_.resize(topology_.num_machines);
   outbox_words_.assign(topology_.num_machines, 0);
   resident_words_.assign(topology_.num_machines, 0);
 }
@@ -54,15 +60,26 @@ void Engine::run_round(std::string_view label,
   std::fill(resident_words_.begin(), resident_words_.end(), 0);
 
   const auto machines = static_cast<MachineId>(topology_.num_machines);
-  for (MachineId m = 0; m < machines; ++m) {
-    MachineContext ctx(*this, m);
+  executor_->run_machines(0, topology_.num_machines, [&](std::uint64_t m) {
+    MachineContext ctx(*this, static_cast<MachineId>(m));
     fn(ctx);
+  });
+
+  // Merge staged messages in sender-id order: delivery order — and with
+  // it every downstream inbox scan — matches the sequential simulation
+  // regardless of which threads ran which machines.
+  for (MachineId s = 0; s < machines; ++s) {
+    for (StagedMessage& sm : staging_[s]) {
+      next_[sm.to].push_back(std::move(sm.msg));
+    }
+    staging_[s].clear();
   }
 
   RoundMetrics rm;
   rm.label = std::string(label);
-  std::uint64_t worst = 0;
-  MachineId worst_machine = 0;
+  bool violated = false;
+  std::uint64_t offender_words = 0;
+  MachineId offender = 0;
   for (MachineId m = 0; m < machines; ++m) {
     std::uint64_t in = 0;
     for (const auto& msg : inboxes_[m]) in += msg.words();
@@ -73,19 +90,21 @@ void Engine::run_round(std::string_view label,
     if (m == kCentral) rm.central_inbox = in;
     const std::uint64_t peak = std::max({in, outbox_words_[m],
                                          resident_words_[m]});
-    if (peak > worst) {
-      worst = peak;
-      worst_machine = m;
+    if (peak > topology_.words_per_machine && !violated) {
+      violated = true;
+      offender = m;
+      offender_words = peak;
     }
   }
-  rm.space_violation = worst > topology_.words_per_machine;
+  rm.space_violation = violated;
   metrics_.record(rm);
-  if (rm.space_violation && topology_.enforce) {
+  if (violated && topology_.enforce) {
     throw SpaceLimitExceeded(
-        "machine " + std::to_string(worst_machine) + " used " +
-            std::to_string(worst) + " words in round '" + std::string(label) +
-            "' (cap " + std::to_string(topology_.words_per_machine) + ")",
-        worst, topology_.words_per_machine);
+        "machine " + std::to_string(offender) + " used " +
+            std::to_string(offender_words) + " words in round '" +
+            std::string(label) + "' (cap " +
+            std::to_string(topology_.words_per_machine) + ")",
+        offender_words, topology_.words_per_machine);
   }
 
   // Deliver: next-round mailboxes become current, cleared for reuse.
@@ -103,7 +122,11 @@ void Engine::run_central_round(
 }
 
 const std::vector<Message>& Engine::pending_inbox(MachineId m) const {
-  MRLR_REQUIRE(m < num_machines(), "pending_inbox: bad machine id");
+  if (m >= num_machines()) {
+    throw std::out_of_range(
+        "Engine::pending_inbox: machine id " + std::to_string(m) +
+        " out of range [0, " + std::to_string(num_machines()) + ")");
+  }
   return next_[m];
 }
 

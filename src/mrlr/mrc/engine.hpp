@@ -3,29 +3,42 @@
 //
 // Execution model (matching Karloff et al.'s MRC formalization):
 //   * state lives on machines; machine 0 is the central machine;
-//   * a round runs a user callback once per machine, in machine order,
-//     giving it the machine's inbox (messages sent in the previous round)
-//     and letting it emit messages for the next round;
+//   * a round runs a user callback once per machine, giving it the
+//     machine's inbox (messages sent in the previous round) and letting
+//     it emit messages for the next round;
 //   * after all machines have run, the engine audits per-machine space
 //     (inbox words, declared resident words, outbox words against the
 //     topology's cap), records metrics, and delivers the messages.
 //
-// Machines are simulated sequentially and deterministically; since the
-// quantities the paper bounds are rounds and words (not wall-clock), the
-// simulation order is irrelevant to the measured results, but determinism
-// makes every experiment replayable from its seed.
+// Machines within a round are data-independent, so the engine routes the
+// per-machine callbacks through an exec::Executor: the serial backend
+// runs them in machine order on the calling thread, the thread-pool
+// backend runs them concurrently (Topology::num_threads). Either way the
+// simulation is deterministic: each machine's send() appends only to its
+// own staging outbox, and staged messages are merged into next-round
+// inboxes in machine-id order after the round barrier, so traces,
+// metrics, and SpaceLimitExceeded behavior are byte-identical across
+// backends and thread counts. Since the quantities the paper bounds are
+// rounds and words (not wall-clock), the backend is irrelevant to the
+// measured results; determinism makes every experiment replayable from
+// its seed.
 //
 // Per-machine algorithm state is owned by the algorithms themselves
 // (typically a std::vector sized by num_machines); the engine owns only
-// the mailboxes and the cost accounting.
+// the mailboxes and the cost accounting. Under a threaded backend, round
+// callbacks must write only machine-disjoint algorithm state (per-machine
+// slots or id-strided vector elements); shared reductions belong in
+// per-machine slots merged after the round returns.
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "mrlr/exec/executor.hpp"
 #include "mrlr/mrc/config.hpp"
 #include "mrlr/mrc/message.hpp"
 #include "mrlr/mrc/metrics.hpp"
@@ -33,7 +46,8 @@
 namespace mrlr::mrc {
 
 /// Thrown when Topology::enforce is set and a machine exceeds its
-/// word cap in some round.
+/// word cap in some round. The reported machine is the lowest-id
+/// offender of the round, independent of the execution backend.
 class SpaceLimitExceeded : public std::runtime_error {
  public:
   SpaceLimitExceeded(std::string what, std::uint64_t words,
@@ -44,7 +58,9 @@ class SpaceLimitExceeded : public std::runtime_error {
 
 class Engine;
 
-/// Handle passed to the per-machine round callback.
+/// Handle passed to the per-machine round callback. Under a threaded
+/// backend each machine's context is used from one worker thread; all
+/// members touch only that machine's slots, so contexts never contend.
 class MachineContext {
  public:
   MachineId id() const { return id_; }
@@ -75,12 +91,19 @@ class MachineContext {
 
 class Engine {
  public:
+  /// Builds the execution backend from topology.num_threads.
   explicit Engine(Topology topology);
+
+  /// Uses a caller-provided backend (e.g. a pool shared across engines,
+  /// or a specific executor under test). `executor` must not be null.
+  Engine(Topology topology, std::shared_ptr<exec::Executor> executor);
 
   const Topology& topology() const { return topology_; }
   std::uint64_t num_machines() const { return topology_.num_machines; }
+  const exec::Executor& executor() const { return *executor_; }
 
-  /// Execute one synchronous round. `fn` is invoked once per machine.
+  /// Execute one synchronous round. `fn` is invoked once per machine
+  /// (possibly concurrently; see the header comment for the rules).
   /// `label` names the phase in the execution trace.
   void run_round(std::string_view label,
                  const std::function<void(MachineContext&)>& fn);
@@ -94,19 +117,33 @@ class Engine {
   const Metrics& metrics() const { return metrics_; }
 
   /// Direct access for algorithms that need to inspect what a machine
-  /// will receive next round (testing only).
+  /// will receive next round (testing only). Throws std::out_of_range
+  /// for machine ids outside [0, num_machines()).
   const std::vector<Message>& pending_inbox(MachineId m) const;
 
  private:
   friend class MachineContext;
 
+  /// A message queued by one machine during the current round, waiting
+  /// for the post-barrier merge into next_.
+  struct StagedMessage {
+    MachineId to;
+    Message msg;
+  };
+
   Topology topology_;
+  std::shared_ptr<exec::Executor> executor_;
   Metrics metrics_;
   // inboxes_[m] = messages delivered to machine m this round.
   std::vector<std::vector<Message>> inboxes_;
   // next_[m] = messages queued for machine m for the next round.
   std::vector<std::vector<Message>> next_;
-  // Per-round scratch, reset in run_round.
+  // staging_[m] = messages machine m sent this round; only machine m's
+  // callback writes its slot, so sends never contend. Merged into next_
+  // in machine-id order after the barrier.
+  std::vector<std::vector<StagedMessage>> staging_;
+  // Per-round scratch, reset in run_round; slot m is written only by
+  // machine m's callback.
   std::vector<std::uint64_t> outbox_words_;
   std::vector<std::uint64_t> resident_words_;
 };

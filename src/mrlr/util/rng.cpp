@@ -94,6 +94,13 @@ Rng Rng::fork(std::uint64_t label) {
   return Rng(seed);
 }
 
+Rng Rng::stream(std::uint64_t label) const {
+  // Hash the full current state with the label; no state advance.
+  std::uint64_t sm = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 27) ^
+                     rotl(s_[3], 41) ^ (label * 0xD1B54A32D192ED03ULL);
+  return Rng(splitmix64_next(sm));
+}
+
 std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
                                                            std::uint64_t k) {
   MRLR_REQUIRE(k <= n, "cannot sample more elements than the population");

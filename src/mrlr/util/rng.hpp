@@ -55,7 +55,17 @@ class Rng {
 
   /// Derive an independent child generator; child streams for distinct
   /// labels are statistically independent of each other and the parent.
+  /// Advances this generator's state (one draw), so successive forks
+  /// with the same label still yield distinct children.
   Rng fork(std::uint64_t label);
+
+  /// Like fork, but const: the child is a pure function of the current
+  /// state and the label, and this generator does NOT advance. This is
+  /// the per-machine derivation for parallel round callbacks — machines
+  /// may call it concurrently and in any order, and every machine gets
+  /// the same stream on every backend. Distinct labels are required for
+  /// independent streams (same label => same stream).
+  Rng stream(std::uint64_t label) const;
 
   /// Fisher-Yates shuffle of v.
   template <typename T>

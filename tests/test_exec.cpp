@@ -1,0 +1,384 @@
+// Tests for the exec/ subsystem: executor unit behavior, engine-level
+// determinism of the threaded backend (traces, delivery order, space
+// audits byte-identical to serial), and the algorithm-level determinism
+// suite for rlr_matching and greedy_setcover_mr across thread counts.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mrlr/core/greedy_setcover_mr.hpp"
+#include "mrlr/core/rlr_matching.hpp"
+#include "mrlr/exec/executor.hpp"
+#include "mrlr/exec/serial_executor.hpp"
+#include "mrlr/exec/thread_pool_executor.hpp"
+#include "mrlr/graph/generators.hpp"
+#include "mrlr/mrc/engine.hpp"
+#include "mrlr/mrc/trace.hpp"
+#include "mrlr/setcover/generators.hpp"
+
+namespace mrlr {
+namespace {
+
+using mrc::MachineContext;
+using mrc::MachineId;
+using mrc::Word;
+
+// ----------------------------------------------------------- executors --
+
+TEST(SerialExecutor, RunsMachinesInAscendingOrder) {
+  exec::SerialExecutor ex;
+  std::vector<std::uint64_t> order;
+  ex.run_machines(3, 9, [&](std::uint64_t m) { order.push_back(m); });
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{3, 4, 5, 6, 7, 8}));
+  EXPECT_EQ(ex.name(), "serial");
+  EXPECT_EQ(ex.num_threads(), 1u);
+}
+
+TEST(MakeExecutor, MapsKnobToBackend) {
+  EXPECT_EQ(exec::make_executor(1)->name(), "serial");
+  const auto pool = exec::make_executor(4);
+  EXPECT_EQ(pool->name(), "thread-pool");
+  EXPECT_EQ(pool->num_threads(), 4u);
+  // 0 = hardware-sized; at least one thread either way.
+  EXPECT_GE(exec::make_executor(0)->num_threads(), 1u);
+}
+
+TEST(ThreadPoolExecutor, CoversRangeExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    exec::ThreadPoolExecutor ex(threads);
+    for (const std::uint64_t machines : {0ull, 1ull, 7ull, 64ull, 1000ull}) {
+      std::vector<std::atomic<int>> hits(machines);
+      for (auto& h : hits) h.store(0);
+      ex.run_machines(0, machines, [&](std::uint64_t m) {
+        hits[m].fetch_add(1);
+      });
+      for (std::uint64_t m = 0; m < machines; ++m) {
+        EXPECT_EQ(hits[m].load(), 1) << "machine " << m << " threads "
+                                     << threads;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolExecutor, ReusableAcrossManyRounds) {
+  exec::ThreadPoolExecutor ex(4);
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    ex.run_machines(0, 10, [&](std::uint64_t m) {
+      total.fetch_add(m + 1);
+    });
+  }
+  EXPECT_EQ(total.load(), 200u * 55u);
+}
+
+TEST(ThreadPoolExecutor, RethrowsLowestMachineException) {
+  exec::ThreadPoolExecutor ex(4);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    try {
+      ex.run_machines(0, 16, [&](std::uint64_t m) {
+        if (m == 3 || m == 7 || m == 12) {
+          throw std::runtime_error("machine " + std::to_string(m));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "machine 3");
+    }
+    // The pool must stay usable after a throwing batch.
+    std::atomic<int> ran{0};
+    ex.run_machines(0, 4, [&](std::uint64_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 4);
+  }
+}
+
+TEST(RngStream, ConstAndOrderIndependent) {
+  Rng a(123), b(123);
+  // stream() must not advance the parent...
+  (void)a.stream(7);
+  (void)a.stream(9);
+  EXPECT_EQ(a(), b());
+  // ...and must be a pure function of (state, label).
+  Rng c(123), d(123);
+  (void)c();
+  (void)d();
+  Rng s1 = c.stream(5), s2 = d.stream(5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(s1(), s2());
+  // Distinct labels give distinct streams.
+  Rng s3 = c.stream(6);
+  EXPECT_NE(c.stream(5)(), s3());
+}
+
+// ------------------------------------------------- engine determinism --
+
+/// Runs machines in DESCENDING order — a legal (if perverse) schedule
+/// under the Executor contract. Any engine or callback state that
+/// depends on machine execution order breaks against this backend even
+/// on a single-core host, where thread-pool interleaving is rare.
+class ReverseExecutor final : public exec::Executor {
+ public:
+  void run_machines(std::uint64_t first, std::uint64_t last,
+                    const MachineFn& fn) override {
+    for (std::uint64_t m = last; m > first; --m) fn(m - 1);
+  }
+  std::string_view name() const override { return "reverse"; }
+  unsigned num_threads() const override { return 1; }
+};
+
+mrc::Topology topo(std::uint64_t machines, std::uint64_t cap = 1 << 20) {
+  mrc::Topology t;
+  t.num_machines = machines;
+  t.words_per_machine = cap;
+  t.fanout = 2;
+  return t;
+}
+
+/// A synthetic multi-round workload exercising sends (fan-out, self,
+/// converge-cast), resident charges, and inbox-dependent replies.
+void synthetic_workload(mrc::Engine& e) {
+  const auto machines = static_cast<MachineId>(e.num_machines());
+  e.run_round("scatter", [&](MachineContext& ctx) {
+    ctx.charge_resident(ctx.id() + 1);
+    for (MachineId to = 0; to < machines; ++to) {
+      if ((ctx.id() + to) % 3 == 0) {
+        ctx.send(to, {ctx.id(), to, ctx.id() * 1000ull + to});
+      }
+    }
+    ctx.send(ctx.id(), {ctx.id()});  // self-send
+  });
+  e.run_round("echo", [&](MachineContext& ctx) {
+    ctx.charge_resident(ctx.inbox_words());
+    for (const auto& msg : ctx.inbox()) {
+      ctx.send(mrc::kCentral, {msg.from, msg.words()});
+    }
+  });
+  e.run_central_round("collect", [&](MachineContext& ctx) {
+    ctx.charge_resident(ctx.inbox_words() + 1);
+  });
+}
+
+/// Final inboxes (from machine-0 broadcast) plus the full trace CSV.
+std::string run_synthetic(std::shared_ptr<exec::Executor> ex,
+                          std::uint64_t machines) {
+  mrc::Engine e(topo(machines), std::move(ex));
+  synthetic_workload(e);
+  // One more round recording exact delivery order per machine.
+  std::ostringstream os;
+  e.run_round("fanout", [&](MachineContext& ctx) {
+    for (MachineId to = 0; to < machines; ++to) {
+      ctx.send(to, {ctx.id()});
+    }
+  });
+  std::vector<std::string> delivery(machines);
+  e.run_round("observe", [&](MachineContext& ctx) {
+    std::string line;
+    for (const auto& msg : ctx.inbox()) {
+      line += std::to_string(msg.from) + ",";
+    }
+    delivery[ctx.id()] = std::move(line);  // per-machine slot: no race
+  });
+  for (const auto& line : delivery) os << line << "\n";
+  mrc::write_trace_csv(e.metrics(), os);
+  return os.str();
+}
+
+TEST(EngineDeterminism, TraceAndDeliveryIdenticalAcrossBackends) {
+  for (const std::uint64_t machines : {1ull, 5ull, 23ull}) {
+    const std::string serial =
+        run_synthetic(std::make_shared<exec::SerialExecutor>(), machines);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      const std::string pooled = run_synthetic(
+          std::make_shared<exec::ThreadPoolExecutor>(threads), machines);
+      EXPECT_EQ(serial, pooled)
+          << "machines=" << machines << " threads=" << threads;
+    }
+    EXPECT_EQ(serial,
+              run_synthetic(std::make_shared<ReverseExecutor>(), machines))
+        << "machines=" << machines << " (reverse order)";
+  }
+}
+
+TEST(EngineDeterminism, DeliveryOrderIsSenderIdOrder) {
+  // With the threaded backend machines finish in arbitrary order, but
+  // the merged inbox must still list senders 0..M-1 ascending.
+  mrc::Engine e(topo(8), std::make_shared<exec::ThreadPoolExecutor>(8));
+  e.run_round("fanout", [&](MachineContext& ctx) {
+    ctx.send(2, {ctx.id()});
+  });
+  e.run_round("check", [&](MachineContext& ctx) {
+    if (ctx.id() != 2) return;
+    ASSERT_EQ(ctx.inbox().size(), 8u);
+    for (MachineId s = 0; s < 8; ++s) {
+      EXPECT_EQ(ctx.inbox()[s].from, s);
+    }
+  });
+}
+
+TEST(EngineDeterminism, SpaceLimitReportsLowestIdOffender) {
+  auto run = [](std::shared_ptr<exec::Executor> ex) -> std::string {
+    mrc::Engine e(topo(16, /*cap=*/10), std::move(ex));
+    try {
+      e.run_round("r", [&](MachineContext& ctx) {
+        // Machines 5, 9, and 13 all blow the cap; 5 must be reported.
+        if (ctx.id() % 4 == 1 && ctx.id() >= 5) {
+          ctx.charge_resident(100 + ctx.id());
+        }
+      });
+    } catch (const mrc::SpaceLimitExceeded& ex_caught) {
+      EXPECT_EQ(ex_caught.words, 105u);
+      EXPECT_EQ(ex_caught.cap, 10u);
+      return ex_caught.what();
+    }
+    return "<no throw>";
+  };
+  const std::string serial = run(std::make_shared<exec::SerialExecutor>());
+  EXPECT_NE(serial.find("machine 5"), std::string::npos);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    EXPECT_EQ(serial,
+              run(std::make_shared<exec::ThreadPoolExecutor>(threads)));
+  }
+}
+
+TEST(Engine, PendingInboxBoundsChecked) {
+  mrc::Engine e(topo(3));
+  EXPECT_NO_THROW(e.pending_inbox(2));
+  try {
+    e.pending_inbox(3);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& ex) {
+    const std::string what = ex.what();
+    EXPECT_NE(what.find("pending_inbox"), std::string::npos);
+    EXPECT_NE(what.find("3"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------- algorithm determinism --
+
+/// Everything rlr_matching reports, flattened for equality checks.
+struct MatchingFingerprint {
+  std::vector<graph::EdgeId> matching;
+  double weight;
+  std::uint64_t stack_size;
+  std::uint64_t rounds, iterations, max_words, central, comm, violations;
+  bool failed;
+
+  bool operator==(const MatchingFingerprint&) const = default;
+};
+
+MatchingFingerprint run_matching(std::uint64_t seed,
+                                 std::uint64_t num_threads) {
+  Rng rng(seed ^ 0xABCDEFull);
+  graph::Graph g = graph::gnm_density(300, 0.5, rng);
+  g = g.with_weights(
+      graph::random_edge_weights(g, graph::WeightDist::kUniform, rng));
+  core::MrParams params;
+  params.mu = 0.15;
+  params.seed = seed;
+  params.num_threads = num_threads;
+  const auto r = core::rlr_matching(g, params);
+  return {r.matching,
+          r.weight,
+          r.stack_size,
+          r.outcome.rounds,
+          r.outcome.iterations,
+          r.outcome.max_machine_words,
+          r.outcome.max_central_inbox,
+          r.outcome.total_communication,
+          r.outcome.space_violations,
+          r.outcome.failed};
+}
+
+TEST(AlgorithmDeterminism, RlrMatchingIdenticalAcrossThreadCounts) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const auto serial = run_matching(seed, 1);
+    EXPECT_FALSE(serial.failed);
+    for (const std::uint64_t threads : {2ull, 8ull}) {
+      EXPECT_EQ(serial, run_matching(seed, threads))
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+struct CoverFingerprint {
+  std::vector<setcover::SetId> cover;
+  double weight;
+  std::uint64_t preprocessed, failures, drops;
+  std::uint64_t rounds, iterations, max_words, central, comm;
+  bool failed;
+
+  bool operator==(const CoverFingerprint&) const = default;
+};
+
+CoverFingerprint run_greedy_cover(std::uint64_t seed,
+                                  std::uint64_t num_threads) {
+  Rng rng(seed ^ 0x5EEDull);
+  const setcover::SetSystem sys = setcover::many_sets(
+      400, 52, 12, graph::WeightDist::kUniform, rng);
+  core::MrParams params;
+  params.mu = 0.3;
+  params.seed = seed;
+  params.num_threads = num_threads;
+  const auto r = core::greedy_set_cover_mr(sys, /*eps=*/0.3, params);
+  return {r.cover,
+          r.weight,
+          r.preprocessed_sets,
+          r.sampling_failures,
+          r.level_drops,
+          r.outcome.rounds,
+          r.outcome.iterations,
+          r.outcome.max_machine_words,
+          r.outcome.max_central_inbox,
+          r.outcome.total_communication,
+          r.outcome.failed};
+}
+
+TEST(AlgorithmDeterminism, GreedySetCoverIdenticalAcrossThreadCounts) {
+  for (const std::uint64_t seed : {1ull, 5ull}) {
+    const auto serial = run_greedy_cover(seed, 1);
+    EXPECT_FALSE(serial.failed);
+    for (const std::uint64_t threads : {2ull, 8ull}) {
+      EXPECT_EQ(serial, run_greedy_cover(seed, threads))
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(AlgorithmDeterminism, SpaceLimitStressIdenticalAcrossThreadCounts) {
+  // Tiny word caps: the engine must throw SpaceLimitExceeded with the
+  // same message (same round, same lowest-id offender, same words) at
+  // every thread count.
+  auto run = [](std::uint64_t seed, std::uint64_t threads) -> std::string {
+    Rng rng(seed ^ 0xFACEull);
+    graph::Graph g = graph::gnm_density(200, 0.5, rng);
+    g = g.with_weights(
+        graph::random_edge_weights(g, graph::WeightDist::kUniform, rng));
+    core::MrParams params;
+    params.mu = 0.15;
+    params.seed = seed;
+    params.num_threads = threads;
+    params.slack = 0.2;  // far below the 16.0 the algorithm needs
+    try {
+      const auto r = core::rlr_matching(g, params);
+      return "completed failed=" + std::to_string(r.outcome.failed);
+    } catch (const mrc::SpaceLimitExceeded& e) {
+      return std::string("threw: ") + e.what();
+    }
+  };
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const std::string serial = run(seed, 1);
+    EXPECT_NE(serial.find("threw"), std::string::npos) << serial;
+    for (const std::uint64_t threads : {2ull, 8ull}) {
+      EXPECT_EQ(serial, run(seed, threads))
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrlr

@@ -5,7 +5,7 @@
 // Usage:
 //   mrlr_cli <algorithm> [--n N] [--c C] [--mu MU] [--seed S]
 //            [--eps E] [--b B] [--dist uniform|exp|int|polarized]
-//            [--graph FILE] [--sets FILE] [--trace]
+//            [--threads T] [--graph FILE] [--sets FILE] [--trace]
 //
 // Algorithms:
 //   matching | vertex-cover | set-cover-f | set-cover-greedy |
@@ -53,6 +53,7 @@ struct Options {
   std::uint64_t seed = 1;
   double eps = 0.2;
   std::uint32_t b = 2;
+  std::uint64_t threads = 1;
   mrlr::graph::WeightDist dist = mrlr::graph::WeightDist::kUniform;
   std::optional<std::string> graph_file;
   std::optional<std::string> sets_file;
@@ -62,12 +63,15 @@ struct Options {
 void usage() {
   std::cerr
       << "usage: mrlr_cli <algorithm> [--n N] [--c C] [--mu MU] "
-         "[--seed S] [--eps E] [--b B] [--dist D] [--graph FILE] "
-         "[--sets FILE] [--trace]\n"
+         "[--seed S] [--eps E] [--b B] [--dist D] [--threads T] "
+         "[--graph FILE] [--sets FILE] [--trace]\n"
          "algorithms: matching vertex-cover set-cover-f "
          "set-cover-greedy b-matching mis mis-simple clique "
          "colour-vertex colour-edge filtering-matching "
-         "filtering-weighted luby-mis luby-colouring coreset-matching\n";
+         "filtering-weighted luby-mis luby-colouring coreset-matching\n"
+         "--threads T: simulate machines on T threads (1 = serial, "
+         "0 = all hardware threads); results are identical at any T, "
+         "only wall-clock changes\n";
 }
 
 std::optional<Options> parse(int argc, char** argv) {
@@ -95,6 +99,8 @@ std::optional<Options> parse(int argc, char** argv) {
       o.eps = std::stod(value());
     } else if (flag == "--b") {
       o.b = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (flag == "--threads") {
+      o.threads = std::stoull(value());
     } else if (flag == "--dist") {
       const std::string d = value();
       if (d == "uniform") {
@@ -180,6 +186,7 @@ int main(int argc, char** argv) {
   params.mu = o.mu;
   params.c = o.c;
   params.seed = o.seed;
+  params.num_threads = o.threads;
 
   using namespace mrlr;
   const std::string& a = o.algorithm;

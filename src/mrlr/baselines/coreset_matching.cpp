@@ -82,14 +82,15 @@ CoresetMatchingResult coreset_matching(const graph::Graph& g,
       if (part[e] == ctx.id()) mine.push_back(e);
     }
     auto core = local_greedy(g, std::move(mine));
-    std::vector<Word> payload;
-    payload.reserve(2 * core.size());
-    for (const EdgeId e : core) {
-      payload.push_back(e);
-      payload.push_back(core::pack_double(g.weight(e)));
+    {
+      mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+      for (const EdgeId e : core) {
+        msg.push(e);
+        msg.push(core::pack_double(g.weight(e)));
+      }
+      if (msg.empty()) msg.cancel();
     }
     coreset_by[ctx.id()] = std::move(core);
-    if (!payload.empty()) ctx.send(mrc::kCentral, std::move(payload));
   });
   std::vector<EdgeId> coreset_union;
   for (const auto& part_core : coreset_by) {

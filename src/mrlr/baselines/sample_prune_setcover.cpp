@@ -108,11 +108,12 @@ SamplePruneResult sample_prune_set_cover(const setcover::SetSystem& sys,
           if (taken[l] || residual[l] == 0 || ratio(l) < threshold) continue;
           if (!rng.bernoulli(p)) continue;
           sampled_by[ctx.id()].push_back(l);
-          std::vector<Word> payload{l, core::pack_double(sys.weight(l))};
+          mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+          msg.push(l);
+          msg.push(core::pack_double(sys.weight(l)));
           for (const ElementId j : sys.set(l)) {
-            if (!covered[j]) payload.push_back(j);
+            if (!covered[j]) msg.push(j);
           }
-          ctx.send(mrc::kCentral, std::move(payload));
         }
       });
       std::vector<SetId> sampled;

@@ -77,13 +77,14 @@ ColouringResult mr_vertex_colouring(const graph::Graph& g,
   engine.run_round("ship-groups", [&](MachineContext& ctx) {
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
       if (owner_of(v, plan.kappa) != ctx.id()) continue;
-      std::vector<Word> payload{v};
+      mrc::MessageWriter msg =
+          ctx.begin_message(static_cast<mrc::MachineId>(group[v]));
+      msg.push(v);
       for (const graph::Incidence& inc : g.neighbours(v)) {
         if (group[inc.neighbour] == group[v]) {
-          payload.push_back(inc.neighbour);
+          msg.push(inc.neighbour);
         }
       }
-      ctx.send(static_cast<mrc::MachineId>(group[v]), std::move(payload));
     }
   });
 

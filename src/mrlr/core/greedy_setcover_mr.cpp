@@ -244,13 +244,14 @@ GreedySetCoverMrResult greedy_set_cover_mr(const setcover::SetSystem& sys,
         ctx.charge_resident(footprint[ctx.id()]);
         for (const Sampled& s : sample) {
           if (owner_of(s.set, machines) != ctx.id()) continue;
-          std::vector<Word> payload{s.group_key, s.set,
-                                    pack_double(sys.weight(s.set)),
-                                    residual[s.set]};
+          mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+          msg.push(s.group_key);
+          msg.push(s.set);
+          msg.push(pack_double(sys.weight(s.set)));
+          msg.push(residual[s.set]);
           for (const ElementId j : sys.set(s.set)) {
-            if (!covered[j]) payload.push_back(j);
+            if (!covered[j]) msg.push(j);
           }
-          ctx.send(mrc::kCentral, std::move(payload));
         }
       });
 

@@ -133,7 +133,7 @@ HungryCliqueResult hungry_clique(const graph::Graph& g,
     });
     engine.run_round("exchange-sigma", [&](MachineContext& ctx) {
       ctx.charge_resident(footprint[ctx.id()]);
-      for (const auto& msg : ctx.inbox()) {
+      for (const mrc::MessageView msg : ctx.messages()) {
         for (std::size_t k = 0; k + 1 < msg.payload.size(); k += 2) {
           const auto v = static_cast<VertexId>(msg.payload[k]);
           for (const Incidence& inc : g.neighbours(v)) {
@@ -194,13 +194,14 @@ HungryCliqueResult hungry_clique(const graph::Graph& g,
         ctx.charge_resident(footprint[ctx.id()]);
         for (const auto& [group, v] : sample) {
           if (owner_of(v, machines) != ctx.id()) continue;
-          std::vector<Word> payload{group, v};
+          mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+          msg.push(group);
+          msg.push(v);
           for (const Incidence& inc : g.neighbours(v)) {
             if (state.active(inc.neighbour)) {
-              payload.push_back(inc.neighbour);
+              msg.push(inc.neighbour);
             }
           }
-          ctx.send(mrc::kCentral, std::move(payload));
         }
       });
 

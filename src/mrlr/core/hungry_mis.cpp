@@ -111,11 +111,13 @@ std::uint64_t sweep(mrc::Engine& engine, const graph::Graph& g,
     ctx.charge_resident(cl.footprint[ctx.id()]);
     for (const auto& [group, v] : sample) {
       if (owner_of(v, machines) != ctx.id()) continue;
-      std::vector<Word> payload{group, v, state.degree(v)};
+      mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+      msg.push(group);
+      msg.push(v);
+      msg.push(state.degree(v));
       for (const Incidence& inc : g.neighbours(v)) {
-        if (state.alive(inc.neighbour)) payload.push_back(inc.neighbour);
+        if (state.alive(inc.neighbour)) msg.push(inc.neighbour);
       }
-      ctx.send(mrc::kCentral, std::move(payload));
     }
   });
 
@@ -153,7 +155,7 @@ std::uint64_t sweep(mrc::Engine& engine, const graph::Graph& g,
   // Theorem 3.3's proof).
   engine.run_round("recompute-dI", [&](MachineContext& ctx) {
     ctx.charge_resident(cl.footprint[ctx.id()]);
-    for (const auto& msg : ctx.inbox()) {
+    for (const mrc::MessageView msg : ctx.messages()) {
       for (const Word ww : msg.payload) {
         const auto w = static_cast<VertexId>(ww);
         for (const Incidence& inc : g.neighbours(w)) {
@@ -179,11 +181,12 @@ void central_finish(mrc::Engine& engine, const graph::Graph& g,
          v < g.num_vertices();
          v = static_cast<VertexId>(v + cl.machines)) {
       if (!state.alive(v)) continue;
-      std::vector<Word> payload{v, state.degree(v)};
+      mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+      msg.push(v);
+      msg.push(state.degree(v));
       for (const Incidence& inc : g.neighbours(v)) {
-        if (state.alive(inc.neighbour)) payload.push_back(inc.neighbour);
+        if (state.alive(inc.neighbour)) msg.push(inc.neighbour);
       }
-      ctx.send(mrc::kCentral, std::move(payload));
     }
   });
   engine.run_central_round("greedy-finish", [&](MachineContext& ctx) {

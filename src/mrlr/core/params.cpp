@@ -16,7 +16,7 @@ mrc::Word allreduce_sum_direct(mrc::Engine& engine,
   engine.run_round(label, [&](mrc::MachineContext& ctx) {
     if (!ctx.is_central()) return;
     mrc::Word sum = values[mrc::kCentral];
-    for (const auto& msg : ctx.inbox()) sum += msg.payload[0];
+    for (const mrc::MessageView msg : ctx.messages()) sum += msg.payload[0];
     total = sum;
     ctx.charge_resident(1);
     for (std::uint64_t m = 1; m < machines; ++m) {
@@ -41,17 +41,17 @@ std::vector<mrc::Word> allreduce_sum_vec(
   std::vector<mrc::Word> total(k, 0);
   engine.run_round(label, [&](mrc::MachineContext& ctx) {
     ctx.charge_resident(k);
-    if (!ctx.is_central()) ctx.send(mrc::kCentral, values[ctx.id()]);
+    if (!ctx.is_central()) ctx.send_batch(mrc::kCentral, values[ctx.id()]);
   });
   engine.run_round(label, [&](mrc::MachineContext& ctx) {
     if (!ctx.is_central()) return;
     total = values[mrc::kCentral];
-    for (const auto& msg : ctx.inbox()) {
+    for (const mrc::MessageView msg : ctx.messages()) {
       for (std::size_t i = 0; i < k; ++i) total[i] += msg.payload[i];
     }
     ctx.charge_resident(k);
     for (std::uint64_t m = 1; m < machines; ++m) {
-      ctx.send(static_cast<mrc::MachineId>(m), total);
+      ctx.send_batch(static_cast<mrc::MachineId>(m), total);
     }
   });
   engine.run_round(label, [&](mrc::MachineContext& ctx) {

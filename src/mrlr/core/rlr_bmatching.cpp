@@ -191,13 +191,11 @@ RlrBMatchingResult rlr_b_matching(const graph::Graph& g,
             for (const auto k : pick) sampled[v].push_back(alive[k]);
           }
         }
-        std::vector<Word> payload;
-        payload.reserve(2 * sampled[v].size());
+        mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
         for (const EdgeId e : sampled[v]) {
-          payload.push_back(e);
-          payload.push_back(pack_double(g.weight(e)));
+          msg.push(e);
+          msg.push(pack_double(g.weight(e)));
         }
-        ctx.send(mrc::kCentral, std::move(payload));
       }
     });
 
@@ -233,7 +231,7 @@ RlrBMatchingResult rlr_b_matching(const graph::Graph& g,
     });
     engine.run_round("forward-phi", [&](MachineContext& ctx) {
       ctx.charge_resident(footprint[ctx.id()]);
-      for (const auto& msg : ctx.inbox()) {
+      for (const mrc::MessageView msg : ctx.messages()) {
         for (std::size_t k = 0; k + 1 < msg.payload.size(); k += 2) {
           const auto v = static_cast<VertexId>(msg.payload[k]);
           for (const graph::Incidence& inc : g.neighbours(v)) {

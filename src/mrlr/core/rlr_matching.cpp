@@ -88,19 +88,17 @@ RlrMatchingResult rlr_matching(const graph::Graph& g,
       Rng rng = root_rng.stream((iter << 20) ^ ctx.id());
       for (VertexId v = static_cast<VertexId>(ctx.id()); v < n;
            v = static_cast<VertexId>(v + machines)) {
-        std::vector<Word> payload;
+        mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
         for (const graph::Incidence& inc : g.neighbours(v)) {
           if (!lr.edge_alive(inc.edge)) continue;
           if (ship_all || rng.bernoulli(p)) {
             sampled[v].push_back(inc.edge);
-            payload.push_back(inc.edge);
-            payload.push_back(pack_double(g.weight(inc.edge)));
+            msg.push(inc.edge);
+            msg.push(pack_double(g.weight(inc.edge)));
           }
         }
         sampled_by[ctx.id()] += sampled[v].size();
-        if (!payload.empty()) {
-          ctx.send(mrc::kCentral, std::move(payload));
-        }
+        if (msg.empty()) msg.cancel();
       }
     });
     std::uint64_t total_sampled = 0;
@@ -143,7 +141,7 @@ RlrMatchingResult rlr_matching(const graph::Graph& g,
     // --- 4b. Vertex owners forward phi to incident edge owners. ---
     engine.run_round("forward-phi", [&](MachineContext& ctx) {
       ctx.charge_resident(footprint[ctx.id()]);
-      for (const auto& msg : ctx.inbox()) {
+      for (const mrc::MessageView msg : ctx.messages()) {
         for (std::size_t k = 0; k + 1 < msg.payload.size(); k += 2) {
           const auto v = static_cast<VertexId>(msg.payload[k]);
           const Word phi_w = msg.payload[k + 1];

@@ -95,13 +95,11 @@ RlrSetCoverResult rlr_set_cover(const setcover::SetSystem& sys,
            j = static_cast<ElementId>(j + sz.machines)) {
         if (!active[j] || !rng.bernoulli(p)) continue;
         sampled_by[ctx.id()].push_back(j);
-        std::vector<Word> payload;
         const auto owners = sys.sets_containing(j);
-        payload.reserve(2 + owners.size());
-        payload.push_back(j);
-        payload.push_back(owners.size());
-        for (const SetId i : owners) payload.push_back(i);
-        ctx.send(mrc::kCentral, std::move(payload));
+        mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+        msg.push(j);
+        msg.push(owners.size());
+        for (const SetId i : owners) msg.push(i);
       }
     });
     std::vector<ElementId> sampled;
@@ -248,7 +246,7 @@ RlrVertexCoverResult rlr_vertex_cover(const graph::Graph& g,
     // Forward round B: vertex owners tell the owners of incident edges.
     engine.run_round("notify-edges", [&](MachineContext& ctx) {
       ctx.charge_resident(footprint[ctx.id()]);
-      for (const auto& msg : ctx.inbox()) {
+      for (const mrc::MessageView msg : ctx.messages()) {
         for (const Word vw : msg.payload) {
           const auto v = static_cast<graph::VertexId>(vw);
           for (const graph::Incidence& inc : g.neighbours(v)) {
@@ -260,7 +258,7 @@ RlrVertexCoverResult rlr_vertex_cover(const graph::Graph& g,
     // Drain + deactivate.
     engine.run_round("deactivate", [&](MachineContext& ctx) {
       ctx.charge_resident(footprint[ctx.id()]);
-      for (const auto& msg : ctx.inbox()) {
+      for (const mrc::MessageView msg : ctx.messages()) {
         for (const Word ew : msg.payload) {
           const auto e = static_cast<ElementId>(ew);
           if (active[e]) {

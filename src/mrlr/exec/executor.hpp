@@ -42,7 +42,9 @@ class Executor {
 /// Builds a backend from the shared `num_threads` knob (Topology,
 /// MrParams, --threads all use the same convention):
 ///   1  -> SerialExecutor (the historical sequential simulation),
-///   N>1-> ThreadPoolExecutor with N persistent workers,
+///   N>1-> ThreadPoolExecutor with N persistent workers (clamped to
+///         1024 — OS thread counts beyond that only add overhead;
+///         Executor::num_threads() reports the effective value),
 ///   0  -> ThreadPoolExecutor sized to the hardware.
 std::unique_ptr<Executor> make_executor(std::uint64_t num_threads);
 

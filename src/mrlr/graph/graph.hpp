@@ -10,6 +10,8 @@
 #include <span>
 #include <vector>
 
+#include "mrlr/util/require.hpp"
+
 namespace mrlr::graph {
 
 using VertexId = std::uint32_t;
@@ -19,8 +21,13 @@ struct Edge {
   VertexId u = 0;
   VertexId v = 0;
 
-  /// The endpoint that is not `x`; requires x to be an endpoint.
-  VertexId other(VertexId x) const { return x == u ? v : u; }
+  /// The endpoint that is not `x`. Requires x to be an endpoint: the
+  /// precondition is checked in debug builds; a violation would
+  /// otherwise silently return v, corrupting path walks.
+  VertexId other(VertexId x) const {
+    MRLR_DEBUG_REQUIRE(x == u || x == v, "Edge::other: x is not an endpoint");
+    return x == u ? v : u;
+  }
   bool has_endpoint(VertexId x) const { return x == u || x == v; }
   friend bool operator==(const Edge&, const Edge&) = default;
 };

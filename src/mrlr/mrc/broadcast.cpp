@@ -61,7 +61,7 @@ std::uint64_t broadcast_from_central(
       for (std::uint64_t k = 1; k <= fanout; ++k) {
         const std::uint64_t child = static_cast<std::uint64_t>(m) * fanout + k;
         if (child >= machines) break;
-        ctx.send(static_cast<MachineId>(child), payload);
+        ctx.send_batch(static_cast<MachineId>(child), payload);
       }
     });
     ++rounds;
@@ -106,7 +106,7 @@ std::uint64_t aggregate_sum(Engine& engine, const std::vector<Word>& values,
     engine.run_round(label, [&](MachineContext& ctx) {
       const MachineId m = ctx.id();
       // Fold in children's partial sums delivered this round.
-      for (const auto& msg : ctx.inbox()) {
+      for (const MessageView msg : ctx.messages()) {
         MRLR_REQUIRE(msg.payload.size() == 1, "aggregate: 1-word messages");
         partial[m] += msg.payload[0];
       }
@@ -126,7 +126,7 @@ std::uint64_t aggregate_sum(Engine& engine, const std::vector<Word>& values,
   // One more round so the root folds in the depth-1 messages.
   engine.run_round(label, [&](MachineContext& ctx) {
     const MachineId m = ctx.id();
-    for (const auto& msg : ctx.inbox()) partial[m] += msg.payload[0];
+    for (const MessageView msg : ctx.messages()) partial[m] += msg.payload[0];
     ctx.charge_resident(1);
   });
   ++rounds;

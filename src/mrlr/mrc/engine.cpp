@@ -15,23 +15,33 @@ std::uint64_t MachineContext::num_machines() const {
 }
 
 const std::vector<Message>& MachineContext::inbox() const {
-  return engine_.inboxes_[id_];
+  return engine_.materialized_inbox(id_);
 }
 
-std::uint64_t MachineContext::inbox_words() const {
-  std::uint64_t w = 0;
-  for (const auto& m : inbox()) w += m.words();
-  return w;
-}
-
-void MachineContext::send(MachineId to, std::vector<Word> payload) {
-  MRLR_REQUIRE(to < engine_.num_machines(), "send to nonexistent machine");
-  engine_.outbox_words_[id_] += payload.size();
-  engine_.staging_[id_].push_back({to, Message{id_, std::move(payload)}});
+void MachineContext::send(MachineId to, const std::vector<Word>& payload) {
+  send_batch(to, payload);
 }
 
 void MachineContext::send(MachineId to, std::initializer_list<Word> payload) {
-  send(to, std::vector<Word>(payload));
+  send_batch(to, std::span<const Word>(payload.begin(), payload.size()));
+}
+
+void MachineContext::send_batch(MachineId to, std::span<const Word> payload) {
+  MRLR_REQUIRE(to < engine_.num_machines(), "send to nonexistent machine");
+  MRLR_REQUIRE(!engine_.writer_open_[id_],
+               "send while this machine's MessageWriter is open");
+  Engine::Outbox& out = engine_.staging_[id_];
+  const std::uint64_t offset = out.words.size();
+  out.words.insert(out.words.end(), payload.begin(), payload.end());
+  out.frames.push_back({to, offset, payload.size()});
+  engine_.outbox_words_[id_] += payload.size();
+}
+
+MessageWriter MachineContext::begin_message(MachineId to) {
+  MRLR_REQUIRE(to < engine_.num_machines(), "send to nonexistent machine");
+  MRLR_REQUIRE(!engine_.writer_open_[id_],
+               "at most one MessageWriter per machine may be open");
+  return MessageWriter(engine_, id_, to);
 }
 
 void MachineContext::charge_resident(std::uint64_t words) {
@@ -47,11 +57,19 @@ Engine::Engine(Topology topology, std::shared_ptr<exec::Executor> executor)
   MRLR_REQUIRE(topology_.num_machines >= 1, "need at least one machine");
   MRLR_REQUIRE(topology_.fanout >= 2, "broadcast fanout must be >= 2");
   MRLR_REQUIRE(executor_ != nullptr, "engine needs an executor");
-  inboxes_.resize(topology_.num_machines);
-  next_.resize(topology_.num_machines);
-  staging_.resize(topology_.num_machines);
-  outbox_words_.assign(topology_.num_machines, 0);
-  resident_words_.assign(topology_.num_machines, 0);
+  const std::uint64_t machines = topology_.num_machines;
+  staging_.resize(machines);
+  slabs_.resize(machines);
+  inbox_frames_.resize(machines);
+  inbox_words_.assign(machines, 0);
+  next_frames_.resize(machines);
+  next_inbox_words_.assign(machines, 0);
+  writer_open_.assign(machines, 0);
+  outbox_words_.assign(machines, 0);
+  resident_words_.assign(machines, 0);
+  inbox_cache_.resize(machines);
+  inbox_cache_valid_.assign(machines, 0);
+  pending_cache_.resize(machines);
 }
 
 void Engine::run_round(std::string_view label,
@@ -65,14 +83,23 @@ void Engine::run_round(std::string_view label,
     fn(ctx);
   });
 
-  // Merge staged messages in sender-id order: delivery order — and with
+  // Merge staged frames in sender-id order: delivery order — and with
   // it every downstream inbox scan — matches the sequential simulation
-  // regardless of which threads ran which machines.
+  // regardless of which threads ran which machines. Only the frame
+  // indexes move here; payload words stay where the senders wrote them.
   for (MachineId s = 0; s < machines; ++s) {
-    for (StagedMessage& sm : staging_[s]) {
-      next_[sm.to].push_back(std::move(sm.msg));
+    MRLR_REQUIRE(!writer_open_[s],
+                 "MessageWriter left open across the round barrier");
+    for (const Frame& f : staging_[s].frames) {
+      next_frames_[f.to].push_back({s, f.offset, f.len});
+      next_inbox_words_[f.to] += f.len;
     }
-    staging_[s].clear();
+    // Consumed before the audit can throw: if this round violates the
+    // cap, a subsequent round must not re-merge (and double-deliver)
+    // these frames. The payload words stay put — next_frames_ points
+    // into them (pending_inbox reads them, and delivery will move the
+    // slab wholesale next round).
+    staging_[s].frames.clear();
   }
 
   RoundMetrics rm;
@@ -81,8 +108,7 @@ void Engine::run_round(std::string_view label,
   std::uint64_t offender_words = 0;
   MachineId offender = 0;
   for (MachineId m = 0; m < machines; ++m) {
-    std::uint64_t in = 0;
-    for (const auto& msg : inboxes_[m]) in += msg.words();
+    const std::uint64_t in = inbox_words_[m];
     rm.max_inbox = std::max(rm.max_inbox, in);
     rm.max_outbox = std::max(rm.max_outbox, outbox_words_[m]);
     rm.max_resident = std::max(rm.max_resident, resident_words_[m]);
@@ -99,6 +125,8 @@ void Engine::run_round(std::string_view label,
   rm.space_violation = violated;
   metrics_.record(rm);
   if (violated && topology_.enforce) {
+    // Delivery is skipped: the staged arenas stay pending, observable
+    // through pending_inbox for post-mortem inspection.
     throw SpaceLimitExceeded(
         "machine " + std::to_string(offender) + " used " +
             std::to_string(offender_words) + " words in round '" +
@@ -107,11 +135,22 @@ void Engine::run_round(std::string_view label,
         offender_words, topology_.words_per_machine);
   }
 
-  // Deliver: next-round mailboxes become current, cleared for reuse.
-  for (MachineId m = 0; m < machines; ++m) {
-    inboxes_[m] = std::move(next_[m]);
-    next_[m].clear();
+  // Deliver: the staging arenas move wholesale into the slab role (no
+  // payload copy), and the spent slabs — whose views died with this
+  // round — are recycled as next round's staging buffers, keeping their
+  // capacity so steady-state rounds never touch the allocator.
+  staging_.swap(slabs_);
+  for (Outbox& out : staging_) {
+    out.words.clear();
+    out.frames.clear();
   }
+  inbox_frames_.swap(next_frames_);
+  inbox_words_.swap(next_inbox_words_);
+  for (MachineId m = 0; m < machines; ++m) {
+    next_frames_[m].clear();
+    next_inbox_words_[m] = 0;
+  }
+  std::fill(inbox_cache_valid_.begin(), inbox_cache_valid_.end(), 0);
 }
 
 void Engine::run_central_round(
@@ -121,13 +160,33 @@ void Engine::run_central_round(
   });
 }
 
+void Engine::materialize(const std::vector<InboxFrame>& frames,
+                         const std::vector<Outbox>& arenas,
+                         std::vector<Message>& out) {
+  out.clear();
+  out.reserve(frames.size());
+  for (const InboxFrame& f : frames) {
+    const Word* base = arenas[f.from].words.data() + f.offset;
+    out.push_back(Message{f.from, std::vector<Word>(base, base + f.len)});
+  }
+}
+
+const std::vector<Message>& Engine::materialized_inbox(MachineId m) const {
+  if (!inbox_cache_valid_[m]) {
+    materialize(inbox_frames_[m], slabs_, inbox_cache_[m]);
+    inbox_cache_valid_[m] = 1;
+  }
+  return inbox_cache_[m];
+}
+
 const std::vector<Message>& Engine::pending_inbox(MachineId m) const {
   if (m >= num_machines()) {
     throw std::out_of_range(
         "Engine::pending_inbox: machine id " + std::to_string(m) +
         " out of range [0, " + std::to_string(num_machines()) + ")");
   }
-  return next_[m];
+  materialize(next_frames_[m], staging_, pending_cache_[m]);
+  return pending_cache_[m];
 }
 
 }  // namespace mrlr::mrc

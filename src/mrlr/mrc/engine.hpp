@@ -14,8 +14,8 @@
 // per-machine callbacks through an exec::Executor: the serial backend
 // runs them in machine order on the calling thread, the thread-pool
 // backend runs them concurrently (Topology::num_threads). Either way the
-// simulation is deterministic: each machine's send() appends only to its
-// own staging outbox, and staged messages are merged into next-round
+// simulation is deterministic: each machine's sends append only to its
+// own staging arena, and staged messages are merged into next-round
 // inboxes in machine-id order after the round barrier, so traces,
 // metrics, and SpaceLimitExceeded behavior are byte-identical across
 // backends and thread counts. Since the quantities the paper bounds are
@@ -23,20 +23,40 @@
 // measured results; determinism makes every experiment replayable from
 // its seed.
 //
+// Message storage (the flat-buffer shuffle): each machine's staging slot
+// is one contiguous Word buffer plus a small (to, offset, len) frame
+// index — no per-message heap allocation. The post-barrier merge builds
+// per-destination frame indexes in sender-id order and then moves the
+// arena slabs wholesale into the delivered position; payload words are
+// written exactly once, at send time. Callbacks read their inbox as
+// MessageView spans into the senders' slabs via messages(); the owning
+// inbox() remains as a compatibility shim that materializes Message
+// copies on demand.
+//
 // Per-machine algorithm state is owned by the algorithms themselves
 // (typically a std::vector sized by num_machines); the engine owns only
 // the mailboxes and the cost accounting. Under a threaded backend, round
 // callbacks must write only machine-disjoint algorithm state (per-machine
 // slots or id-strided vector elements); shared reductions belong in
-// per-machine slots merged after the round returns.
+// per-machine slots merged after the round returns. Batched sends follow
+// the same rule: a MessageWriter appends to its own machine's arena, so
+// at most one writer per machine may be open at a time, and plain sends
+// may not interleave with an open writer.
 
+#include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <initializer_list>
+#include <iterator>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "mrlr/util/require.hpp"
 
 #include "mrlr/exec/executor.hpp"
 #include "mrlr/mrc/config.hpp"
@@ -57,6 +77,89 @@ class SpaceLimitExceeded : public std::runtime_error {
 };
 
 class Engine;
+class MachineContext;
+
+/// Zero-copy batched message builder: words push straight into the
+/// sending machine's staging arena; the frame is committed when the
+/// writer is destroyed (or discarded entirely via cancel()). If the
+/// writer dies during exception unwind the partial message is rolled
+/// back, not committed — a half-built record must never become
+/// deliverable traffic. At most one writer per machine may be open at a
+/// time, and MachineContext::send may not be called while one is open —
+/// frames must stay contiguous.
+class MessageWriter {
+ public:
+  MessageWriter(const MessageWriter&) = delete;
+  MessageWriter& operator=(const MessageWriter&) = delete;
+  ~MessageWriter();
+
+  void push(Word w);
+  void append(std::span<const Word> words);
+
+  /// Words written so far.
+  std::uint64_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Rolls the arena back to the pre-writer state: no message is sent
+  /// and nothing is charged. The writer is dead afterwards.
+  void cancel();
+
+ private:
+  friend class MachineContext;
+  MessageWriter(Engine& engine, MachineId from, MachineId to);
+
+  Engine* engine_;
+  MachineId from_;
+  MachineId to_;
+  std::uint64_t begin_;
+  int uncaught_on_open_;
+  bool done_ = false;
+};
+
+/// Lightweight range over one machine's delivered messages, yielding
+/// MessageView spans into the senders' slabs. Valid only during the
+/// round in which it was obtained.
+class InboxView {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = MessageView;
+    using difference_type = std::ptrdiff_t;
+
+    MessageView operator*() const;
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator t = *this;
+      ++i_;
+      return t;
+    }
+    friend bool operator==(const iterator&, const iterator&) = default;
+
+   private:
+    friend class InboxView;
+    iterator(const Engine* engine, MachineId m, std::size_t i)
+        : engine_(engine), m_(m), i_(i) {}
+    const Engine* engine_;
+    MachineId m_;
+    std::size_t i_;
+  };
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+  MessageView operator[](std::size_t i) const;
+  iterator begin() const { return iterator(engine_, m_, 0); }
+  iterator end() const { return iterator(engine_, m_, size()); }
+
+ private:
+  friend class MachineContext;
+  InboxView(const Engine& engine, MachineId m) : engine_(&engine), m_(m) {}
+  const Engine* engine_;
+  MachineId m_;
+};
 
 /// Handle passed to the per-machine round callback. Under a threaded
 /// backend each machine's context is used from one worker thread; all
@@ -67,15 +170,37 @@ class MachineContext {
   std::uint64_t num_machines() const;
   bool is_central() const { return id_ == kCentral; }
 
-  /// Messages delivered to this machine at the start of the round.
+  /// Zero-copy view of the messages delivered to this machine at the
+  /// start of the round, in (sender id, send order) order. Views are
+  /// invalidated by the end of the round.
+  InboxView messages() const;
+
+  /// Number of messages delivered this round.
+  std::size_t inbox_size() const;
+
+  /// The i-th delivered message as a zero-copy view.
+  MessageView message(std::size_t i) const;
+
+  /// Compatibility shim: the inbox as owning Message objects,
+  /// materialized (and cached) on demand. Prefer messages().
   const std::vector<Message>& inbox() const;
 
-  /// Total words in the inbox.
+  /// Total words in the inbox (precomputed; O(1)).
   std::uint64_t inbox_words() const;
 
-  /// Queue a message for delivery at the start of the next round.
-  void send(MachineId to, std::vector<Word> payload);
+  /// Queue a message for delivery at the start of the next round. The
+  /// payload is copied once into this machine's staging arena (and not
+  /// consumed — callers may reuse their buffer).
+  void send(MachineId to, const std::vector<Word>& payload);
   void send(MachineId to, std::initializer_list<Word> payload);
+
+  /// Span-based send: copies `payload` into the arena without requiring
+  /// the caller to own a std::vector.
+  void send_batch(MachineId to, std::span<const Word> payload);
+
+  /// Zero-copy batched send: returns a writer appending directly to
+  /// this machine's arena. The message is framed when the writer dies.
+  MessageWriter begin_message(MachineId to);
 
   /// Declare the words of algorithm state resident on this machine during
   /// this round. Algorithms must call this with an honest figure; the
@@ -117,35 +242,163 @@ class Engine {
   const Metrics& metrics() const { return metrics_; }
 
   /// Direct access for algorithms that need to inspect what a machine
-  /// will receive next round (testing only). Throws std::out_of_range
-  /// for machine ids outside [0, num_machines()).
+  /// will receive next round (testing only; materialized on demand).
+  /// Non-empty only after a round that threw SpaceLimitExceeded, since
+  /// delivery otherwise completes within run_round. Throws
+  /// std::out_of_range for machine ids outside [0, num_machines()).
   const std::vector<Message>& pending_inbox(MachineId m) const;
 
  private:
   friend class MachineContext;
+  friend class MessageWriter;
+  friend class InboxView;
 
-  /// A message queued by one machine during the current round, waiting
-  /// for the post-barrier merge into next_.
-  struct StagedMessage {
+  /// One message in a sender's staging arena: destination plus the
+  /// [offset, offset+len) extent in that arena's word buffer.
+  struct Frame {
     MachineId to;
-    Message msg;
+    std::uint64_t offset;
+    std::uint64_t len;
   };
+
+  /// Per-sender round arena: one flat word buffer plus the frame index.
+  /// Buffers keep their capacity across rounds, so steady-state rounds
+  /// allocate nothing.
+  struct Outbox {
+    std::vector<Word> words;
+    std::vector<Frame> frames;
+  };
+
+  /// Inbox index entry: the message occupies
+  /// slabs_[from].words[offset, offset+len).
+  struct InboxFrame {
+    MachineId from;
+    std::uint64_t offset;
+    std::uint64_t len;
+  };
+
+  /// Zero-copy view of delivered message i of machine m.
+  MessageView view_message(MachineId m, std::size_t i) const {
+    const InboxFrame& f = inbox_frames_[m][i];
+    return {f.from, {slabs_[f.from].words.data() + f.offset,
+                     static_cast<std::size_t>(f.len)}};
+  }
+
+  const std::vector<Message>& materialized_inbox(MachineId m) const;
+
+  /// Copies the messages a frame index describes out of their arenas
+  /// into owning Message objects (the compatibility-shim slow path).
+  static void materialize(const std::vector<InboxFrame>& frames,
+                          const std::vector<Outbox>& arenas,
+                          std::vector<Message>& out);
 
   Topology topology_;
   std::shared_ptr<exec::Executor> executor_;
   Metrics metrics_;
-  // inboxes_[m] = messages delivered to machine m this round.
-  std::vector<std::vector<Message>> inboxes_;
-  // next_[m] = messages queued for machine m for the next round.
-  std::vector<std::vector<Message>> next_;
-  // staging_[m] = messages machine m sent this round; only machine m's
-  // callback writes its slot, so sends never contend. Merged into next_
-  // in machine-id order after the barrier.
-  std::vector<std::vector<StagedMessage>> staging_;
+  // staging_[m] = machine m's outgoing arena for the current round; only
+  // machine m's callback (its sends and writers) touches it, so sends
+  // never contend. After the barrier the arenas are merged by frame
+  // index and then moved wholesale into slabs_.
+  std::vector<Outbox> staging_;
+  // slabs_[s] = sender s's arena from the previous round, backing this
+  // round's inboxes. Spent slabs are recycled as staging buffers.
+  std::vector<Outbox> slabs_;
+  // inbox_frames_[m] = this round's messages for machine m, in
+  // (sender id, send order) order; words live in slabs_.
+  std::vector<std::vector<InboxFrame>> inbox_frames_;
+  std::vector<std::uint64_t> inbox_words_;  // per-destination totals
+  // Merge scratch for the next round's inbox index.
+  std::vector<std::vector<InboxFrame>> next_frames_;
+  std::vector<std::uint64_t> next_inbox_words_;
+  // writer_open_[m] = machine m has a live MessageWriter (its frame is
+  // still growing, so no other send may interleave).
+  std::vector<char> writer_open_;
   // Per-round scratch, reset in run_round; slot m is written only by
   // machine m's callback.
   std::vector<std::uint64_t> outbox_words_;
   std::vector<std::uint64_t> resident_words_;
+  // Lazy materialization caches for the compatibility shims. Slot m is
+  // only touched by machine m's thread (inbox) or by the host between
+  // rounds (pending), so no synchronization is needed.
+  mutable std::vector<std::vector<Message>> inbox_cache_;
+  mutable std::vector<char> inbox_cache_valid_;
+  mutable std::vector<std::vector<Message>> pending_cache_;
 };
+
+// ------------------------------------------------------------ inline --
+// Hot-path members live here so shuffle-heavy algorithm loops inline
+// them; everything below only touches the calling machine's slots.
+
+inline MessageView InboxView::operator[](std::size_t i) const {
+  return engine_->view_message(m_, i);
+}
+
+inline std::size_t InboxView::size() const {
+  return engine_->inbox_frames_[m_].size();
+}
+
+inline MessageView InboxView::iterator::operator*() const {
+  return engine_->view_message(m_, i_);
+}
+
+inline InboxView MachineContext::messages() const {
+  return InboxView(engine_, id_);
+}
+
+inline std::size_t MachineContext::inbox_size() const {
+  return engine_.inbox_frames_[id_].size();
+}
+
+inline MessageView MachineContext::message(std::size_t i) const {
+  return engine_.view_message(id_, i);
+}
+
+inline std::uint64_t MachineContext::inbox_words() const {
+  return engine_.inbox_words_[id_];
+}
+
+inline MessageWriter::MessageWriter(Engine& engine, MachineId from,
+                                    MachineId to)
+    : engine_(&engine), from_(from), to_(to),
+      begin_(engine.staging_[from].words.size()),
+      uncaught_on_open_(std::uncaught_exceptions()) {
+  engine.writer_open_[from] = 1;
+}
+
+inline MessageWriter::~MessageWriter() {
+  if (done_) return;
+  if (std::uncaught_exceptions() > uncaught_on_open_) {
+    // Dying on the unwind path: roll the partial message back.
+    cancel();
+    return;
+  }
+  Engine::Outbox& out = engine_->staging_[from_];
+  const std::uint64_t len = out.words.size() - begin_;
+  out.frames.push_back({to_, begin_, len});
+  engine_->outbox_words_[from_] += len;
+  engine_->writer_open_[from_] = 0;
+}
+
+inline void MessageWriter::push(Word w) {
+  MRLR_DEBUG_REQUIRE(!done_, "MessageWriter: push after cancel");
+  engine_->staging_[from_].words.push_back(w);
+}
+
+inline void MessageWriter::append(std::span<const Word> words) {
+  MRLR_DEBUG_REQUIRE(!done_, "MessageWriter: append after cancel");
+  auto& buf = engine_->staging_[from_].words;
+  buf.insert(buf.end(), words.begin(), words.end());
+}
+
+inline std::uint64_t MessageWriter::size() const {
+  MRLR_DEBUG_REQUIRE(!done_, "MessageWriter: size after cancel");
+  return engine_->staging_[from_].words.size() - begin_;
+}
+
+inline void MessageWriter::cancel() {
+  engine_->staging_[from_].words.resize(begin_);
+  engine_->writer_open_[from_] = 0;
+  done_ = true;
+}
 
 }  // namespace mrlr::mrc

@@ -8,7 +8,9 @@
 namespace mrlr::mrc {
 
 MapReduceJob::MapReduceJob(Engine& engine, std::vector<KeyValue> input)
-    : engine_(engine), data_(engine.num_machines()) {
+    : engine_(engine), data_(engine.num_machines()),
+      map_scratch_(engine.num_machines(),
+                   std::vector<std::vector<Word>>(engine.num_machines())) {
   for (std::size_t i = 0; i < input.size(); ++i) {
     data_[i % engine_.num_machines()].push_back(std::move(input[i]));
   }
@@ -22,8 +24,9 @@ MachineId MapReduceJob::machine_of_key(Word key) const {
 }
 
 std::uint64_t MapReduceJob::resident_words(MachineId m) const {
+  // Same cost model as the shuffle framing: key + length + value.
   std::uint64_t words = 0;
-  for (const KeyValue& kv : data_[m]) words += 1 + kv.value.size();
+  for (const KeyValue& kv : data_[m]) words += 2 + kv.value.size();
   return words;
 }
 
@@ -33,8 +36,11 @@ void MapReduceJob::round(std::string_view label, const Mapper& map,
   // Message framing: [key, value_len, value...] repeated.
   engine_.run_round(label, [&](MachineContext& ctx) {
     ctx.charge_resident(resident_words(ctx.id()));
-    // Group emissions per destination to cut message overhead.
-    std::vector<std::vector<Word>> out(engine_.num_machines());
+    // Group emissions per destination to cut message overhead; the
+    // buffers are handed to the arena in one span copy each, and kept
+    // (capacity intact) across rounds.
+    std::vector<std::vector<Word>>& out = map_scratch_[ctx.id()];
+    for (std::vector<Word>& buf : out) buf.clear();
     for (const KeyValue& kv : data_[ctx.id()]) {
       for (KeyValue& emitted : map(kv)) {
         auto& buf = out[machine_of_key(emitted.key)];
@@ -44,7 +50,7 @@ void MapReduceJob::round(std::string_view label, const Mapper& map,
       }
     }
     for (MachineId m = 0; m < engine_.num_machines(); ++m) {
-      if (!out[m].empty()) ctx.send(m, std::move(out[m]));
+      if (!out[m].empty()) ctx.send_batch(m, out[m]);
     }
   });
 
@@ -54,16 +60,10 @@ void MapReduceJob::round(std::string_view label, const Mapper& map,
     ctx.charge_resident(ctx.inbox_words());
     // std::map gives deterministic key order; values keep arrival order.
     std::map<Word, std::vector<std::vector<Word>>> groups;
-    for (const Message& msg : ctx.inbox()) {
-      std::size_t i = 0;
-      while (i + 2 <= msg.payload.size()) {
-        const Word key = msg.payload[i++];
-        const auto len = static_cast<std::size_t>(msg.payload[i++]);
-        std::vector<Word> value(msg.payload.begin() + i,
-                                msg.payload.begin() + i + len);
-        i += len;
-        groups[key].push_back(std::move(value));
-      }
+    for (const MessageView msg : ctx.messages()) {
+      decode_kv_frames(msg.payload, [&](Word key, std::span<const Word> v) {
+        groups[key].emplace_back(v.begin(), v.end());
+      });
     }
     for (const auto& [key, values] : groups) {
       for (KeyValue& out : reduce(key, values)) {

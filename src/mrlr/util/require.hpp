@@ -25,3 +25,14 @@ namespace mrlr::detail {
       ::mrlr::detail::require_failed(#cond, __FILE__, __LINE__, (msg)); \
     }                                                                   \
   } while (false)
+
+// MRLR_DEBUG_REQUIRE is MRLR_REQUIRE for preconditions on hot paths
+// (per-word / per-edge inner loops): checked in debug and sanitizer
+// builds, compiled out under NDEBUG so Release keeps full speed.
+#ifndef NDEBUG
+#define MRLR_DEBUG_REQUIRE(cond, msg) MRLR_REQUIRE(cond, msg)
+#else
+#define MRLR_DEBUG_REQUIRE(cond, msg) \
+  do {                                \
+  } while (false)
+#endif

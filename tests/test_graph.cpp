@@ -41,6 +41,17 @@ TEST(Graph, IncidenceEdgeIdsAreCorrect) {
   }
 }
 
+TEST(Graph, EdgeOtherEnforcesEndpointPrecondition) {
+  Edge e{2, 5};
+  EXPECT_EQ(e.other(2), 5u);
+  EXPECT_EQ(e.other(5), 2u);
+#ifndef NDEBUG
+  // The precondition check is compiled out in Release; in debug builds a
+  // non-endpoint must abort instead of silently returning v.
+  EXPECT_DEATH((void)e.other(7), "not an endpoint");
+#endif
+}
+
 TEST(Graph, UnweightedWeightIsOne) {
   Graph g(2, {{0, 1}});
   EXPECT_FALSE(g.weighted());

@@ -154,6 +154,66 @@ TEST(KeyValue, SpaceCapEnforcedOnShuffle) {
       SpaceLimitExceeded);
 }
 
+// ------------------------------------------------------- framing bugs --
+
+TEST(KeyValueFraming, DecodesWellFormedRecords) {
+  const std::vector<Word> payload{7, 0,          // key 7, empty value
+                                  8, 3, 1, 2, 3,  // key 8, 3-word value
+                                  9, 1, 42};      // key 9, 1-word value
+  std::vector<std::pair<Word, std::vector<Word>>> got;
+  decode_kv_frames(std::span<const Word>(payload),
+                   [&](Word key, std::span<const Word> v) {
+                     got.emplace_back(key,
+                                      std::vector<Word>(v.begin(), v.end()));
+                   });
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], (std::pair<Word, std::vector<Word>>{7, {}}));
+  EXPECT_EQ(got[1], (std::pair<Word, std::vector<Word>>{8, {1, 2, 3}}));
+  EXPECT_EQ(got[2], (std::pair<Word, std::vector<Word>>{9, {42}}));
+}
+
+TEST(KeyValueFraming, OverlongValueLengthThrowsInsteadOfOverreading) {
+  // Regression: value_len beyond the remaining payload used to read past
+  // the end of the message buffer.
+  const std::vector<Word> payload{5, 10, 1, 2};  // declares 10, has 2
+  EXPECT_THROW(decode_kv_frames(std::span<const Word>(payload),
+                                [](Word, std::span<const Word>) {}),
+               FramingError);
+  try {
+    decode_kv_frames(std::span<const Word>(payload),
+                     [](Word, std::span<const Word>) {});
+  } catch (const FramingError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("value_len 10"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 words remain"), std::string::npos) << what;
+  }
+}
+
+TEST(KeyValueFraming, TruncatedHeaderThrows) {
+  // A single trailing word cannot hold a [key, value_len] header; the
+  // old parser silently dropped it.
+  const std::vector<Word> payload{3, 1, 9, 77};  // valid record + stray 77
+  EXPECT_THROW(decode_kv_frames(std::span<const Word>(payload),
+                                [](Word, std::span<const Word>) {}),
+               FramingError);
+}
+
+TEST(KeyValueFraming, HugeLengthDoesNotWrap) {
+  // value_len near 2^64 must not overflow the bounds arithmetic.
+  const std::vector<Word> payload{1, ~Word{0}, 5};
+  EXPECT_THROW(decode_kv_frames(std::span<const Word>(payload),
+                                [](Word, std::span<const Word>) {}),
+               FramingError);
+}
+
+TEST(KeyValue, ResidentWordsMatchShuffleFramingCost) {
+  // Unified cost model: a pair costs 2 + |value| words resident, exactly
+  // what its shuffle framing [key, value_len, value...] occupies.
+  Engine e(topo(1));
+  MapReduceJob job(e, {{1, {10, 11}}, {2, {}}, {3, {7}}});
+  EXPECT_EQ(job.resident_words(0), (2 + 2) + (2 + 0) + (2 + 1));
+}
+
 TEST(KeyValue, ValuesArriveGroupedPerKey) {
   Engine e(topo(3));
   std::vector<KeyValue> input;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <unordered_set>
 
 #include "mrlr/util/math.hpp"
@@ -12,6 +13,8 @@ namespace mrlr::graph {
 namespace {
 
 /// Packs an undirected edge into a canonical 64-bit key for dedup.
+/// Both endpoints must fit in 32 bits — max_simple_edges enforces the
+/// kMaxGeneratorVertices bound before any generator reaches here.
 std::uint64_t edge_key(VertexId a, VertexId b) {
   if (a > b) std::swap(a, b);
   return (static_cast<std::uint64_t>(a) << 32) | b;
@@ -19,9 +22,18 @@ std::uint64_t edge_key(VertexId a, VertexId b) {
 
 }  // namespace
 
+std::uint64_t max_simple_edges(std::uint64_t n) {
+  MRLR_REQUIRE(n <= kMaxGeneratorVertices,
+               "generators: n exceeds the 32-bit vertex-id / edge_key "
+               "packing limit (2^32)");
+  // Divide the even factor first so the product never wraps: for
+  // n = 2^32 the result 2^31 * (2^32 - 1) still fits in 64 bits.
+  return (n % 2 == 0) ? (n / 2) * (n - 1) : n * ((n - 1) / 2);
+}
+
 Graph gnm(std::uint64_t n, std::uint64_t m, Rng& rng) {
   MRLR_REQUIRE(n >= 2 || m == 0, "gnm needs at least two vertices for edges");
-  const std::uint64_t max_edges = n * (n - 1) / 2;
+  const std::uint64_t max_edges = max_simple_edges(n);
   MRLR_REQUIRE(m <= max_edges, "gnm: too many edges requested");
 
   std::vector<Edge> edges;
@@ -51,13 +63,14 @@ Graph gnm(std::uint64_t n, std::uint64_t m, Rng& rng) {
 }
 
 Graph gnm_density(std::uint64_t n, double c, Rng& rng) {
-  const std::uint64_t max_edges = n < 2 ? 0 : n * (n - 1) / 2;
+  const std::uint64_t max_edges = max_simple_edges(n);
   const std::uint64_t m = std::min(ipow_real(n, 1.0 + c), max_edges);
   return gnm(n, m, rng);
 }
 
 Graph gnp(std::uint64_t n, double p, Rng& rng) {
   MRLR_REQUIRE(p >= 0.0 && p <= 1.0, "gnp: p out of range");
+  const std::uint64_t total = max_simple_edges(n);  // also guards n <= 2^32
   std::vector<Edge> edges;
   if (p > 0.0) {
     // Geometric skipping so the cost is O(m), not O(n^2), for small p.
@@ -67,7 +80,6 @@ Graph gnp(std::uint64_t n, double p, Rng& rng) {
         for (VertexId v = u + 1; v < n; ++v) edges.push_back({u, v});
       }
     } else {
-      const std::uint64_t total = n < 2 ? 0 : n * (n - 1) / 2;
       std::uint64_t idx = 0;
       while (true) {
         const double u01 = std::max(rng.uniform01(), 0x1.0p-53);
@@ -102,7 +114,7 @@ Graph gnp(std::uint64_t n, double p, Rng& rng) {
 }
 
 Graph chung_lu_power_law(std::uint64_t n, std::uint64_t m, double beta,
-                         Rng& rng) {
+                         Rng& rng, const ChungLuOptions& opts) {
   MRLR_REQUIRE(beta > 2.0, "chung_lu: beta must exceed 2");
   MRLR_REQUIRE(n >= 2, "chung_lu: need at least two vertices");
   // Target weights w_v ~ (v+1)^{-1/(beta-1)}, normalized so that
@@ -137,10 +149,10 @@ Graph chung_lu_power_law(std::uint64_t n, std::uint64_t m, double beta,
   seen.reserve(m * 2);
   std::vector<Edge> edges;
   edges.reserve(m);
-  const std::uint64_t max_edges = n * (n - 1) / 2;
-  const std::uint64_t target = std::min(m, max_edges);
+  const std::uint64_t target = std::min(m, max_simple_edges(n));
   std::uint64_t attempts = 0;
-  const std::uint64_t max_attempts = 20 * target + 1000;
+  const std::uint64_t max_attempts =
+      opts.max_attempts != 0 ? opts.max_attempts : 20 * target + 1000;
   while (edges.size() < target && attempts < max_attempts) {
     ++attempts;
     const VertexId u = draw();
@@ -150,11 +162,33 @@ Graph chung_lu_power_law(std::uint64_t n, std::uint64_t m, double beta,
       edges.push_back({std::min(u, v), std::max(u, v)});
     }
   }
+  const std::uint64_t shortfall = target - edges.size();
+  if (opts.shortfall != nullptr) *opts.shortfall = shortfall;
+  if (shortfall > 0) {
+    if (opts.strict) {
+      throw GeneratorError(
+          "chung_lu: attempt budget exhausted at " +
+          std::to_string(edges.size()) + " of " + std::to_string(target) +
+          " requested edges");
+    }
+    if (opts.shortfall == nullptr) {
+      std::fprintf(stderr,
+                   "mrlr: warning: chung_lu produced %llu of %llu "
+                   "requested edges (attempt budget exhausted)\n",
+                   static_cast<unsigned long long>(edges.size()),
+                   static_cast<unsigned long long>(target));
+    }
+  }
   return Graph(n, std::move(edges));
 }
 
 Graph random_bipartite(std::uint64_t n_left, std::uint64_t n_right,
                        std::uint64_t m, Rng& rng) {
+  MRLR_REQUIRE(n_left + n_right <= kMaxGeneratorVertices &&
+                   n_left <= n_left + n_right,
+               "random_bipartite: n exceeds the 32-bit vertex-id limit");
+  // With both sides bounded by 2^32 and their sum too, the product is
+  // at most 2^62 and cannot wrap.
   MRLR_REQUIRE(m <= n_left * n_right, "random_bipartite: too many edges");
   const std::uint64_t n = n_left + n_right;
   std::unordered_set<std::uint64_t> seen;
@@ -201,7 +235,7 @@ Graph circulant(std::uint64_t n, std::uint64_t d) {
 
 Graph complete(std::uint64_t n) {
   std::vector<Edge> edges;
-  edges.reserve(n * (n - 1) / 2);
+  edges.reserve(max_simple_edges(n));
   for (VertexId u = 0; u < n; ++u) {
     for (VertexId v = u + 1; v < n; ++v) edges.push_back({u, v});
   }

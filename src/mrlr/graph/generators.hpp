@@ -7,14 +7,34 @@
 // All generators are deterministic given their Rng.
 
 #include <cstdint>
+#include <stdexcept>
 
 #include "mrlr/graph/graph.hpp"
 #include "mrlr/util/rng.hpp"
 
 namespace mrlr::graph {
 
+/// Thrown by generators that cannot honour their contract at runtime
+/// (currently: chung_lu_power_law under ChungLuOptions::strict when the
+/// attempt budget runs out before m edges are produced).
+class GeneratorError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The random generators dedupe candidate edges through a 64-bit packed
+/// key (32 bits per endpoint), and VertexId itself is 32 bits, so every
+/// generator requires n <= 2^32 — the library-wide kMaxVertexCount.
+inline constexpr std::uint64_t kMaxGeneratorVertices = kMaxVertexCount;
+
+/// n*(n-1)/2 — the edge count of K_n — computed without overflow for
+/// any n <= kMaxGeneratorVertices; aborts (MRLR_REQUIRE) above that.
+/// The naive expression n*(n-1)/2 wraps for n >= 2^32 and would
+/// silently mis-size every density computation built on it.
+std::uint64_t max_simple_edges(std::uint64_t n);
+
 /// Uniform random simple graph with exactly m distinct edges (G(n,m)).
-/// Requires m <= n*(n-1)/2.
+/// Requires m <= max_simple_edges(n).
 Graph gnm(std::uint64_t n, std::uint64_t m, Rng& rng);
 
 /// G(n, m = round(n^{1+c})), clamped to the complete graph. The standard
@@ -24,12 +44,23 @@ Graph gnm_density(std::uint64_t n, double c, Rng& rng);
 /// Erdos-Renyi G(n,p); expected m = p * n(n-1)/2.
 Graph gnp(std::uint64_t n, double p, Rng& rng);
 
+/// Knobs for chung_lu_power_law's rejection-sampling loop. The sampler
+/// can exhaust its attempt budget before reaching m edges (skewed
+/// weight sequences concentrate draws on few vertices); the shortfall
+/// is never silent: strict mode throws GeneratorError, otherwise it is
+/// written to *shortfall when given and warned to stderr when not.
+struct ChungLuOptions {
+  bool strict = false;                  ///< throw on shortfall
+  std::uint64_t max_attempts = 0;       ///< 0 = default 20*m + 1000
+  std::uint64_t* shortfall = nullptr;   ///< out: requested - produced
+};
+
 /// Chung-Lu power-law graph: vertex v gets weight ~ (v+1)^{-1/(beta-1)},
 /// scaled so the expected edge count is approximately m. Produces the
 /// heavy-tailed degree distributions of social networks; beta in (2, 3]
-/// is typical.
+/// is typical. See ChungLuOptions for shortfall handling.
 Graph chung_lu_power_law(std::uint64_t n, std::uint64_t m, double beta,
-                         Rng& rng);
+                         Rng& rng, const ChungLuOptions& opts = {});
 
 /// Random bipartite graph: left vertices [0, n_left), right vertices
 /// [n_left, n_left + n_right), m distinct cross edges.

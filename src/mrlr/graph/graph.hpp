@@ -17,6 +17,11 @@ namespace mrlr::graph {
 using VertexId = std::uint32_t;
 using EdgeId = std::uint32_t;
 
+/// Largest admissible vertex count: ids are 32 bits, and generators and
+/// file readers pack two of them into a 64-bit word (edge keys, .mgb
+/// edge records), so every ingestion surface enforces n <= 2^32.
+inline constexpr std::uint64_t kMaxVertexCount = 1ull << 32;
+
 struct Edge {
   VertexId u = 0;
   VertexId v = 0;

@@ -1,61 +1,188 @@
 #include "mrlr/graph/io.hpp"
 
+#include <algorithm>
+#include <charconv>
+#include <cmath>
 #include <istream>
 #include <ostream>
-#include <sstream>
+#include <span>
 #include <string>
 
 #include "mrlr/util/require.hpp"
 
 namespace mrlr::graph {
 
-void write_edge_list(const Graph& g, std::ostream& os) {
-  os << g.num_vertices() << ' ' << g.num_edges()
-     << (g.weighted() ? " weighted" : "") << '\n';
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const Edge& ed = g.edge(e);
-    os << ed.u << ' ' << ed.v;
-    if (g.weighted()) os << ' ' << g.weight(e);
-    os << '\n';
-  }
+namespace {
+
+[[noreturn]] void fail(std::uint64_t line_no, const std::string& what) {
+  throw ParseError("edge list: line " + std::to_string(line_no) + ": " +
+                   what);
 }
 
-Graph read_edge_list(std::istream& is) {
+/// Token walker over one line. std::from_chars does not skip leading
+/// whitespace, so the cursor does; tokens are maximal runs of
+/// non-blank characters.
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  void skip_blanks() {
+    while (p < end && (*p == ' ' || *p == '\t')) ++p;
+  }
+  bool at_end() {
+    skip_blanks();
+    return p == end;
+  }
+  std::string_view token() {
+    skip_blanks();
+    const char* start = p;
+    while (p < end && *p != ' ' && *p != '\t') ++p;
+    return {start, static_cast<std::size_t>(p - start)};
+  }
+};
+
+std::uint64_t parse_u64(Cursor& c, std::uint64_t line_no, const char* what) {
+  c.skip_blanks();
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(c.p, c.end, value);
+  if (ec != std::errc{} || ptr == c.p) {
+    fail(line_no, std::string("expected ") + what);
+  }
+  c.p = ptr;
+  return value;
+}
+
+double parse_weight(Cursor& c, std::uint64_t line_no) {
+  c.skip_blanks();
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(c.p, c.end, value);
+  if (ec != std::errc{} || ptr == c.p) fail(line_no, "missing edge weight");
+  if (!std::isfinite(value) || value <= 0.0) {
+    fail(line_no, "edge weight must be finite and positive");
+  }
+  c.p = ptr;
+  return value;
+}
+
+// Batched std::to_chars formatting: doubles use the shortest
+// round-trip representation, so a text round trip preserves weights
+// exactly.
+void write_edge_list_impl(std::uint64_t n, bool weighted,
+                          std::span<const Edge> edges,
+                          std::span<const double> weights,
+                          std::ostream& os) {
+  MRLR_REQUIRE(!weighted || weights.size() == edges.size(),
+               "edge list: weighted graph data must carry one weight per "
+               "edge");
+  std::string buf;
+  constexpr std::size_t kFlushAt = std::size_t{1} << 16;
+  buf.reserve(kFlushAt + 128);
+  char tmp[64];
+  const auto append_u64 = [&](std::uint64_t v) {
+    const auto [ptr, ec] = std::to_chars(tmp, tmp + sizeof(tmp), v);
+    buf.append(tmp, ptr);
+  };
+  const auto append_double = [&](double v) {
+    const auto [ptr, ec] = std::to_chars(tmp, tmp + sizeof(tmp), v);
+    buf.append(tmp, ptr);
+  };
+
+  append_u64(n);
+  buf += ' ';
+  append_u64(edges.size());
+  if (weighted) buf += " weighted";
+  buf += '\n';
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    append_u64(edges[e].u);
+    buf += ' ';
+    append_u64(edges[e].v);
+    if (weighted) {
+      buf += ' ';
+      append_double(weights[e]);
+    }
+    buf += '\n';
+    if (buf.size() >= kFlushAt) {
+      os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+      buf.clear();
+    }
+  }
+  os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+}  // namespace
+
+Graph GraphData::build() && {
+  return weights.empty() ? Graph(n, std::move(edges))
+                         : Graph(n, std::move(edges), std::move(weights));
+}
+
+void write_edge_list(const Graph& g, std::ostream& os) {
+  write_edge_list_impl(g.num_vertices(), g.weighted(), g.edges(),
+                       g.weights(), os);
+}
+
+void write_edge_list(const GraphData& d, std::ostream& os) {
+  write_edge_list_impl(d.n, d.weighted, d.edges, d.weights, os);
+}
+
+GraphData read_edge_list_data(std::istream& is) {
   std::string line;
-  auto next_content_line = [&]() -> bool {
+  std::uint64_t line_no = 0;
+  const auto next_content_line = [&]() -> bool {
     while (std::getline(is, line)) {
-      if (!line.empty() && line[0] != '#') return true;
+      ++line_no;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      const std::size_t i = line.find_first_not_of(" \t");
+      if (i == std::string::npos || line[i] == '#') continue;
+      return true;
     }
     return false;
   };
+  const auto cursor = [&]() {
+    return Cursor{line.data(), line.data() + line.size()};
+  };
 
-  MRLR_REQUIRE(next_content_line(), "edge list: missing header");
-  std::istringstream header(line);
-  std::uint64_t n = 0, m = 0;
-  std::string flag;
-  header >> n >> m >> flag;
-  const bool weighted = flag == "weighted";
-
-  std::vector<Edge> edges;
-  std::vector<double> weights;
-  edges.reserve(m);
-  if (weighted) weights.reserve(m);
-  for (std::uint64_t i = 0; i < m; ++i) {
-    MRLR_REQUIRE(next_content_line(), "edge list: truncated file");
-    std::istringstream ls(line);
-    std::uint64_t u = 0, v = 0;
-    ls >> u >> v;
-    MRLR_REQUIRE(u < n && v < n, "edge list: endpoint out of range");
-    edges.push_back(
-        {static_cast<VertexId>(u), static_cast<VertexId>(v)});
-    if (weighted) {
-      double w = 0.0;
-      ls >> w;
-      weights.push_back(w);
+  if (!next_content_line()) throw ParseError("edge list: missing header");
+  Cursor h = cursor();
+  const std::uint64_t n = parse_u64(h, line_no, "vertex count in header");
+  const std::uint64_t m = parse_u64(h, line_no, "edge count in header");
+  bool weighted = false;
+  if (!h.at_end()) {
+    const std::string_view flag = h.token();
+    if (flag != "weighted") {
+      fail(line_no, "unrecognized header flag '" + std::string(flag) + "'");
     }
+    weighted = true;
   }
-  return weighted ? Graph(n, std::move(edges), std::move(weights))
-                  : Graph(n, std::move(edges));
+  if (!h.at_end()) fail(line_no, "trailing characters after header");
+  if (n > kMaxVertexCount) {
+    fail(line_no, "vertex count exceeds the 32-bit vertex-id limit");
+  }
+
+  GraphData d;
+  d.n = n;
+  d.weighted = weighted;
+  d.edges.reserve(std::min(m, kIoReserveCap));
+  if (weighted) d.weights.reserve(std::min(m, kIoReserveCap));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    if (!next_content_line()) {
+      throw ParseError("edge list: truncated file: " + std::to_string(i) +
+                       " of " + std::to_string(m) + " edges read");
+    }
+    Cursor c = cursor();
+    const std::uint64_t u = parse_u64(c, line_no, "source endpoint");
+    const std::uint64_t v = parse_u64(c, line_no, "target endpoint");
+    if (u >= n || v >= n) fail(line_no, "endpoint out of range");
+    if (u == v) fail(line_no, "self-loop");
+    d.edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v)});
+    if (weighted) d.weights.push_back(parse_weight(c, line_no));
+    if (!c.at_end()) fail(line_no, "trailing characters after edge");
+  }
+  return d;
+}
+
+Graph read_edge_list(std::istream& is) {
+  return read_edge_list_data(is).build();
 }
 
 }  // namespace mrlr::graph

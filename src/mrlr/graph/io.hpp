@@ -1,20 +1,77 @@
 #pragma once
-// Plain-text edge-list I/O so examples can load user-provided graphs.
+// Graph I/O: strict plain-text edge lists plus dispatch to the binary
+// `.mgb` container (io_binary.hpp) by file extension.
 //
-// Format: first line "n m [weighted]", then one "u v [w]" line per edge.
-// Lines starting with '#' are comments.
+// Text format: first line "n m [weighted]", then one "u v [w]" line per
+// edge. Lines starting with '#' (after optional whitespace) and blank
+// lines are comments. Endpoints must be < n and distinct (no
+// self-loops); weights, when the header declares them, must be present,
+// finite, and strictly positive. Anything else throws ParseError —
+// never a silently empty or zero-weight graph.
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "mrlr/graph/graph.hpp"
 
 namespace mrlr::graph {
 
-void write_edge_list(const Graph& g, std::ostream& os);
+/// Thrown by every graph reader (text and .mgb) on malformed input:
+/// bad or garbage headers, truncated files, out-of-range or self-loop
+/// endpoints, missing/non-finite/non-positive weights, bad magic or
+/// checksum mismatch. The message names the offending line or byte
+/// offset.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
-/// Parses the format written by write_edge_list. Aborts (MRLR_REQUIRE) on
-/// malformed input; this is a research harness, not a hardened parser.
+/// Readers cap up-front vector reservations at this many elements so an
+/// adversarial header count fails at the truncation check (ParseError)
+/// instead of forcing a giant allocation; larger genuine inputs grow
+/// geometrically past the cap.
+inline constexpr std::uint64_t kIoReserveCap = 1ull << 20;
+
+/// Parsed-but-unindexed graph data: what the readers produce before the
+/// CSR adjacency index is built. Streaming consumers that never walk
+/// neighbourhoods — format converters, partitioners, writers — can stay
+/// at this layer and skip the index cost, which dominates the load time
+/// of large instances.
+struct GraphData {
+  std::uint64_t n = 0;
+  bool weighted = false;
+  std::vector<Edge> edges;
+  std::vector<double> weights;  // size edges.size() when weighted
+
+  /// Builds the algorithmic Graph (CSR index) from this data.
+  Graph build() &&;
+};
+
+void write_edge_list(const Graph& g, std::ostream& os);
+void write_edge_list(const GraphData& d, std::ostream& os);
+
+/// Parses the format written by write_edge_list. Throws ParseError on
+/// malformed input (see the taxonomy above).
 Graph read_edge_list(std::istream& is);
+
+/// As read_edge_list, but stops at the data layer (no CSR index).
+GraphData read_edge_list_data(std::istream& is);
+
+/// True when `path` names the binary container (extension ".mgb",
+/// case-insensitive).
+bool is_mgb_path(std::string_view path);
+
+/// Reads a graph from `path`, picking the `.mgb` binary reader or the
+/// text reader by extension. Throws ParseError when the file cannot be
+/// opened or fails validation.
+Graph read_graph_file(const std::string& path);
+GraphData read_graph_file_data(const std::string& path);
+
+/// Writes a graph to `path` in the format selected by its extension.
+/// Throws ParseError when the file cannot be opened or written.
+void write_graph_file(const Graph& g, const std::string& path);
+void write_graph_file(const GraphData& d, const std::string& path);
 
 }  // namespace mrlr::graph

@@ -1,0 +1,80 @@
+#pragma once
+// Binary graph container (.mgb), the fast path for paper-scale inputs
+// (m = n^{1+c} edges): fixed-width little-endian blocks that stream in
+// chunks, so neither side ever needs a second in-memory copy of the
+// edge list, plus a trailing checksum so truncation or bit rot fails
+// loudly instead of feeding a corrupt instance to an experiment.
+//
+// Layout (all fields little-endian):
+//
+//   offset  size  field
+//   0       4     magic      0x3142474D ("MGB1")
+//   4       4     version    1
+//   8       8     n          vertex count (<= 2^32)
+//   16      8     m          edge count
+//   24      4     flags      bit 0: weighted; other bits must be zero
+//   28      4     reserved   must be zero
+//   32      8m    edges      m x { u32 u, u32 v }, endpoints < n, u != v
+//   .       8m    weights    m x f64, finite and > 0 (present iff weighted)
+//   .       8     checksum   order-dependent 64-bit mix of n, m, flags,
+//                            every edge, and every weight bit pattern
+//
+// Readers throw graph::ParseError on bad magic, unsupported version,
+// nonzero reserved bits, out-of-range or self-loop endpoints, bad
+// weights, truncated blocks, checksum mismatch, or trailing bytes.
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+
+#include "mrlr/graph/graph.hpp"
+#include "mrlr/graph/io.hpp"
+
+namespace mrlr::graph {
+
+inline constexpr std::uint32_t kMgbMagic = 0x3142474Du;  // "MGB1"
+inline constexpr std::uint32_t kMgbVersion = 1;
+
+/// Incremental .mgb writer for generator pipelines: declare (n, m,
+/// weighted) up front, append the edge block and then the weight block
+/// in chunks of any size, and finish() to emit the checksum trailer.
+/// Appending more (or finishing with fewer) elements than declared is
+/// API misuse and aborts via MRLR_REQUIRE.
+class MgbWriter {
+ public:
+  MgbWriter(std::ostream& os, std::uint64_t n, std::uint64_t m,
+            bool weighted);
+  ~MgbWriter();
+
+  MgbWriter(const MgbWriter&) = delete;
+  MgbWriter& operator=(const MgbWriter&) = delete;
+
+  void append_edges(std::span<const Edge> edges);
+  void append_weights(std::span<const double> weights);
+  void finish();
+
+ private:
+  std::ostream& os_;
+  std::uint64_t n_;
+  std::uint64_t m_;
+  bool weighted_;
+  std::uint64_t edges_written_ = 0;
+  std::uint64_t weights_written_ = 0;
+  std::uint64_t checksum_;
+  bool finished_ = false;
+};
+
+/// Writes a graph as a .mgb stream (header, edge block, weight block
+/// when weighted, checksum trailer).
+void write_mgb(const Graph& g, std::ostream& os);
+void write_mgb(const GraphData& d, std::ostream& os);
+
+/// Parses a .mgb stream in chunks, validating as it goes. Throws
+/// ParseError on any malformed input; the stream must end right after
+/// the checksum.
+Graph read_mgb(std::istream& is);
+
+/// As read_mgb, but stops at the data layer (no CSR index).
+GraphData read_mgb_data(std::istream& is);
+
+}  // namespace mrlr::graph

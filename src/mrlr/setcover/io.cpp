@@ -1,14 +1,23 @@
 #include "mrlr/setcover/io.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "mrlr/util/require.hpp"
-
 namespace mrlr::setcover {
+
+namespace {
+
+[[noreturn]] void fail(std::uint64_t line_no, const std::string& what) {
+  throw ParseError("set system: line " + std::to_string(line_no) + ": " +
+                   what);
+}
+
+}  // namespace
 
 void write_set_system(const SetSystem& sys, std::ostream& os) {
   os << sys.num_sets() << ' ' << sys.universe_size() << " weighted\n";
@@ -21,38 +30,60 @@ void write_set_system(const SetSystem& sys, std::ostream& os) {
 
 SetSystem read_set_system(std::istream& is) {
   std::string line;
+  std::uint64_t line_no = 0;
   auto next_content_line = [&]() -> bool {
     while (std::getline(is, line)) {
-      if (!line.empty() && line[0] != '#') return true;
+      ++line_no;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      const std::size_t i = line.find_first_not_of(" \t");
+      if (i == std::string::npos || line[i] == '#') continue;
+      return true;
     }
     return false;
   };
 
-  MRLR_REQUIRE(next_content_line(), "set system: missing header");
+  if (!next_content_line()) throw ParseError("set system: missing header");
   std::istringstream header(line);
   std::uint64_t n = 0, m = 0;
   std::string flag;
-  header >> n >> m >> flag;
-  const bool weighted = flag == "weighted";
+  if (!(header >> n >> m)) fail(line_no, "malformed header counts");
+  const bool weighted = static_cast<bool>(header >> flag);
+  if (weighted && flag != "weighted") {
+    fail(line_no, "unrecognized header flag '" + flag + "'");
+  }
+  std::string extra;
+  if (header >> extra) fail(line_no, "trailing characters after header");
 
+  // Cap up-front reservations so adversarial header/row counts fail as
+  // ParseError (truncated file / short row) instead of std::length_error
+  // out of reserve; genuinely large systems grow geometrically.
   std::vector<std::vector<ElementId>> sets;
   std::vector<double> weights;
-  sets.reserve(n);
+  sets.reserve(std::min(n, graph::kIoReserveCap));
   for (std::uint64_t i = 0; i < n; ++i) {
-    MRLR_REQUIRE(next_content_line(), "set system: truncated file");
+    if (!next_content_line()) {
+      throw ParseError("set system: truncated file: " + std::to_string(i) +
+                       " of " + std::to_string(n) + " sets read");
+    }
     std::istringstream ls(line);
     double w = 1.0;
-    if (weighted) ls >> w;
+    if (weighted) {
+      if (!(ls >> w)) fail(line_no, "missing set weight");
+      if (!std::isfinite(w) || w <= 0.0) {
+        fail(line_no, "set weight must be finite and positive");
+      }
+    }
     std::uint64_t k = 0;
-    ls >> k;
+    if (!(ls >> k)) fail(line_no, "missing set size");
     std::vector<ElementId> s;
-    s.reserve(k);
+    s.reserve(std::min(k, graph::kIoReserveCap));
     for (std::uint64_t t = 0; t < k; ++t) {
       std::uint64_t j = 0;
-      ls >> j;
-      MRLR_REQUIRE(j < m, "set system: element outside universe");
+      if (!(ls >> j)) fail(line_no, "set row shorter than its declared size");
+      if (j >= m) fail(line_no, "element outside universe");
       s.push_back(static_cast<ElementId>(j));
     }
+    if (ls >> extra) fail(line_no, "trailing characters after set row");
     sets.push_back(std::move(s));
     weights.push_back(w);
   }

@@ -118,7 +118,33 @@ TEST(SetSystemIo, CommentsAndUnweighted) {
 
 TEST(SetSystemIo, RejectsOutOfUniverse) {
   std::stringstream ss("1 2\n1 7\n");
-  EXPECT_DEATH((void)read_set_system(ss), "outside");
+  EXPECT_THROW((void)read_set_system(ss), ParseError);
+}
+
+TEST(SetSystemIo, RejectsGarbageHeader) {
+  std::stringstream ss("sets universe\n");
+  EXPECT_THROW((void)read_set_system(ss), ParseError);
+}
+
+TEST(SetSystemIo, RejectsShortRow) {
+  std::stringstream ss("1 5\n3 0 1\n");
+  EXPECT_THROW((void)read_set_system(ss), ParseError);
+}
+
+TEST(SetSystemIo, RejectsBadWeight) {
+  std::stringstream ss("1 5 weighted\n-2.0 1 0\n");
+  EXPECT_THROW((void)read_set_system(ss), ParseError);
+}
+
+TEST(SetSystemIo, AdversarialCountsFailAsParseError) {
+  // Huge (or negative-wrapped) counts must surface as ParseError from
+  // the truncation checks, not std::length_error out of reserve.
+  std::stringstream huge_n("1152921504606846976 5\n");
+  EXPECT_THROW((void)read_set_system(huge_n), ParseError);
+  std::stringstream neg_n("-1 5\n");
+  EXPECT_THROW((void)read_set_system(neg_n), ParseError);
+  std::stringstream huge_k("1 5\n1000000000000000000 0 1\n");
+  EXPECT_THROW((void)read_set_system(huge_k), ParseError);
 }
 
 }  // namespace

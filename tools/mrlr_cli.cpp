@@ -1,11 +1,18 @@
 // Command-line driver: run any algorithm in the library on a generated
 // or user-provided instance and print the solution summary plus the
-// Figure-1 cost metrics (rounds, space, communication).
+// Figure-1 cost metrics (rounds, space, communication); or generate and
+// convert instances on disk.
 //
 // Usage:
 //   mrlr_cli <algorithm> [--n N] [--c C] [--mu MU] [--seed S]
 //            [--eps E] [--b B] [--dist uniform|exp|int|polarized]
 //            [--threads T] [--graph FILE] [--sets FILE] [--trace]
+//   mrlr_cli gen <family> --out FILE [family options]
+//   mrlr_cli convert --in FILE --out FILE
+//
+// Graph files (--graph, gen/convert --in/--out) are read and written in
+// the binary .mgb container when the path ends in ".mgb", and as plain
+// text edge lists otherwise.
 //
 // Algorithms:
 //   matching | vertex-cover | set-cover-f | set-cover-greedy |
@@ -13,10 +20,22 @@
 //   colour-edge | filtering-matching | filtering-weighted |
 //   luby-mis | luby-colouring | coreset-matching
 //
+// Generator families (gen):
+//   graph: gnm (--n --m) | gnm-density (--n --c) | gnp (--n --p) |
+//          chung-lu (--n --m --beta [--strict]) |
+//          bipartite (--left --right --m) | circulant (--n --d) |
+//          complete | star | path | cycle (--n) |
+//          planted-clique (--n --m --k)
+//          any of these plus --weights uniform|exp|int|polarized
+//   set systems (text only): sc-bounded-frequency (--sets --universe
+//          --f) | sc-many-sets (--sets --universe --set-size) |
+//          sc-planted (--sets --universe --decoys)
+//
 // Examples:
 //   mrlr_cli matching --n 5000 --c 0.4 --mu 0.2
-//   mrlr_cli set-cover-greedy --sets instance.txt --eps 0.2
-//   mrlr_cli colour-vertex --graph mygraph.txt --trace
+//   mrlr_cli gen gnm-density --n 100000 --c 0.5 --out big.mgb
+//   mrlr_cli convert --in big.mgb --out big.txt
+//   mrlr_cli colour-vertex --graph big.mgb --trace
 
 #include <cstring>
 #include <fstream>
@@ -37,6 +56,7 @@
 #include "mrlr/core/rlr_setcover.hpp"
 #include "mrlr/graph/generators.hpp"
 #include "mrlr/graph/io.hpp"
+#include "mrlr/graph/io_binary.hpp"
 #include "mrlr/graph/stats.hpp"
 #include "mrlr/graph/validate.hpp"
 #include "mrlr/setcover/generators.hpp"
@@ -65,13 +85,30 @@ void usage() {
       << "usage: mrlr_cli <algorithm> [--n N] [--c C] [--mu MU] "
          "[--seed S] [--eps E] [--b B] [--dist D] [--threads T] "
          "[--graph FILE] [--sets FILE] [--trace]\n"
+         "       mrlr_cli gen <family> --out FILE [family options]\n"
+         "       mrlr_cli convert --in FILE --out FILE\n"
          "algorithms: matching vertex-cover set-cover-f "
          "set-cover-greedy b-matching mis mis-simple clique "
          "colour-vertex colour-edge filtering-matching "
          "filtering-weighted luby-mis luby-colouring coreset-matching\n"
+         "gen families: gnm gnm-density gnp chung-lu bipartite "
+         "circulant complete star path cycle planted-clique "
+         "sc-bounded-frequency sc-many-sets sc-planted\n"
          "--threads T: simulate machines on T threads (1 = serial, "
          "0 = all hardware threads); results are identical at any T, "
-         "only wall-clock changes\n";
+         "only wall-clock changes\n"
+         "graph files ending in .mgb use the binary container; "
+         "anything else is a text edge list\n";
+}
+
+std::optional<mrlr::graph::WeightDist> parse_weight_dist(
+    const std::string& d) {
+  using mrlr::graph::WeightDist;
+  if (d == "uniform") return WeightDist::kUniform;
+  if (d == "exp") return WeightDist::kExponential;
+  if (d == "int") return WeightDist::kIntegral;
+  if (d == "polarized") return WeightDist::kPolarized;
+  return std::nullopt;
 }
 
 std::optional<Options> parse(int argc, char** argv) {
@@ -103,14 +140,8 @@ std::optional<Options> parse(int argc, char** argv) {
       o.threads = std::stoull(value());
     } else if (flag == "--dist") {
       const std::string d = value();
-      if (d == "uniform") {
-        o.dist = mrlr::graph::WeightDist::kUniform;
-      } else if (d == "exp") {
-        o.dist = mrlr::graph::WeightDist::kExponential;
-      } else if (d == "int") {
-        o.dist = mrlr::graph::WeightDist::kIntegral;
-      } else if (d == "polarized") {
-        o.dist = mrlr::graph::WeightDist::kPolarized;
+      if (const auto dist = parse_weight_dist(d)) {
+        o.dist = *dist;
       } else {
         std::cerr << "unknown dist " << d << "\n";
         return std::nullopt;
@@ -131,12 +162,8 @@ std::optional<Options> parse(int argc, char** argv) {
 
 mrlr::graph::Graph load_graph(const Options& o, bool weighted) {
   if (o.graph_file) {
-    std::ifstream in(*o.graph_file);
-    if (!in) {
-      std::cerr << "cannot open " << *o.graph_file << "\n";
-      std::exit(2);
-    }
-    return mrlr::graph::read_edge_list(in);
+    // Format picked by extension: .mgb binary, text otherwise.
+    return mrlr::graph::read_graph_file(*o.graph_file);
   }
   mrlr::Rng rng(o.seed ^ 0xFEEDFACEull);
   mrlr::graph::Graph g = mrlr::graph::gnm_density(o.n, o.c, rng);
@@ -163,6 +190,317 @@ mrlr::setcover::SetSystem load_sets(const Options& o, bool many_regime) {
   return mrlr::setcover::bounded_frequency(o.n, 8 * o.n, 3, o.dist, rng);
 }
 
+// --------------------------------------------------- gen / convert --
+
+constexpr std::uint64_t kUnsetCount = ~std::uint64_t{0};
+
+struct GenOptions {
+  std::string family;
+  std::string out;
+  std::uint64_t n = 1000;
+  std::uint64_t m = kUnsetCount;
+  double c = 0.5;
+  double p = 0.01;
+  double beta = 2.5;
+  std::uint64_t d = 4;
+  std::uint64_t k = 10;
+  std::uint64_t left = 500;
+  std::uint64_t right = 500;
+  std::uint64_t sets = 100;
+  std::uint64_t universe = 1000;
+  std::uint64_t f = 3;
+  std::uint64_t set_size = 12;
+  std::uint64_t decoys = 20;
+  std::uint64_t seed = 1;
+  bool strict = false;
+  std::optional<mrlr::graph::WeightDist> weights;
+};
+
+std::optional<GenOptions> parse_gen(int argc, char** argv) {
+  if (argc < 3) return std::nullopt;
+  GenOptions o;
+  o.family = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--n") {
+      o.n = std::stoull(value());
+    } else if (flag == "--m") {
+      o.m = std::stoull(value());
+    } else if (flag == "--c") {
+      o.c = std::stod(value());
+    } else if (flag == "--p") {
+      o.p = std::stod(value());
+    } else if (flag == "--beta") {
+      o.beta = std::stod(value());
+    } else if (flag == "--d") {
+      o.d = std::stoull(value());
+    } else if (flag == "--k") {
+      o.k = std::stoull(value());
+    } else if (flag == "--left") {
+      o.left = std::stoull(value());
+    } else if (flag == "--right") {
+      o.right = std::stoull(value());
+    } else if (flag == "--sets") {
+      o.sets = std::stoull(value());
+    } else if (flag == "--universe") {
+      o.universe = std::stoull(value());
+    } else if (flag == "--f") {
+      o.f = std::stoull(value());
+    } else if (flag == "--set-size") {
+      o.set_size = std::stoull(value());
+    } else if (flag == "--decoys") {
+      o.decoys = std::stoull(value());
+    } else if (flag == "--seed") {
+      o.seed = std::stoull(value());
+    } else if (flag == "--strict") {
+      o.strict = true;
+    } else if (flag == "--out") {
+      o.out = value();
+    } else if (flag == "--weights") {
+      const std::string d = value();
+      o.weights = parse_weight_dist(d);
+      if (!o.weights) {
+        std::cerr << "unknown weight distribution " << d << "\n";
+        return std::nullopt;
+      }
+    } else {
+      std::cerr << "unknown gen flag " << flag << "\n";
+      return std::nullopt;
+    }
+  }
+  if (o.out.empty()) {
+    std::cerr << "gen: --out FILE is required\n";
+    return std::nullopt;
+  }
+  return o;
+}
+
+std::uint64_t require_m(const GenOptions& o) {
+  if (o.m == kUnsetCount) {
+    std::cerr << "gen " << o.family << ": --m is required\n";
+    std::exit(2);
+  }
+  return o.m;
+}
+
+/// CLI-side mirror of the generator preconditions, so routine bad
+/// arguments exit 2 with a message instead of tripping the library's
+/// MRLR_REQUIRE (which aborts: it flags caller bugs, and here the
+/// caller is the user's command line).
+std::optional<std::string> validate_gen(const GenOptions& o) {
+  namespace g = mrlr::graph;
+  const std::string& fam = o.family;
+  const bool uses_n = fam != "bipartite" && fam.rfind("sc-", 0) != 0;
+  if (uses_n && o.n > g::kMaxVertexCount) {
+    return "--n exceeds the 32-bit vertex-id limit (2^32)";
+  }
+  const auto max_edges = [&] { return g::max_simple_edges(o.n); };
+  if (fam == "gnm" || fam == "planted-clique") {
+    if (o.m != kUnsetCount && o.m > max_edges()) {
+      return "--m exceeds n*(n-1)/2";
+    }
+    if (o.n < 2 && o.m != kUnsetCount && o.m > 0) {
+      return "--n must be at least 2 to place edges";
+    }
+  }
+  if (fam == "planted-clique" && o.k > o.n) return "--k exceeds --n";
+  if (fam == "gnp" && (o.p < 0.0 || o.p > 1.0)) {
+    return "--p must be in [0, 1]";
+  }
+  if (fam == "chung-lu") {
+    if (o.beta <= 2.0) return "--beta must exceed 2";
+    if (o.n < 2) return "--n must be at least 2";
+  }
+  if (fam == "bipartite") {
+    if (o.left > g::kMaxVertexCount || o.right > g::kMaxVertexCount ||
+        o.left + o.right > g::kMaxVertexCount ||
+        o.left + o.right < o.left) {
+      return "--left + --right exceeds the 32-bit vertex-id limit";
+    }
+    if (o.m != kUnsetCount && o.m > o.left * o.right) {
+      return "--m exceeds left*right";
+    }
+  }
+  if (fam == "circulant" && (o.d % 2 != 0 || o.d >= o.n)) {
+    return "--d must be even and < --n";
+  }
+  if (fam == "star" && o.n < 1) return "--n must be at least 1";
+  if (fam == "cycle" && o.n < 3) return "--n must be at least 3";
+  if (fam == "sc-bounded-frequency" && (o.f < 1 || o.sets < o.f)) {
+    return "--f must be >= 1 and <= --sets";
+  }
+  if (fam == "sc-many-sets" && o.set_size < 1) {
+    return "--set-size must be at least 1";
+  }
+  if (fam == "sc-planted" && (o.sets < 1 || o.sets > o.universe)) {
+    return "--sets must be in [1, --universe]";
+  }
+  return std::nullopt;
+}
+
+int run_gen(int argc, char** argv) {
+  const auto parsed = parse_gen(argc, argv);
+  if (!parsed) {
+    usage();
+    return 2;
+  }
+  const GenOptions& o = *parsed;
+  if (const auto err = validate_gen(o)) {
+    std::cerr << "gen " << o.family << ": " << *err << "\n";
+    return 2;
+  }
+  using namespace mrlr;
+  Rng rng(o.seed ^ 0xFEEDFACEull);
+
+  if (o.family.rfind("sc-", 0) == 0) {
+    if (graph::is_mgb_path(o.out)) {
+      std::cerr << "gen: set systems have no binary format; use a text "
+                   "extension for --out\n";
+      return 2;
+    }
+    setcover::SetSystem sys = [&] {
+      if (o.family == "sc-bounded-frequency") {
+        return setcover::bounded_frequency(
+            o.sets, o.universe, o.f,
+            o.weights.value_or(graph::WeightDist::kUniform), rng);
+      }
+      if (o.family == "sc-many-sets") {
+        return setcover::many_sets(
+            o.sets, o.universe, o.set_size,
+            o.weights.value_or(graph::WeightDist::kUniform), rng);
+      }
+      if (o.family == "sc-planted") {
+        double planted_cost = 0.0;
+        auto s = setcover::planted_cover(o.sets, o.decoys, o.universe, rng,
+                                         &planted_cost);
+        std::cout << "planted cover cost: " << planted_cost << "\n";
+        return s;
+      }
+      std::cerr << "unknown set-cover family " << o.family << "\n";
+      std::exit(2);
+    }();
+    std::ofstream out(o.out);
+    if (!out) {
+      std::cerr << "cannot open " << o.out << " for writing\n";
+      return 2;
+    }
+    setcover::write_set_system(sys, out);
+    out.flush();
+    if (!out) {
+      std::cerr << "write failed: " << o.out << "\n";
+      return 2;
+    }
+    std::cout << "wrote " << o.out << ": sets=" << sys.num_sets()
+              << " universe=" << sys.universe_size()
+              << " max_frequency=" << sys.max_frequency() << "\n";
+    return 0;
+  }
+
+  std::optional<graph::Graph> g;
+  const std::string& fam = o.family;
+  if (fam == "gnm") {
+    g = graph::gnm(o.n, require_m(o), rng);
+  } else if (fam == "gnm-density") {
+    g = graph::gnm_density(o.n, o.c, rng);
+  } else if (fam == "gnp") {
+    g = graph::gnp(o.n, o.p, rng);
+  } else if (fam == "chung-lu") {
+    graph::ChungLuOptions cl;
+    cl.strict = o.strict;
+    std::uint64_t shortfall = 0;
+    if (!o.strict) cl.shortfall = &shortfall;
+    g = graph::chung_lu_power_law(o.n, require_m(o), o.beta, rng, cl);
+    if (shortfall > 0) {
+      std::cout << "note: chung-lu fell short by " << shortfall
+                << " edges (attempt budget); pass --strict to fail "
+                   "instead\n";
+    }
+  } else if (fam == "bipartite") {
+    g = graph::random_bipartite(o.left, o.right, require_m(o), rng);
+  } else if (fam == "circulant") {
+    g = graph::circulant(o.n, o.d);
+  } else if (fam == "complete") {
+    g = graph::complete(o.n);
+  } else if (fam == "star") {
+    g = graph::star(o.n);
+  } else if (fam == "path") {
+    g = graph::path(o.n);
+  } else if (fam == "cycle") {
+    g = graph::cycle(o.n);
+  } else if (fam == "planted-clique") {
+    g = graph::planted_clique(o.n, require_m(o), o.k, rng);
+  } else {
+    std::cerr << "unknown gen family " << fam << "\n";
+    usage();
+    return 2;
+  }
+
+  const auto st = graph::compute_stats(*g);
+  if (o.weights) {
+    // Attach weights at the GraphData layer: with_weights would copy
+    // the edge list AND rebuild the CSR index just to serialize it.
+    graph::GraphData d;
+    d.n = g->num_vertices();
+    d.weighted = true;
+    d.weights = graph::random_edge_weights(*g, *o.weights, rng);
+    d.edges = g->edges();
+    g.reset();  // free the Graph (and its index) before the write
+    graph::write_graph_file(d, o.out);
+  } else {
+    graph::write_graph_file(*g, o.out);
+  }
+  std::cout << "wrote " << o.out << " ("
+            << (graph::is_mgb_path(o.out) ? "mgb" : "text")
+            << "): n=" << st.n << " m=" << st.m
+            << " c=" << st.density_exponent
+            << " weighted=" << (o.weights ? "yes" : "no") << "\n";
+  return 0;
+}
+
+int run_convert(int argc, char** argv) {
+  std::string in, out;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--in") {
+      in = value();
+    } else if (flag == "--out") {
+      out = value();
+    } else {
+      std::cerr << "unknown convert flag " << flag << "\n";
+      return 2;
+    }
+  }
+  if (in.empty() || out.empty()) {
+    std::cerr << "convert: --in FILE and --out FILE are required\n";
+    return 2;
+  }
+  // Stays at the GraphData layer: conversion validates and re-encodes
+  // without ever building the CSR adjacency index.
+  const mrlr::graph::GraphData d = mrlr::graph::read_graph_file_data(in);
+  mrlr::graph::write_graph_file(d, out);
+  std::cout << "converted " << in << " ("
+            << (mrlr::graph::is_mgb_path(in) ? "mgb" : "text") << ") -> "
+            << out << " ("
+            << (mrlr::graph::is_mgb_path(out) ? "mgb" : "text")
+            << "): n=" << d.n << " m=" << d.edges.size()
+            << " weighted=" << (d.weighted ? "yes" : "no") << "\n";
+  return 0;
+}
+
 void report(const mrlr::core::MrOutcome& outcome) {
   std::cout << "cost: rounds=" << outcome.rounds
             << " iterations=" << outcome.iterations
@@ -175,7 +513,13 @@ void report(const mrlr::core::MrOutcome& outcome) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "gen") == 0) {
+    return run_gen(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "convert") == 0) {
+    return run_convert(argc, argv);
+  }
   const auto opts = parse(argc, argv);
   if (!opts) {
     usage();
@@ -309,4 +653,22 @@ int main(int argc, char** argv) {
     return 2;
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const mrlr::graph::ParseError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const mrlr::graph::GeneratorError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    // std::stoull/std::stod on malformed flag values, allocation
+    // failures, and engine-level exceptions all land here: one-line
+    // message and exit 2, never std::terminate.
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
 }

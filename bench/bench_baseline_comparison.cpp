@@ -9,6 +9,8 @@
 
 #include "bench_common.hpp"
 
+#include <iostream>
+
 #include "mrlr/baselines/filtering_matching.hpp"
 #include "mrlr/baselines/sample_prune_setcover.hpp"
 #include "mrlr/core/greedy_setcover_mr.hpp"
@@ -17,6 +19,7 @@
 #include "mrlr/seq/greedy_setcover.hpp"
 #include "mrlr/seq/local_ratio_matching.hpp"
 #include "mrlr/seq/streaming_matching.hpp"
+#include "mrlr/setcover/generators.hpp"
 
 namespace mrlr::bench {
 namespace {

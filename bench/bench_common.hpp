@@ -1,140 +1,44 @@
 #pragma once
-// Shared scaffolding for the Figure 1 benches.
+// google-benchmark glue for the remaining standalone bench binaries.
 //
-// Every bench binary does two things:
-//   1. prints a Figure-1-style table for its experiment (measured ratio,
-//      measured rounds, measured space per machine against the paper's
-//      bounds) — this is the artefact EXPERIMENTS.md records;
-//   2. registers google-benchmark timings for the underlying algorithms
-//      and runs them.
-// Absolute wall-clock numbers are simulator-specific; the *shape*
-// (who wins, how rounds scale in c/mu) is the reproduction target.
+// Everything that used to live here besides the gbench plumbing —
+// environment knobs, table/CSV emission, JSONL rows, the standard
+// weighted G(n, n^{1+c}) instance family — moved into the harness
+// library (src/mrlr/bench/emit.hpp and instances.hpp) so the scenario
+// registry, `mrlr_cli bench`, and these binaries share one
+// implementation. The Figure 1 experiment tables themselves are now
+// registry scenarios (src/mrlr/bench/scenarios.cpp); the binaries left
+// in bench/ are thin wrappers over scenario groups plus their
+// google-benchmark timing probes.
 
 #include <benchmark/benchmark.h>
 
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
-#include <fstream>
-#include <iostream>
 #include <string>
 
+#include "mrlr/bench/emit.hpp"
+#include "mrlr/bench/instances.hpp"
 #include "mrlr/core/params.hpp"
-#include "mrlr/graph/generators.hpp"
-#include "mrlr/graph/stats.hpp"
-#include "mrlr/setcover/generators.hpp"
-#include "mrlr/util/stats.hpp"
-#include "mrlr/util/table.hpp"
 
 namespace mrlr::bench {
 
 /// Session-wide execution-backend knob picked up by params(): seeded
-/// from MRLR_THREADS, overridden by a --threads flag once a bench main
-/// reaches run_benchmarks (which strips it from argv via parse_threads).
+/// from MRLR_THREADS (via the harness env layer), overridden by a
+/// --threads flag once a bench main reaches run_benchmarks (which
+/// strips it from argv via parse_threads).
 inline std::uint64_t& bench_threads() {
-  static std::uint64_t threads = [] {
-    std::uint64_t t = 1;
-    if (const char* env = std::getenv("MRLR_THREADS")) {
-      if (*env != '\0') t = std::strtoull(env, nullptr, 10);
-    }
-    return t;
-  }();
+  static std::uint64_t threads = env_threads();
   return threads;
 }
 
 inline core::MrParams params(double mu, std::uint64_t seed = 1) {
-  core::MrParams p;
-  p.mu = mu;
-  p.seed = seed;
-  p.max_iterations = 20000;
-  p.num_threads = bench_threads();
-  return p;
+  return scenario_params(mu, seed, bench_threads());
 }
 
 inline std::string fmt(double v, int prec = 2) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
-  return buf;
+  return fmt_double(v, prec);
 }
-
-inline void print_header(const std::string& title, const std::string& claim) {
-  std::cout << "\n=== " << title << " ===\n" << claim << "\n\n";
-}
-
-/// Standard weighted instance family for graph problems: G(n, n^{1+c})
-/// with the given weight distribution.
-inline graph::Graph weighted_gnm(std::uint64_t n, double c,
-                                 graph::WeightDist dist,
-                                 std::uint64_t seed) {
-  Rng rng(seed);
-  graph::Graph g = graph::gnm_density(n, c, rng);
-  return g.with_weights(graph::random_edge_weights(g, dist, rng));
-}
-
-/// Prints the table and, when MRLR_BENCH_CSV is set in the environment,
-/// also writes it as CSV to $MRLR_BENCH_CSV/<name>.csv so plots can be
-/// regenerated without scraping stdout.
-inline void emit_table(const Table& t, const std::string& name) {
-  t.print(std::cout);
-  const char* dir = std::getenv("MRLR_BENCH_CSV");
-  if (dir == nullptr || *dir == '\0') return;
-  std::filesystem::create_directories(dir);
-  std::ofstream out(std::filesystem::path(dir) / (name + ".csv"));
-  t.write_csv(out);
-  std::cout << "[csv written: " << dir << "/" << name << ".csv]\n";
-}
-
-/// One flat JSON object per call, written as a single line (JSONL) so
-/// downstream tooling can stream-parse bench output without scraping the
-/// tables. When MRLR_BENCH_JSON is set in the environment the row is
-/// also appended to $MRLR_BENCH_JSON/<name>.jsonl.
-class JsonRow {
- public:
-  explicit JsonRow(std::string name) : name_(std::move(name)) {
-    body_ = "{\"bench\":\"" + escaped(name_) + "\"";
-  }
-
-  JsonRow& field(const std::string& key, const std::string& value) {
-    body_ += ",\"" + escaped(key) + "\":\"" + escaped(value) + "\"";
-    return *this;
-  }
-  JsonRow& field(const std::string& key, double value) {
-    // JSON has no inf/nan literals; null keeps the row parseable.
-    body_ += ",\"" + escaped(key) +
-             "\":" + (std::isfinite(value) ? fmt(value, 6) : "null");
-    return *this;
-  }
-  JsonRow& field(const std::string& key, std::uint64_t value) {
-    body_ += ",\"" + key + "\":" + std::to_string(value);
-    return *this;
-  }
-
-  void emit() const {
-    const std::string row = body_ + "}";
-    std::cout << row << "\n";
-    const char* dir = std::getenv("MRLR_BENCH_JSON");
-    if (dir == nullptr || *dir == '\0') return;
-    std::filesystem::create_directories(dir);
-    std::ofstream out(std::filesystem::path(dir) / (name_ + ".jsonl"),
-                      std::ios::app);
-    out << row << "\n";
-  }
-
- private:
-  static std::string escaped(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
-    }
-    return out;
-  }
-
-  std::string name_;
-  std::string body_;
-};
 
 /// Shared --threads handling for bench binaries: consumes a
 /// "--threads T" pair from argv (so google-benchmark never sees it) and
@@ -167,10 +71,12 @@ inline std::uint64_t parse_threads(int& argc, char** argv,
   return threads;
 }
 
-/// Runs the table section and then google-benchmark. Call from main().
-/// Consumes --threads, so the google-benchmark phase of every bench
-/// binary honors it through params(); tables printed before this call
-/// use MRLR_THREADS (or a bench main that calls parse_threads itself).
+/// Runs google-benchmark. Call from main() after the table section.
+/// Consumes --threads, which the google-benchmark phase honors through
+/// params() in binaries that build their probes on it
+/// (bench_baseline_comparison); the wrapper binaries' probes re-run
+/// pinned registry scenarios, so there it is stripped for gbench
+/// compatibility only.
 inline int run_benchmarks(int argc, char** argv) {
   bench_threads() = parse_threads(argc, argv, bench_threads());
   benchmark::Initialize(&argc, argv);

@@ -1,127 +1,110 @@
-// Thread-count scaling of the exec/ layer: rlr_matching on one large
-// instance, simulated at 1/2/4/8 threads via ThreadPoolExecutor against
-// the SerialExecutor baseline.
+// Thread-count scaling of the exec/ layer — a thin wrapper over the
+// "threads" scenario group (src/mrlr/bench/scenarios.cpp): the same
+// rlr_matching simulation at pinned 1/2/8 thread backends.
 //
 // The table (and the JSONL rows, one per thread count) reports
 // wall-clock, speedup over serial, and the cost metrics — which must be
-// IDENTICAL in every row: the backend only changes how machine callbacks
-// map to OS threads, never what the simulation computes. A mismatch is
-// a determinism bug, flagged in the output.
+// IDENTICAL in every row: the backend only changes how machine
+// callbacks map to OS threads, never what the simulation computes. The
+// determinism hash makes the check one comparison; a mismatch is
+// flagged in the output. `mrlr_cli bench --group threads` runs the same
+// scenarios and the perf-smoke CI job diffs their hashes against the
+// committed baseline.
 //
-// Sizing: MRLR_BENCH_N in the environment overrides the default
-// n = 20000 (m = n^1.5 ~ 2.8M edges, ~90 machines at mu = 0.05).
+// Sizing: MRLR_BENCH_N overrides the scenarios' pinned n = 3000.
 // Speedup requires physical cores; on a single-core host every thread
 // count collapses to ~1x and only the determinism columns are
 // meaningful.
 
-#include <algorithm>
-#include <chrono>
+#include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
 
-#include "mrlr/core/rlr_matching.hpp"
+#include "mrlr/bench/runner.hpp"
 
 namespace mrlr::bench {
 namespace {
 
-struct Sample {
-  double seconds = 0.0;
-  core::RlrMatchingResult res;
-};
-
-Sample run_once(const graph::Graph& g, std::uint64_t threads,
-                std::uint64_t seed) {
-  core::MrParams p = params(/*mu=*/0.05, seed);
-  p.num_threads = threads;
-  const auto start = std::chrono::steady_clock::now();
-  Sample s;
-  s.res = core::rlr_matching(g, p);
-  s.seconds = std::chrono::duration<double>(
-                  std::chrono::steady_clock::now() - start)
-                  .count();
-  return s;
-}
-
-void scaling_table(std::uint64_t n, std::uint64_t extra_threads) {
+void scaling_table() {
   print_header("Engine thread scaling: rlr_matching (Alg 4)",
                "same simulation at every thread count; wall-clock is the "
                "only column allowed to change");
-  const graph::Graph g =
-      weighted_gnm(n, /*c=*/0.5, graph::WeightDist::kExponential, n + 3);
-  std::cout << "instance: n=" << n << " m=" << g.num_edges() << "\n\n";
+  RunContext ctx;
+  ctx.n_override = env_bench_n();
+  const std::vector<BenchResult> results =
+      run_group(builtin_registry(), "threads", ctx, std::cout);
+  const BenchResult& base = results.front();  // t1, registration order
+  std::cout << "instance: n=" << base.n << " m=" << base.m << "\n\n";
 
   Table t({"threads", "backend", "seconds", "speedup", "weight", "rounds",
            "maxwords/mach", "total_comm", "identical"});
-  const Sample base = run_once(g, /*threads=*/1, /*seed=*/1);
-  std::vector<std::uint64_t> sweep{1, 2, 4, 8};
-  if (extra_threads > 1 &&
-      std::find(sweep.begin(), sweep.end(), extra_threads) == sweep.end()) {
-    sweep.push_back(extra_threads);
-  }
-  for (const std::uint64_t threads : sweep) {
-    const Sample s =
-        threads == 1 ? base : run_once(g, threads, /*seed=*/1);
-    const bool identical = s.res.matching == base.res.matching &&
-                           s.res.weight == base.res.weight &&
-                           s.res.outcome.rounds == base.res.outcome.rounds &&
-                           s.res.outcome.total_communication ==
-                               base.res.outcome.total_communication &&
-                           s.res.outcome.max_machine_words ==
-                               base.res.outcome.max_machine_words;
-    const double speedup = base.seconds / s.seconds;
+  for (const BenchResult& r : results) {
+    const bool identical = r.determinism_hash == base.determinism_hash &&
+                           r.quality == base.quality &&
+                           r.rounds == base.rounds &&
+                           r.shuffle_words == base.shuffle_words &&
+                           r.max_machine_words == base.max_machine_words;
+    const double speedup = base.wall_seconds / r.wall_seconds;
     t.row()
-        .cell(threads)
-        .cell(threads == 1 ? "serial" : "thread-pool")
-        .cell(s.seconds, 3)
+        .cell(r.threads)
+        .cell(r.threads == 1 ? "serial" : "thread-pool")
+        .cell(r.wall_seconds, 3)
         .cell(speedup, 2)
-        .cell(s.res.weight, 1)
-        .cell(s.res.outcome.rounds)
-        .cell(s.res.outcome.max_machine_words)
-        .cell(s.res.outcome.total_communication)
+        .cell(r.quality, 1)
+        .cell(r.rounds)
+        .cell(r.max_machine_words)
+        .cell(r.shuffle_words)
         .cell(identical ? "yes" : "NO -- DETERMINISM BUG");
 
     JsonRow("engine_threads")
-        .field("algo", std::string("rlr_matching"))
-        .field("n", n)
-        .field("m", g.num_edges())
-        .field("threads", threads)
-        .field("seconds", s.seconds)
+        .field("algo", r.algo)
+        .field("n", r.n)
+        .field("m", r.m)
+        .field("threads", r.threads)
+        .field("seconds", r.wall_seconds)
         .field("speedup", speedup)
-        .field("rounds", s.res.outcome.rounds)
-        .field("max_machine_words", s.res.outcome.max_machine_words)
-        .field("total_comm", s.res.outcome.total_communication)
-        .field("identical", std::string(identical ? "true" : "false"))
+        .field("rounds", r.rounds)
+        .field("max_machine_words", r.max_machine_words)
+        .field("total_comm", r.shuffle_words)
+        .field("identical", identical)
         .emit();
   }
   emit_table(t, "engine_threads");
 }
 
-void bm_rlr_matching_threads(benchmark::State& state) {
-  const auto threads = static_cast<std::uint64_t>(state.range(0));
-  const graph::Graph g =
-      weighted_gnm(4000, 0.5, graph::WeightDist::kExponential, 11);
-  std::uint64_t seed = 0;
+// Timing probe over the registry scenarios themselves (small instance
+// so the google-benchmark phase stays cheap).
+void bm_threads_scenario(benchmark::State& state) {
+  const Scenario* s = builtin_registry().find(
+      "exec/threads/t" + std::to_string(state.range(0)));
+  RunContext ctx;
+  ctx.n_override = 1000;
   for (auto _ : state) {
-    const Sample s = run_once(g, threads, ++seed);
-    benchmark::DoNotOptimize(s.res.weight);
+    const BenchResult r = s->run(ctx);
+    benchmark::DoNotOptimize(r.determinism_hash);
   }
 }
-BENCHMARK(bm_rlr_matching_threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+BENCHMARK(bm_threads_scenario)->Arg(1)->Arg(2)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace mrlr::bench
 
 int main(int argc, char** argv) {
-  std::uint64_t n = 20000;
-  if (const char* env = std::getenv("MRLR_BENCH_N")) {
-    if (*env != '\0') n = std::strtoull(env, nullptr, 10);
+  // The scaling table is pinned to the 1/2/8 sweep of the "threads"
+  // scenario group so its rows stay diffable against the committed
+  // baseline; an explicit --threads no longer extends it.
+  const std::uint64_t flag_threads =
+      mrlr::bench::parse_threads(argc, argv, 0);
+  if (flag_threads != 0 && flag_threads != 1 && flag_threads != 2 &&
+      flag_threads != 8) {
+    std::cerr << "note: --threads " << flag_threads
+              << " does not extend the pinned 1/2/8 scaling table; for "
+                 "an ad-hoc backend run use e.g. `mrlr_cli bench "
+                 "--group paper-f1 --threads "
+              << flag_threads << "`\n";
   }
-  // --threads T appends T to the 1/2/4/8 sweep (and sets the backend
-  // for the google-benchmark phase via run_benchmarks).
-  mrlr::bench::bench_threads() = mrlr::bench::parse_threads(
-      argc, argv, mrlr::bench::bench_threads());
-  mrlr::bench::scaling_table(n, mrlr::bench::bench_threads());
+  mrlr::bench::scaling_table();
   return mrlr::bench::run_benchmarks(argc, argv);
 }

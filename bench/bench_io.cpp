@@ -1,195 +1,91 @@
-// Graph ingestion throughput: the strict from_chars text parser
-// against the binary .mgb container, both directions, on a paper-scale
-// instance (default m = 10^6 edges; MRLR_BENCH_N scales the vertex
-// count, m = 4n). The paper's MPC model assumes m = n^{1+c} inputs, so
-// the harness — not the parser — must be the bottleneck when a CLI
-// algorithm loads a scenario from disk.
+// Graph ingestion throughput — a thin wrapper over the "io" scenario
+// group (src/mrlr/bench/scenarios.cpp): the strict from_chars text
+// parser against the binary .mgb container, write/parse/load per
+// format, on one weighted instance (m = 4n).
 //
-// Three ops per format:
-//   write — serialize to disk;
-//   parse — file -> validated GraphData (the I/O layer itself; what
-//           `convert` pays);
-//   load  — file -> Graph, i.e. parse + the CSR index build (what an
-//           algorithm run pays; the index cost is format-independent
-//           and dominates, so load ratios converge toward 1 as the
-//           index build gets slower relative to the parse).
+// Every timed read inside the scenarios is compared against the source
+// graph, so a fast-but-wrong path cannot win; the "equal" column must
+// say yes on every row, and the determinism hash of the parsed data is
+// identical across formats by construction. `mrlr_cli bench --group io`
+// runs the same scenarios and the perf-smoke CI job diffs them against
+// the committed baseline.
 //
-// Target (ISSUE 3 acceptance): .mgb parse >= 5x edges/sec over the
-// text parser on a >= 10^6-edge graph. Every timed read is compared
-// against the source graph, so a fast-but-wrong path cannot win; the
-// "equal" column must say yes on every row.
-//
-// Emits the usual table plus one JSONL row per (variant, format, op)
-// with edges/sec and the per-op speedup over text.
+// Sizing: MRLR_BENCH_N overrides the scenarios' pinned n = 60000.
 
-#include <chrono>
-#include <cstdint>
-#include <filesystem>
-#include <optional>
-#include <string>
+#include <iostream>
+#include <map>
+#include <vector>
 
 #include "bench_common.hpp"
 
-#include "mrlr/graph/io.hpp"
-#include "mrlr/graph/io_binary.hpp"
+#include "mrlr/bench/runner.hpp"
 
 namespace mrlr::bench {
 namespace {
 
-namespace fs = std::filesystem;
-
-template <typename F>
-double time_best_of(int reps, F&& f) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    const auto start = std::chrono::steady_clock::now();
-    f();
-    const double s = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - start)
-                         .count();
-    best = std::min(best, s);
-  }
-  return best;
-}
-
-bool data_equal(const graph::Graph& a, const graph::GraphData& b) {
-  return a.num_vertices() == b.n && a.edges() == b.edges &&
-         a.weighted() == b.weighted && a.weights() == b.weights;
-}
-
-bool graphs_equal(const graph::Graph& a, const graph::Graph& b) {
-  if (a.num_vertices() != b.num_vertices() || a.edges() != b.edges() ||
-      a.weighted() != b.weighted()) {
-    return false;
-  }
-  return a.weights() == b.weights();
-}
-
-void io_table(std::uint64_t n) {
+void io_table() {
   print_header("Graph I/O throughput (text edge list vs binary .mgb)",
                "same graph, same validation guarantees; only the on-disk "
                "format changes. Target: mgb parse >= 5x text parse.");
-  const std::uint64_t m = 4 * n;
-  const fs::path dir = fs::temp_directory_path();
-  const std::string text_path = (dir / "mrlr_bench_io.txt").string();
-  const std::string mgb_path = (dir / "mrlr_bench_io.mgb").string();
-  constexpr int kReps = 3;
+  RunContext ctx;
+  ctx.n_override = env_bench_n();
+  const std::vector<BenchResult> results =
+      run_group(builtin_registry(), "io", ctx, std::cout);
+  std::cout << "instance (weighted): n=" << results.front().n
+            << " m=" << results.front().m << "\n\n";
 
-  Table t({"variant", "format", "op", "seconds", "edges/sec",
-           "speedup_vs_text", "equal"});
-  for (const bool weighted : {false, true}) {
-    Rng rng(42);
-    graph::Graph g = graph::gnm(n, m, rng);
-    if (weighted) {
-      g = g.with_weights(
-          random_edge_weights(g, graph::WeightDist::kUniform, rng));
-    }
-    const char* variant = weighted ? "weighted" : "unweighted";
-    std::cout << "instance (" << variant << "): n=" << n << " m=" << m
-              << "\n";
+  // The text result of each op, for the speedup column.
+  std::map<std::string, const BenchResult*> text;
+  for (const BenchResult& r : results) {
+    if (r.format == "text") text[r.algo] = &r;
+  }
 
-    // Writes (timed, best of kReps; the last rep leaves the file for
-    // the read phase).
-    const double write_text = time_best_of(
-        kReps, [&] { graph::write_graph_file(g, text_path); });
-    const double write_mgb = time_best_of(
-        kReps, [&] { graph::write_graph_file(g, mgb_path); });
+  Table t({"format", "op", "seconds", "edges/sec", "speedup_vs_text",
+           "equal"});
+  for (const BenchResult& r : results) {
+    const double speedup = text.at(r.algo)->wall_seconds / r.wall_seconds;
+    t.row()
+        .cell(r.format)
+        .cell(r.algo)
+        .cell(r.wall_seconds, 4)
+        .cell(r.extra.at("edges_per_sec"), 0)
+        .cell(speedup, 2)
+        .cell(r.failed ? "NO -- ROUND-TRIP BUG" : "yes");
 
-    // Parse: file -> validated GraphData, the I/O layer itself.
-    std::optional<graph::GraphData> data;
-    const double parse_text = time_best_of(kReps, [&] {
-      data.emplace(graph::read_graph_file_data(text_path));
-    });
-    const bool parse_text_equal = data_equal(g, *data);
-    const double parse_mgb = time_best_of(
-        kReps, [&] { data.emplace(graph::read_graph_file_data(mgb_path)); });
-    const bool parse_mgb_equal = data_equal(g, *data);
-    data.reset();
-
-    // Load: file -> Graph, parse plus the CSR index build.
-    std::optional<graph::Graph> back;
-    const double load_text = time_best_of(
-        kReps, [&] { back.emplace(graph::read_graph_file(text_path)); });
-    const bool load_text_equal = graphs_equal(g, *back);
-    const double load_mgb = time_best_of(
-        kReps, [&] { back.emplace(graph::read_graph_file(mgb_path)); });
-    const bool load_mgb_equal = graphs_equal(g, *back);
-
-    const struct {
-      const char* format;
-      const char* op;
-      double seconds;
-      double speedup;  // vs the text row of the same op
-      bool equal;
-    } rows[] = {
-        {"text", "write", write_text, 1.0, true},
-        {"mgb", "write", write_mgb, write_text / write_mgb, true},
-        {"text", "parse", parse_text, 1.0, parse_text_equal},
-        {"mgb", "parse", parse_mgb, parse_text / parse_mgb,
-         parse_mgb_equal},
-        {"text", "load", load_text, 1.0, load_text_equal},
-        {"mgb", "load", load_mgb, load_text / load_mgb, load_mgb_equal},
-    };
-    for (const auto& r : rows) {
-      const double eps = static_cast<double>(m) / r.seconds;
-      t.row()
-          .cell(variant)
-          .cell(r.format)
-          .cell(r.op)
-          .cell(r.seconds, 4)
-          .cell(eps, 0)
-          .cell(r.speedup, 2)
-          .cell(r.equal ? "yes" : "NO -- ROUND-TRIP BUG");
-
-      JsonRow("io")
-          .field("variant", std::string(variant))
-          .field("format", std::string(r.format))
-          .field("op", std::string(r.op))
-          .field("n", n)
-          .field("m", m)
-          .field("seconds", r.seconds)
-          .field("edges_per_sec", eps)
-          .field("speedup_vs_text", r.speedup)
-          .field("equal", std::string(r.equal ? "true" : "false"))
-          .emit();
-    }
+    JsonRow("io")
+        .field("format", r.format)
+        .field("op", r.algo)
+        .field("n", r.n)
+        .field("m", r.m)
+        .field("seconds", r.wall_seconds)
+        .field("edges_per_sec", r.extra.at("edges_per_sec"))
+        .field("speedup_vs_text", speedup)
+        .field("equal", !r.failed)
+        .emit();
   }
   emit_table(t, "io");
-  std::error_code ec;
-  fs::remove(text_path, ec);
-  fs::remove(mgb_path, ec);
 }
 
-void bm_read(benchmark::State& state, bool binary) {
-  const std::uint64_t n = 20000, m = 80000;
-  Rng rng(7);
-  graph::Graph g = graph::gnm(n, m, rng);
-  g = g.with_weights(
-      random_edge_weights(g, graph::WeightDist::kUniform, rng));
-  const fs::path path =
-      fs::temp_directory_path() /
-      (binary ? "mrlr_bench_io_bm.mgb" : "mrlr_bench_io_bm.txt");
-  graph::write_graph_file(g, path.string());
+// Timing probes over the registry scenarios themselves (small
+// instance so the google-benchmark phase stays cheap).
+void bm_io_scenario(benchmark::State& state, const char* name) {
+  const Scenario* s = builtin_registry().find(name);
+  RunContext ctx;
+  ctx.n_override = 20000;
   for (auto _ : state) {
-    const graph::Graph back = graph::read_graph_file(path.string());
-    benchmark::DoNotOptimize(back.num_edges());
-    state.SetItemsProcessed(state.items_processed() +
-                            static_cast<std::int64_t>(m));
+    const BenchResult r = s->run(ctx);
+    benchmark::DoNotOptimize(r.determinism_hash);
   }
-  std::error_code ec;
-  fs::remove(path, ec);
 }
-BENCHMARK_CAPTURE(bm_read, text, false)->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(bm_read, mgb, true)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_io_scenario, text_parse, "io/text-parse")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_io_scenario, mgb_parse, "io/mgb-parse")
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace mrlr::bench
 
 int main(int argc, char** argv) {
-  std::uint64_t n = 250000;  // m = 4n = 10^6 edges
-  if (const char* env = std::getenv("MRLR_BENCH_N")) {
-    if (*env != '\0') n = std::strtoull(env, nullptr, 10);
-  }
-  mrlr::bench::io_table(n);
+  mrlr::bench::io_table();
   return mrlr::bench::run_benchmarks(argc, argv);
 }

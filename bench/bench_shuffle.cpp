@@ -1,249 +1,106 @@
-// Message-shuffle throughput of the mrc engine: the flat-arena path
-// (initializer sends / MessageWriter + span views, PR 2) against the
-// legacy per-message owned-vector path (a std::vector<Word> allocated
-// per send, decoded through the materializing inbox() shim) — the
-// allocation pattern the engine had before the arena refactor.
+// Message-shuffle throughput of the mrc engine — a thin wrapper over
+// the "shuffle" scenario group (src/mrlr/bench/scenarios.cpp): the
+// flat-arena path (initializer sends / MessageWriter + span views,
+// PR 2) against the legacy per-message owned-vector path, on the two
+// patterns that dominate the paper's hot drivers (tiny forward-phi
+// messages and one batched sample message per vertex).
 //
-// Workload: the two shuffle patterns that dominate the paper's hot
-// drivers, run on a large matching instance G(n, n^1.5) with
-// rlr_matching's machine layout (M = ceil(m / n^{1+mu})):
-//   * tiny    — forward-phi: every vertex forwards (edge, phi) 2-word
-//               messages to each incident edge's owner; ~2m messages
-//               per round. Dominated by per-message overhead.
-//   * batched — sample: every vertex ships one batched message of all
-//               its incident (edge, weight) pairs to the central
-//               machine. Dominated by per-word throughput.
-// Receivers consume every delivered word, so both encode and decode
-// sides are timed. The engine cost metrics must be IDENTICAL between
-// the two paths — same messages, same words — which the table checks;
-// only wall-clock may differ.
+// The engine cost metrics must be IDENTICAL between the two paths —
+// same messages, same words — which the determinism-hash column checks
+// (the hash folds the receive-side checksum and the engine's own sent
+// accounting); only wall-clock may differ. `mrlr_cli bench --group
+// shuffle` runs the same scenarios and the perf-smoke CI job diffs
+// them against the committed baseline.
 //
-// Target (ISSUE 2 acceptance): >= 2x messages/sec on `tiny` for the
-// arena path. Sizing: MRLR_BENCH_N overrides the default n = 2000.
-//
-// Baseline honesty: the legacy arm here is a proxy (the old engine is
-// gone), and it is a *conservative* one — measured against the real
-// pre-refactor engine running this exact workload (PR 2 review, n=2000,
-// single core), the genuine old path did ~8.2M msgs/sec on `tiny`
-// while this proxy does ~9.6M, so the speedups reported against the
-// proxy slightly understate the true win (~3.4x vs genuine).
+// Sizing: MRLR_BENCH_N overrides the scenarios' pinned n = 1200.
 
-#include <chrono>
-#include <cstdint>
+#include <iostream>
+#include <map>
 #include <vector>
 
 #include "bench_common.hpp"
 
-#include "mrlr/mrc/engine.hpp"
+#include "mrlr/bench/runner.hpp"
 
 namespace mrlr::bench {
 namespace {
 
-using core::owner_of;
-using core::pack_double;
-using graph::EdgeId;
-using graph::VertexId;
-using mrc::MachineContext;
-using mrc::MachineId;
-using mrc::Word;
-
-enum class Path { kLegacy, kArena };
-enum class Pattern { kTiny, kBatched };
-
-struct ShuffleStats {
-  double seconds = 0.0;
-  std::uint64_t messages = 0;
-  std::uint64_t words = 0;
-  std::uint64_t checksum = 0;    // forces the read side; must match across paths
-  std::uint64_t total_sent = 0;  // engine's own accounting; must match too
-};
-
-mrc::Topology shuffle_topo(std::uint64_t machines) {
-  mrc::Topology t;
-  t.num_machines = machines;
-  t.words_per_machine = 1ull << 40;  // throughput bench: never violates
-  t.fanout = 2;
-  return t;
-}
-
-ShuffleStats run_shuffle(const graph::Graph& g, std::uint64_t machines,
-                         Pattern pattern, Path path, std::uint64_t rounds) {
-  mrc::Engine engine(shuffle_topo(machines));
-  const std::uint64_t n = g.num_vertices();
-  ShuffleStats s;
-  // Per-machine checksum slots: written only by the owning machine's
-  // callback, summed after each round (threaded-backend rule).
-  std::vector<std::uint64_t> sums(machines, 0);
-
-  const auto start = std::chrono::steady_clock::now();
-  for (std::uint64_t r = 0; r < rounds; ++r) {
-    engine.run_round("shuffle", [&](MachineContext& ctx) {
-      // Drain: consume every word delivered from the previous round.
-      if (path == Path::kArena) {
-        for (const mrc::MessageView msg : ctx.messages()) {
-          for (const Word w : msg.payload) sums[ctx.id()] += w;
-        }
-      } else {
-        for (const mrc::Message& msg : ctx.inbox()) {
-          for (const Word w : msg.payload) sums[ctx.id()] += w;
-        }
-      }
-      // Emit this round's traffic.
-      for (VertexId v = static_cast<VertexId>(ctx.id()); v < n;
-           v = static_cast<VertexId>(v + machines)) {
-        if (pattern == Pattern::kTiny) {
-          for (const graph::Incidence& inc : g.neighbours(v)) {
-            const MachineId to = owner_of(inc.edge, machines);
-            if (path == Path::kArena) {
-              ctx.send(to, {inc.edge, pack_double(g.weight(inc.edge))});
-            } else {
-              std::vector<Word> payload;
-              payload.push_back(inc.edge);
-              payload.push_back(pack_double(g.weight(inc.edge)));
-              ctx.send(to, std::move(payload));
-            }
-          }
-        } else if (g.degree(v) > 0) {
-          if (path == Path::kArena) {
-            mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
-            for (const graph::Incidence& inc : g.neighbours(v)) {
-              msg.push(inc.edge);
-              msg.push(pack_double(g.weight(inc.edge)));
-            }
-          } else {
-            std::vector<Word> payload;
-            for (const graph::Incidence& inc : g.neighbours(v)) {
-              payload.push_back(inc.edge);
-              payload.push_back(pack_double(g.weight(inc.edge)));
-            }
-            ctx.send(mrc::kCentral, std::move(payload));
-          }
-        }
-      }
-    });
-  }
-  // Final drain so the last round's traffic is decoded as well.
-  engine.run_round("drain", [&](MachineContext& ctx) {
-    if (path == Path::kArena) {
-      for (const mrc::MessageView msg : ctx.messages()) {
-        for (const Word w : msg.payload) sums[ctx.id()] += w;
-      }
-    } else {
-      for (const mrc::Message& msg : ctx.inbox()) {
-        for (const Word w : msg.payload) sums[ctx.id()] += w;
-      }
-    }
-  });
-  s.seconds = std::chrono::duration<double>(
-                  std::chrono::steady_clock::now() - start)
-                  .count();
-
-  for (const std::uint64_t x : sums) s.checksum += x;
-  for (const auto& rm : engine.metrics().per_round()) {
-    s.total_sent += rm.total_sent;
-  }
-  // Message/word counts from the instance shape (identical per round).
-  const std::uint64_t twice_m = 2 * g.num_edges();
-  if (pattern == Pattern::kTiny) {
-    s.messages = rounds * twice_m;          // one message per incidence
-    s.words = rounds * 2 * twice_m;         // 2 words each
-  } else {
-    std::uint64_t senders = 0;
-    for (VertexId v = 0; v < n; ++v) senders += g.degree(v) > 0 ? 1 : 0;
-    s.messages = rounds * senders;          // one batch per vertex
-    s.words = rounds * 2 * twice_m;         // 2 words per incidence
-  }
-  return s;
-}
-
-void shuffle_table(std::uint64_t n) {
+void shuffle_table() {
   print_header("Flat-buffer shuffle throughput (arena vs legacy)",
                "same traffic, same engine accounting; only the message "
                "encode/decode path changes");
-  const graph::Graph g =
-      weighted_gnm(n, /*c=*/0.5, graph::WeightDist::kUniform, n + 1);
-  const std::uint64_t eta = ipow_real(n, 1.15, 1);
-  const std::uint64_t machines = std::max<std::uint64_t>(
-      2, ceil_div(std::max<std::uint64_t>(g.num_edges(), 1), eta));
-  const std::uint64_t rounds = 4;
-  std::cout << "instance: n=" << n << " m=" << g.num_edges()
-            << " machines=" << machines << " rounds=" << rounds << "\n\n";
+  RunContext ctx;
+  ctx.n_override = env_bench_n();
+  const std::vector<BenchResult> results =
+      run_group(builtin_registry(), "shuffle", ctx, std::cout);
+  std::cout << "instance: n=" << results.front().n
+            << " m=" << results.front().m << "\n\n";
+
+  // The legacy result of each pattern, for speedup and identity checks.
+  std::map<std::string, const BenchResult*> legacy;
+  for (const BenchResult& r : results) {
+    if (r.algo == "shuffle-legacy") legacy[r.family] = &r;
+  }
 
   Table t({"pattern", "path", "seconds", "msgs/sec", "words/sec", "speedup",
            "identical"});
-  for (const Pattern pattern : {Pattern::kTiny, Pattern::kBatched}) {
-    const char* pname = pattern == Pattern::kTiny ? "tiny" : "batched";
-    const ShuffleStats legacy =
-        run_shuffle(g, machines, pattern, Path::kLegacy, rounds);
-    const ShuffleStats arena =
-        run_shuffle(g, machines, pattern, Path::kArena, rounds);
-    const bool identical = legacy.checksum == arena.checksum &&
-                           legacy.total_sent == arena.total_sent &&
-                           legacy.words == arena.words;
-    for (const Path path : {Path::kLegacy, Path::kArena}) {
-      const ShuffleStats& s = path == Path::kLegacy ? legacy : arena;
-      const double speedup = legacy.seconds / s.seconds;
-      t.row()
-          .cell(pname)
-          .cell(path == Path::kLegacy ? "legacy" : "arena")
-          .cell(s.seconds, 3)
-          .cell(static_cast<double>(s.messages) / s.seconds, 0)
-          .cell(static_cast<double>(s.words) / s.seconds, 0)
-          .cell(speedup, 2)
-          .cell(identical ? "yes" : "NO -- ACCOUNTING BUG");
+  for (const BenchResult& r : results) {
+    const BenchResult* base = legacy.at(r.family);
+    const bool identical = r.determinism_hash == base->determinism_hash &&
+                           r.shuffle_words == base->shuffle_words;
+    const double speedup = base->wall_seconds / r.wall_seconds;
+    t.row()
+        .cell(r.family)
+        .cell(r.algo)
+        .cell(r.wall_seconds, 3)
+        .cell(r.extra.at("msgs_per_sec"), 0)
+        .cell(r.extra.at("words_per_sec"), 0)
+        .cell(speedup, 2)
+        .cell(identical ? "yes" : "NO -- ACCOUNTING BUG");
 
-      JsonRow("shuffle")
-          .field("pattern", std::string(pname))
-          .field("path",
-                 std::string(path == Path::kLegacy ? "legacy" : "arena"))
-          .field("n", n)
-          .field("m", g.num_edges())
-          .field("machines", machines)
-          .field("rounds", rounds)
-          .field("messages", s.messages)
-          .field("words", s.words)
-          .field("seconds", s.seconds)
-          .field("msgs_per_sec", static_cast<double>(s.messages) / s.seconds)
-          .field("words_per_sec", static_cast<double>(s.words) / s.seconds)
-          .field("speedup_vs_legacy", speedup)
-          .field("identical", std::string(identical ? "true" : "false"))
-          .emit();
-    }
+    JsonRow("shuffle")
+        .field("pattern", r.family)
+        .field("path", r.algo)
+        .field("n", r.n)
+        .field("m", r.m)
+        .field("machines", r.extra.at("machines"))
+        .field("messages", r.extra.at("messages"))
+        .field("seconds", r.wall_seconds)
+        .field("msgs_per_sec", r.extra.at("msgs_per_sec"))
+        .field("words_per_sec", r.extra.at("words_per_sec"))
+        .field("speedup_vs_legacy", speedup)
+        .field("identical", identical)
+        .emit();
   }
   emit_table(t, "shuffle");
 }
 
-void bm_shuffle(benchmark::State& state, Pattern pattern, Path path) {
-  const graph::Graph g =
-      weighted_gnm(1000, 0.5, graph::WeightDist::kUniform, 17);
-  const std::uint64_t eta = ipow_real(1000, 1.15, 1);
-  const std::uint64_t machines = std::max<std::uint64_t>(
-      2, ceil_div(std::max<std::uint64_t>(g.num_edges(), 1), eta));
+// Timing probes over the registry scenarios themselves (small
+// instance so the google-benchmark phase stays cheap).
+void bm_shuffle_scenario(benchmark::State& state, const char* name) {
+  const Scenario* s = builtin_registry().find(name);
+  RunContext ctx;
+  ctx.n_override = 800;
   for (auto _ : state) {
-    const ShuffleStats s = run_shuffle(g, machines, pattern, path, 2);
-    benchmark::DoNotOptimize(s.checksum);
-    state.SetItemsProcessed(state.items_processed() +
-                            static_cast<std::int64_t>(s.messages));
+    const BenchResult r = s->run(ctx);
+    benchmark::DoNotOptimize(r.determinism_hash);
   }
 }
-BENCHMARK_CAPTURE(bm_shuffle, tiny_legacy, Pattern::kTiny, Path::kLegacy)
+BENCHMARK_CAPTURE(bm_shuffle_scenario, tiny_legacy, "shuffle/tiny-legacy")
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(bm_shuffle, tiny_arena, Pattern::kTiny, Path::kArena)
+BENCHMARK_CAPTURE(bm_shuffle_scenario, tiny_arena, "shuffle/tiny-arena")
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(bm_shuffle, batched_legacy, Pattern::kBatched,
-                  Path::kLegacy)
+BENCHMARK_CAPTURE(bm_shuffle_scenario, batched_legacy,
+                  "shuffle/batched-legacy")
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(bm_shuffle, batched_arena, Pattern::kBatched, Path::kArena)
+BENCHMARK_CAPTURE(bm_shuffle_scenario, batched_arena,
+                  "shuffle/batched-arena")
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace mrlr::bench
 
 int main(int argc, char** argv) {
-  std::uint64_t n = 2000;
-  if (const char* env = std::getenv("MRLR_BENCH_N")) {
-    if (*env != '\0') n = std::strtoull(env, nullptr, 10);
-  }
-  mrlr::bench::shuffle_table(n);
+  mrlr::bench::shuffle_table();
   return mrlr::bench::run_benchmarks(argc, argv);
 }

@@ -1,0 +1,151 @@
+#include "mrlr/bench/diff.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace mrlr::bench {
+namespace {
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+struct Comparer {
+  const DiffOptions& opt;
+  DiffReport& report;
+  const BenchResult& base;
+  const BenchResult& cur;
+
+  void regress(const std::string& metric, const std::string& detail) {
+    report.regressions.push_back({base.name, metric, detail});
+  }
+
+  void exact_u64(const char* metric, std::uint64_t b, std::uint64_t c) {
+    if (b != c) {
+      regress(metric, std::to_string(b) + " -> " + std::to_string(c));
+    }
+  }
+
+  void exact_double(const char* metric, double b, double c) {
+    if (b != c) regress(metric, num(b) + " -> " + num(c));
+  }
+
+  void exact_string(const char* metric, const std::string& b,
+                    const std::string& c) {
+    if (b != c) regress(metric, "'" + b + "' -> '" + c + "'");
+  }
+
+  void run() {
+    // Identity: a changed definition means the two runs measured
+    // different experiments — the baseline must be regenerated.
+    exact_string("algo (scenario definition changed)", base.algo, cur.algo);
+    exact_string("family (scenario definition changed)", base.family,
+                 cur.family);
+    exact_u64("n (scenario definition changed)", base.n, cur.n);
+    exact_u64("m (scenario definition changed)", base.m, cur.m);
+    exact_double("mu (scenario definition changed)", base.mu, cur.mu);
+    exact_double("c (scenario definition changed)", base.c, cur.c);
+    exact_string("format (scenario definition changed)", base.format,
+                 cur.format);
+    // threads is deliberately NOT identity: scenarios that honor the
+    // session backend knob (MRLR_THREADS / --threads) are byte-identical
+    // at any setting — that is the exec/ determinism contract, and the
+    // exact metric comparisons below enforce it. A differing thread
+    // count is only worth a note.
+    if (base.threads != cur.threads) {
+      report.notes.push_back(base.name + ": ran at threads=" +
+                             std::to_string(cur.threads) +
+                             " (baseline threads=" +
+                             std::to_string(base.threads) +
+                             "); deterministic metrics still compared");
+    }
+
+    if (!base.failed && cur.failed) {
+      regress("failed", "ok -> FAILED");
+    } else if (base.failed && !cur.failed) {
+      report.notes.push_back(base.name + ": was failing, now ok");
+    }
+
+    exact_u64("rounds", base.rounds, cur.rounds);
+    exact_u64("iterations", base.iterations, cur.iterations);
+    exact_u64("max_machine_words", base.max_machine_words,
+              cur.max_machine_words);
+    exact_u64("max_central_inbox", base.max_central_inbox,
+              cur.max_central_inbox);
+    exact_u64("shuffle_words", base.shuffle_words, cur.shuffle_words);
+    exact_double("quality", base.quality, cur.quality);
+    exact_double("quality_vs_baseline", base.quality_vs_baseline,
+                 cur.quality_vs_baseline);
+    if (base.determinism_hash != cur.determinism_hash) {
+      regress("determinism_hash", hash_to_hex(base.determinism_hash) +
+                                      " -> " +
+                                      hash_to_hex(cur.determinism_hash));
+    }
+
+    const double budget =
+        std::max(base.wall_seconds, opt.time_floor_seconds) *
+        opt.time_threshold;
+    if (cur.wall_seconds > budget) {
+      regress("wall_seconds",
+              num(base.wall_seconds) + "s -> " + num(cur.wall_seconds) +
+                  "s (allowed " + num(budget) + "s at " +
+                  num(opt.time_threshold) + "x)");
+    } else if (base.wall_seconds > opt.time_floor_seconds &&
+               cur.wall_seconds < base.wall_seconds / opt.time_threshold) {
+      report.notes.push_back(base.name + ": wall_seconds improved " +
+                             num(base.wall_seconds) + "s -> " +
+                             num(cur.wall_seconds) + "s");
+    }
+  }
+};
+
+}  // namespace
+
+DiffReport diff_bench_files(const BenchFile& baseline,
+                            const BenchFile& current,
+                            const DiffOptions& options) {
+  DiffReport report;
+  std::unordered_map<std::string, const BenchResult*> by_name;
+  for (const BenchResult& r : current.results) by_name[r.name] = &r;
+
+  for (const BenchResult& base : baseline.results) {
+    const auto it = by_name.find(base.name);
+    if (it == by_name.end()) {
+      report.regressions.push_back(
+          {base.name, "coverage", "scenario missing from current file"});
+      continue;
+    }
+    ++report.compared;
+    Comparer{options, report, base, *it->second}.run();
+    by_name.erase(it);
+  }
+  for (const BenchResult& r : current.results) {
+    if (by_name.count(r.name) != 0) {
+      report.notes.push_back(r.name +
+                             ": new scenario (absent from baseline)");
+    }
+  }
+  return report;
+}
+
+std::string render_diff_report(const DiffReport& report) {
+  std::string out;
+  for (const MetricDelta& d : report.regressions) {
+    out += "REGRESSION " + d.scenario + " :: " + d.metric + " :: " +
+           d.detail + "\n";
+  }
+  for (const std::string& n : report.notes) {
+    out += "note: " + n + "\n";
+  }
+  out += "compared " + std::to_string(report.compared) + " scenario(s): " +
+         (report.ok() ? "OK"
+                      : std::to_string(report.regressions.size()) +
+                            " regression(s)") +
+         "\n";
+  return out;
+}
+
+}  // namespace mrlr::bench

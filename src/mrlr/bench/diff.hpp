@@ -1,0 +1,56 @@
+#pragma once
+// Regression comparator for bench result files (the engine behind
+// tools/bench_diff and the perf-smoke CI job).
+//
+// Policy, per scenario matched by name:
+//   * identity fields (algo/family/n/m/mu/c/format) must match — a
+//     changed scenario definition invalidates the comparison and is
+//     reported as a regression (regenerate the baseline instead).
+//     `threads` is NOT identity: backends are deterministic by
+//     contract, so a run at a different MRLR_THREADS must still match
+//     the baseline exactly on every deterministic metric (and only
+//     earns a note);
+//   * deterministic metrics (failed, rounds, iterations,
+//     max_machine_words, max_central_inbox, shuffle_words, quality,
+//     quality_vs_baseline, determinism_hash) are compared exactly;
+//   * wall_seconds regresses when
+//       current > max(baseline, time_floor_seconds) * time_threshold
+//     — the floor keeps sub-millisecond scenarios from flagging on
+//     scheduler noise;
+//   * extra metrics are informational and never compared;
+//   * a scenario present in the baseline but missing from the current
+//     file is a regression (lost coverage); a new scenario is a note.
+
+#include <string>
+#include <vector>
+
+#include "mrlr/bench/result.hpp"
+
+namespace mrlr::bench {
+
+struct DiffOptions {
+  double time_threshold = 2.0;
+  double time_floor_seconds = 0.05;
+};
+
+struct MetricDelta {
+  std::string scenario;
+  std::string metric;
+  std::string detail;  ///< "baseline -> current" rendering
+};
+
+struct DiffReport {
+  std::vector<MetricDelta> regressions;
+  std::vector<std::string> notes;  ///< additions, improvements, skips
+  std::size_t compared = 0;        ///< scenarios matched by name
+  bool ok() const { return regressions.empty(); }
+};
+
+DiffReport diff_bench_files(const BenchFile& baseline,
+                            const BenchFile& current,
+                            const DiffOptions& options = {});
+
+/// Human-readable rendering of the report (one line per finding).
+std::string render_diff_report(const DiffReport& report);
+
+}  // namespace mrlr::bench

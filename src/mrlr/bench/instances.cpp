@@ -1,0 +1,24 @@
+#include "mrlr/bench/instances.hpp"
+
+#include "mrlr/util/rng.hpp"
+
+namespace mrlr::bench {
+
+core::MrParams scenario_params(double mu, std::uint64_t seed,
+                               std::uint64_t threads) {
+  core::MrParams p;
+  p.mu = mu;
+  p.seed = seed;
+  p.max_iterations = 20000;
+  p.num_threads = threads;
+  return p;
+}
+
+graph::Graph weighted_gnm(std::uint64_t n, double c, graph::WeightDist dist,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  graph::Graph g = graph::gnm_density(n, c, rng);
+  return g.with_weights(graph::random_edge_weights(g, dist, rng));
+}
+
+}  // namespace mrlr::bench

@@ -1,0 +1,422 @@
+#include "mrlr/bench/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mrlr::bench {
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+[[noreturn]] void fail(std::size_t pos, const std::string& what) {
+  throw JsonError("json: " + what + " at byte " + std::to_string(pos));
+}
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool done() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!done()) {
+      const char c = text[pos];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect(char c) {
+    if (done() || text[pos] != c) {
+      fail(pos, std::string("expected '") + c + "'");
+    }
+    ++pos;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail(pos, "nesting too deep");
+    skip_ws();
+    if (done()) fail(pos, "unexpected end of input");
+    const char c = peek();
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') return Json::string(parse_string());
+    if (c == 't') {
+      if (!consume_literal("true")) fail(pos, "bad literal");
+      return Json::boolean(true);
+    }
+    if (c == 'f') {
+      if (!consume_literal("false")) fail(pos, "bad literal");
+      return Json::boolean(false);
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) fail(pos, "bad literal");
+      return Json();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail(pos, "unexpected character");
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json out = Json::object();
+    skip_ws();
+    if (!done() && peek() == '}') {
+      ++pos;
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      const std::size_t key_pos = pos;
+      if (done() || peek() != '"') fail(pos, "expected object key");
+      std::string key = parse_string();
+      if (out.find(key) != nullptr) fail(key_pos, "duplicate key '" + key + "'");
+      skip_ws();
+      expect(':');
+      out.set(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (done()) fail(pos, "unterminated object");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      expect('}');
+      return out;
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json out = Json::array();
+    skip_ws();
+    if (!done() && peek() == ']') {
+      ++pos;
+      return out;
+    }
+    while (true) {
+      out.push(parse_value(depth + 1));
+      skip_ws();
+      if (done()) fail(pos, "unterminated array");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      expect(']');
+      return out;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (done()) fail(pos, "unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail(pos - 1, "raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (done()) fail(pos, "unterminated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          out += parse_unicode_escape();
+          break;
+        }
+        default:
+          fail(pos - 1, "bad escape");
+      }
+    }
+  }
+
+  /// Decodes \uXXXX (BMP only; surrogate pairs rejected — the harness
+  /// never emits them) to UTF-8.
+  std::string parse_unicode_escape() {
+    if (pos + 4 > text.size()) fail(pos, "truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text[pos++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        fail(pos - 1, "bad hex digit in \\u escape");
+      }
+    }
+    if (code >= 0xD800 && code <= 0xDFFF) {
+      fail(pos - 4, "surrogate \\u escape unsupported");
+    }
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos;
+    if (!done() && peek() == '-') ++pos;
+    auto digits = [&] {
+      std::size_t count = 0;
+      while (!done() && peek() >= '0' && peek() <= '9') {
+        ++pos;
+        ++count;
+      }
+      return count;
+    };
+    if (digits() == 0) fail(pos, "bad number");
+    if (!done() && peek() == '.') {
+      ++pos;
+      if (digits() == 0) fail(pos, "bad number (no fraction digits)");
+    }
+    if (!done() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!done() && (peek() == '+' || peek() == '-')) ++pos;
+      if (digits() == 0) fail(pos, "bad number (no exponent digits)");
+    }
+    const std::string token(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(v)) {
+      fail(start, "unparsable number");
+    }
+    return Json::number(v);
+  }
+};
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no inf/nan literals
+    return;
+  }
+  // Shortest representation that round-trips: try increasing precision.
+  char buf[40];
+  for (const int prec : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  out += buf;
+}
+
+void append_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.num_ = v;
+  return j;
+}
+
+Json Json::string(std::string s) {
+  Json j;
+  j.type_ = Type::kString;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) throw JsonError("json: not a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::kNumber) throw JsonError("json: not a number");
+  return num_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) throw JsonError("json: not a string");
+  return str_;
+}
+
+const std::vector<Json>& Json::items() const {
+  if (type_ != Type::kArray) throw JsonError("json: not an array");
+  return arr_;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::fields() const {
+  if (type_ != Type::kObject) throw JsonError("json: not an object");
+  return obj_;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* found = find(key);
+  if (found == nullptr) {
+    throw JsonError("json: missing key '" + std::string(key) + "'");
+  }
+  return *found;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) throw JsonError("json: not an object");
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json& Json::set(std::string key, Json value) {
+  if (type_ != Type::kObject) throw JsonError("json: not an object");
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  if (type_ != Type::kArray) throw JsonError("json: not an array");
+  arr_.push_back(std::move(value));
+  return *this;
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      append_number(out, num_);
+      return;
+    case Type::kString:
+      append_escaped(out, str_);
+      return;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (indent > 0) append_indent(out, indent, depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      if (indent > 0) append_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (indent > 0) append_indent(out, indent, depth + 1);
+        append_escaped(out, obj_[i].first);
+        out += indent > 0 ? ": " : ":";
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (indent > 0) append_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+Json Json::parse(std::string_view text) {
+  Parser p{text};
+  Json v = p.parse_value(0);
+  p.skip_ws();
+  if (!p.done()) fail(p.pos, "trailing garbage after document");
+  return v;
+}
+
+}  // namespace mrlr::bench

@@ -1,0 +1,77 @@
+#pragma once
+// Minimal JSON value type for the bench harness: enough to write the
+// versioned result schema and to parse it back (bench_diff, tests).
+// Strict by design — malformed input throws JsonError with a byte
+// offset, it never yields a best-effort value. Objects preserve
+// insertion order so emitted files are stable and diffable.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mrlr::bench {
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+
+  static Json boolean(bool b);
+  static Json number(double v);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw JsonError on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Json>& items() const;  ///< array elements
+  const std::vector<std::pair<std::string, Json>>& fields() const;
+
+  /// Object lookup: at() throws on a missing key, find() returns
+  /// nullptr. Both throw if this value is not an object.
+  const Json& at(std::string_view key) const;
+  const Json* find(std::string_view key) const;
+
+  /// Object/array builders. set() overwrites an existing key in place.
+  Json& set(std::string key, Json value);
+  Json& push(Json value);
+
+  /// Serialize. indent = 0 emits one line; indent > 0 pretty-prints.
+  /// Numbers round-trip doubles exactly (%.17g shortened).
+  std::string dump(int indent = 0) const;
+
+  /// Strict parser for one JSON document (trailing garbage rejected).
+  static Json parse(std::string_view text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace mrlr::bench

@@ -1,0 +1,83 @@
+#include "mrlr/bench/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace mrlr::bench {
+
+void Registry::add(Scenario s) {
+  if (find(s.name) != nullptr) {
+    throw std::invalid_argument("duplicate scenario name: " + s.name);
+  }
+  if (!s.run) {
+    throw std::invalid_argument("scenario without run function: " + s.name);
+  }
+  scenarios_.push_back(std::move(s));
+}
+
+const Scenario* Registry::find(std::string_view name) const {
+  for (const Scenario& s : scenarios_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const Scenario*> Registry::group(std::string_view g) const {
+  std::vector<const Scenario*> out;
+  for (const Scenario& s : scenarios_) {
+    if (g == "all" ||
+        std::find(s.groups.begin(), s.groups.end(), g) != s.groups.end()) {
+      out.push_back(&s);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Registry::group_names() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const Scenario& s : scenarios_) {
+    for (const std::string& g : s.groups) {
+      if (seen.insert(g).second) out.push_back(g);
+    }
+  }
+  out.push_back("all");
+  return out;
+}
+
+const Registry& builtin_registry() {
+  static const Registry registry = [] {
+    Registry r;
+    register_builtin_scenarios(r);
+    return r;
+  }();
+  return registry;
+}
+
+std::vector<const Scenario*> select_scenarios(
+    const Registry& r, const std::vector<std::string>& groups,
+    const std::vector<std::string>& names) {
+  std::unordered_set<const Scenario*> wanted;
+  for (const std::string& g : groups) {
+    const auto members = r.group(g);
+    if (members.empty()) {
+      throw std::invalid_argument("unknown or empty bench group: " + g);
+    }
+    wanted.insert(members.begin(), members.end());
+  }
+  for (const std::string& name : names) {
+    const Scenario* s = r.find(name);
+    if (s == nullptr) {
+      throw std::invalid_argument("unknown scenario: " + name);
+    }
+    wanted.insert(s);
+  }
+  std::vector<const Scenario*> out;
+  for (const Scenario& s : r.all()) {
+    if (wanted.count(&s) != 0) out.push_back(&s);
+  }
+  return out;
+}
+
+}  // namespace mrlr::bench

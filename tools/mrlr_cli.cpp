@@ -9,10 +9,17 @@
 //            [--threads T] [--graph FILE] [--sets FILE] [--trace]
 //   mrlr_cli gen <family> --out FILE [family options]
 //   mrlr_cli convert --in FILE --out FILE
+//   mrlr_cli bench [--group G]... [--scenario NAME]... [--out FILE]
+//            [--threads T] [--list]
 //
 // Graph files (--graph, gen/convert --in/--out) are read and written in
 // the binary .mgb container when the path ends in ".mgb", and as plain
 // text edge lists otherwise.
+//
+// `bench` runs named scenario groups from the registry in
+// src/mrlr/bench/ (paper-f1, rounds-vs-mu, space-vs-c, shuffle, io,
+// threads, smoke, all) and writes a schema-versioned JSON result file
+// that tools/bench_diff can compare against bench/baseline.json.
 //
 // Algorithms:
 //   matching | vertex-cover | set-cover-f | set-cover-greedy |
@@ -44,6 +51,8 @@
 #include <string>
 
 #include "mrlr/baselines/coreset_matching.hpp"
+#include "mrlr/bench/emit.hpp"
+#include "mrlr/bench/runner.hpp"
 #include "mrlr/baselines/filtering_matching.hpp"
 #include "mrlr/baselines/luby_colouring_mr.hpp"
 #include "mrlr/baselines/luby_mr.hpp"
@@ -87,6 +96,8 @@ void usage() {
          "[--graph FILE] [--sets FILE] [--trace]\n"
          "       mrlr_cli gen <family> --out FILE [family options]\n"
          "       mrlr_cli convert --in FILE --out FILE\n"
+         "       mrlr_cli bench [--group G]... [--scenario NAME]... "
+         "[--out FILE] [--threads T] [--list]\n"
          "algorithms: matching vertex-cover set-cover-f "
          "set-cover-greedy b-matching mis mis-simple clique "
          "colour-vertex colour-edge filtering-matching "
@@ -94,6 +105,8 @@ void usage() {
          "gen families: gnm gnm-density gnp chung-lu bipartite "
          "circulant complete star path cycle planted-clique "
          "sc-bounded-frequency sc-many-sets sc-planted\n"
+         "bench groups: paper-f1 rounds-vs-mu space-vs-c shuffle io "
+         "threads smoke all (mrlr_cli bench --list shows scenarios)\n"
          "--threads T: simulate machines on T threads (1 = serial, "
          "0 = all hardware threads); results are identical at any T, "
          "only wall-clock changes\n"
@@ -501,6 +514,44 @@ int run_convert(int argc, char** argv) {
   return 0;
 }
 
+// ------------------------------------------------------------ bench --
+
+int run_bench_cmd(int argc, char** argv) {
+  mrlr::bench::RunOptions options;
+  options.context.threads = mrlr::bench::env_threads();
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--group") {
+      options.groups.emplace_back(value());
+    } else if (flag == "--scenario") {
+      options.scenarios.emplace_back(value());
+    } else if (flag == "--out") {
+      options.out_path = value();
+    } else if (flag == "--threads") {
+      options.context.threads = std::stoull(value());
+    } else if (flag == "--list") {
+      options.list_only = true;
+    } else {
+      std::cerr << "unknown bench flag " << flag << "\n";
+      usage();
+      return 2;
+    }
+  }
+  if (!options.list_only && options.groups.empty() &&
+      options.scenarios.empty()) {
+    options.groups.push_back("smoke");
+  }
+  return mrlr::bench::run_bench(mrlr::bench::builtin_registry(), options,
+                                std::cout);
+}
+
 void report(const mrlr::core::MrOutcome& outcome) {
   std::cout << "cost: rounds=" << outcome.rounds
             << " iterations=" << outcome.iterations
@@ -519,6 +570,9 @@ int run(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "convert") == 0) {
     return run_convert(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "bench") == 0) {
+    return run_bench_cmd(argc, argv);
   }
   const auto opts = parse(argc, argv);
   if (!opts) {

@@ -30,6 +30,16 @@ struct RunContext {
   /// pin their own value and ignore this.
   std::uint64_t threads = 1;
 
+  /// `mrlr_cli bench --backend process [--shards K]`: scenarios whose
+  /// driver is ported to the process-sharded backend (currently the
+  /// rlr-matching family) run it with num_shards = shards; scenarios
+  /// whose drivers are not yet process-clean keep their pinned
+  /// in-process backend. Either way every non-timing result field must
+  /// equal the committed baseline — that is the backend determinism
+  /// contract the perf-smoke CI job checks.
+  bool process_backend = false;
+  std::uint64_t shards = 2;
+
   /// Instance-size override for the wrapper binaries' MRLR_BENCH_N
   /// back-compat knob. 0 = the scenario's pinned default, which is what
   /// `mrlr_cli bench` always uses so baselines stay comparable.

@@ -89,6 +89,26 @@ void fill_outcome(BenchResult& r, const core::MrOutcome& o) {
   r.failed = r.failed || o.failed || o.space_violations > 0;
 }
 
+/// scenario_params plus the session's backend request, for scenarios
+/// whose driver honors MrParams::num_shards (the process-clean ones —
+/// currently the rlr-matching family). Under --backend process the
+/// scenario runs K forked shards and must still reproduce the baseline
+/// bit-for-bit.
+core::MrParams exec_params(double mu, std::uint64_t seed,
+                           const RunContext& ctx) {
+  core::MrParams p =
+      scenario_params(mu, seed, ctx.process_backend ? 1 : ctx.threads);
+  if (ctx.process_backend) p.num_shards = std::max<std::uint64_t>(2, ctx.shards);
+  return p;
+}
+
+/// The thread count a scenario using exec_params actually runs at —
+/// recorded in the result so the emitted metadata never misreports the
+/// configuration under --backend process (which pins one thread).
+std::uint64_t exec_threads(const RunContext& ctx) {
+  return ctx.process_backend ? 1 : ctx.threads;
+}
+
 // ------------------------------------------------------ paper-f1 ----
 
 // Figure 1 row: max weight matching (Theorem 5.6; mu = 0 is the
@@ -116,14 +136,14 @@ void add_f1_matching(Registry& r) {
              res.n = cfg.n;
              res.c = cfg.c;
              res.mu = cfg.mu;
-             res.threads = ctx.threads;
+             res.threads = exec_threads(ctx);
              const graph::Graph g = weighted_gnm(
                  cfg.n, cfg.c, WeightDist::kUniform, cfg.n + 17);
              res.m = g.num_edges();
              const auto sq = seq::local_ratio_matching(g);
              Timer t;
-             const auto out = core::rlr_matching(
-                 g, scenario_params(cfg.mu, 1, ctx.threads));
+             const auto out =
+                 core::rlr_matching(g, exec_params(cfg.mu, 1, ctx));
              res.wall_seconds = t.elapsed();
              fill_outcome(res, out.outcome);
              res.quality = out.weight;
@@ -560,13 +580,13 @@ void add_rounds_scaling(Registry& r) {
              res.n = n;
              res.c = c;
              res.mu = cfg.mu;
-             res.threads = ctx.threads;
+             res.threads = exec_threads(ctx);
              const graph::Graph g =
                  weighted_gnm(n, c, WeightDist::kUniform, 31);
              res.m = g.num_edges();
              Timer t;
-             const auto out = core::rlr_matching(
-                 g, scenario_params(cfg.mu, 1, ctx.threads));
+             const auto out =
+                 core::rlr_matching(g, exec_params(cfg.mu, 1, ctx));
              res.wall_seconds = t.elapsed();
              fill_outcome(res, out.outcome);
              res.quality = out.weight;
@@ -594,13 +614,13 @@ void add_rounds_scaling(Registry& r) {
            res.n = n;
            res.c = 0.45;
            res.mu = 0.0;
-           res.threads = ctx.threads;
+           res.threads = exec_threads(ctx);
            const graph::Graph g =
                weighted_gnm(n, 0.45, WeightDist::kUniform, 77);
            res.m = g.num_edges();
            Timer t;
            const auto out =
-               core::rlr_matching(g, scenario_params(0.0, 1, ctx.threads));
+               core::rlr_matching(g, exec_params(0.0, 1, ctx));
            res.wall_seconds = t.elapsed();
            fill_outcome(res, out.outcome);
            res.quality = out.weight;
@@ -687,15 +707,17 @@ void add_space_scaling(Registry& r) {
              res.n = n;
              res.c = c;
              res.mu = mu;
-             res.threads = ctx.threads;
+             // Only the matching branch honors the process backend.
+             res.threads =
+                 algo == "matching" ? exec_threads(ctx) : ctx.threads;
              const std::uint64_t eta = ipow_real(n, 1.0 + mu);
              Timer t;
              if (algo == "matching") {
                const graph::Graph g =
                    weighted_gnm(n, c, WeightDist::kUniform, 13);
                res.m = g.num_edges();
-               const auto out = core::rlr_matching(
-                   g, scenario_params(mu, 1, ctx.threads));
+               const auto out =
+                   core::rlr_matching(g, exec_params(mu, 1, ctx));
                res.wall_seconds = t.elapsed();
                fill_outcome(res, out.outcome);
                res.quality = out.weight;
@@ -1105,6 +1127,255 @@ void add_threads(Registry& r) {
   }
 }
 
+// ------------------------------------------------------- process ----
+
+// Process-sharded backend determinism: the exact exec/threads workload
+// run with K forked shard workers per round. Every non-timing field —
+// in particular the determinism hash — must equal exec/threads/t1,
+// which is the cross-PROCESS extension of the PR 1 contract: the shard
+// transport and coordinator merge must not perturb a single bit.
+void add_process(Registry& r) {
+  struct Cfg {
+    std::uint64_t shards;
+    std::vector<std::string> groups;
+  };
+  for (const Cfg& cfg : {
+           Cfg{1, {"process"}},
+           Cfg{2, {"process", "smoke"}},
+           Cfg{4, {"process", "smoke"}},
+       }) {
+    r.add({"exec/process/k" + std::to_string(cfg.shards),
+           cfg.groups,
+           "rlr matching on the process-shard backend, " +
+               std::to_string(cfg.shards) +
+               " forked worker shards (results must match "
+               "exec/threads/t1 exactly)",
+           [cfg](const RunContext& ctx) {
+             const std::uint64_t n = ctx.scale_n(3000);
+             const double c = 0.5, mu = 0.1;
+             BenchResult res;
+             res.algo = "rlr-mwm";
+             res.family = "gnm-density";
+             res.n = n;
+             res.c = c;
+             res.mu = mu;
+             res.threads = 1;
+             const graph::Graph g =
+                 weighted_gnm(n, c, WeightDist::kUniform, n + 3);
+             res.m = g.num_edges();
+             core::MrParams params = scenario_params(mu, 1, 1);
+             params.num_shards = cfg.shards;
+             Timer t;
+             const auto out = core::rlr_matching(g, params);
+             res.wall_seconds = t.elapsed();
+             fill_outcome(res, out.outcome);
+             res.quality = out.weight;
+             res.failed =
+                 res.failed || !graph::is_matching(g, out.matching);
+             HashAcc h;
+             h.mix_range(out.matching);
+             h.mix(out.weight);
+             // Shards excluded from the hash, like threads: equal
+             // hashes across t1/k1/k2/k4 certify backend determinism.
+             res.determinism_hash = h.value();
+             res.extra["shards"] = static_cast<double>(cfg.shards);
+             return res;
+           }});
+  }
+}
+
+// --------------------------------------------------------- large ----
+
+// Nightly-scale instances (10^6+ edges): not part of smoke — the
+// nightly-large workflow runs `bench --group all` on a schedule and
+// feeds the results into the trajectory tracker. Seeds are pinned like
+// every other scenario, so the nightly curves are comparable across
+// commits.
+void add_large(Registry& r) {
+  r.add({"large/matching/n40000-c0.32",
+         {"large"},
+         "rlr matching, ~1.2M-edge weighted gnm (nightly scale)",
+         [](const RunContext& ctx) {
+           const std::uint64_t n = ctx.scale_n(40000);
+           // mu = 0.1 keeps 4*eta well below m, so the nightly curve
+           // tracks the real multi-iteration sampling path, not the
+           // ship-all endgame.
+           const double c = 0.32, mu = 0.1;
+           BenchResult res;
+           res.algo = "rlr-mwm";
+           res.family = "gnm-density";
+           res.n = n;
+           res.c = c;
+           res.mu = mu;
+           res.threads = exec_threads(ctx);
+           const graph::Graph g =
+               weighted_gnm(n, c, WeightDist::kUniform, n + 17);
+           res.m = g.num_edges();
+           const auto sq = seq::local_ratio_matching(g);
+           Timer t;
+           const auto out = core::rlr_matching(g, exec_params(mu, 1, ctx));
+           res.wall_seconds = t.elapsed();
+           fill_outcome(res, out.outcome);
+           res.quality = out.weight;
+           res.quality_vs_baseline =
+               sq.weight > 0 ? out.weight / sq.weight : 0.0;
+           res.failed = res.failed || !graph::is_matching(g, out.matching);
+           HashAcc h;
+           h.mix_range(out.matching);
+           h.mix(out.weight);
+           res.determinism_hash = h.value();
+           return res;
+         }});
+
+  r.add({"large/mis-improved/n40000-c0.32",
+         {"large"},
+         "hungry MIS (Alg 6), ~1.2M-edge gnm (nightly scale)",
+         [](const RunContext& ctx) {
+           const std::uint64_t n = ctx.scale_n(40000);
+           const double c = 0.32, mu = 0.25;
+           BenchResult res;
+           res.algo = "mis-improved";
+           res.family = "gnm-density";
+           res.n = n;
+           res.c = c;
+           res.mu = mu;
+           res.threads = ctx.threads;
+           Rng rng(n + 40);
+           const graph::Graph g = graph::gnm_density(n, c, rng);
+           res.m = g.num_edges();
+           Timer t;
+           const auto out = core::hungry_mis_improved(
+               g, scenario_params(mu, 1, ctx.threads));
+           res.wall_seconds = t.elapsed();
+           fill_outcome(res, out.outcome);
+           res.quality = static_cast<double>(out.independent_set.size());
+           res.failed =
+               res.failed ||
+               !graph::is_maximal_independent_set(g, out.independent_set);
+           HashAcc h;
+           h.mix_range(out.independent_set);
+           res.determinism_hash = h.value();
+           return res;
+         }});
+
+  r.add({"large/colour-vertex/n40000-c0.32",
+         {"large"},
+         "mr vertex colouring, ~1.2M-edge gnm (nightly scale)",
+         [](const RunContext& ctx) {
+           const std::uint64_t n = ctx.scale_n(40000);
+           const double c = 0.32, mu = 0.2;
+           BenchResult res;
+           res.algo = "mr-colour-vertex";
+           res.family = "gnm-density";
+           res.n = n;
+           res.c = c;
+           res.mu = mu;
+           res.threads = ctx.threads;
+           Rng rng(n + 12);
+           const graph::Graph g = graph::gnm_density(n, c, rng);
+           res.m = g.num_edges();
+           Timer t;
+           const auto out = core::mr_vertex_colouring(
+               g, scenario_params(mu, 1, ctx.threads));
+           res.wall_seconds = t.elapsed();
+           res.failed = out.failed;
+           fill_outcome(res, out.outcome);
+           res.quality = static_cast<double>(out.colours_used);
+           res.failed =
+               res.failed ||
+               !graph::is_proper_vertex_colouring(g, out.colour);
+           HashAcc h;
+           h.mix_range(out.colour);
+           h.mix(out.colours_used);
+           res.determinism_hash = h.value();
+           res.extra["colours_over_delta"] =
+               g.max_degree() > 0
+                   ? res.quality / static_cast<double>(g.max_degree())
+                   : 0.0;
+           return res;
+         }});
+
+  r.add({"large/io/mgb-load-m2e6",
+         {"large"},
+         "binary .mgb end-to-end load, 2M weighted edges (nightly scale)",
+         [](const RunContext& ctx) {
+           namespace fs = std::filesystem;
+           const std::uint64_t n = ctx.scale_n(500000);
+           const std::uint64_t m = 4 * n;
+           BenchResult res;
+           res.algo = "graph-io-load";
+           res.family = "gnm-weighted";
+           res.n = n;
+           res.m = m;
+           res.format = "mgb";
+           res.threads = 1;
+           Rng rng(42);
+           graph::Graph g = graph::gnm(n, m, rng);
+           g = g.with_weights(
+               graph::random_edge_weights(g, WeightDist::kUniform, rng));
+           const std::string path =
+               (fs::temp_directory_path() / "mrlr_bench_large_io.mgb")
+                   .string();
+           graph::write_graph_file(g, path);
+           std::optional<graph::Graph> back;
+           Timer t;
+           back.emplace(graph::read_graph_file(path));
+           res.wall_seconds = t.elapsed();
+           res.failed = !(back->num_vertices() == g.num_vertices() &&
+                          back->edges() == g.edges() &&
+                          back->weights() == g.weights());
+           graph::GraphData d;
+           d.n = back->num_vertices();
+           d.weighted = back->weighted();
+           d.edges = back->edges();
+           d.weights = back->weights();
+           res.determinism_hash = hash_graph_data(d);
+           res.extra["edges_per_sec"] =
+               per_second(static_cast<double>(m), res.wall_seconds);
+           std::error_code ec;
+           fs::remove(path, ec);
+           return res;
+         }});
+
+  r.add({"large/shuffle/tiny-arena-m1e6",
+         {"large"},
+         "arena shuffle throughput, ~1M-edge instance (nightly scale)",
+         [](const RunContext& ctx) {
+           const std::uint64_t n = ctx.scale_n(10000);
+           const double c = 0.5;
+           BenchResult res;
+           res.algo = "shuffle-arena";
+           res.family = "shuffle-tiny";
+           res.n = n;
+           res.c = c;
+           res.mu = 0.15;
+           res.threads = 1;
+           const graph::Graph g =
+               weighted_gnm(n, c, WeightDist::kUniform, n + 1);
+           res.m = g.num_edges();
+           const std::uint64_t eta = ipow_real(n, 1.15, 1);
+           const std::uint64_t machines = std::max<std::uint64_t>(
+               2,
+               ceil_div(std::max<std::uint64_t>(g.num_edges(), 1), eta));
+           const std::uint64_t rounds = 2;
+           const ShuffleStats s =
+               run_shuffle(g, machines, ShufflePattern::kTiny,
+                           ShufflePath::kArena, rounds);
+           res.wall_seconds = s.seconds;
+           res.rounds = rounds + 1;
+           res.shuffle_words = s.total_sent;
+           res.extra["messages"] = static_cast<double>(s.messages);
+           res.extra["msgs_per_sec"] =
+               per_second(static_cast<double>(s.messages), s.seconds);
+           res.extra["machines"] = static_cast<double>(machines);
+           HashAcc h;
+           h.mix(s.checksum);
+           h.mix(s.total_sent);
+           res.determinism_hash = h.value();
+           return res;
+         }});
+}
+
 }  // namespace
 
 void register_builtin_scenarios(Registry& r) {
@@ -1121,6 +1392,8 @@ void register_builtin_scenarios(Registry& r) {
   add_shuffle(r);
   add_io(r);
   add_threads(r);
+  add_process(r);
+  add_large(r);
 }
 
 }  // namespace mrlr::bench

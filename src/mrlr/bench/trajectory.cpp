@@ -1,0 +1,183 @@
+#include "mrlr/bench/trajectory.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <set>
+
+#include "mrlr/bench/emit.hpp"
+
+namespace mrlr::bench {
+
+namespace {
+
+std::string base_label(const std::string& path) {
+  const auto slash = path.find_last_of("/\\");
+  std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  if (name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+    name.resize(name.size() - 5);
+  }
+  return name;
+}
+
+/// Scenario lookup within one point (names are unique per file).
+const BenchResult* find_result(const BenchFile& f, const std::string& name) {
+  for (const BenchResult& r : f.results) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+struct Metric {
+  const char* title;
+  const char* unit;
+  int precision;
+  double (*get)(const BenchResult&);
+};
+
+constexpr Metric kMetrics[] = {
+    {"Wall time", "seconds", 3,
+     [](const BenchResult& r) { return r.wall_seconds; }},
+    {"Rounds", "count", 0,
+     [](const BenchResult& r) { return static_cast<double>(r.rounds); }},
+    {"Max machine words", "words", 0,
+     [](const BenchResult& r) {
+       return static_cast<double>(r.max_machine_words);
+     }},
+    {"Shuffle words", "words", 0,
+     [](const BenchResult& r) {
+       return static_cast<double>(r.shuffle_words);
+     }},
+    {"Quality", "solution value", 2,
+     [](const BenchResult& r) { return r.quality; }},
+};
+
+}  // namespace
+
+std::vector<TrajectoryPoint> load_trajectory(
+    const std::vector<std::string>& paths) {
+  std::vector<TrajectoryPoint> series;
+  series.reserve(paths.size());
+  for (const std::string& path : paths) {
+    series.push_back({base_label(path), read_bench_file(path)});
+  }
+  return series;
+}
+
+std::vector<std::string> trajectory_scenarios(
+    const std::vector<TrajectoryPoint>& series) {
+  std::vector<std::string> order;
+  std::set<std::string> seen;
+  for (const TrajectoryPoint& p : series) {
+    for (const BenchResult& r : p.file.results) {
+      if (seen.insert(r.name).second) order.push_back(r.name);
+    }
+  }
+  return order;
+}
+
+void write_trajectory_csv(const std::vector<TrajectoryPoint>& series,
+                          std::ostream& os) {
+  os << "scenario,point,label,wall_seconds,rounds,iterations,"
+        "max_machine_words,max_central_inbox,shuffle_words,quality,"
+        "quality_vs_baseline,determinism_hash,failed\n";
+  const auto scenarios = trajectory_scenarios(series);
+  for (const std::string& name : scenarios) {
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const BenchResult* r = find_result(series[i].file, name);
+      if (r == nullptr) continue;  // gap: scenario not in this point
+      os << csv_escape(name) << "," << i << ","
+         << csv_escape(series[i].label) << ","
+         << fmt_double(r->wall_seconds, 6) << "," << r->rounds << ","
+         << r->iterations << "," << r->max_machine_words << ","
+         << r->max_central_inbox << "," << r->shuffle_words << ","
+         << fmt_double(r->quality, 6) << ","
+         << fmt_double(r->quality_vs_baseline, 6) << ","
+         << hash_to_hex(r->determinism_hash) << ","
+         << (r->failed ? 1 : 0) << "\n";
+    }
+  }
+}
+
+void write_trajectory_markdown(const std::vector<TrajectoryPoint>& series,
+                               std::ostream& os) {
+  const auto scenarios = trajectory_scenarios(series);
+  os << "# Bench trajectory (" << series.size() << " points, "
+     << scenarios.size() << " scenarios)\n";
+
+  for (const Metric& metric : kMetrics) {
+    os << "\n## " << metric.title << " (" << metric.unit << ")\n\n";
+    os << "| scenario |";
+    for (const TrajectoryPoint& p : series) os << " " << p.label << " |";
+    os << " last/first |\n";
+    os << "|---|";
+    for (std::size_t i = 0; i < series.size(); ++i) os << "---|";
+    os << "---|\n";
+    for (const std::string& name : scenarios) {
+      os << "| " << name << " |";
+      double first = 0.0, last = 0.0;
+      bool have_first = false, have_last = false;
+      for (const TrajectoryPoint& p : series) {
+        const BenchResult* r = find_result(p.file, name);
+        if (r == nullptr) {
+          os << " — |";
+          continue;
+        }
+        const double v = metric.get(*r);
+        if (!have_first) {
+          first = v;
+          have_first = true;
+        }
+        last = v;
+        have_last = true;
+        os << " " << fmt_double(v, metric.precision) << " |";
+      }
+      if (have_first && have_last && first != 0.0) {
+        os << " " << fmt_double(last / first, 2) << " |\n";
+      } else {
+        os << " — |\n";
+      }
+    }
+  }
+
+  // Hash stability: a determinism hash that moves between consecutive
+  // points means the scenario's results changed — either an intentional
+  // baseline regeneration landed, or behaviour drifted silently.
+  os << "\n## Determinism hash stability\n\n";
+  bool any_change = false;
+  for (const std::string& name : scenarios) {
+    const BenchResult* prev = nullptr;
+    std::string prev_label;
+    for (const TrajectoryPoint& p : series) {
+      const BenchResult* r = find_result(p.file, name);
+      if (r == nullptr) continue;
+      if (prev != nullptr &&
+          prev->determinism_hash != r->determinism_hash) {
+        os << "- `" << name << "`: " << hash_to_hex(prev->determinism_hash)
+           << " (" << prev_label << ") -> "
+           << hash_to_hex(r->determinism_hash) << " (" << p.label
+           << ")\n";
+        any_change = true;
+      }
+      prev = r;
+      prev_label = p.label;
+    }
+  }
+  if (!any_change) {
+    os << "All scenario hashes stable across the series.\n";
+  }
+}
+
+}  // namespace mrlr::bench

@@ -1,0 +1,59 @@
+#pragma once
+// Historical trajectory tracking over a series of bench result files
+// (the engine behind tools/bench_trajectory and the nightly-large CI
+// workflow).
+//
+// Input: an ordered series of schema-v1 `bench_results.json` files —
+// one per commit / nightly run, oldest first. Output: per-scenario
+// curves of the tracked metrics (wall seconds, rounds, max machine
+// words, shuffle words, quality) rendered as
+//   * CSV — one row per (scenario, series point), for plotting;
+//   * markdown — one table per metric (rows = scenarios, columns =
+//     series labels, final column = last/first ratio), plus a
+//     determinism-hash stability section: a hash that changes between
+//     two points without an intentional baseline regeneration is a
+//     silent-behaviour-change flag worth investigating.
+//
+// Scenarios appear in first-seen order across the series; a scenario
+// absent from some points (added or removed over time) renders as a
+// gap, never an error.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mrlr/bench/result.hpp"
+
+namespace mrlr::bench {
+
+/// One series point: a result file plus the label shown on its column
+/// (derived from the filename by load_trajectory).
+struct TrajectoryPoint {
+  std::string label;
+  BenchFile file;
+};
+
+/// Reads each path via read_bench_file (throwing JsonError on parse or
+/// schema problems, std::runtime_error on I/O) and labels the point
+/// with the file's base name minus the .json extension. Order is
+/// preserved: pass the series oldest first.
+std::vector<TrajectoryPoint> load_trajectory(
+    const std::vector<std::string>& paths);
+
+/// Scenario names in first-seen order across the whole series.
+std::vector<std::string> trajectory_scenarios(
+    const std::vector<TrajectoryPoint>& series);
+
+/// CSV: header plus one row per (scenario, point) where the scenario is
+/// present, columns scenario,point,label,wall_seconds,rounds,
+/// iterations,max_machine_words,max_central_inbox,shuffle_words,
+/// quality,quality_vs_baseline,determinism_hash,failed.
+void write_trajectory_csv(const std::vector<TrajectoryPoint>& series,
+                          std::ostream& os);
+
+/// Markdown: one table per tracked metric plus the hash-stability
+/// section described above.
+void write_trajectory_markdown(const std::vector<TrajectoryPoint>& series,
+                               std::ostream& os);
+
+}  // namespace mrlr::bench

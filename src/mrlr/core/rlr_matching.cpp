@@ -24,22 +24,25 @@ RlrMatchingResult rlr_matching(const graph::Graph& g,
 
   mrc::Topology topo;
   topo.num_machines = std::max<std::uint64_t>(1, ceil_div(std::max<std::uint64_t>(m, 1), eta));
-  // Central inbox in one iteration: at most 8*eta sampled edges (the
+  // Central words in one iteration: at most 8*eta sampled edges (the
   // Algorithm 4 fail threshold, scaled by sample_boost) at 2 words each,
-  // or 4*|E_i| < 16*eta words in the ship-all endgame; plus the phi
+  // or 4*|E_i| < 16*eta words in the ship-all endgame, plus the decoded
+  // per-vertex sample table (one word per sampled edge and one list head
+  // per vertex) the central scan rebuilds from its inbox, plus the phi
   // table (n words). slack/16 scales that requirement (the default
   // slack of 16 grants it exactly; smaller slack under-provisions, which
   // the failure-injection tests use to prove the audit is live).
   topo.words_per_machine =
       static_cast<std::uint64_t>(
           (params.slack / 16.0) *
-          (16.0 * std::max(1.0, params.sample_boost) *
+          (24.0 * std::max(1.0, params.sample_boost) *
                static_cast<double>(eta) +
-           static_cast<double>(n))) +
+           2.0 * static_cast<double>(n))) +
       64;
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
   topo.enforce = params.enforce_space;
   topo.num_threads = params.num_threads;
+  topo.num_shards = std::max<std::uint64_t>(1, params.num_shards);
   mrc::Engine engine(topo);
   const std::uint64_t machines = topo.num_machines;
 
@@ -77,12 +80,13 @@ RlrMatchingResult rlr_matching(const graph::Graph& g,
                                      static_cast<double>(ei));
 
     // --- 2. Per-vertex sampling; ship (edge, weight) pairs to central. --
-    // sampled_per_vertex[v] lists the sampled edge ids for v, in the order
-    // they were drawn; only alive edges are eligible. Sample counts
-    // accumulate in per-machine slots (machines may run concurrently) and
-    // are summed after the round.
-    std::vector<std::vector<EdgeId>> sampled(n);
-    std::vector<std::uint64_t> sampled_by(machines, 0);
+    // Every owned vertex sends exactly one message (possibly empty) in
+    // ascending vertex order, so the central machine can attribute
+    // message i of sender s to vertex s + i*M without the vertex id on
+    // the wire — empty frames carry zero payload words, so the engine's
+    // word accounting is unchanged by the placeholders. All sample
+    // state flows through the engine (no host-side side channels),
+    // which is what makes this driver process-clean.
     engine.run_round("sample", [&](MachineContext& ctx) {
       ctx.charge_resident(footprint[ctx.id()]);
       Rng rng = root_rng.stream((iter << 20) ^ ctx.id());
@@ -92,17 +96,17 @@ RlrMatchingResult rlr_matching(const graph::Graph& g,
         for (const graph::Incidence& inc : g.neighbours(v)) {
           if (!lr.edge_alive(inc.edge)) continue;
           if (ship_all || rng.bernoulli(p)) {
-            sampled[v].push_back(inc.edge);
             msg.push(inc.edge);
             msg.push(pack_double(g.weight(inc.edge)));
           }
         }
-        sampled_by[ctx.id()] += sampled[v].size();
-        if (msg.empty()) msg.cancel();
       }
     });
-    std::uint64_t total_sampled = 0;
-    for (const std::uint64_t s : sampled_by) total_sampled += s;
+    // Merged coordinator-side accounting: every sampled edge is exactly
+    // one (id, weight) pair in the central inbox, identically under
+    // every backend.
+    const std::uint64_t total_sampled =
+        engine.inbox_words(mrc::kCentral) / 2;
 
     if (!ship_all &&
         total_sampled > static_cast<std::uint64_t>(
@@ -114,7 +118,33 @@ RlrMatchingResult rlr_matching(const graph::Graph& g,
 
     // --- 3. Central scan: heaviest alive sampled edge per vertex. ---
     engine.run_central_round("local-ratio", [&](MachineContext& ctx) {
-      ctx.charge_resident(central_footprint + ctx.inbox_words());
+      // Resident: phi table + stack, the inbox, and the decoded sample
+      // table (a list head per vertex plus one word per sampled edge).
+      ctx.charge_resident(central_footprint + ctx.inbox_words() +
+                          ctx.inbox_words() / 2 + n);
+      // Decode the inbox back into per-vertex sample lists. Messages
+      // arrive sender-major, and each sender's messages are its owned
+      // vertices ascending, so (sender, index-within-sender) names the
+      // vertex; per-vertex draw order is preserved, keeping the scan
+      // below byte-identical to the pre-wire-format implementation.
+      std::vector<std::vector<EdgeId>> sampled(n);
+      mrc::MachineId prev_from = 0;
+      std::uint64_t index = 0;
+      bool started = false;
+      for (const mrc::MessageView msg : ctx.messages()) {
+        if (!started || msg.from != prev_from) {
+          prev_from = msg.from;
+          index = 0;
+          started = true;
+        }
+        const std::uint64_t v64 = prev_from + index * machines;
+        ++index;
+        MRLR_DEBUG_REQUIRE(v64 < n, "sample message beyond vertex range");
+        auto& list = sampled[static_cast<VertexId>(v64)];
+        for (std::size_t k = 0; k + 1 < msg.payload.size(); k += 2) {
+          list.push_back(static_cast<EdgeId>(msg.payload[k]));
+        }
+      }
       for (VertexId v = 0; v < n; ++v) {
         EdgeId best = 0;
         double best_w = 0.0;

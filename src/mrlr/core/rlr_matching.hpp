@@ -20,6 +20,14 @@
 // sampling makes the degree drop by n^{mu/4} per iteration w.h.p.
 // (Lemma 5.4), giving O(c/mu) iterations, or O(log n) when eta = n
 // (mu = 0, Lemma C.1's 0.975 expected decay).
+//
+// This driver is process-clean (ported to the process-sharded backend,
+// MrParams::num_shards): non-central machines communicate exclusively
+// through engine messages — the central scan decodes the sample from
+// its inbox, and the driver's fail check reads the engine's merged
+// accounting (Engine::inbox_words) rather than host-side counters.
+// Central state (the phi table and stack) lives on machine 0, which the
+// process backend always runs in the coordinator.
 
 #include <vector>
 

@@ -3,12 +3,29 @@
 #include <algorithm>
 #include <thread>
 
+#include "mrlr/exec/process_shard_executor.hpp"
 #include "mrlr/exec/serial_executor.hpp"
 #include "mrlr/exec/thread_pool_executor.hpp"
+#include "mrlr/util/require.hpp"
 
 namespace mrlr::exec {
 
 std::unique_ptr<Executor> make_executor(std::uint64_t num_threads) {
+  return make_executor(num_threads, 1);
+}
+
+std::unique_ptr<Executor> make_executor(std::uint64_t num_threads,
+                                        std::uint64_t num_shards) {
+  if (num_shards > 1) {
+    // Shards fork workers per round; forking a process that is mid-way
+    // through a thread-pool round is not a combination we support, so
+    // the two knobs are mutually exclusive for now.
+    MRLR_REQUIRE(num_threads <= 1,
+                 "process backend runs machines serially within each "
+                 "shard; --shards and --threads do not compose");
+    return std::make_unique<ProcessShardExecutor>(
+        static_cast<unsigned>(std::min<std::uint64_t>(num_shards, 256)));
+  }
   std::uint64_t n = num_threads;
   if (n == 0) {
     n = std::max(1u, std::thread::hardware_concurrency());

@@ -9,12 +9,38 @@
 // messages in machine-id order, which makes traces, metrics, and
 // algorithm outputs byte-identical across backends and thread counts.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string_view>
+#include <vector>
 
 namespace mrlr::exec {
+
+/// Host-side view of the per-machine state an out-of-process backend
+/// must ship across the round barrier. The engine implements it: a
+/// worker process serializes the machines it ran (their staged message
+/// arenas and accounting slots) and the coordinator applies the bytes
+/// into its own engine, after which the ordinary id-ordered merge
+/// proceeds exactly as it would in-process. In-process backends never
+/// touch it.
+class ShardDataPlane {
+ public:
+  virtual ~ShardDataPlane() = default;
+
+  /// Appends the wire encoding of machines [first, last) to `out`
+  /// (worker side, after the callbacks ran).
+  virtual void serialize_machines(std::uint64_t first, std::uint64_t last,
+                                  std::vector<std::byte>& out) const = 0;
+
+  /// Installs the encoding produced by serialize_machines for the same
+  /// range (coordinator side). Must validate `bytes` and throw
+  /// TransportError(kBadPayload) on anything malformed.
+  virtual void apply_machines(std::uint64_t first, std::uint64_t last,
+                              std::span<const std::byte> bytes) = 0;
+};
 
 /// Abstract machine-range runner.
 class Executor {
@@ -32,6 +58,18 @@ class Executor {
   virtual void run_machines(std::uint64_t first, std::uint64_t last,
                             const MachineFn& fn) = 0;
 
+  /// run_machines with a data plane for out-of-process backends: the
+  /// engine calls this form so a sharding backend can ship callback
+  /// effects (staged messages, accounting) back to the coordinator.
+  /// In-process backends ignore the data plane — shared memory already
+  /// is the data plane.
+  virtual void run_machines_sharded(std::uint64_t first, std::uint64_t last,
+                                    const MachineFn& fn,
+                                    ShardDataPlane* data_plane) {
+    (void)data_plane;
+    run_machines(first, last, fn);
+  }
+
   /// Backend name for traces and --help output.
   virtual std::string_view name() const = 0;
 
@@ -47,5 +85,12 @@ class Executor {
 ///         Executor::num_threads() reports the effective value),
 ///   0  -> ThreadPoolExecutor sized to the hardware.
 std::unique_ptr<Executor> make_executor(std::uint64_t num_threads);
+
+/// As above, plus the `num_shards` knob: when num_shards > 1 the result
+/// is a ProcessShardExecutor with that many forked worker shards per
+/// round (machines run serially within each shard, so num_threads must
+/// be 0 or 1 — the two knobs do not compose yet).
+std::unique_ptr<Executor> make_executor(std::uint64_t num_threads,
+                                        std::uint64_t num_shards);
 
 }  // namespace mrlr::exec

@@ -1,0 +1,288 @@
+#include "mrlr/exec/process_shard_executor.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "mrlr/exec/shard_transport.hpp"
+#include "mrlr/util/require.hpp"
+
+namespace mrlr::exec {
+
+namespace {
+
+constexpr unsigned kMaxShards = 256;
+
+// Worker exit codes (distinct from anything a callback can produce:
+// workers never return through main).
+constexpr int kWorkerOk = 0;
+constexpr int kWorkerTransportFailed = 113;
+
+/// Contiguous partition of [first, last) into k near-equal ranges.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> partition(
+    std::uint64_t first, std::uint64_t last, unsigned k) {
+  const std::uint64_t total = last - first;
+  const std::uint64_t base = total / k;
+  const std::uint64_t rem = total % k;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+  ranges.reserve(k);
+  std::uint64_t at = first;
+  for (unsigned i = 0; i < k; ++i) {
+    const std::uint64_t len = base + (i < rem ? 1 : 0);
+    ranges.emplace_back(at, at + len);
+    at += len;
+  }
+  return ranges;
+}
+
+/// Serial ascending run honoring the Executor exception contract
+/// (every machine runs; the lowest-id exception is kept).
+void run_serial_range(std::uint64_t first, std::uint64_t last,
+                      const Executor::MachineFn& fn,
+                      std::exception_ptr& error,
+                      std::uint64_t& error_machine) {
+  for (std::uint64_t m = first; m < last; ++m) {
+    try {
+      fn(m);
+    } catch (...) {
+      if (!error) {
+        error = std::current_exception();
+        error_machine = m;
+      }
+    }
+  }
+}
+
+/// Worker-process body: run the shard's machines, ship the serialized
+/// data plane plus a status frame, and _exit without ever unwinding
+/// into the coordinator's stack (no atexit, no stdio flush of buffers
+/// the parent also owns).
+[[noreturn]] void worker_main(FdChannel& ch, std::uint32_t shard,
+                              std::uint64_t sequence, std::uint64_t first,
+                              std::uint64_t last,
+                              const Executor::MachineFn& fn,
+                              ShardDataPlane* dp) {
+  std::uint64_t error_machine = 0;
+  bool failed = false;
+  std::string error_what;
+  for (std::uint64_t m = first; m < last; ++m) {
+    try {
+      fn(m);
+    } catch (const std::exception& e) {
+      if (!failed) {
+        failed = true;
+        error_machine = m;
+        error_what = e.what();
+      }
+    } catch (...) {
+      if (!failed) {
+        failed = true;
+        error_machine = m;
+        error_what = "unknown exception";
+      }
+    }
+  }
+  try {
+    std::vector<std::byte> bytes;
+    dp->serialize_machines(first, last, bytes);
+    write_frame(ch, FrameKind::kShardData, shard, sequence, bytes);
+
+    std::vector<std::byte> status;
+    append_u64(status, failed ? 1 : 0);
+    append_u64(status, error_machine);
+    const auto text = status.size();
+    status.resize(text + error_what.size());
+    std::memcpy(status.data() + text, error_what.data(), error_what.size());
+    write_frame(ch, FrameKind::kShardStatus, shard, sequence, status);
+  } catch (...) {
+    _exit(kWorkerTransportFailed);
+  }
+  _exit(kWorkerOk);
+}
+
+std::string describe_exit(int wait_status) {
+  if (WIFEXITED(wait_status)) {
+    const int code = WEXITSTATUS(wait_status);
+    if (code == kWorkerOk) return "exited cleanly";
+    if (code == kWorkerTransportFailed) {
+      return "failed to ship its round data (exit " +
+             std::to_string(code) + ")";
+    }
+    return "exited with status " + std::to_string(code);
+  }
+  if (WIFSIGNALED(wait_status)) {
+    return std::string("killed by signal ") +
+           std::to_string(WTERMSIG(wait_status));
+  }
+  return "ended abnormally";
+}
+
+}  // namespace
+
+ProcessShardExecutor::ProcessShardExecutor(unsigned num_shards)
+    : num_shards_(std::clamp(num_shards, 1u, kMaxShards)) {}
+
+void ProcessShardExecutor::run_machines(std::uint64_t first,
+                                        std::uint64_t last,
+                                        const MachineFn& fn) {
+  // No data plane, nothing to exchange: degenerate serial semantics.
+  std::exception_ptr error;
+  std::uint64_t error_machine = 0;
+  run_serial_range(first, last, fn, error, error_machine);
+  if (error) std::rethrow_exception(error);
+}
+
+void ProcessShardExecutor::run_machines_sharded(std::uint64_t first,
+                                                std::uint64_t last,
+                                                const MachineFn& fn,
+                                                ShardDataPlane* dp) {
+  const std::uint64_t sequence = ++round_seq_;
+  const std::uint64_t total = last - first;
+  const unsigned shards = static_cast<unsigned>(std::min<std::uint64_t>(
+      num_shards_, std::max<std::uint64_t>(total, 1)));
+  if (dp == nullptr || shards <= 1) {
+    run_machines(first, last, fn);
+    return;
+  }
+
+  const auto ranges = partition(first, last, shards);
+
+  struct Worker {
+    pid_t pid;
+    FdChannel channel;  // coordinator end
+    std::uint32_t shard;
+    std::uint64_t first, last;
+  };
+  std::vector<Worker> workers;
+  workers.reserve(shards - 1);
+
+  // Fork all workers up front so every shard snapshots the same
+  // round-start state (shard 0 has not run yet).
+  for (unsigned s = 1; s < shards; ++s) {
+    auto [parent_end, child_end] = make_socketpair_channel();
+    std::fflush(nullptr);  // no buffered stdio duplicated into workers
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      // Unwind: reap the workers already forked (closing our channel
+      // ends makes their shipping writes fail, so they exit).
+      const int err = errno;
+      for (Worker& w : workers) {
+        w.channel.close_now();
+        int st;
+        ::waitpid(w.pid, &st, 0);
+      }
+      throw WorkerError(
+          s, sequence,
+          "process-shard: fork failed for shard " + std::to_string(s) +
+              " in round " + std::to_string(sequence) + ": " +
+              std::strerror(err));
+    }
+    if (pid == 0) {
+      // Worker: drop the coordinator ends we inherited, then run.
+      parent_end.close_now();
+      for (Worker& w : workers) w.channel.close_now();
+      worker_main(child_end, s, sequence, ranges[s].first,
+                  ranges[s].second, fn, dp);  // never returns
+    }
+    // Coordinator: child_end closes when it goes out of scope below,
+    // which is what turns a dead worker into EOF instead of a hang.
+    workers.push_back(Worker{pid, std::move(parent_end), s,
+                             ranges[s].first, ranges[s].second});
+  }
+
+  // Shard 0 runs here, in the coordinator: host-resident machine state
+  // (notably the central machine's) persists across rounds.
+  std::exception_ptr local_error;
+  std::uint64_t local_error_machine = 0;
+  run_serial_range(ranges[0].first, ranges[0].second, fn, local_error,
+                   local_error_machine);
+
+  // Collect shard results in shard order (= machine-id order, so the
+  // apply order is deterministic even though workers finish whenever).
+  std::uint64_t remote_error_machine = 0;
+  std::string remote_error_what;
+  bool remote_failed = false;
+  std::uint32_t failed_shard = 0;
+  std::string failure_what;
+  bool transport_failed = false;
+
+  for (Worker& w : workers) {
+    if (transport_failed) break;  // reap-and-report below
+    try {
+      Frame data = expect_frame(w.channel, FrameKind::kShardData, w.shard,
+                                sequence);
+      dp->apply_machines(w.first, w.last, data.payload);
+      Frame status = expect_frame(w.channel, FrameKind::kShardStatus,
+                                  w.shard, sequence);
+      std::span<const std::byte> p = status.payload;
+      if (p.size() < 16) {
+        throw TransportError(TransportError::Kind::kBadPayload,
+                             "process-shard: status frame shorter than "
+                             "its fixed fields");
+      }
+      const std::uint64_t flag = read_u64(p, 0);
+      const std::uint64_t machine = read_u64(p, 8);
+      p = p.subspan(16);
+      if (flag > 1) {
+        throw TransportError(TransportError::Kind::kBadPayload,
+                             "process-shard: status frame has invalid "
+                             "flag " + std::to_string(flag));
+      }
+      if (flag == 1 && !remote_failed) {
+        remote_failed = true;
+        remote_error_machine = machine;
+        remote_error_what.assign(
+            reinterpret_cast<const char*>(p.data()), p.size());
+      }
+    } catch (const ExecError& e) {
+      transport_failed = true;
+      failed_shard = w.shard;
+      failure_what = e.what();
+    }
+  }
+
+  // Reap every worker exactly once. Closing the channels first makes a
+  // worker stuck writing into a full socket die with EPIPE instead of
+  // blocking waitpid forever.
+  std::string failed_exit;
+  for (Worker& w : workers) {
+    w.channel.close_now();
+    int st = 0;
+    ::waitpid(w.pid, &st, 0);
+    if (transport_failed && w.shard == failed_shard) {
+      failed_exit = describe_exit(st);
+    }
+  }
+
+  if (transport_failed) {
+    throw WorkerError(failed_shard, sequence,
+                      "process-shard: shard " +
+                          std::to_string(failed_shard) +
+                          " worker failed in round " +
+                          std::to_string(sequence) + " (" + failed_exit +
+                          "): " + failure_what);
+  }
+
+  // Executor contract: the lowest-id throwing machine wins. Shard 0's
+  // machines precede every worker machine, and workers were scanned in
+  // machine-id order.
+  if (local_error) std::rethrow_exception(local_error);
+  if (remote_failed) {
+    throw ShardCallbackError(
+        remote_error_machine, sequence,
+        "process-shard: machine " + std::to_string(remote_error_machine) +
+            " threw in round " + std::to_string(sequence) + ": " +
+            remote_error_what);
+  }
+}
+
+}  // namespace mrlr::exec

@@ -1,0 +1,73 @@
+#pragma once
+// The process-sharded backend: machines are partitioned into K
+// contiguous shards; shard 0 runs in the calling (coordinator) process
+// and each other shard runs in a worker process forked for the round.
+// After a worker finishes its machines it serializes their staged
+// flat-buffer arenas and accounting through the engine's ShardDataPlane
+// and ships the bytes to the coordinator over a socketpair using the
+// checksummed frame protocol in shard_transport.hpp; the coordinator
+// applies each shard's bytes and the engine's ordinary id-ordered merge
+// then runs over the combined frame indexes — traces, metrics, and
+// delivery order stay byte-identical to SerialExecutor.
+//
+// Execution model and its contract:
+//
+//   * Workers are forked per round, so they inherit a copy-on-write
+//     snapshot of the whole process at the round barrier: callbacks may
+//     READ any host state (graphs, parameter tables, per-machine state
+//     vectors). WRITES outside the engine are another matter — a worker
+//     dies at the end of the round, so host-memory writes by machines
+//     of shards >= 1 do not propagate. Everything a machine wants to
+//     persist must flow through the engine (sends, charge_resident).
+//     Machines of shard 0 — including the central machine, the paper's
+//     "blue lines" — run in the coordinator, so central-resident
+//     algorithm state keeps working unchanged.
+//
+//   * A driver is "process-clean" when its callbacks obey that rule.
+//     The engine-level determinism suite and rlr_matching are; drivers
+//     still using cross-machine host side channels must keep the
+//     serial/thread backends (see README "Execution backends").
+//
+//   * Failure is loud, never a hang: a worker that exits early, is
+//     killed, or ships malformed bytes surfaces as a typed WorkerError
+//     or TransportError naming the shard and round; a callback that
+//     throws inside a worker is rethrown in the coordinator as
+//     ShardCallbackError after the barrier (lowest machine id wins,
+//     matching the Executor contract).
+//
+// Without a data plane (plain run_machines) there is nothing to
+// exchange, so machines run serially in the coordinator — the backend
+// degenerates to SerialExecutor semantics.
+
+#include <cstdint>
+
+#include "mrlr/exec/executor.hpp"
+
+namespace mrlr::exec {
+
+class ProcessShardExecutor final : public Executor {
+ public:
+  /// Backend with `num_shards` >= 1 shards (clamped to 256: beyond
+  /// that, per-round fork cost dwarfs any win on one host).
+  explicit ProcessShardExecutor(unsigned num_shards);
+
+  void run_machines(std::uint64_t first, std::uint64_t last,
+                    const MachineFn& fn) override;
+  void run_machines_sharded(std::uint64_t first, std::uint64_t last,
+                            const MachineFn& fn,
+                            ShardDataPlane* data_plane) override;
+
+  std::string_view name() const override { return "process-shard"; }
+  unsigned num_threads() const override { return 1; }
+  unsigned num_shards() const { return num_shards_; }
+
+  /// Rounds executed so far (the sequence number stamped on frames and
+  /// reported by WorkerError / ShardCallbackError).
+  std::uint64_t rounds_run() const { return round_seq_; }
+
+ private:
+  unsigned num_shards_;
+  std::uint64_t round_seq_ = 0;
+};
+
+}  // namespace mrlr::exec

@@ -1,0 +1,223 @@
+#include "mrlr/exec/shard_transport.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "mrlr/util/mix64.hpp"
+
+namespace mrlr::exec {
+
+namespace {
+
+constexpr std::uint64_t kChecksumSeed = 0x6D726C722E6D7366ull;  // "mrlr.msf"
+
+[[noreturn]] void io_fail(const char* op, int err) {
+  throw TransportError(TransportError::Kind::kIo,
+                       std::string("shard transport: ") + op +
+                           " failed: " + std::strerror(err));
+}
+
+// Fixed 40-byte header, assembled field by field so the wire layout
+// never depends on struct padding.
+constexpr std::size_t kHeaderBytes = 40;
+
+void put_u16(std::byte* p, std::uint16_t v) { std::memcpy(p, &v, 2); }
+void put_u32(std::byte* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void put_u64(std::byte* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+std::uint16_t get_u16(const std::byte* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+std::uint32_t get_u32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+std::uint64_t get_u64(const std::byte* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+void read_exact(ShardChannel& ch, std::byte* data, std::size_t n,
+                const char* context) {
+  std::size_t got = 0;
+  while (got < n) {
+    const std::size_t r = ch.read_some(data + got, n - got);
+    if (r == 0) {
+      throw TransportError(
+          TransportError::Kind::kTruncated,
+          std::string("shard transport: stream ended inside ") + context +
+              " (" + std::to_string(got) + " of " + std::to_string(n) +
+              " bytes)");
+    }
+    got += r;
+  }
+}
+
+FdChannel::~FdChannel() { close_now(); }
+
+void FdChannel::close_now() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void FdChannel::write_all(const std::byte* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::write(fd_, data + sent, n - sent);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      io_fail("write", errno);
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+}
+
+std::size_t FdChannel::read_some(std::byte* data, std::size_t n) {
+  while (true) {
+    const ssize_t r = ::read(fd_, data, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      io_fail("read", errno);
+    }
+    return static_cast<std::size_t>(r);
+  }
+}
+
+std::pair<FdChannel, FdChannel> make_socketpair_channel() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
+    io_fail("socketpair", errno);
+  }
+  return {FdChannel(fds[0]), FdChannel(fds[1])};
+}
+
+void append_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  const auto n = out.size();
+  out.resize(n + 8);
+  std::memcpy(out.data() + n, &v, 8);
+}
+
+std::uint64_t read_u64(std::span<const std::byte> in, std::size_t offset) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, in.data() + offset, 8);
+  return v;
+}
+
+std::uint64_t frame_checksum(std::span<const std::byte> payload) {
+  std::uint64_t h = kChecksumSeed;
+  std::size_t i = 0;
+  for (; i + 8 <= payload.size(); i += 8) {
+    h = mix64(h ^ get_u64(payload.data() + i));
+  }
+  if (i < payload.size()) {
+    std::uint64_t tail = 0;
+    std::memcpy(&tail, payload.data() + i, payload.size() - i);
+    h = mix64(h ^ tail);
+  }
+  return mix64(h ^ static_cast<std::uint64_t>(payload.size()));
+}
+
+void write_frame(ShardChannel& ch, FrameKind kind, std::uint32_t shard,
+                 std::uint64_t sequence,
+                 std::span<const std::byte> payload) {
+  std::byte header[kHeaderBytes];
+  put_u32(header + 0, kFrameMagic);
+  put_u16(header + 4, kFrameVersion);
+  put_u16(header + 6, static_cast<std::uint16_t>(kind));
+  put_u32(header + 8, shard);
+  put_u32(header + 12, 0);  // reserved
+  put_u64(header + 16, sequence);
+  put_u64(header + 24, payload.size());
+  put_u64(header + 32, frame_checksum(payload));
+  ch.write_all(header, kHeaderBytes);
+  if (!payload.empty()) ch.write_all(payload.data(), payload.size());
+}
+
+Frame read_frame(ShardChannel& ch, std::uint64_t max_payload) {
+  std::byte header[kHeaderBytes];
+  read_exact(ch, header, kHeaderBytes, "frame header");
+
+  const std::uint32_t magic = get_u32(header + 0);
+  if (magic != kFrameMagic) {
+    throw TransportError(TransportError::Kind::kBadMagic,
+                         "shard transport: bad frame magic 0x" +
+                             [&] {
+                               char buf[16];
+                               std::snprintf(buf, sizeof(buf), "%08X", magic);
+                               return std::string(buf);
+                             }());
+  }
+  const std::uint16_t version = get_u16(header + 4);
+  if (version != kFrameVersion) {
+    throw TransportError(TransportError::Kind::kBadVersion,
+                         "shard transport: unsupported frame version " +
+                             std::to_string(version));
+  }
+  const std::uint16_t kind_raw = get_u16(header + 6);
+  if (kind_raw != static_cast<std::uint16_t>(FrameKind::kShardData) &&
+      kind_raw != static_cast<std::uint16_t>(FrameKind::kShardStatus)) {
+    throw TransportError(TransportError::Kind::kBadMagic,
+                         "shard transport: unknown frame kind " +
+                             std::to_string(kind_raw));
+  }
+  if (get_u32(header + 12) != 0) {
+    throw TransportError(TransportError::Kind::kBadMagic,
+                         "shard transport: nonzero reserved header bits");
+  }
+  const std::uint64_t payload_len = get_u64(header + 24);
+  if (payload_len > max_payload) {
+    throw TransportError(TransportError::Kind::kBadLength,
+                         "shard transport: frame payload length " +
+                             std::to_string(payload_len) +
+                             " exceeds the cap " +
+                             std::to_string(max_payload));
+  }
+
+  Frame f;
+  f.kind = static_cast<FrameKind>(kind_raw);
+  f.shard = get_u32(header + 8);
+  f.sequence = get_u64(header + 16);
+  f.payload.resize(payload_len);
+  if (payload_len > 0) {
+    read_exact(ch, f.payload.data(), payload_len, "frame payload");
+  }
+  const std::uint64_t expected = get_u64(header + 32);
+  const std::uint64_t actual = frame_checksum(f.payload);
+  if (expected != actual) {
+    throw TransportError(TransportError::Kind::kBadChecksum,
+                         "shard transport: frame checksum mismatch "
+                         "(corrupt payload)");
+  }
+  return f;
+}
+
+Frame expect_frame(ShardChannel& ch, FrameKind kind, std::uint32_t shard,
+                   std::uint64_t sequence, std::uint64_t max_payload) {
+  Frame f = read_frame(ch, max_payload);
+  if (f.kind != kind || f.shard != shard || f.sequence != sequence) {
+    throw TransportError(
+        TransportError::Kind::kUnexpected,
+        "shard transport: unexpected frame (kind " +
+            std::to_string(static_cast<int>(f.kind)) + ", shard " +
+            std::to_string(f.shard) + ", seq " +
+            std::to_string(f.sequence) + ") while expecting (kind " +
+            std::to_string(static_cast<int>(kind)) + ", shard " +
+            std::to_string(shard) + ", seq " + std::to_string(sequence) +
+            ") — reordered or misrouted");
+  }
+  return f;
+}
+
+}  // namespace mrlr::exec

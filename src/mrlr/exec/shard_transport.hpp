@@ -1,0 +1,193 @@
+#pragma once
+// Wire transport between the coordinator and shard worker processes of
+// the process-sharded execution backend.
+//
+// Layers, bottom up:
+//
+//   * ShardChannel — an abstract ordered byte stream. The in-tree
+//     implementation (FdChannel) wraps one end of a socketpair; a TCP
+//     socket satisfies the same interface, which is the seam where a
+//     true multi-host backend plugs in later without touching the
+//     engine or the framing layer.
+//
+//   * Frames — every message on a channel is one length-prefixed,
+//     checksummed frame:
+//
+//       offset  size  field
+//       0       4     magic     0x3146534D ("MSF1")
+//       4       2     version   1
+//       6       2     kind      FrameKind
+//       8       4     shard     sender shard index
+//       12      4     reserved  must be zero
+//       16      8     sequence  round sequence number
+//       24      8     payload_len (bytes; capped, see kMaxFramePayload)
+//       32      8     checksum  rolling mix64 over the payload bytes
+//                               (the .mgb checksum construction)
+//       40      ...   payload
+//
+//     Readers validate everything before trusting the payload and throw
+//     a typed TransportError (same taxonomy spirit as graph::ParseError)
+//     on any malformed, truncated, reordered, or corrupt frame — a bad
+//     peer must fail loudly, never deadlock or silently merge.
+//
+// Error taxonomy (all derive from ExecError):
+//   * TransportError — the byte stream or a frame on it is bad; `kind`
+//     says how (truncated, bad magic/version, length cap, checksum
+//     mismatch, out-of-order/unexpected frame, malformed payload, OS
+//     I/O error).
+//   * WorkerError — a shard worker process failed (died mid-round,
+//     nonzero exit); carries the shard index and round sequence.
+//   * ShardCallbackError — a machine callback threw inside a worker
+//     process; carries the machine id and round sequence, message text
+//     preserved from the original exception.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mrlr::exec {
+
+/// Base class for every execution-backend failure.
+class ExecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class TransportError : public ExecError {
+ public:
+  enum class Kind {
+    kTruncated,     ///< stream ended inside a header or payload
+    kBadMagic,      ///< frame does not start with the MSF1 magic
+    kBadVersion,    ///< unsupported protocol version
+    kBadLength,     ///< payload_len exceeds the sanity cap
+    kBadChecksum,   ///< payload bytes do not match the header checksum
+    kUnexpected,    ///< wrong kind / shard / sequence for this point in
+                    ///< the protocol (reordered or replayed frame)
+    kBadPayload,    ///< frame intact but its payload fails validation
+    kIo,            ///< read/write failed at the OS level
+  };
+
+  TransportError(Kind kind, std::string what)
+      : ExecError(std::move(what)), kind(kind) {}
+
+  Kind kind;
+};
+
+class WorkerError : public ExecError {
+ public:
+  WorkerError(std::uint32_t shard, std::uint64_t round, std::string what)
+      : ExecError(std::move(what)), shard(shard), round(round) {}
+
+  std::uint32_t shard;
+  std::uint64_t round;
+};
+
+class ShardCallbackError : public ExecError {
+ public:
+  ShardCallbackError(std::uint64_t machine, std::uint64_t round,
+                     std::string what)
+      : ExecError(std::move(what)), machine(machine), round(round) {}
+
+  std::uint64_t machine;
+  std::uint64_t round;
+};
+
+/// Abstract ordered byte stream between two transport endpoints.
+class ShardChannel {
+ public:
+  virtual ~ShardChannel() = default;
+
+  /// Writes all `n` bytes. Throws TransportError(kIo) on failure
+  /// (including a closed peer).
+  virtual void write_all(const std::byte* data, std::size_t n) = 0;
+
+  /// Reads up to `n` bytes into `data`; returns the count actually
+  /// read, 0 only at end of stream. Throws TransportError(kIo) on
+  /// failure.
+  virtual std::size_t read_some(std::byte* data, std::size_t n) = 0;
+};
+
+/// Reads exactly n bytes or throws TransportError(kTruncated) if the
+/// stream ends first; `context` names what was being read.
+void read_exact(ShardChannel& ch, std::byte* data, std::size_t n,
+                const char* context);
+
+/// ShardChannel over an OS file descriptor (one end of a socketpair or
+/// pipe). Owns the descriptor and closes it on destruction.
+class FdChannel final : public ShardChannel {
+ public:
+  explicit FdChannel(int fd) : fd_(fd) {}
+  ~FdChannel() override;
+
+  FdChannel(const FdChannel&) = delete;
+  FdChannel& operator=(const FdChannel&) = delete;
+  FdChannel(FdChannel&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+  void write_all(const std::byte* data, std::size_t n) override;
+  std::size_t read_some(std::byte* data, std::size_t n) override;
+
+  int fd() const { return fd_; }
+  void close_now();
+
+ private:
+  int fd_;
+};
+
+/// A connected AF_UNIX stream socketpair (CLOEXEC), as {parent end,
+/// child end}. Throws TransportError(kIo) if the OS refuses.
+std::pair<FdChannel, FdChannel> make_socketpair_channel();
+
+// ------------------------------------------------------------ frames --
+
+inline constexpr std::uint32_t kFrameMagic = 0x3146534Du;  // "MSF1"
+inline constexpr std::uint16_t kFrameVersion = 1;
+
+/// Sanity cap on a single frame payload (1 TiB of words is far beyond
+/// any simulated round): an adversarial or corrupt length field fails
+/// the cap check instead of driving a giant allocation.
+inline constexpr std::uint64_t kMaxFramePayload = 1ull << 40;
+
+enum class FrameKind : std::uint16_t {
+  kShardData = 1,    ///< serialized per-machine staging arenas
+  kShardStatus = 2,  ///< worker round status (ok / callback exception)
+};
+
+struct Frame {
+  FrameKind kind;
+  std::uint32_t shard = 0;
+  std::uint64_t sequence = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Rolling mix64 checksum over a byte span (the .mgb construction on
+/// 8-byte little-endian lanes, zero-padded tail, length absorbed last).
+std::uint64_t frame_checksum(std::span<const std::byte> payload);
+
+/// Little-endian u64 append / read for frame payload encodings — the
+/// one implementation every wire-protocol participant (engine data
+/// plane, worker status frames) shares, so coordinator and workers can
+/// never disagree on the lane format. read_u64 requires offset + 8 <=
+/// in.size() (callers bounds-check first).
+void append_u64(std::vector<std::byte>& out, std::uint64_t v);
+std::uint64_t read_u64(std::span<const std::byte> in, std::size_t offset);
+
+void write_frame(ShardChannel& ch, FrameKind kind, std::uint32_t shard,
+                 std::uint64_t sequence, std::span<const std::byte> payload);
+
+/// Reads and fully validates one frame; throws the TransportError
+/// taxonomy above on anything malformed.
+Frame read_frame(ShardChannel& ch,
+                 std::uint64_t max_payload = kMaxFramePayload);
+
+/// read_frame + protocol-position validation: the frame must have
+/// exactly this kind, shard, and sequence, else TransportError
+/// (kUnexpected) — a reordered, replayed, or misrouted frame never
+/// reaches the merge.
+Frame expect_frame(ShardChannel& ch, FrameKind kind, std::uint32_t shard,
+                   std::uint64_t sequence,
+                   std::uint64_t max_payload = kMaxFramePayload);
+
+}  // namespace mrlr::exec

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "mrlr/util/mix64.hpp"
 #include "mrlr/util/require.hpp"
 
 namespace mrlr::graph {
@@ -22,15 +23,6 @@ static_assert(sizeof(Edge) == 8, "edge block layout assumes packed u32 pairs");
 
 constexpr std::size_t kChunkElems = std::size_t{1} << 16;       // 512 KiB
 constexpr std::uint64_t kChecksumSeed = 0x6D726C722E6D6762ull;  // "mrlr.mgb"
-
-std::uint64_t mix64(std::uint64_t x) {  // splitmix64 finalizer
-  x ^= x >> 30;
-  x *= 0xBF58476D1CE4E5B9ull;
-  x ^= x >> 27;
-  x *= 0x94D049BB133111EBull;
-  x ^= x >> 31;
-  return x;
-}
 
 /// Order-dependent rolling checksum over the logical content (header
 /// fields, edge words, weight bit patterns) rather than raw bytes, so

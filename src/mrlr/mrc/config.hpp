@@ -44,6 +44,15 @@ struct Topology {
   /// outputs are byte-identical at any setting.
   std::uint64_t num_threads = 1;
 
+  /// Process-sharded backend: K > 1 partitions the machines into K
+  /// contiguous shards, shard 0 in the coordinator process and each
+  /// other shard in a per-round forked worker that ships its staged
+  /// arenas back over the shard transport. Requires num_threads <= 1
+  /// (machines run serially within a shard) and a process-clean round
+  /// callback (see exec/process_shard_executor.hpp). 0 or 1 = no
+  /// sharding. Results stay byte-identical to the serial backend.
+  std::uint64_t num_shards = 1;
+
   /// Builds the paper's standard graph topology: M = ceil(n^{c-mu})
   /// machines with slack * n^{1+mu} words each.
   ///

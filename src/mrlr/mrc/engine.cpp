@@ -1,7 +1,9 @@
 #include "mrlr/mrc/engine.hpp"
 
 #include <algorithm>
+#include <cstring>
 
+#include "mrlr/exec/shard_transport.hpp"
 #include "mrlr/util/require.hpp"
 
 namespace mrlr::mrc {
@@ -50,7 +52,8 @@ void MachineContext::charge_resident(std::uint64_t words) {
 }
 
 Engine::Engine(Topology topology)
-    : Engine(topology, exec::make_executor(topology.num_threads)) {}
+    : Engine(topology, exec::make_executor(topology.num_threads,
+                                           topology.num_shards)) {}
 
 Engine::Engine(Topology topology, std::shared_ptr<exec::Executor> executor)
     : topology_(topology), executor_(std::move(executor)) {
@@ -74,14 +77,29 @@ Engine::Engine(Topology topology, std::shared_ptr<exec::Executor> executor)
 
 void Engine::run_round(std::string_view label,
                        const std::function<void(MachineContext&)>& fn) {
+  run_round_impl(label, fn, /*central_only=*/false);
+}
+
+void Engine::run_round_impl(std::string_view label,
+                            const std::function<void(MachineContext&)>& fn,
+                            bool central_only) {
   std::fill(outbox_words_.begin(), outbox_words_.end(), 0);
   std::fill(resident_words_.begin(), resident_words_.end(), 0);
 
   const auto machines = static_cast<MachineId>(topology_.num_machines);
-  executor_->run_machines(0, topology_.num_machines, [&](std::uint64_t m) {
-    MachineContext ctx(*this, static_cast<MachineId>(m));
-    fn(ctx);
-  });
+  // The sharded entry point: in-process backends fall through to plain
+  // run_machines; the process backend ships callback effects back here
+  // through the ShardDataPlane methods below. Central-only rounds pass
+  // no data plane — the central machine always lives in the
+  // coordinator process and every other callback is a no-op, so there
+  // is nothing to fork and nothing to ship.
+  executor_->run_machines_sharded(
+      0, topology_.num_machines,
+      [&](std::uint64_t m) {
+        MachineContext ctx(*this, static_cast<MachineId>(m));
+        fn(ctx);
+      },
+      central_only ? nullptr : this);
 
   // Merge staged frames in sender-id order: delivery order — and with
   // it every downstream inbox scan — matches the sequential simulation
@@ -155,9 +173,12 @@ void Engine::run_round(std::string_view label,
 
 void Engine::run_central_round(
     std::string_view label, const std::function<void(MachineContext&)>& fn) {
-  run_round(label, [&](MachineContext& ctx) {
-    if (ctx.is_central()) fn(ctx);
-  });
+  run_round_impl(
+      label,
+      [&](MachineContext& ctx) {
+        if (ctx.is_central()) fn(ctx);
+      },
+      /*central_only=*/true);
 }
 
 void Engine::materialize(const std::vector<InboxFrame>& frames,
@@ -179,14 +200,133 @@ const std::vector<Message>& Engine::materialized_inbox(MachineId m) const {
   return inbox_cache_[m];
 }
 
-const std::vector<Message>& Engine::pending_inbox(MachineId m) const {
+void Engine::check_machine_id(MachineId m, const char* what) const {
   if (m >= num_machines()) {
     throw std::out_of_range(
-        "Engine::pending_inbox: machine id " + std::to_string(m) +
-        " out of range [0, " + std::to_string(num_machines()) + ")");
+        std::string("Engine::") + what + ": machine id " +
+        std::to_string(m) + " out of range [0, " +
+        std::to_string(num_machines()) + ")");
   }
+}
+
+const std::vector<Message>& Engine::pending_inbox(MachineId m) const {
+  check_machine_id(m, "pending_inbox");
   materialize(next_frames_[m], staging_, pending_cache_[m]);
   return pending_cache_[m];
+}
+
+std::uint64_t Engine::inbox_words(MachineId m) const {
+  check_machine_id(m, "inbox_words");
+  return inbox_words_[m];
+}
+
+std::uint64_t Engine::inbox_size(MachineId m) const {
+  check_machine_id(m, "inbox_size");
+  return inbox_frames_[m].size();
+}
+
+// ----------------------------------------------- shard data plane --
+
+namespace {
+
+using exec::append_u64;
+
+[[noreturn]] void bad_payload(const std::string& what) {
+  throw exec::TransportError(exec::TransportError::Kind::kBadPayload,
+                             "engine shard payload: " + what);
+}
+
+/// Cursor over the apply-side byte span; every read is bounds-checked
+/// so truncated or adversarial payloads fail typed, never read OOB.
+struct Cursor {
+  std::span<const std::byte> in;
+
+  std::uint64_t u64(const char* what) {
+    if (in.size() < 8) bad_payload(std::string("truncated reading ") + what);
+    const std::uint64_t v = exec::read_u64(in, 0);
+    in = in.subspan(8);
+    return v;
+  }
+
+  void words(std::vector<Word>& out, std::uint64_t count) {
+    if (in.size() < count * sizeof(Word)) {
+      bad_payload("truncated reading arena words");
+    }
+    out.resize(count);
+    if (count > 0) {
+      std::memcpy(out.data(), in.data(), count * sizeof(Word));
+      in = in.subspan(count * sizeof(Word));
+    }
+  }
+};
+
+}  // namespace
+
+void Engine::serialize_machines(std::uint64_t first, std::uint64_t last,
+                                std::vector<std::byte>& out) const {
+  for (std::uint64_t m = first; m < last; ++m) {
+    const Outbox& o = staging_[m];
+    append_u64(out, outbox_words_[m]);
+    append_u64(out, resident_words_[m]);
+    append_u64(out, writer_open_[m]);
+    append_u64(out, o.frames.size());
+    for (const Frame& f : o.frames) {
+      append_u64(out, f.to);
+      append_u64(out, f.offset);
+      append_u64(out, f.len);
+    }
+    const auto n = out.size();
+    const auto bytes = o.words.size() * sizeof(Word);
+    append_u64(out, o.words.size());
+    out.resize(n + 8 + bytes);
+    if (bytes > 0) {
+      std::memcpy(out.data() + n + 8, o.words.data(), bytes);
+    }
+  }
+}
+
+void Engine::apply_machines(std::uint64_t first, std::uint64_t last,
+                            std::span<const std::byte> bytes) {
+  Cursor cur{bytes};
+  for (std::uint64_t m = first; m < last; ++m) {
+    outbox_words_[m] = cur.u64("outbox words");
+    resident_words_[m] = cur.u64("resident words");
+    const std::uint64_t writer_open = cur.u64("writer-open flag");
+    if (writer_open > 1) bad_payload("invalid writer-open flag");
+    writer_open_[m] = static_cast<char>(writer_open);
+
+    const std::uint64_t frame_count = cur.u64("frame count");
+    // An adversarial count cannot out-allocate the payload that must
+    // back it: each frame costs 24 bytes on the wire.
+    if (frame_count > cur.in.size() / 24) {
+      bad_payload("frame count exceeds remaining payload");
+    }
+    Outbox& o = staging_[m];
+    o.frames.clear();
+    o.frames.reserve(frame_count);
+    for (std::uint64_t i = 0; i < frame_count; ++i) {
+      const std::uint64_t to = cur.u64("frame destination");
+      const std::uint64_t offset = cur.u64("frame offset");
+      const std::uint64_t len = cur.u64("frame length");
+      if (to >= num_machines()) {
+        bad_payload("frame destination " + std::to_string(to) +
+                    " out of range");
+      }
+      o.frames.push_back({static_cast<MachineId>(to), offset, len});
+    }
+    const std::uint64_t word_count = cur.u64("arena word count");
+    if (word_count > cur.in.size() / sizeof(Word)) {
+      bad_payload("arena word count exceeds remaining payload");
+    }
+    cur.words(o.words, word_count);
+    for (const Frame& f : o.frames) {
+      if (f.len > word_count || f.offset > word_count - f.len) {
+        bad_payload("frame extent [" + std::to_string(f.offset) + ", +" +
+                    std::to_string(f.len) + ") outside the arena");
+      }
+    }
+  }
+  if (!cur.in.empty()) bad_payload("trailing bytes after the last machine");
 }
 
 }  // namespace mrlr::mrc

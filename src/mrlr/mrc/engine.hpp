@@ -13,12 +13,15 @@
 // Machines within a round are data-independent, so the engine routes the
 // per-machine callbacks through an exec::Executor: the serial backend
 // runs them in machine order on the calling thread, the thread-pool
-// backend runs them concurrently (Topology::num_threads). Either way the
+// backend runs them concurrently (Topology::num_threads), and the
+// process-sharded backend (Topology::num_shards) runs them in forked
+// worker processes that ship their staged arenas back through the
+// engine's ShardDataPlane implementation. Either way the
 // simulation is deterministic: each machine's sends append only to its
 // own staging arena, and staged messages are merged into next-round
 // inboxes in machine-id order after the round barrier, so traces,
 // metrics, and SpaceLimitExceeded behavior are byte-identical across
-// backends and thread counts. Since the quantities the paper bounds are
+// backends, thread counts, and shard counts. Since the quantities the paper bounds are
 // rounds and words (not wall-clock), the backend is irrelevant to the
 // measured results; determinism makes every experiment replayable from
 // its seed.
@@ -214,9 +217,10 @@ class MachineContext {
   MachineId id_;
 };
 
-class Engine {
+class Engine : private exec::ShardDataPlane {
  public:
-  /// Builds the execution backend from topology.num_threads.
+  /// Builds the execution backend from topology.num_threads /
+  /// topology.num_shards.
   explicit Engine(Topology topology);
 
   /// Uses a caller-provided backend (e.g. a pool shared across engines,
@@ -241,6 +245,15 @@ class Engine {
 
   const Metrics& metrics() const { return metrics_; }
 
+  /// Control-plane peek at delivered traffic: total words (O(1)) and
+  /// message count in the inbox machine m will read in the round now
+  /// starting. Between rounds this is the coordinator's merged view, so
+  /// it is identical across every backend — drivers may branch on it
+  /// (e.g. a sampling fail check) and stay process-clean. Throws
+  /// std::out_of_range for machine ids outside [0, num_machines()).
+  std::uint64_t inbox_words(MachineId m) const;
+  std::uint64_t inbox_size(MachineId m) const;
+
   /// Direct access for algorithms that need to inspect what a machine
   /// will receive next round (testing only; materialized on demand).
   /// Non-empty only after a round that threw SpaceLimitExceeded, since
@@ -252,6 +265,28 @@ class Engine {
   friend class MachineContext;
   friend class MessageWriter;
   friend class InboxView;
+
+  /// ShardDataPlane: wire encoding of machines [first, last) for the
+  /// process-sharded backend — per machine, the accounting slots
+  /// (outbox words, resident words, writer-open flag) followed by the
+  /// staged frame index and the arena word buffer verbatim (the flat
+  /// slab layout already is a wire format). apply_machines validates
+  /// every field and throws exec::TransportError(kBadPayload) on
+  /// malformed bytes; after it installs a shard, the ordinary
+  /// id-ordered merge in run_round proceeds unchanged.
+  void serialize_machines(std::uint64_t first, std::uint64_t last,
+                          std::vector<std::byte>& out) const override;
+  void apply_machines(std::uint64_t first, std::uint64_t last,
+                      std::span<const std::byte> bytes) override;
+
+  void check_machine_id(MachineId m, const char* what) const;
+
+  /// Shared body of run_round / run_central_round. `central_only`
+  /// rounds skip the shard data plane: only the coordinator-resident
+  /// central machine does work, so a process backend must not fork.
+  void run_round_impl(std::string_view label,
+                      const std::function<void(MachineContext&)>& fn,
+                      bool central_only);
 
   /// One message in a sender's staging arena: destination plus the
   /// [offset, offset+len) extent in that arena's word buffer.

@@ -1,0 +1,21 @@
+#pragma once
+// The splitmix64 finalizer, shared by every on-disk / on-wire checksum
+// in the library (the .mgb container trailer and the shard-transport
+// frame checksums use the same rolling construction: h = mix64(h ^ x)).
+// Centralized so the formats provably agree on the mix and a future
+// change cannot silently fork them.
+
+#include <cstdint>
+
+namespace mrlr {
+
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace mrlr

@@ -1,0 +1,164 @@
+// Tests for the trajectory tracker (src/mrlr/bench/trajectory.*):
+// loading a series of result files, scenario ordering across points,
+// CSV/markdown rendering with gaps, and hash-change detection.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mrlr/bench/json.hpp"
+#include "mrlr/bench/trajectory.hpp"
+
+namespace mrlr::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+BenchResult result(const std::string& name, double wall,
+                   std::uint64_t rounds, std::uint64_t hash) {
+  BenchResult r;
+  r.name = name;
+  r.algo = "algo";
+  r.family = "fam";
+  r.n = 100;
+  r.m = 500;
+  r.wall_seconds = wall;
+  r.rounds = rounds;
+  r.iterations = 2;
+  r.max_machine_words = 1000;
+  r.max_central_inbox = 400;
+  r.shuffle_words = 9000;
+  r.quality = 12.5;
+  r.quality_vs_baseline = 1.0;
+  r.determinism_hash = hash;
+  return r;
+}
+
+/// Writes the given results as a schema-v1 file under a temp dir and
+/// returns its path.
+std::string write_point(const std::string& stem,
+                        std::vector<BenchResult> results) {
+  const auto dir = fs::temp_directory_path() / "mrlr_trajectory_test";
+  fs::create_directories(dir);
+  const std::string path = (dir / (stem + ".json")).string();
+  BenchFile f;
+  f.results = std::move(results);
+  write_bench_file(f, path);
+  return path;
+}
+
+/// A three-point fixture series: scenario "a" everywhere (hash changes
+/// at the third point), "b" appears from the second point on, "c" only
+/// in the first (retired scenario).
+std::vector<std::string> fixture_paths() {
+  return {
+      write_point("2026-07-01",
+                  {result("a", 0.10, 5, 0x11), result("c", 0.40, 9, 0x33)}),
+      write_point("2026-07-02",
+                  {result("a", 0.12, 5, 0x11), result("b", 0.20, 7, 0x22)}),
+      write_point("2026-07-03",
+                  {result("a", 0.20, 5, 0x99), result("b", 0.21, 7, 0x22)}),
+  };
+}
+
+TEST(Trajectory, LoadsSeriesWithFilenameLabels) {
+  const auto series = load_trajectory(fixture_paths());
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].label, "2026-07-01");
+  EXPECT_EQ(series[2].label, "2026-07-03");
+  EXPECT_EQ(series[0].file.results.size(), 2u);
+
+  // Scenario order is first-seen across the series.
+  EXPECT_EQ(trajectory_scenarios(series),
+            (std::vector<std::string>{"a", "c", "b"}));
+}
+
+TEST(Trajectory, LoadRejectsMalformedAndMissingFiles) {
+  const auto dir = fs::temp_directory_path() / "mrlr_trajectory_test";
+  fs::create_directories(dir);
+  const std::string garbage = (dir / "garbage.json").string();
+  {
+    std::FILE* f = std::fopen(garbage.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not json at all", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)load_trajectory({garbage}), JsonError);
+  EXPECT_THROW((void)load_trajectory({(dir / "nope.json").string()}),
+               std::runtime_error);
+}
+
+TEST(Trajectory, CsvHasOneRowPerScenarioPointAndSkipsGaps) {
+  const auto series = load_trajectory(fixture_paths());
+  std::ostringstream os;
+  write_trajectory_csv(series, os);
+  const std::string csv = os.str();
+
+  // Header + a:3 + c:1 + b:2 = 7 lines.
+  std::size_t lines = 0;
+  for (const char ch : csv) lines += ch == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 7u);
+
+  EXPECT_NE(csv.find("scenario,point,label,wall_seconds"),
+            std::string::npos);
+  // Scenario "a" at point 2 carries the changed hash and its metrics.
+  EXPECT_NE(csv.find("a,2,2026-07-03,0.200000,5,2,1000,400,9000,"
+                     "12.500000,1.000000,0x0000000000000099,0"),
+            std::string::npos)
+      << csv;
+  // Retired scenario "c" appears only at point 0.
+  EXPECT_NE(csv.find("c,0,2026-07-01"), std::string::npos);
+  EXPECT_EQ(csv.find("c,1,"), std::string::npos);
+  EXPECT_EQ(csv.find("c,2,"), std::string::npos);
+}
+
+TEST(Trajectory, MarkdownRendersCurvesGapsAndDeltas) {
+  const auto series = load_trajectory(fixture_paths());
+  std::ostringstream os;
+  write_trajectory_markdown(series, os);
+  const std::string md = os.str();
+
+  EXPECT_NE(md.find("# Bench trajectory (3 points, 3 scenarios)"),
+            std::string::npos);
+  EXPECT_NE(md.find("## Wall time (seconds)"), std::string::npos);
+  EXPECT_NE(md.find("## Rounds (count)"), std::string::npos);
+  // Scenario a's wall curve 0.10 -> 0.20 gives last/first 2.00.
+  EXPECT_NE(md.find("| a | 0.100 | 0.120 | 0.200 | 2.00 |"),
+            std::string::npos)
+      << md;
+  // Scenario b has a gap at the first point.
+  EXPECT_NE(md.find("| b | — | 0.200 | 0.210 |"), std::string::npos) << md;
+}
+
+TEST(Trajectory, MarkdownFlagsHashChanges) {
+  const auto series = load_trajectory(fixture_paths());
+  std::ostringstream os;
+  write_trajectory_markdown(series, os);
+  const std::string md = os.str();
+
+  // "a" changed 0x11 -> 0x99 between the second and third points; "b"
+  // stayed stable and must not be flagged.
+  EXPECT_NE(md.find("## Determinism hash stability"), std::string::npos);
+  EXPECT_NE(
+      md.find("- `a`: 0x0000000000000011 (2026-07-02) -> "
+              "0x0000000000000099 (2026-07-03)"),
+      std::string::npos)
+      << md;
+  EXPECT_EQ(md.find("- `b`:"), std::string::npos);
+
+  // An all-stable series reports so.
+  const auto stable = load_trajectory(
+      {write_point("s1", {result("a", 0.1, 5, 0x11)}),
+       write_point("s2", {result("a", 0.2, 5, 0x11)})});
+  std::ostringstream os2;
+  write_trajectory_markdown(stable, os2);
+  EXPECT_NE(os2.str().find("All scenario hashes stable"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrlr::bench

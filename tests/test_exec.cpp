@@ -13,10 +13,14 @@
 #include <string>
 #include <vector>
 
+#include <csignal>
+
 #include "mrlr/core/greedy_setcover_mr.hpp"
 #include "mrlr/core/rlr_matching.hpp"
 #include "mrlr/exec/executor.hpp"
+#include "mrlr/exec/process_shard_executor.hpp"
 #include "mrlr/exec/serial_executor.hpp"
+#include "mrlr/exec/shard_transport.hpp"
 #include "mrlr/exec/thread_pool_executor.hpp"
 #include "mrlr/graph/generators.hpp"
 #include "mrlr/mrc/engine.hpp"
@@ -48,6 +52,23 @@ TEST(MakeExecutor, MapsKnobToBackend) {
   EXPECT_EQ(pool->num_threads(), 4u);
   // 0 = hardware-sized; at least one thread either way.
   EXPECT_GE(exec::make_executor(0)->num_threads(), 1u);
+  // The shard knob: 0/1 = in-process, K > 1 = process-sharded.
+  EXPECT_EQ(exec::make_executor(1, 1)->name(), "serial");
+  EXPECT_EQ(exec::make_executor(4, 1)->name(), "thread-pool");
+  EXPECT_EQ(exec::make_executor(1, 4)->name(), "process-shard");
+  EXPECT_EQ(exec::make_executor(0, 2)->name(), "process-shard");
+}
+
+TEST(ProcessShardExecutor, PlainRunIsSerialAscending) {
+  // Without a data plane there is nothing to exchange, so machines run
+  // serially in the coordinator (the degenerate documented mode).
+  exec::ProcessShardExecutor ex(4);
+  EXPECT_EQ(ex.name(), "process-shard");
+  EXPECT_EQ(ex.num_shards(), 4u);
+  EXPECT_EQ(ex.num_threads(), 1u);
+  std::vector<std::uint64_t> order;
+  ex.run_machines(3, 9, [&](std::uint64_t m) { order.push_back(m); });
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{3, 4, 5, 6, 7, 8}));
 }
 
 TEST(ThreadPoolExecutor, CoversRangeExactlyOnce) {
@@ -164,6 +185,10 @@ void synthetic_workload(mrc::Engine& e) {
 }
 
 /// Final inboxes (from machine-0 broadcast) plus the full trace CSV.
+/// The workload is process-clean: per-machine observations are shipped
+/// to the central machine as messages (not written to host memory), so
+/// the identical string must come back from every backend including
+/// the process-sharded one, where machines 1.. run in forked workers.
 std::string run_synthetic(std::shared_ptr<exec::Executor> ex,
                           std::uint64_t machines) {
   mrc::Engine e(topo(machines), std::move(ex));
@@ -175,13 +200,25 @@ std::string run_synthetic(std::shared_ptr<exec::Executor> ex,
       ctx.send(to, {ctx.id()});
     }
   });
-  std::vector<std::string> delivery(machines);
   e.run_round("observe", [&](MachineContext& ctx) {
-    std::string line;
-    for (const auto& msg : ctx.inbox()) {
-      line += std::to_string(msg.from) + ",";
+    // Ship this machine's delivery order to central; converge-cast is
+    // the process-clean replacement for writing a host-side slot.
+    mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+    for (const auto& view : ctx.messages()) {
+      msg.push(view.from);
     }
-    delivery[ctx.id()] = std::move(line);  // per-machine slot: no race
+  });
+  std::vector<std::string> delivery(machines);
+  e.run_central_round("collect-observations", [&](MachineContext& ctx) {
+    // Messages arrive in sender-id order: one line per machine.
+    for (std::size_t i = 0; i < ctx.inbox_size(); ++i) {
+      const mrc::MessageView msg = ctx.message(i);
+      std::string line;
+      for (const mrc::Word w : msg.payload) {
+        line += std::to_string(w) + ",";
+      }
+      delivery[msg.from] = std::move(line);  // central runs coordinator-side
+    }
   });
   for (const auto& line : delivery) os << line << "\n";
   mrc::write_trace_csv(e.metrics(), os);
@@ -201,6 +238,15 @@ TEST(EngineDeterminism, TraceAndDeliveryIdenticalAcrossBackends) {
     EXPECT_EQ(serial,
               run_synthetic(std::make_shared<ReverseExecutor>(), machines))
         << "machines=" << machines << " (reverse order)";
+    // The process-sharded backend: identical traces and delivery with
+    // the machines split across 1/2/4 forked worker processes and the
+    // staged arenas shipped back over the shard transport.
+    for (const unsigned shards : {1u, 2u, 4u}) {
+      const std::string sharded = run_synthetic(
+          std::make_shared<exec::ProcessShardExecutor>(shards), machines);
+      EXPECT_EQ(serial, sharded)
+          << "machines=" << machines << " shards=" << shards;
+    }
   }
 }
 
@@ -243,6 +289,91 @@ TEST(EngineDeterminism, SpaceLimitReportsLowestIdOffender) {
     EXPECT_EQ(serial,
               run(std::make_shared<exec::ThreadPoolExecutor>(threads)));
   }
+  for (const unsigned shards : {2u, 4u}) {
+    EXPECT_EQ(serial,
+              run(std::make_shared<exec::ProcessShardExecutor>(shards)))
+        << "shards=" << shards;
+  }
+}
+
+TEST(Engine, InboxPeekMatchesDeliveryAndIsBoundsChecked) {
+  for (const unsigned shards : {1u, 2u}) {
+    mrc::Engine e(topo(6),
+                  std::make_shared<exec::ProcessShardExecutor>(shards));
+    e.run_round("fanout", [&](MachineContext& ctx) {
+      ctx.send(2, {ctx.id(), ctx.id()});
+      if (ctx.id() == 5) ctx.send(0, {1, 2, 3});
+    });
+    // Control-plane peek between rounds: the merged coordinator view.
+    EXPECT_EQ(e.inbox_words(2), 12u) << "shards=" << shards;
+    EXPECT_EQ(e.inbox_size(2), 6u) << "shards=" << shards;
+    EXPECT_EQ(e.inbox_words(0), 3u) << "shards=" << shards;
+    EXPECT_EQ(e.inbox_size(0), 1u) << "shards=" << shards;
+    EXPECT_EQ(e.inbox_words(1), 0u) << "shards=" << shards;
+    EXPECT_THROW((void)e.inbox_words(6), std::out_of_range);
+    EXPECT_THROW((void)e.inbox_size(6), std::out_of_range);
+  }
+}
+
+// ------------------------------------------- process worker failure --
+
+TEST(ProcessShardExecutor, KilledWorkerSurfacesTypedErrorNotHang) {
+  // Machine 6 lives in shard 1 (machines 4..7 of 8 at K=2), which runs
+  // in a forked worker; killing it mid-round must surface as a typed
+  // WorkerError naming the shard and round — never a hang on the merge
+  // barrier, and never a silent partial merge.
+  mrc::Engine e(topo(8), std::make_shared<exec::ProcessShardExecutor>(2));
+  try {
+    e.run_round("doomed", [&](MachineContext& ctx) {
+      if (ctx.id() == 6) {
+        std::raise(SIGKILL);  // only ever runs in the worker process
+      }
+      ctx.send(mrc::kCentral, {ctx.id()});
+    });
+    FAIL() << "expected WorkerError";
+  } catch (const exec::WorkerError& err) {
+    EXPECT_EQ(err.shard, 1u);
+    EXPECT_EQ(err.round, 1u);
+    const std::string what = err.what();
+    EXPECT_NE(what.find("shard 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("round 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("signal"), std::string::npos) << what;
+  }
+}
+
+TEST(ProcessShardExecutor, WorkerCallbackExceptionIsTypedWithMachineId) {
+  mrc::Engine e(topo(8), std::make_shared<exec::ProcessShardExecutor>(2));
+  // Only a worker-shard machine throws: the coordinator rethrows a
+  // typed ShardCallbackError carrying the machine id, round, and the
+  // original message, after the barrier (state stays merged).
+  try {
+    e.run_round("throwing", [&](MachineContext& ctx) {
+      ctx.send(mrc::kCentral, {ctx.id()});
+      if (ctx.id() >= 5) {
+        throw std::runtime_error("boom on machine " +
+                                 std::to_string(ctx.id()));
+      }
+    });
+    FAIL() << "expected ShardCallbackError";
+  } catch (const exec::ShardCallbackError& err) {
+    EXPECT_EQ(err.machine, 5u);  // lowest-id thrower wins
+    EXPECT_EQ(err.round, 1u);
+    EXPECT_NE(std::string(err.what()).find("boom on machine 5"),
+              std::string::npos);
+  }
+  // A coordinator-shard (lower-id) exception takes precedence and is
+  // rethrown as the original type, exactly like SerialExecutor.
+  mrc::Engine e2(topo(8), std::make_shared<exec::ProcessShardExecutor>(2));
+  try {
+    e2.run_round("throwing", [&](MachineContext& ctx) {
+      if (ctx.id() == 2 || ctx.id() == 6) {
+        throw std::runtime_error("machine " + std::to_string(ctx.id()));
+      }
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& err) {
+    EXPECT_STREQ(err.what(), "machine 2");
+  }
 }
 
 TEST(Engine, PendingInboxBoundsChecked) {
@@ -272,7 +403,8 @@ struct MatchingFingerprint {
 };
 
 MatchingFingerprint run_matching(std::uint64_t seed,
-                                 std::uint64_t num_threads) {
+                                 std::uint64_t num_threads,
+                                 std::uint64_t num_shards = 1) {
   Rng rng(seed ^ 0xABCDEFull);
   graph::Graph g = graph::gnm_density(300, 0.5, rng);
   g = g.with_weights(
@@ -281,6 +413,7 @@ MatchingFingerprint run_matching(std::uint64_t seed,
   params.mu = 0.15;
   params.seed = seed;
   params.num_threads = num_threads;
+  params.num_shards = num_shards;
   const auto r = core::rlr_matching(g, params);
   return {r.matching,
           r.weight,
@@ -301,6 +434,20 @@ TEST(AlgorithmDeterminism, RlrMatchingIdenticalAcrossThreadCounts) {
     for (const std::uint64_t threads : {2ull, 8ull}) {
       EXPECT_EQ(serial, run_matching(seed, threads))
           << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(AlgorithmDeterminism, RlrMatchingIdenticalAcrossShardCounts) {
+  // The full algorithm on the process-sharded backend: machines run in
+  // forked worker processes and every result field — matching, weight,
+  // rounds, space, communication — must equal the serial run exactly.
+  for (const std::uint64_t seed : {1ull, 7ull}) {
+    const auto serial = run_matching(seed, 1);
+    EXPECT_FALSE(serial.failed);
+    for (const std::uint64_t shards : {1ull, 2ull, 4ull}) {
+      EXPECT_EQ(serial, run_matching(seed, 1, shards))
+          << "seed=" << seed << " shards=" << shards;
     }
   }
 }
@@ -353,7 +500,8 @@ TEST(AlgorithmDeterminism, SpaceLimitStressIdenticalAcrossThreadCounts) {
   // Tiny word caps: the engine must throw SpaceLimitExceeded with the
   // same message (same round, same lowest-id offender, same words) at
   // every thread count.
-  auto run = [](std::uint64_t seed, std::uint64_t threads) -> std::string {
+  auto run = [](std::uint64_t seed, std::uint64_t threads,
+                std::uint64_t shards = 1) -> std::string {
     Rng rng(seed ^ 0xFACEull);
     graph::Graph g = graph::gnm_density(200, 0.5, rng);
     g = g.with_weights(
@@ -362,6 +510,7 @@ TEST(AlgorithmDeterminism, SpaceLimitStressIdenticalAcrossThreadCounts) {
     params.mu = 0.15;
     params.seed = seed;
     params.num_threads = threads;
+    params.num_shards = shards;
     params.slack = 0.2;  // far below the 16.0 the algorithm needs
     try {
       const auto r = core::rlr_matching(g, params);
@@ -377,6 +526,9 @@ TEST(AlgorithmDeterminism, SpaceLimitStressIdenticalAcrossThreadCounts) {
       EXPECT_EQ(serial, run(seed, threads))
           << "seed=" << seed << " threads=" << threads;
     }
+    // The space audit runs in the coordinator on merged accounting, so
+    // the process backend must throw the identical message too.
+    EXPECT_EQ(serial, run(seed, 1, 2)) << "seed=" << seed << " shards=2";
   }
 }
 

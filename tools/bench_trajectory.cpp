@@ -1,0 +1,108 @@
+// Historical perf-trajectory renderer over a series of `mrlr_cli bench
+// --out` result files (schema v1), oldest first.
+//
+// Usage:
+//   bench_trajectory [--csv FILE] [--md FILE] results1.json results2.json...
+//
+// With no --csv/--md the markdown report goes to stdout. The nightly
+// CI workflow feeds this the accumulated bench-history directory and
+// publishes both renderings as artifacts.
+//
+// Exit codes: 0 = rendered; 2 = usage error or a malformed/unreadable
+// input file (the message names the file).
+
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "mrlr/bench/json.hpp"
+#include "mrlr/bench/trajectory.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: bench_trajectory [--csv FILE] [--md FILE] "
+               "results1.json [results2.json ...]\n"
+               "  renders per-scenario metric curves over the series "
+               "(oldest first) as CSV and/or markdown;\n"
+               "  with neither --csv nor --md, markdown goes to stdout\n";
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& what,
+                const std::function<void(std::ostream&)>& render) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_trajectory: cannot open " << path
+              << " for writing\n";
+    return false;
+  }
+  render(out);
+  out.flush();
+  if (!out) {
+    std::cerr << "bench_trajectory: write failed: " << path << "\n";
+    return false;
+  }
+  std::cerr << "[" << what << " written: " << path << "]\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string csv_path, md_path;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--csv") {
+      csv_path = value();
+    } else if (arg == "--md") {
+      md_path = value();
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag " << arg << "\n";
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  std::vector<mrlr::bench::TrajectoryPoint> series;
+  try {
+    series = mrlr::bench::load_trajectory(inputs);
+  } catch (const mrlr::bench::JsonError& e) {
+    std::cerr << "bench_trajectory: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_trajectory: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (!csv_path.empty() &&
+      !write_file(csv_path, "csv", [&](std::ostream& os) {
+        mrlr::bench::write_trajectory_csv(series, os);
+      })) {
+    return 2;
+  }
+  if (!md_path.empty() &&
+      !write_file(md_path, "markdown", [&](std::ostream& os) {
+        mrlr::bench::write_trajectory_markdown(series, os);
+      })) {
+    return 2;
+  }
+  if (csv_path.empty() && md_path.empty()) {
+    mrlr::bench::write_trajectory_markdown(series, std::cout);
+  }
+  return 0;
+}

@@ -44,6 +44,7 @@
 //   mrlr_cli convert --in big.mgb --out big.txt
 //   mrlr_cli colour-vertex --graph big.mgb --trace
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -83,21 +84,46 @@ struct Options {
   double eps = 0.2;
   std::uint32_t b = 2;
   std::uint64_t threads = 1;
+  std::uint64_t shards = 1;
+  std::optional<std::string> backend;
   mrlr::graph::WeightDist dist = mrlr::graph::WeightDist::kUniform;
   std::optional<std::string> graph_file;
   std::optional<std::string> sets_file;
   bool trace = false;
 };
 
+/// Resolves --backend into the two primitive knobs (--threads /
+/// --shards). Returns false (after a message) on an unknown backend.
+bool apply_backend(const std::string& backend, std::uint64_t& threads,
+                   std::uint64_t& shards) {
+  if (backend == "serial") {
+    threads = 1;
+    shards = 1;
+  } else if (backend == "threads") {
+    if (threads <= 1) threads = 0;  // 0 = all hardware threads
+    shards = 1;
+  } else if (backend == "process") {
+    threads = 1;
+    if (shards <= 1) shards = 2;
+  } else {
+    std::cerr << "unknown backend " << backend
+              << " (expected serial|threads|process)\n";
+    return false;
+  }
+  return true;
+}
+
 void usage() {
   std::cerr
       << "usage: mrlr_cli <algorithm> [--n N] [--c C] [--mu MU] "
          "[--seed S] [--eps E] [--b B] [--dist D] [--threads T] "
+         "[--backend serial|threads|process] [--shards K] "
          "[--graph FILE] [--sets FILE] [--trace]\n"
          "       mrlr_cli gen <family> --out FILE [family options]\n"
          "       mrlr_cli convert --in FILE --out FILE\n"
          "       mrlr_cli bench [--group G]... [--scenario NAME]... "
-         "[--out FILE] [--threads T] [--list]\n"
+         "[--out FILE] [--threads T] "
+         "[--backend serial|threads|process] [--shards K] [--list]\n"
          "algorithms: matching vertex-cover set-cover-f "
          "set-cover-greedy b-matching mis mis-simple clique "
          "colour-vertex colour-edge filtering-matching "
@@ -106,10 +132,13 @@ void usage() {
          "circulant complete star path cycle planted-clique "
          "sc-bounded-frequency sc-many-sets sc-planted\n"
          "bench groups: paper-f1 rounds-vs-mu space-vs-c shuffle io "
-         "threads smoke all (mrlr_cli bench --list shows scenarios)\n"
+         "threads process large smoke all (mrlr_cli bench --list shows "
+         "scenarios)\n"
          "--threads T: simulate machines on T threads (1 = serial, "
-         "0 = all hardware threads); results are identical at any T, "
-         "only wall-clock changes\n"
+         "0 = all hardware threads); --backend process [--shards K]: "
+         "partition machines over K forked worker processes (drivers "
+         "ported to the process backend only; see README). Results are "
+         "identical under every backend, only wall-clock changes\n"
          "graph files ending in .mgb use the binary container; "
          "anything else is a text edge list\n";
 }
@@ -151,6 +180,10 @@ std::optional<Options> parse(int argc, char** argv) {
       o.b = static_cast<std::uint32_t>(std::stoul(value()));
     } else if (flag == "--threads") {
       o.threads = std::stoull(value());
+    } else if (flag == "--shards") {
+      o.shards = std::stoull(value());
+    } else if (flag == "--backend") {
+      o.backend = value();
     } else if (flag == "--dist") {
       const std::string d = value();
       if (const auto dist = parse_weight_dist(d)) {
@@ -169,6 +202,16 @@ std::optional<Options> parse(int argc, char** argv) {
       std::cerr << "unknown flag " << flag << "\n";
       return std::nullopt;
     }
+  }
+  if (o.backend && !apply_backend(*o.backend, o.threads, o.shards)) {
+    return std::nullopt;
+  }
+  if (o.threads > 1 && o.shards > 1) {
+    // Same exclusion make_executor enforces, surfaced as a usage error
+    // instead of an MRLR_REQUIRE abort.
+    std::cerr << "--threads and --shards do not compose: the process "
+                 "backend runs machines serially within each shard\n";
+    return std::nullopt;
   }
   return o;
 }
@@ -519,6 +562,7 @@ int run_convert(int argc, char** argv) {
 int run_bench_cmd(int argc, char** argv) {
   mrlr::bench::RunOptions options;
   options.context.threads = mrlr::bench::env_threads();
+  std::optional<std::string> backend;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     auto value = [&]() -> const char* {
@@ -536,11 +580,30 @@ int run_bench_cmd(int argc, char** argv) {
       options.out_path = value();
     } else if (flag == "--threads") {
       options.context.threads = std::stoull(value());
+    } else if (flag == "--shards") {
+      options.context.shards = std::stoull(value());
+    } else if (flag == "--backend") {
+      backend = value();
     } else if (flag == "--list") {
       options.list_only = true;
     } else {
       std::cerr << "unknown bench flag " << flag << "\n";
       usage();
+      return 2;
+    }
+  }
+  if (backend) {
+    if (*backend == "process") {
+      options.context.process_backend = true;
+      options.context.shards =
+          std::max<std::uint64_t>(2, options.context.shards);
+    } else if (*backend == "threads") {
+      if (options.context.threads <= 1) options.context.threads = 0;
+    } else if (*backend == "serial") {
+      options.context.threads = 1;
+    } else {
+      std::cerr << "unknown backend " << *backend
+                << " (expected serial|threads|process)\n";
       return 2;
     }
   }
@@ -585,6 +648,14 @@ int run(int argc, char** argv) {
   params.c = o.c;
   params.seed = o.seed;
   params.num_threads = o.threads;
+  params.num_shards = o.shards;
+  if (o.shards > 1 && o.algorithm != "matching") {
+    // Only process-clean drivers honor the knob; see README
+    // "Execution backends". Results are identical either way.
+    std::cerr << "note: " << o.algorithm
+              << " has not been ported to the process backend yet; "
+                 "machines run in-process\n";
+  }
 
   using namespace mrlr;
   const std::string& a = o.algorithm;

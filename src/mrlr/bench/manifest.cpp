@@ -1,0 +1,29 @@
+#include "mrlr/bench/manifest.hpp"
+
+namespace mrlr::bench {
+
+std::map<std::string, std::string> run_manifest(const RunContext& ctx) {
+  std::map<std::string, std::string> m;
+#ifdef MRLR_BUILD_TYPE
+  m["build_type"] = MRLR_BUILD_TYPE;
+#else
+  m["build_type"] = "unknown";
+#endif
+#ifdef MRLR_GIT_DESCRIBE
+  m["git_describe"] = MRLR_GIT_DESCRIBE;
+#else
+  m["git_describe"] = "unknown";
+#endif
+  m["backend"] = ctx.process_backend ? "process"
+                 : ctx.threads == 1  ? "serial"
+                                     : "threads";
+  m["threads"] = std::to_string(ctx.threads);
+  m["shards"] = std::to_string(ctx.shards);
+  m["n_override"] = std::to_string(ctx.n_override);
+  // Scenarios pin their own seeds (that is what makes baselines
+  // diffable); record the policy rather than a number.
+  m["seed"] = "scenario-pinned";
+  return m;
+}
+
+}  // namespace mrlr::bench

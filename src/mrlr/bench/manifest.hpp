@@ -1,0 +1,22 @@
+#pragma once
+// Run manifest: the build/session facts stamped into every BenchResult
+// so nightly artifacts are self-describing — which binary (build type,
+// git describe), which knobs (backend, threads, shards, n override),
+// and the seed policy. Manifest keys are provenance, not metrics:
+// bench_diff never compares them (a baseline recorded by one build must
+// diff cleanly against a run from another).
+
+#include <map>
+#include <string>
+
+#include "mrlr/bench/registry.hpp"
+
+namespace mrlr::bench {
+
+/// The manifest for one run context. build_type and git_describe come
+/// from compile definitions captured at configure time (MRLR_BUILD_TYPE
+/// / MRLR_GIT_DESCRIBE; "unknown" when the build system did not provide
+/// them — e.g. a stale configure or a non-git checkout).
+std::map<std::string, std::string> run_manifest(const RunContext& ctx);
+
+}  // namespace mrlr::bench

@@ -97,6 +97,11 @@ Json to_json(const BenchResult& r) {
   Json extra = Json::object();
   for (const auto& [k, v] : r.extra) extra.set(k, finite_num(v, k.c_str()));
   j.set("extra", std::move(extra));
+  if (!r.manifest.empty()) {
+    Json manifest = Json::object();
+    for (const auto& [k, v] : r.manifest) manifest.set(k, Json::string(v));
+    j.set("manifest", std::move(manifest));
+  }
   return j;
 }
 
@@ -134,6 +139,12 @@ BenchResult bench_result_from_json(const Json& j) {
   r.failed = j.at("failed").as_bool();
   for (const auto& [k, v] : j.at("extra").fields()) {
     r.extra[k] = v.as_number();
+  }
+  // Optional: files written before the manifest existed lack the key.
+  if (const Json* manifest = j.find("manifest")) {
+    for (const auto& [k, v] : manifest->fields()) {
+      r.manifest[k] = v.as_string();
+    }
   }
   return r;
 }

@@ -13,7 +13,12 @@
 //                             — deterministic given the scenario's fixed
 //                               seed; compared exactly;
 //   * extra                   — informational only (derived rates,
-//                               bounds); never compared.
+//                               bounds, telemetry per-phase totals);
+//                               never compared;
+//   * manifest                — run provenance strings (build type,
+//                               git describe, backend knobs); never
+//                               compared, omitted from JSON when empty
+//                               (older files parse unchanged).
 //
 // determinism_hash is serialized as a hex string ("0x..."), not a JSON
 // number: 64-bit hashes do not survive a double round-trip.
@@ -78,6 +83,9 @@ struct BenchResult {
 
   /// Scenario-specific metrics; informational, never diffed.
   std::map<std::string, double> extra;
+
+  /// Run provenance (bench/manifest.hpp); informational, never diffed.
+  std::map<std::string, std::string> manifest;
 };
 
 struct BenchFile {

@@ -5,18 +5,46 @@
 #include <stdexcept>
 
 #include "mrlr/bench/emit.hpp"
+#include "mrlr/bench/manifest.hpp"
+#include "mrlr/obs/telemetry.hpp"
 #include "mrlr/util/table.hpp"
 
 namespace mrlr::bench {
 namespace {
+
+/// Per-phase wall totals for the spans this scenario recorded, folded
+/// into `extra` as tel_<phase>_s. Informational (never diffed): the
+/// diff policy treats extra as free-form, so telemetry-on and -off runs
+/// of the same scenario still compare clean.
+void fold_telemetry(BenchResult& r, const obs::Telemetry& tel,
+                    std::size_t from) {
+  double totals[obs::kNumPhases] = {};
+  bool any = false;
+  for (const obs::SpanRecord& s : tel.spans_since(from)) {
+    totals[static_cast<std::size_t>(s.phase)] +=
+        static_cast<double>(s.dur_ns) * 1e-9;
+    any = true;
+  }
+  if (!any) return;
+  for (std::size_t p = 0; p < obs::kNumPhases; ++p) {
+    if (totals[p] > 0.0) {
+      r.extra["tel_" + std::string(obs::phase_name(
+                           static_cast<obs::Phase>(p))) + "_s"] = totals[p];
+    }
+  }
+}
 
 BenchResult run_one(const Scenario& s, const RunContext& ctx,
                     std::ostream& log, std::size_t index,
                     std::size_t total) {
   log << "[" << index + 1 << "/" << total << "] " << s.name << " ... "
       << std::flush;
+  obs::Telemetry& tel = obs::Telemetry::instance();
+  const std::size_t span_mark = tel.enabled() ? tel.span_count() : 0;
   BenchResult r = s.run(ctx);
   r.name = s.name;
+  if (tel.enabled()) fold_telemetry(r, tel, span_mark);
+  r.manifest = run_manifest(ctx);
   log << (r.failed ? "FAILED" : "ok") << " ("
       << fmt_double(r.wall_seconds, 3) << "s)\n";
   return r;

@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include "mrlr/exec/shard_transport.hpp"
+#include "mrlr/obs/telemetry.hpp"
 #include "mrlr/util/require.hpp"
 
 namespace mrlr::exec {
@@ -71,9 +72,24 @@ void run_serial_range(std::uint64_t first, std::uint64_t last,
                               std::uint64_t last,
                               const Executor::MachineFn& fn,
                               ShardDataPlane* dp) {
+  // Telemetry: the fork inherited the coordinator's recorder state
+  // (COW), including everything recorded in earlier rounds. Mark the
+  // inherited position so only this shard's own events ship back, and
+  // re-attribute subsequent spans to this shard. Round index is
+  // sequence - 1: the executor bumps round_seq_ once per engine round.
+  obs::Telemetry& tel = obs::Telemetry::instance();
+  const bool telemetry = tel.enabled();
+  obs::Telemetry::Mark tel_mark;
+  const std::uint64_t round_ix = sequence - 1;
+  if (telemetry) {
+    tel_mark = tel.mark();
+    tel.set_shard(shard);
+  }
+
   std::uint64_t error_machine = 0;
   bool failed = false;
   std::string error_what;
+  std::uint64_t t0 = telemetry ? tel.now_ns() : 0;
   for (std::uint64_t m = first; m < last; ++m) {
     try {
       fn(m);
@@ -91,10 +107,32 @@ void run_serial_range(std::uint64_t first, std::uint64_t last,
       }
     }
   }
+  if (telemetry) {
+    tel.record_span(obs::Phase::kCallback, t0, tel.now_ns(), round_ix,
+                    "machines [" + std::to_string(first) + ", " +
+                        std::to_string(last) + ")");
+  }
   try {
     std::vector<std::byte> bytes;
+    t0 = telemetry ? tel.now_ns() : 0;
     dp->serialize_machines(first, last, bytes);
+    if (telemetry) {
+      tel.record_span(obs::Phase::kShardSerialize, t0, tel.now_ns(),
+                      round_ix);
+      t0 = tel.now_ns();
+    }
     write_frame(ch, FrameKind::kShardData, shard, sequence, bytes);
+    if (telemetry) {
+      tel.record_span(obs::Phase::kShardTransport, t0, tel.now_ns(),
+                      round_ix);
+      // Everything this worker recorded after the fork ships back for
+      // the coordinator's merged profile. The telemetry and status
+      // frames themselves are written after this snapshot, so their
+      // wire counters are only visible on the coordinator's receive
+      // side.
+      write_frame(ch, FrameKind::kShardTelemetry, shard, sequence,
+                  tel.serialize_since(tel_mark));
+    }
 
     std::vector<std::byte> status;
     append_u64(status, failed ? 1 : 0);
@@ -215,12 +253,28 @@ void ProcessShardExecutor::run_machines_sharded(std::uint64_t first,
   std::string failure_what;
   bool transport_failed = false;
 
+  obs::Telemetry& tel = obs::Telemetry::instance();
+  const bool telemetry = tel.enabled();
   for (Worker& w : workers) {
     if (transport_failed) break;  // reap-and-report below
     try {
+      const std::uint64_t wait_start = telemetry ? tel.now_ns() : 0;
       Frame data = expect_frame(w.channel, FrameKind::kShardData, w.shard,
                                 sequence);
+      if (telemetry) {
+        tel.record_span(obs::Phase::kWorkerWait, wait_start, tel.now_ns(),
+                        sequence - 1,
+                        "shard " + std::to_string(w.shard));
+      }
       dp->apply_machines(w.first, w.last, data.payload);
+      if (telemetry) {
+        // The worker only sends its span buffer when its inherited
+        // enabled flag was set, which is exactly when ours is: the
+        // protocol shape is deterministic on both ends.
+        Frame spans = expect_frame(w.channel, FrameKind::kShardTelemetry,
+                                   w.shard, sequence);
+        tel.merge_remote(spans.payload, w.shard);
+      }
       Frame status = expect_frame(w.channel, FrameKind::kShardStatus,
                                   w.shard, sequence);
       std::span<const std::byte> p = status.payload;

@@ -2,10 +2,15 @@
 
 #include <exception>
 
+#include "mrlr/obs/telemetry.hpp"
+
 namespace mrlr::exec {
 
 void SerialExecutor::run_machines(std::uint64_t first, std::uint64_t last,
                                   const MachineFn& fn) {
+  // The engine's callback span already times this dispatch; the serial
+  // backend's own contribution to the profile is just volume.
+  if (last > first) obs::count("exec.machines_run", last - first);
   // Honor the Executor exception contract: every machine runs even if an
   // earlier one throws, and the lowest-id exception surfaces after the
   // barrier — ascending order makes the first capture the lowest id.

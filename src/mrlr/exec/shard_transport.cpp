@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "mrlr/obs/telemetry.hpp"
 #include "mrlr/util/mix64.hpp"
 
 namespace mrlr::exec {
@@ -143,6 +144,8 @@ void write_frame(ShardChannel& ch, FrameKind kind, std::uint32_t shard,
   put_u64(header + 32, frame_checksum(payload));
   ch.write_all(header, kHeaderBytes);
   if (!payload.empty()) ch.write_all(payload.data(), payload.size());
+  obs::count("exec.frames_sent");
+  obs::count("exec.wire_bytes_out", kHeaderBytes + payload.size());
 }
 
 Frame read_frame(ShardChannel& ch, std::uint64_t max_payload) {
@@ -167,7 +170,10 @@ Frame read_frame(ShardChannel& ch, std::uint64_t max_payload) {
   }
   const std::uint16_t kind_raw = get_u16(header + 6);
   if (kind_raw != static_cast<std::uint16_t>(FrameKind::kShardData) &&
-      kind_raw != static_cast<std::uint16_t>(FrameKind::kShardStatus)) {
+      kind_raw != static_cast<std::uint16_t>(FrameKind::kShardStatus) &&
+      kind_raw != static_cast<std::uint16_t>(FrameKind::kShardTelemetry)) {
+    // A kind this build does not know (version skew, corruption) fails
+    // typed here, before any payload is trusted — never a hang.
     throw TransportError(TransportError::Kind::kBadMagic,
                          "shard transport: unknown frame kind " +
                              std::to_string(kind_raw));
@@ -200,6 +206,8 @@ Frame read_frame(ShardChannel& ch, std::uint64_t max_payload) {
                          "shard transport: frame checksum mismatch "
                          "(corrupt payload)");
   }
+  obs::count("exec.frames_received");
+  obs::count("exec.wire_bytes_in", kHeaderBytes + payload_len);
   return f;
 }
 

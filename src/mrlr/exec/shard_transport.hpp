@@ -151,8 +151,13 @@ inline constexpr std::uint16_t kFrameVersion = 1;
 inline constexpr std::uint64_t kMaxFramePayload = 1ull << 40;
 
 enum class FrameKind : std::uint16_t {
-  kShardData = 1,    ///< serialized per-machine staging arenas
-  kShardStatus = 2,  ///< worker round status (ok / callback exception)
+  kShardData = 1,       ///< serialized per-machine staging arenas
+  kShardStatus = 2,     ///< worker round status (ok / callback exception)
+  kShardTelemetry = 3,  ///< worker span/counter buffer (obs::Telemetry
+                        ///< wire encoding); sent between data and status
+                        ///< only when telemetry is enabled — workers
+                        ///< inherit the flag at fork, so both ends of
+                        ///< the channel always agree on the protocol
 };
 
 struct Frame {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mrlr/obs/telemetry.hpp"
 #include "mrlr/util/require.hpp"
 
 namespace mrlr::exec {
@@ -72,7 +73,16 @@ void ThreadPoolExecutor::run_machines(std::uint64_t first, std::uint64_t last,
   pending_ = static_cast<unsigned>(workers_.size());
   ++generation_;
   work_cv_.notify_all();
+  // The coordinator's time at the round barrier: how long the calling
+  // thread blocks while pool workers drain the chunk queue.
+  obs::Telemetry& tel = obs::Telemetry::instance();
+  const bool telemetry = tel.enabled();
+  const std::uint64_t wait_start = telemetry ? tel.now_ns() : 0;
   done_cv_.wait(lk, [&] { return pending_ == 0; });
+  if (telemetry) {
+    tel.record_span(obs::Phase::kWorkerWait, wait_start, tel.now_ns());
+    tel.add_counter("exec.machines_run", last - first);
+  }
   fn_ = nullptr;
   if (!errors_.empty()) {
     auto lowest = std::min_element(

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "mrlr/obs/telemetry.hpp"
 #include "mrlr/util/mix64.hpp"
 #include "mrlr/util/require.hpp"
 
@@ -230,6 +231,11 @@ bool is_mgb_path(std::string_view path) {
 }
 
 GraphData read_graph_file_data(const std::string& path) {
+  // One io_load span per file read, labelled with the container kind —
+  // ingestion shows up in profiles next to the rounds it feeds.
+  obs::ScopedSpan span(obs::Phase::kIoLoad, obs::kNoRound,
+                       is_mgb_path(path) ? "mgb" : "text");
+  obs::count("io.graphs_loaded");
   std::ifstream in(path,
                    is_mgb_path(path) ? std::ios::in | std::ios::binary
                                      : std::ios::in);

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "mrlr/exec/shard_transport.hpp"
+#include "mrlr/obs/telemetry.hpp"
 #include "mrlr/util/require.hpp"
 
 namespace mrlr::mrc {
@@ -86,6 +87,15 @@ void Engine::run_round_impl(std::string_view label,
   std::fill(outbox_words_.begin(), outbox_words_.end(), 0);
   std::fill(resident_words_.begin(), resident_words_.end(), 0);
 
+  // Telemetry never touches the data plane: when disabled the only cost
+  // is one relaxed load, and when enabled it only samples clocks, so
+  // traces, metrics, and hashes stay byte-identical either way.
+  obs::Telemetry& tel = obs::Telemetry::instance();
+  const bool telemetry = tel.enabled();
+  const std::uint64_t round_ix = metrics_.rounds();
+  const std::uint64_t round_start = telemetry ? tel.now_ns() : 0;
+  std::uint64_t t0 = round_start;
+
   const auto machines = static_cast<MachineId>(topology_.num_machines);
   // The sharded entry point: in-process backends fall through to plain
   // run_machines; the process backend ships callback effects back here
@@ -100,6 +110,12 @@ void Engine::run_round_impl(std::string_view label,
         fn(ctx);
       },
       central_only ? nullptr : this);
+  if (telemetry) {
+    tel.record_span(
+        central_only ? obs::Phase::kCentral : obs::Phase::kCallback, t0,
+        tel.now_ns(), round_ix, std::string(label));
+    t0 = tel.now_ns();
+  }
 
   // Merge staged frames in sender-id order: delivery order — and with
   // it every downstream inbox scan — matches the sequential simulation
@@ -118,6 +134,9 @@ void Engine::run_round_impl(std::string_view label,
     // into them (pending_inbox reads them, and delivery will move the
     // slab wholesale next round).
     staging_[s].frames.clear();
+  }
+  if (telemetry) {
+    tel.record_span(obs::Phase::kArenaMerge, t0, tel.now_ns(), round_ix);
   }
 
   RoundMetrics rm;
@@ -158,6 +177,16 @@ void Engine::run_round_impl(std::string_view label,
   // round — are recycled as next round's staging buffers, keeping their
   // capacity so steady-state rounds never touch the allocator.
   staging_.swap(slabs_);
+  if (telemetry) {
+    // Recycled slabs that kept their capacity are the allocations
+    // steady-state rounds avoid.
+    std::uint64_t reused = 0;
+    for (const Outbox& out : staging_) {
+      if (out.words.capacity() > 0) ++reused;
+    }
+    tel.add_counter("engine.slab_reuses", reused);
+    tel.add_counter("engine.rounds", 1);
+  }
   for (Outbox& out : staging_) {
     out.words.clear();
     out.frames.clear();
@@ -169,6 +198,10 @@ void Engine::run_round_impl(std::string_view label,
     next_inbox_words_[m] = 0;
   }
   std::fill(inbox_cache_valid_.begin(), inbox_cache_valid_.end(), 0);
+  if (telemetry) {
+    tel.record_span(obs::Phase::kRound, round_start, tel.now_ns(), round_ix,
+                    std::string(label));
+  }
 }
 
 void Engine::run_central_round(

@@ -248,9 +248,27 @@ class Engine : private exec::ShardDataPlane {
   /// Control-plane peek at delivered traffic: total words (O(1)) and
   /// message count in the inbox machine m will read in the round now
   /// starting. Between rounds this is the coordinator's merged view, so
-  /// it is identical across every backend — drivers may branch on it
-  /// (e.g. a sampling fail check) and stay process-clean. Throws
-  /// std::out_of_range for machine ids outside [0, num_machines()).
+  /// it is identical across every backend.
+  ///
+  /// The process-clean driver contract. Under `--backend process` each
+  /// round's callbacks run in forked workers whose memory dies with
+  /// them; only engine messages (and the metrics the coordinator merges
+  /// back) survive a round. A driver is *process-clean* — and therefore
+  /// portable to every backend with bit-identical results — iff:
+  ///
+  ///   * all cross-round algorithm state flows through messages (or is
+  ///     derived deterministically from round number and machine id) —
+  ///     never through captured host-side variables mutated inside
+  ///     callbacks;
+  ///   * any host-side branching between rounds uses only
+  ///     coordinator-visible state: these peeks, metrics(), or messages
+  ///     the central machine sent to itself.
+  ///
+  /// These peeks exist precisely so control flow (e.g. a sampling fail
+  /// check, a "did anyone send?" termination test) can stay on the
+  /// coordinator without materializing inboxes or breaking the
+  /// contract. Throws std::out_of_range for machine ids outside
+  /// [0, num_machines()).
   std::uint64_t inbox_words(MachineId m) const;
   std::uint64_t inbox_size(MachineId m) const;
 

@@ -1,0 +1,46 @@
+#pragma once
+// Telemetry file formats.
+//
+//   * JSONL (versioned): line 1 is a header object
+//     {"mrlr_telemetry": <version>, "clock": "steady-ns"}; every
+//     following line is one span or counter object. Line-oriented so
+//     files concatenate and stream; read_telemetry_jsonl parses it
+//     back (tools/trace_report, tests).
+//
+//   * Chrome trace_event JSON: one document with a traceEvents array of
+//     "X" (complete) events — open in chrome://tracing or Perfetto.
+//     Shards render as separate tracks (tid = shard), counters land in
+//     otherData. Export-only; trace_report consumes the JSONL form.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "mrlr/obs/telemetry.hpp"
+
+namespace mrlr::obs {
+
+inline constexpr std::uint64_t kTelemetryFileVersion = 1;
+
+enum class ExportFormat { kJsonl, kChrome };
+
+/// "jsonl" / "chrome" (the --telemetry-format values).
+std::optional<ExportFormat> export_format_from_name(std::string_view name);
+
+void write_telemetry(const TelemetrySnapshot& snap, ExportFormat format,
+                     std::ostream& os);
+
+/// Throws std::runtime_error on I/O failure.
+void write_telemetry_file(const TelemetrySnapshot& snap, ExportFormat format,
+                          const std::string& path);
+
+/// Strict JSONL reader: throws bench::JsonError on a malformed line,
+/// a missing/unsupported header, or an unknown record type/phase.
+TelemetrySnapshot read_telemetry_jsonl(std::istream& is);
+
+/// Throws bench::JsonError on parse problems and std::runtime_error on
+/// I/O failure.
+TelemetrySnapshot read_telemetry_file(const std::string& path);
+
+}  // namespace mrlr::obs

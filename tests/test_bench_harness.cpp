@@ -13,6 +13,7 @@
 
 #include "mrlr/bench/diff.hpp"
 #include "mrlr/bench/json.hpp"
+#include "mrlr/bench/manifest.hpp"
 #include "mrlr/bench/registry.hpp"
 #include "mrlr/bench/result.hpp"
 
@@ -133,6 +134,46 @@ TEST(BenchSchema, FileRoundTripsExactly) {
   EXPECT_TRUE(back.results[1].failed);
 }
 
+TEST(BenchSchema, ManifestRoundTripsAndIsOptionalInJson) {
+  // A populated manifest survives the round trip...
+  BenchResult r = sample_result();
+  r.manifest["build_type"] = "Release";
+  r.manifest["git_describe"] = "v1.2-3-gabc-dirty";
+  r.manifest["backend"] = "process";
+  const BenchResult back =
+      bench_result_from_json(Json::parse(to_json(r).dump()));
+  EXPECT_EQ(back.manifest, r.manifest);
+
+  // ...and an empty manifest is omitted entirely, so files written
+  // before the field existed (and their byte shapes) are unchanged.
+  const BenchResult plain = sample_result();
+  const std::string text = to_json(plain).dump();
+  EXPECT_EQ(text.find("manifest"), std::string::npos);
+  EXPECT_TRUE(bench_result_from_json(Json::parse(text)).manifest.empty());
+}
+
+TEST(BenchSchema, RunManifestRecordsProvenanceKnobs) {
+  RunContext ctx;
+  ctx.threads = 4;
+  const auto m = run_manifest(ctx);
+  ASSERT_EQ(m.count("build_type"), 1u);
+  ASSERT_EQ(m.count("git_describe"), 1u);
+  EXPECT_EQ(m.at("backend"), "threads");
+  EXPECT_EQ(m.at("threads"), "4");
+  EXPECT_EQ(m.at("seed"), "scenario-pinned");
+
+  RunContext serial;
+  serial.threads = 1;
+  EXPECT_EQ(run_manifest(serial).at("backend"), "serial");
+
+  RunContext process;
+  process.process_backend = true;
+  process.shards = 4;
+  const auto pm = run_manifest(process);
+  EXPECT_EQ(pm.at("backend"), "process");
+  EXPECT_EQ(pm.at("shards"), "4");
+}
+
 TEST(BenchSchema, SchemaVersionCarriedAndEnforced) {
   BenchFile f;
   Json j = to_json(f);
@@ -213,6 +254,20 @@ TEST(BenchDiff, IdenticalFilesPass) {
   const DiffReport report = diff_bench_files(f, f);
   EXPECT_TRUE(report.ok());
   EXPECT_EQ(report.compared, 2u);
+  EXPECT_TRUE(report.regressions.empty());
+}
+
+TEST(BenchDiff, ManifestAndExtraDifferencesAreIgnored) {
+  // Provenance is not a metric: a baseline recorded by one build must
+  // diff clean against a run from another build/backend, and telemetry
+  // fold-ins (extra) must never fail a comparison.
+  const BenchFile base = two_scenario_file();
+  BenchFile cur = base;
+  cur.results[0].manifest["build_type"] = "Debug";
+  cur.results[0].manifest["git_describe"] = "other";
+  cur.results[1].extra["tel_round_s"] = 0.25;
+  const DiffReport report = diff_bench_files(base, cur);
+  EXPECT_TRUE(report.ok());
   EXPECT_TRUE(report.regressions.empty());
 }
 

@@ -162,6 +162,50 @@ TEST(FrameRead, UnknownKindAndReservedBitsRejected) {
   }
 }
 
+TEST(FrameRead, UnknownKindFailsTypedBeforePayloadIsTrusted) {
+  // A frame kind one past the known set (a newer peer, or corruption
+  // that lands in the kind field) must fail with a typed error while
+  // still reading the header — never hang waiting for payload bytes it
+  // cannot interpret, and never surface the payload to the caller.
+  MemChannel ch;
+  write_frame(ch, FrameKind::kShardData, 0, 3, bytes_of({1, 2, 3, 4}));
+  ch.buffer()[6] = std::byte{4};  // one past kShardTelemetry
+  try {
+    (void)read_frame(ch);
+    FAIL() << "expected TransportError";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.kind, TransportError::Kind::kBadMagic);
+    EXPECT_NE(std::string(e.what()).find("kind"), std::string::npos);
+  }
+}
+
+TEST(FrameRoundTrip, TelemetryFramesShipLikeDataFrames) {
+  // The telemetry frame kind added for cross-process span shipping
+  // rides the same checksummed protocol as the data plane.
+  MemChannel ch;
+  const auto payload = bytes_of({8, 6, 7, 5, 3, 0, 9});
+  write_frame(ch, FrameKind::kShardTelemetry, 2, 11, payload);
+  const Frame f = expect_frame(ch, FrameKind::kShardTelemetry, 2, 11);
+  EXPECT_EQ(f.kind, FrameKind::kShardTelemetry);
+  EXPECT_EQ(f.shard, 2u);
+  EXPECT_EQ(f.sequence, 11u);
+  EXPECT_EQ(f.payload, payload);
+}
+
+TEST(FrameRead, TelemetryFrameWhereDataExpectedIsUnexpected) {
+  // Protocol-position validation covers the new kind: a telemetry
+  // frame arriving where the coordinator expects shard data is a typed
+  // kUnexpected, not a hang or a misinterpreted merge.
+  MemChannel ch;
+  write_frame(ch, FrameKind::kShardTelemetry, 1, 5, {});
+  try {
+    (void)expect_frame(ch, FrameKind::kShardData, 1, 5);
+    FAIL() << "expected TransportError";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.kind, TransportError::Kind::kUnexpected);
+  }
+}
+
 TEST(FrameRead, OversizedLengthRejectedBeforeAllocation) {
   MemChannel ch;
   write_frame(ch, FrameKind::kShardData, 0, 0, bytes_of({1}));

@@ -1,0 +1,94 @@
+// Direct unit coverage for the mrc/trace.cpp formatters. These outputs
+// are consumed by scripts and committed experiment tables, so the exact
+// shape (CSV header, column order, violation markers) is a contract —
+// previously only exercised indirectly through examples.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mrlr/mrc/metrics.hpp"
+#include "mrlr/mrc/trace.hpp"
+
+namespace {
+
+using mrlr::mrc::Metrics;
+using mrlr::mrc::RoundMetrics;
+
+Metrics sample_metrics() {
+  Metrics m;
+  RoundMetrics r0;
+  r0.label = "sample";
+  r0.total_sent = 120;
+  r0.max_outbox = 30;
+  r0.max_inbox = 40;
+  r0.max_resident = 50;
+  r0.central_inbox = 10;
+  m.record(r0);
+  RoundMetrics r1;
+  r1.label = "central-scan";
+  r1.total_sent = 7;
+  r1.max_outbox = 7;
+  r1.max_inbox = 7;
+  r1.max_resident = 64;
+  r1.central_inbox = 7;
+  r1.space_violation = true;
+  m.record(r1);
+  return m;
+}
+
+TEST(TraceCsv, HeaderAndRows) {
+  const Metrics m = sample_metrics();
+  std::ostringstream os;
+  mrlr::mrc::write_trace_csv(m, os);
+  EXPECT_EQ(os.str(),
+            "round,label,total_sent,max_outbox,max_inbox,max_resident,"
+            "central_inbox,violation\n"
+            "0,sample,120,30,40,50,10,0\n"
+            "1,central-scan,7,7,7,64,7,1\n");
+}
+
+TEST(TraceCsv, EmptyMetricsIsHeaderOnly) {
+  std::ostringstream os;
+  mrlr::mrc::write_trace_csv(Metrics{}, os);
+  EXPECT_EQ(os.str(),
+            "round,label,total_sent,max_outbox,max_inbox,max_resident,"
+            "central_inbox,violation\n");
+}
+
+TEST(PrintTrace, OneLinePerRoundWithViolationMarker) {
+  const Metrics m = sample_metrics();
+  std::ostringstream os;
+  mrlr::mrc::print_trace(m, os);
+  EXPECT_EQ(os.str(),
+            "  round 0 [sample] sent=120 max_in=40 max_res=50 "
+            "central_in=10\n"
+            "  round 1 [central-scan] sent=7 max_in=7 max_res=64 "
+            "central_in=7  ** SPACE VIOLATION **\n");
+}
+
+TEST(PrintTrace, EmptyMetricsPrintsNothing) {
+  std::ostringstream os;
+  mrlr::mrc::print_trace(Metrics{}, os);
+  EXPECT_EQ(os.str(), "");
+}
+
+TEST(PrintSummary, AggregatesWithoutTrailingNewline) {
+  const Metrics m = sample_metrics();
+  std::ostringstream os;
+  mrlr::mrc::print_summary(m, os);
+  // max_machine_words = max over rounds of max(inbox, resident, outbox).
+  EXPECT_EQ(os.str(),
+            "rounds=2 max_machine_words=64 max_central_inbox=10 "
+            "total_comm=127 violations=1");
+}
+
+TEST(PrintSummary, EmptyMetrics) {
+  std::ostringstream os;
+  mrlr::mrc::print_summary(Metrics{}, os);
+  EXPECT_EQ(os.str(),
+            "rounds=0 max_machine_words=0 max_central_inbox=0 "
+            "total_comm=0 violations=0");
+}
+
+}  // namespace

@@ -69,6 +69,8 @@
 #include "mrlr/graph/io_binary.hpp"
 #include "mrlr/graph/stats.hpp"
 #include "mrlr/graph/validate.hpp"
+#include "mrlr/obs/export.hpp"
+#include "mrlr/obs/telemetry.hpp"
 #include "mrlr/setcover/generators.hpp"
 #include "mrlr/setcover/io.hpp"
 #include "mrlr/setcover/validate.hpp"
@@ -90,7 +92,34 @@ struct Options {
   std::optional<std::string> graph_file;
   std::optional<std::string> sets_file;
   bool trace = false;
+  std::string telemetry_out;  ///< empty = telemetry stays off
+  mrlr::obs::ExportFormat telemetry_format = mrlr::obs::ExportFormat::kJsonl;
 };
+
+/// Parses a --telemetry-format value; messages and returns false on an
+/// unknown name.
+bool parse_telemetry_format(const std::string& name,
+                            mrlr::obs::ExportFormat& format) {
+  if (const auto f = mrlr::obs::export_format_from_name(name)) {
+    format = *f;
+    return true;
+  }
+  std::cerr << "unknown telemetry format " << name
+            << " (expected jsonl|chrome)\n";
+  return false;
+}
+
+/// Writes the accumulated telemetry snapshot when --telemetry-out was
+/// given. Call after the work completes (the snapshot is cumulative).
+void write_telemetry_if_requested(const std::string& out,
+                                  mrlr::obs::ExportFormat format) {
+  if (out.empty()) return;
+  mrlr::obs::write_telemetry_file(
+      mrlr::obs::Telemetry::instance().snapshot(), format, out);
+  // stderr, so enabling telemetry never perturbs stdout byte-identity
+  // checks (CI diffs serial vs process algorithm output verbatim).
+  std::cerr << "[telemetry written: " << out << "]\n";
+}
 
 /// Resolves --backend into the two primitive knobs (--threads /
 /// --shards). Returns false (after a message) on an unknown backend.
@@ -118,12 +147,14 @@ void usage() {
       << "usage: mrlr_cli <algorithm> [--n N] [--c C] [--mu MU] "
          "[--seed S] [--eps E] [--b B] [--dist D] [--threads T] "
          "[--backend serial|threads|process] [--shards K] "
-         "[--graph FILE] [--sets FILE] [--trace]\n"
+         "[--graph FILE] [--sets FILE] [--trace] "
+         "[--telemetry-out FILE] [--telemetry-format jsonl|chrome]\n"
          "       mrlr_cli gen <family> --out FILE [family options]\n"
          "       mrlr_cli convert --in FILE --out FILE\n"
          "       mrlr_cli bench [--group G]... [--scenario NAME]... "
          "[--out FILE] [--threads T] "
-         "[--backend serial|threads|process] [--shards K] [--list]\n"
+         "[--backend serial|threads|process] [--shards K] [--list] "
+         "[--telemetry-out FILE] [--telemetry-format jsonl|chrome]\n"
          "algorithms: matching vertex-cover set-cover-f "
          "set-cover-greedy b-matching mis mis-simple clique "
          "colour-vertex colour-edge filtering-matching "
@@ -139,6 +170,10 @@ void usage() {
          "partition machines over K forked worker processes (drivers "
          "ported to the process backend only; see README). Results are "
          "identical under every backend, only wall-clock changes\n"
+         "--telemetry-out FILE: record phase spans/counters (off by "
+         "default; does not change results) and write them at exit — "
+         "jsonl for tools/trace_report, chrome for chrome://tracing "
+         "or Perfetto\n"
          "graph files ending in .mgb use the binary container; "
          "anything else is a text edge list\n";
 }
@@ -198,6 +233,12 @@ std::optional<Options> parse(int argc, char** argv) {
       o.sets_file = value();
     } else if (flag == "--trace") {
       o.trace = true;
+    } else if (flag == "--telemetry-out") {
+      o.telemetry_out = value();
+    } else if (flag == "--telemetry-format") {
+      if (!parse_telemetry_format(value(), o.telemetry_format)) {
+        return std::nullopt;
+      }
     } else {
       std::cerr << "unknown flag " << flag << "\n";
       return std::nullopt;
@@ -563,6 +604,9 @@ int run_bench_cmd(int argc, char** argv) {
   mrlr::bench::RunOptions options;
   options.context.threads = mrlr::bench::env_threads();
   std::optional<std::string> backend;
+  std::string telemetry_out;
+  mrlr::obs::ExportFormat telemetry_format =
+      mrlr::obs::ExportFormat::kJsonl;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     auto value = [&]() -> const char* {
@@ -586,6 +630,10 @@ int run_bench_cmd(int argc, char** argv) {
       backend = value();
     } else if (flag == "--list") {
       options.list_only = true;
+    } else if (flag == "--telemetry-out") {
+      telemetry_out = value();
+    } else if (flag == "--telemetry-format") {
+      if (!parse_telemetry_format(value(), telemetry_format)) return 2;
     } else {
       std::cerr << "unknown bench flag " << flag << "\n";
       usage();
@@ -611,8 +659,11 @@ int run_bench_cmd(int argc, char** argv) {
       options.scenarios.empty()) {
     options.groups.push_back("smoke");
   }
-  return mrlr::bench::run_bench(mrlr::bench::builtin_registry(), options,
-                                std::cout);
+  if (!telemetry_out.empty()) mrlr::obs::Telemetry::instance().enable();
+  const int rc = mrlr::bench::run_bench(mrlr::bench::builtin_registry(),
+                                        options, std::cout);
+  write_telemetry_if_requested(telemetry_out, telemetry_format);
+  return rc;
 }
 
 void report(const mrlr::core::MrOutcome& outcome) {
@@ -643,6 +694,9 @@ int run(int argc, char** argv) {
     return 2;
   }
   const Options& o = *opts;
+  // Enable before load_graph so ingestion (io_load) lands in the
+  // profile alongside the rounds it feeds.
+  if (!o.telemetry_out.empty()) mrlr::obs::Telemetry::instance().enable();
   mrlr::core::MrParams params;
   params.mu = o.mu;
   params.c = o.c;
@@ -777,6 +831,7 @@ int run(int argc, char** argv) {
     usage();
     return 2;
   }
+  write_telemetry_if_requested(o.telemetry_out, o.telemetry_format);
   return 0;
 }
 

@@ -1,0 +1,101 @@
+// trace_report — render a per-phase/per-shard profile from telemetry
+// JSONL files written by `mrlr_cli ... --telemetry-out`.
+//
+//   trace_report [--md FILE] FILE...
+//
+// Multiple input files merge into one profile (spans concatenate,
+// counters add), which is what the CI artifact steps want when a job
+// produces one file per scenario. The console table goes to stdout;
+// --md additionally writes the GitHub-flavoured markdown form.
+//
+// Exit codes: 0 on success, 2 on usage errors or unreadable/malformed
+// input.
+
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "mrlr/obs/export.hpp"
+#include "mrlr/obs/report.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: trace_report [--md FILE] FILE...\n"
+     << "\n"
+     << "Renders per-phase and per-shard time breakdowns (self vs. total,\n"
+     << "% of round) from telemetry JSONL files produced by\n"
+     << "`mrlr_cli run|bench --telemetry-out PATH`. Multiple files merge\n"
+     << "into one profile. --md writes the markdown rendering (CI\n"
+     << "artifact form) alongside the console table on stdout.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string md_path;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    }
+    if (arg == "--md") {
+      if (i + 1 >= argc) {
+        std::cerr << "trace_report: --md needs a file argument\n";
+        return 2;
+      }
+      md_path = argv[++i];
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "trace_report: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+    inputs.push_back(arg);
+  }
+  if (inputs.empty()) {
+    std::cerr << "trace_report: no input files\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    mrlr::obs::TelemetrySnapshot merged;
+    for (const std::string& path : inputs) {
+      mrlr::obs::TelemetrySnapshot snap =
+          mrlr::obs::read_telemetry_file(path);
+      merged.spans.insert(merged.spans.end(),
+                          std::make_move_iterator(snap.spans.begin()),
+                          std::make_move_iterator(snap.spans.end()));
+      for (const auto& [name, value] : snap.counters) {
+        merged.counters[name] += value;
+      }
+    }
+    const mrlr::obs::ProfileReport report = mrlr::obs::build_report(merged);
+    mrlr::obs::render_report(report, std::cout, /*markdown=*/false);
+    if (!md_path.empty()) {
+      std::ofstream md(md_path);
+      if (!md) {
+        std::cerr << "trace_report: cannot open " << md_path
+                  << " for writing\n";
+        return 2;
+      }
+      mrlr::obs::render_report(report, md, /*markdown=*/true);
+      md.flush();
+      if (!md) {
+        std::cerr << "trace_report: write failed: " << md_path << "\n";
+        return 2;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "trace_report: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

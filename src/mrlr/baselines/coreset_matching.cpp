@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 
 #include "mrlr/util/math.hpp"
 #include "mrlr/util/require.hpp"
@@ -60,6 +61,7 @@ CoresetMatchingResult coreset_matching(const graph::Graph& g,
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
   topo.enforce = params.enforce_space;
   topo.num_threads = params.num_threads;
+  topo.num_shards = std::max<std::uint64_t>(1, params.num_shards);
   mrc::Engine engine(topo);
 
   // Random partition of edges into parts (seeded).
@@ -72,39 +74,40 @@ CoresetMatchingResult coreset_matching(const graph::Graph& g,
   CoresetMatchingResult res;
 
   // Round 1: each machine computes its coreset and ships it to central.
-  // Coresets stage per machine and concatenate in machine-id order, so
-  // the union's tie-break order is backend-independent.
-  std::vector<std::vector<EdgeId>> coreset_by(machines);
-  engine.run_round("coreset", [&](MachineContext& ctx) {
-    ctx.charge_resident(part_words[ctx.id()]);
-    std::vector<EdgeId> mine;
-    for (EdgeId e = 0; e < m; ++e) {
-      if (part[e] == ctx.id()) mine.push_back(e);
-    }
-    auto core = local_greedy(g, std::move(mine));
-    {
-      mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
-      for (const EdgeId e : core) {
-        msg.push(e);
-        msg.push(core::pack_double(g.weight(e)));
-      }
-      if (msg.empty()) msg.cancel();
-    }
-    coreset_by[ctx.id()] = std::move(core);
-  });
-  std::vector<EdgeId> coreset_union;
-  for (const auto& part_core : coreset_by) {
-    coreset_union.insert(coreset_union.end(), part_core.begin(),
-                         part_core.end());
-  }
+  // Process-clean: the coreset travels only as messages; no host-side
+  // side channel. `g`, `part`, and `part_words` are job-immutable.
+  const mrc::RoundId r_coreset = engine.define_round(
+      "coreset", [&g, &part, &part_words, m](mrc::MachineContext& ctx,
+                                             std::span<const Word>) {
+        ctx.charge_resident(part_words[ctx.id()]);
+        std::vector<EdgeId> mine;
+        for (EdgeId e = 0; e < m; ++e) {
+          if (part[e] == ctx.id()) mine.push_back(e);
+        }
+        const auto core = local_greedy(g, std::move(mine));
+        mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+        for (const EdgeId e : core) {
+          msg.push(e);
+          msg.push(core::pack_double(g.weight(e)));
+        }
+        if (msg.empty()) msg.cancel();
+      });
+  engine.invoke_round(r_coreset);
 
-  // Round 2: central matches the union.
+  // Round 2: central decodes the union from its inbox — messages merge
+  // in sender-id order, so the union's tie-break order matches the old
+  // machine-id-order concatenation on every backend — and matches it.
   engine.run_central_round("combine", [&](MachineContext& ctx) {
     ctx.charge_resident(ctx.inbox_words());
-    res.matching = local_greedy(g, coreset_union);
+    std::vector<EdgeId> coreset_union;
+    for (const mrc::MessageView msg : ctx.messages()) {
+      for (std::size_t i = 0; i + 1 < msg.payload.size(); i += 2) {
+        coreset_union.push_back(static_cast<EdgeId>(msg.payload[i]));
+      }
+    }
+    res.coreset_union_size = coreset_union.size();
+    res.matching = local_greedy(g, std::move(coreset_union));
   });
-
-  res.coreset_union_size = coreset_union.size();
   for (const EdgeId e : res.matching) res.weight += g.weight(e);
   res.outcome.iterations = 1;
   res.outcome.fill_from(engine.metrics());

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 
+#include "mrlr/mrc/broadcast.hpp"
 #include "mrlr/util/math.hpp"
 #include "mrlr/util/require.hpp"
 
@@ -13,6 +15,8 @@ using core::owner_of;
 using graph::Incidence;
 using graph::VertexId;
 using mrc::MachineContext;
+using mrc::MachineId;
+using mrc::Word;
 
 namespace {
 constexpr std::uint32_t kUncoloured =
@@ -33,6 +37,7 @@ LubyColouringResult luby_colouring_mr(const graph::Graph& g,
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
   topo.enforce = params.enforce_space;
   topo.num_threads = params.num_threads;
+  topo.num_shards = std::max<std::uint64_t>(1, params.num_shards);
   mrc::Engine engine(topo);
   const std::uint64_t machines = topo.num_machines;
 
@@ -46,73 +51,113 @@ LubyColouringResult luby_colouring_mr(const graph::Graph& g,
   LubyColouringResult res;
   res.colour.assign(g.num_vertices(), kUncoloured);
   std::uint64_t uncoloured = g.num_vertices();
+
+  // Worker state: per-machine colour mirrors (refreshed only by the
+  // winner broadcast) and the owner-strided proposal array.
+  std::vector<std::vector<std::uint32_t>> colour_by(
+      machines, std::vector<std::uint32_t>(g.num_vertices(), kUncoloured));
   std::vector<std::uint32_t> proposal(g.num_vertices(), kUncoloured);
-  Rng root_rng(params.seed);
+  const Rng root(params.seed);
+
+  // Winners broadcast as (vertex, colour) pairs; mirrors adopt them.
+  mrc::JobBroadcast bcast(
+      engine, "bcast-winners",
+      [&](MachineContext& ctx, std::span<const Word> pairs) {
+        std::vector<std::uint32_t>& colour = colour_by[ctx.id()];
+        for (std::size_t k = 0; k + 1 < pairs.size(); k += 2) {
+          colour[static_cast<VertexId>(pairs[k])] =
+              static_cast<std::uint32_t>(pairs[k + 1]);
+        }
+      });
+
+  // Round 1: uncoloured vertices propose a colour that no coloured
+  // neighbour holds, drawn uniformly from the first such candidates,
+  // and tell their uncoloured neighbours' owners.
+  const mrc::RoundId r_propose = engine.define_round(
+      "propose", [&](MachineContext& ctx, std::span<const Word> ps) {
+        const std::uint64_t phase = ps[0];
+        const MachineId id = ctx.id();
+        ctx.charge_resident(footprint[id]);
+        const std::vector<std::uint32_t>& colour = colour_by[id];
+        Rng rng = root.stream((phase << 20) ^ id);
+        for (VertexId v = static_cast<VertexId>(id); v < g.num_vertices();
+             v = static_cast<VertexId>(v + machines)) {
+          if (colour[v] != kUncoloured) continue;
+          // Free colours = palette minus coloured neighbours' colours.
+          std::vector<char> taken(palette, 0);
+          for (const Incidence& inc : g.neighbours(v)) {
+            const std::uint32_t cn = colour[inc.neighbour];
+            if (cn != kUncoloured) taken[cn] = 1;
+          }
+          std::vector<std::uint32_t> free;
+          for (std::uint32_t col = 0; col < palette; ++col) {
+            if (!taken[col]) free.push_back(col);
+          }
+          MRLR_REQUIRE(!free.empty(), "palette exhausted: degree bound bug");
+          proposal[v] = free[rng.uniform(free.size())];
+          for (const Incidence& inc : g.neighbours(v)) {
+            if (colour[inc.neighbour] == kUncoloured) {
+              ctx.send(owner_of(inc.neighbour, machines),
+                       {inc.neighbour, v, proposal[v]});
+            }
+          }
+        }
+      });
+
+  // Round 2: a proposal sticks if no uncoloured neighbour proposed the
+  // same colour with a smaller id (deterministic tie-break). The inbox
+  // holds exactly the competing proposals, all decided against the
+  // pre-phase colour state (mirrors update only after the broadcast).
+  // Winners ship (v, colour) to central, one batch per machine.
+  const mrc::RoundId r_commit = engine.define_round(
+      "commit", [&](MachineContext& ctx, std::span<const Word>) {
+        const MachineId id = ctx.id();
+        ctx.charge_resident(footprint[id] + ctx.inbox_words());
+        std::vector<char> beaten(g.num_vertices(), 0);
+        for (const mrc::MessageView msg : ctx.messages()) {
+          for (std::size_t k = 0; k + 2 < msg.payload.size(); k += 3) {
+            const auto v = static_cast<VertexId>(msg.payload[k]);
+            const auto u = static_cast<VertexId>(msg.payload[k + 1]);
+            const auto c = static_cast<std::uint32_t>(msg.payload[k + 2]);
+            if (c == proposal[v] && u < v) beaten[v] = 1;
+          }
+        }
+        mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+        const std::vector<std::uint32_t>& colour = colour_by[id];
+        for (VertexId v = static_cast<VertexId>(id); v < g.num_vertices();
+             v = static_cast<VertexId>(v + machines)) {
+          if (colour[v] != kUncoloured || proposal[v] == kUncoloured) {
+            continue;
+          }
+          if (!beaten[v]) {
+            msg.push(v);
+            msg.push(proposal[v]);
+          }
+        }
+        if (msg.empty()) msg.cancel();
+      });
 
   while (uncoloured > 0 && res.phases < params.max_iterations) {
     ++res.phases;
-    // Round 1: uncoloured vertices propose a colour that no coloured
-    // neighbour holds, drawn uniformly from the first such candidates,
-    // and tell uncoloured neighbours.
-    engine.run_round("propose", [&](MachineContext& ctx) {
-      ctx.charge_resident(footprint[ctx.id()]);
-      Rng rng = root_rng.stream((res.phases << 20) ^ ctx.id());
-      for (VertexId v = static_cast<VertexId>(ctx.id());
-           v < g.num_vertices();
-           v = static_cast<VertexId>(v + machines)) {
-        if (res.colour[v] != kUncoloured) continue;
-        // Free colours = palette minus coloured neighbours' colours.
-        std::vector<char> taken(palette, 0);
-        for (const Incidence& inc : g.neighbours(v)) {
-          const std::uint32_t cn = res.colour[inc.neighbour];
-          if (cn != kUncoloured) taken[cn] = 1;
-        }
-        std::vector<std::uint32_t> free;
-        for (std::uint32_t col = 0; col < palette; ++col) {
-          if (!taken[col]) free.push_back(col);
-        }
-        MRLR_REQUIRE(!free.empty(), "palette exhausted: degree bound bug");
-        proposal[v] = free[rng.uniform(free.size())];
-        for (const Incidence& inc : g.neighbours(v)) {
-          if (res.colour[inc.neighbour] == kUncoloured) {
-            ctx.send(owner_of(inc.neighbour, machines),
-                     {inc.neighbour, v, proposal[v]});
-          }
-        }
-      }
-    });
+    engine.invoke_round(r_propose, {res.phases});
+    engine.invoke_round(r_commit);
 
-    // Round 2: a proposal sticks if no uncoloured neighbour proposed the
-    // same colour with a smaller id (deterministic tie-break).
-    engine.run_round("commit", [&](MachineContext& ctx) {
-      ctx.charge_resident(footprint[ctx.id()] + ctx.inbox_words());
+    // Central collects the committed (v, colour) pairs into the result
+    // and broadcasts them so every mirror adopts the same colours.
+    std::vector<Word> winners;
+    engine.run_central_round("collect-winners", [&](MachineContext& ctx) {
+      ctx.charge_resident(ctx.inbox_words() + 1);
+      for (const mrc::MessageView msg : ctx.messages()) {
+        winners.insert(winners.end(), msg.payload.begin(),
+                       msg.payload.end());
+      }
+      for (std::size_t k = 0; k + 1 < winners.size(); k += 2) {
+        res.colour[static_cast<VertexId>(winners[k])] =
+            static_cast<std::uint32_t>(winners[k + 1]);
+        --uncoloured;
+      }
     });
-    // Two-pass commit: decide every winner against the *pre-phase*
-    // colour state, then apply — committing in place would let a later
-    // vertex miss a conflict with a same-phase winner.
-    std::vector<VertexId> winners;
-    for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      if (res.colour[v] != kUncoloured || proposal[v] == kUncoloured) {
-        continue;
-      }
-      bool wins = true;
-      for (const Incidence& inc : g.neighbours(v)) {
-        const VertexId u = inc.neighbour;
-        if (res.colour[u] == kUncoloured && proposal[u] == proposal[v] &&
-            u < v) {
-          wins = false;
-          break;
-        }
-      }
-      if (wins) winners.push_back(v);
-    }
-    for (const VertexId v : winners) {
-      res.colour[v] = proposal[v];
-      --uncoloured;
-    }
-    for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      if (res.colour[v] != kUncoloured) proposal[v] = kUncoloured;
-    }
+    bcast.run(winners);
   }
 
   std::uint32_t max_colour = 0;

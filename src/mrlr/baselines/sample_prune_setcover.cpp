@@ -2,16 +2,18 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 
+#include "mrlr/mrc/broadcast.hpp"
 #include "mrlr/util/math.hpp"
 #include "mrlr/util/require.hpp"
 
 namespace mrlr::baselines {
 
-using core::allreduce_sum_direct;
 using core::MrParams;
 using core::owner_of;
 using mrc::MachineContext;
+using mrc::MachineId;
 using mrc::Word;
 using setcover::ElementId;
 using setcover::SetId;
@@ -35,6 +37,7 @@ SamplePruneResult sample_prune_set_cover(const setcover::SetSystem& sys,
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(m, params.mu, 2));
   topo.enforce = params.enforce_space;
   topo.num_threads = params.num_threads;
+  topo.num_shards = std::max<std::uint64_t>(1, params.num_shards);
   mrc::Engine engine(topo);
   const std::uint64_t machines = topo.num_machines;
 
@@ -43,6 +46,7 @@ SamplePruneResult sample_prune_set_cover(const setcover::SetSystem& sys,
     footprint[owner_of(l, machines)] += 3 + sys.set(l).size();
   }
 
+  // Host (central) algorithm state.
   std::vector<char> covered(sys.universe_size(), 0);
   std::uint64_t covered_count = 0;
   std::vector<std::uint64_t> residual(n);
@@ -71,11 +75,80 @@ SamplePruneResult sample_prune_set_cover(const setcover::SetSystem& sys,
   double level = 0.0;
   for (SetId l = 0; l < n; ++l) level = std::max(level, ratio(l));
 
-  Rng root_rng(params.seed);
-  std::uint64_t guard = 0;
+  const Rng root(params.seed);
   // Sample budget per round: one machine's worth of sets.
   const std::uint64_t budget = std::max<std::uint64_t>(1, cap_base /
                                    std::max<std::uint64_t>(1, sys.max_set_size() + 3));
+
+  // Worker mirrors: per-machine covered mirrors plus the owner-strided
+  // residual counts, refreshed only by the covered-element broadcast. A
+  // taken set has residual 0, so no separate taken mirror is needed.
+  std::vector<std::vector<char>> covered_by(
+      machines, std::vector<char>(sys.universe_size(), 0));
+  std::vector<std::uint64_t> residual_dist = residual;
+
+  mrc::JobBroadcast bcast(
+      engine, "bcast covered",
+      [&](MachineContext& ctx, std::span<const Word> elements) {
+        const MachineId id = ctx.id();
+        std::vector<char>& cov = covered_by[id];
+        for (const Word jw : elements) {
+          const auto j = static_cast<ElementId>(jw);
+          if (cov[j]) continue;
+          cov[j] = 1;
+          for (const SetId l2 : sys.sets_containing(j)) {
+            if (owner_of(l2, machines) != id) continue;
+            if (residual_dist[l2] > 0) --residual_dist[l2];
+          }
+        }
+      });
+
+  // Owners count their qualifying sets.
+  const mrc::RoundId r_count = engine.define_round(
+      "count-qualifying", [&](MachineContext& ctx, std::span<const Word> ps) {
+        const double threshold = core::unpack_double(ps[0]);
+        Word cnt = 0;
+        for (SetId l = static_cast<SetId>(ctx.id()); l < n;
+             l = static_cast<SetId>(l + machines)) {
+          if (residual_dist[l] == 0 || threshold <= 0.0) continue;
+          const double r = static_cast<double>(residual_dist[l]) /
+                           sys.weight(l);
+          if (r >= threshold) ++cnt;
+        }
+        ctx.charge_resident(1);
+        ctx.send(mrc::kCentral, {cnt});
+      });
+
+  // Qualifying sets self-select with probability p and ship their
+  // residual element lists to central. One message per set; messages
+  // merge in sender-id order, then per-machine in ascending set order,
+  // so the central prune scans the same order on every backend.
+  const mrc::RoundId r_sample = engine.define_round(
+      "sample", [&](MachineContext& ctx, std::span<const Word> ps) {
+        const std::uint64_t guard = ps[0];
+        const double threshold = core::unpack_double(ps[1]);
+        const double p = core::unpack_double(ps[2]);
+        const MachineId id = ctx.id();
+        ctx.charge_resident(footprint[id]);
+        const std::vector<char>& cov = covered_by[id];
+        Rng rng = root.stream((guard << 20) ^ id);
+        for (SetId l = static_cast<SetId>(id); l < n;
+             l = static_cast<SetId>(l + machines)) {
+          if (residual_dist[l] == 0 || threshold <= 0.0) continue;
+          const double r = static_cast<double>(residual_dist[l]) /
+                           sys.weight(l);
+          if (r < threshold) continue;
+          if (!rng.bernoulli(p)) continue;
+          mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+          msg.push(l);
+          msg.push(core::pack_double(sys.weight(l)));
+          for (const ElementId j : sys.set(l)) {
+            if (!cov[j]) msg.push(j);
+          }
+        }
+      });
+
+  std::uint64_t guard = 0;
 
   while (covered_count < sys.universe_size() &&
          guard < params.max_iterations) {
@@ -83,52 +156,28 @@ SamplePruneResult sample_prune_set_cover(const setcover::SetSystem& sys,
     while (guard < params.max_iterations) {
       ++guard;
       ++res.outcome.iterations;
-      std::vector<Word> counts(machines, 0);
-      for (SetId l = 0; l < n; ++l) {
-        if (!taken[l] && residual[l] > 0 && threshold > 0.0 &&
-            ratio(l) >= threshold) {
-          ++counts[owner_of(l, machines)];
+      engine.invoke_round(r_count, {core::pack_double(threshold)});
+      std::uint64_t qualifying = 0;
+      engine.run_central_round("sum-qualifying", [&](MachineContext& ctx) {
+        ctx.charge_resident(ctx.inbox_words() + 1);
+        for (const mrc::MessageView msg : ctx.messages()) {
+          for (const Word w : msg.payload) qualifying += w;
         }
-      }
-      const std::uint64_t qualifying =
-          allreduce_sum_direct(engine, counts, "count-qualifying");
+      });
       if (qualifying == 0) break;
 
       const double p = std::min(1.0, static_cast<double>(budget) /
                                          static_cast<double>(qualifying));
-      // Per-machine staging, concatenated in machine-id order after the
-      // barrier: the central prune scans the sample in the same order on
-      // every backend.
-      std::vector<std::vector<SetId>> sampled_by(machines);
-      engine.run_round("sample", [&](MachineContext& ctx) {
-        ctx.charge_resident(footprint[ctx.id()]);
-        Rng rng = root_rng.stream((guard << 20) ^ ctx.id());
-        for (SetId l = static_cast<SetId>(ctx.id()); l < n;
-             l = static_cast<SetId>(l + machines)) {
-          if (taken[l] || residual[l] == 0 || ratio(l) < threshold) continue;
-          if (!rng.bernoulli(p)) continue;
-          sampled_by[ctx.id()].push_back(l);
-          mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
-          msg.push(l);
-          msg.push(core::pack_double(sys.weight(l)));
-          for (const ElementId j : sys.set(l)) {
-            if (!covered[j]) msg.push(j);
-          }
-        }
-      });
-      std::vector<SetId> sampled;
-      for (const auto& part : sampled_by) {
-        sampled.insert(sampled.end(), part.begin(), part.end());
-      }
+      engine.invoke_round(r_sample, {guard, core::pack_double(threshold),
+                                     core::pack_double(p)});
 
       std::vector<ElementId> newly;
       engine.run_central_round("prune", [&](MachineContext& ctx) {
         ctx.charge_resident(ctx.inbox_words());
-        for (const SetId l : sampled) {
+        for (const mrc::MessageView msg : ctx.messages()) {
+          const auto l = static_cast<SetId>(msg.payload[0]);
           if (!taken[l] && residual[l] > 0 && ratio(l) >= threshold) {
-            const std::uint64_t before = covered_count;
             take_set(l);
-            (void)before;
           }
         }
         for (ElementId j = 0; j < sys.universe_size(); ++j) {
@@ -137,8 +186,7 @@ SamplePruneResult sample_prune_set_cover(const setcover::SetSystem& sys,
       });
 
       // Broadcast covered elements so owners prune (tree).
-      std::vector<Word> payload(newly.begin(), newly.end());
-      mrc::broadcast_from_central(engine, payload, "bcast covered");
+      bcast.run(std::vector<Word>(newly.begin(), newly.end()));
       if (covered_count >= sys.universe_size()) break;
     }
     if (covered_count >= sys.universe_size()) break;

@@ -30,7 +30,11 @@
 #include "mrlr/bench/instances.hpp"
 #include "mrlr/bench/registry.hpp"
 
+#include "mrlr/baselines/coreset_matching.hpp"
+#include "mrlr/baselines/filtering_matching.hpp"
+#include "mrlr/baselines/luby_colouring_mr.hpp"
 #include "mrlr/baselines/luby_mr.hpp"
+#include "mrlr/baselines/sample_prune_setcover.hpp"
 #include "mrlr/core/colouring.hpp"
 #include "mrlr/core/greedy_setcover_mr.hpp"
 #include "mrlr/core/hungry_clique.hpp"
@@ -89,11 +93,10 @@ void fill_outcome(BenchResult& r, const core::MrOutcome& o) {
   r.failed = r.failed || o.failed || o.space_violations > 0;
 }
 
-/// scenario_params plus the session's backend request, for scenarios
-/// whose driver honors MrParams::num_shards (the process-clean ones —
-/// currently the rlr-matching family). Under --backend process the
-/// scenario runs K forked shards and must still reproduce the baseline
-/// bit-for-bit.
+/// scenario_params plus the session's backend request. Every driver
+/// honors MrParams::num_shards (all are process-clean); under
+/// --backend process the scenario runs K persistent worker shards and
+/// must still reproduce the baseline bit-for-bit.
 core::MrParams exec_params(double mu, std::uint64_t seed,
                            const RunContext& ctx) {
   core::MrParams p =
@@ -1130,7 +1133,8 @@ void add_threads(Registry& r) {
 // ------------------------------------------------------- process ----
 
 // Process-sharded backend determinism: the exact exec/threads workload
-// run with K forked shard workers per round. Every non-timing field —
+// run with K persistent worker shard processes (spawned once per job).
+// Every non-timing field —
 // in particular the determinism hash — must equal exec/threads/t1,
 // which is the cross-PROCESS extension of the PR 1 contract: the shard
 // transport and coordinator merge must not perturb a single bit.
@@ -1148,7 +1152,7 @@ void add_process(Registry& r) {
            cfg.groups,
            "rlr matching on the process-shard backend, " +
                std::to_string(cfg.shards) +
-               " forked worker shards (results must match "
+               " persistent worker shards (results must match "
                "exec/threads/t1 exactly)",
            [cfg](const RunContext& ctx) {
              const std::uint64_t n = ctx.scale_n(3000);
@@ -1179,6 +1183,321 @@ void add_process(Registry& r) {
              // hashes across t1/k1/k2/k4 certify backend determinism.
              res.determinism_hash = h.value();
              res.extra["shards"] = static_cast<double>(cfg.shards);
+             return res;
+           }});
+  }
+}
+
+// Per-driver process smoke: every ported driver runs the identical
+// pinned instance twice — serial, then on K=4 persistent worker
+// shards — and the scenario fails on any fingerprint mismatch. The
+// fingerprint mixes the full result vector, the exact weight, and the
+// engine cost metrics, so the check is the in-registry version of the
+// test_exec byte-identity suite and runs in the smoke CI job on every
+// push. The reported hash is the serial one (shards never perturb it;
+// that is the point).
+void add_process_drivers(Registry& r) {
+  // Runs one driver at the given shard count; returns the fingerprint
+  // and fills the result's cost/quality fields from that run.
+  using DriverFn =
+      std::function<std::uint64_t(std::uint64_t shards, BenchResult& res)>;
+  struct Cfg {
+    std::string name;  // exec/process/<name>
+    std::string algo;
+    DriverFn run;
+  };
+
+  const auto graph_instance = [] {
+    return weighted_gnm(900, 0.5, WeightDist::kUniform, 911);
+  };
+  const auto cover_instance = [] {
+    Rng rng(4242);
+    return setcover::many_sets(400, 52, 12, WeightDist::kUniform, rng);
+  };
+  const auto mix_outcome = [](HashAcc& h, const core::MrOutcome& o) {
+    h.mix(o.rounds);
+    h.mix(o.iterations);
+    h.mix(o.max_machine_words);
+    h.mix(o.max_central_inbox);
+    h.mix(o.total_communication);
+    h.mix(static_cast<std::uint64_t>(o.failed));
+  };
+  const auto params_k = [](double mu, std::uint64_t seed,
+                           std::uint64_t shards) {
+    core::MrParams p = scenario_params(mu, seed, 1);
+    p.num_shards = shards;
+    return p;
+  };
+
+  const std::vector<Cfg> cfgs = {
+      {"setcover-f", "rlr-setcover-f",
+       [=](std::uint64_t shards, BenchResult& res) {
+         const auto sys = cover_instance();
+         res.n = sys.num_sets();
+         res.m = sys.total_incidences();
+         const auto out =
+             core::rlr_set_cover(sys, params_k(0.3, 1, shards));
+         fill_outcome(res, out.outcome);
+         res.quality = out.weight;
+         res.failed =
+             res.failed || !setcover::is_cover(sys, out.cover);
+         HashAcc h;
+         h.mix_range(out.cover);
+         h.mix(out.weight);
+         h.mix(out.lower_bound);
+         mix_outcome(h, out.outcome);
+         return h.value();
+       }},
+      {"setcover-greedy", "hungry-greedy-setcover",
+       [=](std::uint64_t shards, BenchResult& res) {
+         const auto sys = cover_instance();
+         res.n = sys.num_sets();
+         res.m = sys.total_incidences();
+         const auto out = core::greedy_set_cover_mr(
+             sys, /*eps=*/0.3, params_k(0.3, 1, shards));
+         fill_outcome(res, out.outcome);
+         res.quality = out.weight;
+         res.failed =
+             res.failed || !setcover::is_cover(sys, out.cover);
+         HashAcc h;
+         h.mix_range(out.cover);
+         h.mix(out.weight);
+         h.mix(out.preprocessed_sets);
+         h.mix(out.sampling_failures);
+         h.mix(out.level_drops);
+         mix_outcome(h, out.outcome);
+         return h.value();
+       }},
+      {"sample-prune-setcover", "sample-prune-setcover",
+       [=](std::uint64_t shards, BenchResult& res) {
+         const auto sys = cover_instance();
+         res.n = sys.num_sets();
+         res.m = sys.total_incidences();
+         const auto out = baselines::sample_prune_set_cover(
+             sys, /*eps=*/0.3, params_k(0.3, 1, shards));
+         fill_outcome(res, out.outcome);
+         res.quality = out.weight;
+         res.failed =
+             res.failed || !setcover::is_cover(sys, out.cover);
+         HashAcc h;
+         h.mix_range(out.cover);
+         h.mix(out.weight);
+         h.mix(out.level_drops);
+         mix_outcome(h, out.outcome);
+         return h.value();
+       }},
+      {"bmatching", "rlr-bmatching",
+       [=](std::uint64_t shards, BenchResult& res) {
+         const graph::Graph g = graph_instance();
+         res.n = g.num_vertices();
+         res.m = g.num_edges();
+         std::vector<std::uint32_t> b(g.num_vertices());
+         for (std::size_t v = 0; v < b.size(); ++v) {
+           b[v] = 1 + static_cast<std::uint32_t>(v % 3);
+         }
+         const auto out = core::rlr_b_matching(
+             g, b, /*eps=*/0.25, params_k(0.25, 1, shards));
+         fill_outcome(res, out.outcome);
+         res.quality = out.weight;
+         res.failed =
+             res.failed || !graph::is_b_matching(g, out.matching, b);
+         HashAcc h;
+         h.mix_range(out.matching);
+         h.mix(out.weight);
+         h.mix(out.stack_size);
+         mix_outcome(h, out.outcome);
+         return h.value();
+       }},
+      {"mis", "hungry-mis-improved",
+       [=](std::uint64_t shards, BenchResult& res) {
+         const graph::Graph g = graph_instance();
+         res.n = g.num_vertices();
+         res.m = g.num_edges();
+         const auto out =
+             core::hungry_mis_improved(g, params_k(0.15, 1, shards));
+         fill_outcome(res, out.outcome);
+         res.quality = static_cast<double>(out.independent_set.size());
+         res.failed = res.failed ||
+                      !graph::is_independent_set(g, out.independent_set);
+         HashAcc h;
+         h.mix_range(out.independent_set);
+         h.mix(out.phases);
+         h.mix(out.central_adds);
+         mix_outcome(h, out.outcome);
+         return h.value();
+       }},
+      {"mis-simple", "hungry-mis-simple",
+       [=](std::uint64_t shards, BenchResult& res) {
+         const graph::Graph g = graph_instance();
+         res.n = g.num_vertices();
+         res.m = g.num_edges();
+         const auto out =
+             core::hungry_mis_simple(g, params_k(0.15, 1, shards));
+         fill_outcome(res, out.outcome);
+         res.quality = static_cast<double>(out.independent_set.size());
+         res.failed = res.failed ||
+                      !graph::is_independent_set(g, out.independent_set);
+         HashAcc h;
+         h.mix_range(out.independent_set);
+         h.mix(out.phases);
+         h.mix(out.central_adds);
+         mix_outcome(h, out.outcome);
+         return h.value();
+       }},
+      {"luby-mis", "luby-mis",
+       [=](std::uint64_t shards, BenchResult& res) {
+         const graph::Graph g = graph_instance();
+         res.n = g.num_vertices();
+         res.m = g.num_edges();
+         const auto out =
+             baselines::luby_mis_mr(g, params_k(0.15, 1, shards));
+         fill_outcome(res, out.outcome);
+         res.quality = static_cast<double>(out.independent_set.size());
+         res.failed = res.failed ||
+                      !graph::is_independent_set(g, out.independent_set);
+         HashAcc h;
+         h.mix_range(out.independent_set);
+         h.mix(out.phases);
+         mix_outcome(h, out.outcome);
+         return h.value();
+       }},
+      {"clique", "hungry-clique",
+       [=](std::uint64_t shards, BenchResult& res) {
+         const graph::Graph g = graph_instance();
+         res.n = g.num_vertices();
+         res.m = g.num_edges();
+         const auto out =
+             core::hungry_clique(g, params_k(0.15, 1, shards));
+         fill_outcome(res, out.outcome);
+         res.quality = static_cast<double>(out.clique.size());
+         res.failed = res.failed || !graph::is_clique(g, out.clique);
+         HashAcc h;
+         h.mix_range(out.clique);
+         h.mix(out.central_adds);
+         mix_outcome(h, out.outcome);
+         return h.value();
+       }},
+      {"colour-vertex", "mr-vertex-colouring",
+       [=](std::uint64_t shards, BenchResult& res) {
+         const graph::Graph g = graph_instance();
+         res.n = g.num_vertices();
+         res.m = g.num_edges();
+         const auto out =
+             core::mr_vertex_colouring(g, params_k(0.15, 1, shards));
+         fill_outcome(res, out.outcome);
+         res.quality = static_cast<double>(out.colours_used);
+         HashAcc h;
+         h.mix_range(out.colour);
+         h.mix(out.colours_used);
+         h.mix(out.groups);
+         mix_outcome(h, out.outcome);
+         return h.value();
+       }},
+      {"colour-edge", "mr-edge-colouring",
+       [=](std::uint64_t shards, BenchResult& res) {
+         const graph::Graph g = graph_instance();
+         res.n = g.num_vertices();
+         res.m = g.num_edges();
+         const auto out =
+             core::mr_edge_colouring(g, params_k(0.15, 1, shards));
+         fill_outcome(res, out.outcome);
+         res.quality = static_cast<double>(out.colours_used);
+         HashAcc h;
+         h.mix_range(out.colour);
+         h.mix(out.colours_used);
+         h.mix(out.groups);
+         mix_outcome(h, out.outcome);
+         return h.value();
+       }},
+      {"luby-colouring", "luby-colouring",
+       [=](std::uint64_t shards, BenchResult& res) {
+         const graph::Graph g = graph_instance();
+         res.n = g.num_vertices();
+         res.m = g.num_edges();
+         const auto out =
+             baselines::luby_colouring_mr(g, params_k(0.15, 1, shards));
+         fill_outcome(res, out.outcome);
+         res.quality = static_cast<double>(out.colours_used);
+         HashAcc h;
+         h.mix_range(out.colour);
+         h.mix(out.colours_used);
+         h.mix(out.phases);
+         mix_outcome(h, out.outcome);
+         return h.value();
+       }},
+      {"coreset-matching", "coreset-matching",
+       [=](std::uint64_t shards, BenchResult& res) {
+         const graph::Graph g = graph_instance();
+         res.n = g.num_vertices();
+         res.m = g.num_edges();
+         const auto out =
+             baselines::coreset_matching(g, params_k(0.15, 1, shards));
+         fill_outcome(res, out.outcome);
+         res.quality = out.weight;
+         res.failed =
+             res.failed || !graph::is_matching(g, out.matching);
+         HashAcc h;
+         h.mix_range(out.matching);
+         h.mix(out.weight);
+         h.mix(out.coreset_union_size);
+         mix_outcome(h, out.outcome);
+         return h.value();
+       }},
+      {"filtering-matching", "filtering-matching",
+       [=](std::uint64_t shards, BenchResult& res) {
+         const graph::Graph g = graph_instance();
+         res.n = g.num_vertices();
+         res.m = g.num_edges();
+         const auto out =
+             baselines::filtering_matching(g, params_k(0.15, 1, shards));
+         fill_outcome(res, out.outcome);
+         res.quality = static_cast<double>(out.matching.size());
+         res.failed =
+             res.failed || !graph::is_matching(g, out.matching);
+         HashAcc h;
+         h.mix_range(out.matching);
+         h.mix(out.weight);
+         mix_outcome(h, out.outcome);
+         return h.value();
+       }},
+      {"filtering-weighted", "filtering-weighted-matching",
+       [=](std::uint64_t shards, BenchResult& res) {
+         const graph::Graph g = graph_instance();
+         res.n = g.num_vertices();
+         res.m = g.num_edges();
+         const auto out = baselines::filtering_weighted_matching(
+             g, params_k(0.15, 1, shards));
+         fill_outcome(res, out.outcome);
+         res.quality = out.weight;
+         res.failed =
+             res.failed || !graph::is_matching(g, out.matching);
+         HashAcc h;
+         h.mix_range(out.matching);
+         h.mix(out.weight);
+         mix_outcome(h, out.outcome);
+         return h.value();
+       }},
+  };
+
+  for (const Cfg& cfg : cfgs) {
+    r.add({"exec/process/" + cfg.name,
+           {"process", "smoke"},
+           cfg.algo + " serial vs 4 persistent worker shards "
+                      "(self-checking: fails on any fingerprint drift)",
+           [cfg](const RunContext&) {
+             BenchResult res;
+             res.algo = cfg.algo;
+             res.family = "gnm-density";
+             res.threads = 1;
+             Timer t;
+             const std::uint64_t serial_hash = cfg.run(1, res);
+             BenchResult sharded;
+             const std::uint64_t shard_hash = cfg.run(4, sharded);
+             res.wall_seconds = t.elapsed();
+             res.failed =
+                 res.failed || sharded.failed || serial_hash != shard_hash;
+             res.determinism_hash = serial_hash;
+             res.extra["shards"] = 4.0;
              return res;
            }});
   }
@@ -1295,6 +1614,42 @@ void add_large(Registry& r) {
            return res;
          }});
 
+  r.add({"large/setcover-greedy/k4",
+         {"large"},
+         "hungry greedy set cover, ~1M-incidence system on 4 persistent "
+         "worker shards (nightly-scale process backend)",
+         [](const RunContext& ctx) {
+           const std::uint64_t sets = ctx.scale_n(100000);
+           const std::uint64_t universe = std::max<std::uint64_t>(
+               2, sets / 8);
+           BenchResult res;
+           res.algo = "hungry-greedy-setcover";
+           res.family = "many-sets";
+           res.n = sets;
+           res.mu = 0.3;
+           res.threads = 1;
+           Rng rng(sets + 9);
+           const auto sys = setcover::many_sets(
+               sets, universe, 20, WeightDist::kUniform, rng);
+           res.m = sys.total_incidences();
+           core::MrParams params = scenario_params(0.3, 1, 1);
+           params.num_shards = 4;
+           Timer t;
+           const auto out =
+               core::greedy_set_cover_mr(sys, /*eps=*/0.3, params);
+           res.wall_seconds = t.elapsed();
+           fill_outcome(res, out.outcome);
+           res.quality = out.weight;
+           res.failed =
+               res.failed || !setcover::is_cover(sys, out.cover);
+           HashAcc h;
+           h.mix_range(out.cover);
+           h.mix(out.weight);
+           res.determinism_hash = h.value();
+           res.extra["shards"] = 4.0;
+           return res;
+         }});
+
   r.add({"large/io/mgb-load-m2e6",
          {"large"},
          "binary .mgb end-to-end load, 2M weighted edges (nightly scale)",
@@ -1393,6 +1748,7 @@ void register_builtin_scenarios(Registry& r) {
   add_io(r);
   add_threads(r);
   add_process(r);
+  add_process_drivers(r);
   add_large(r);
 }
 

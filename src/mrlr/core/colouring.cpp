@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 
 #include "mrlr/seq/colouring.hpp"
 #include "mrlr/seq/misra_gries.hpp"
@@ -55,9 +56,10 @@ ColouringResult mr_vertex_colouring(const graph::Graph& g,
       2, ipow_real(std::max<std::uint64_t>(g.num_vertices(), 2), params.mu, 2));
   topo.enforce = params.enforce_space;
   topo.num_threads = params.num_threads;
+  topo.num_shards = std::max<std::uint64_t>(1, params.num_shards);
   mrc::Engine engine(topo);
 
-  // Random group per vertex.
+  // Random group per vertex (job-immutable once drawn).
   Rng rng(params.seed);
   std::vector<std::uint32_t> group(g.num_vertices());
   for (auto& x : group) x = static_cast<std::uint32_t>(rng.uniform(plan.kappa));
@@ -74,50 +76,74 @@ ColouringResult mr_vertex_colouring(const graph::Graph& g,
 
   // Round 1: every vertex ships its intra-group adjacency to machine
   // group(v) (Algorithm 5 line 7).
-  engine.run_round("ship-groups", [&](MachineContext& ctx) {
-    for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      if (owner_of(v, plan.kappa) != ctx.id()) continue;
-      mrc::MessageWriter msg =
-          ctx.begin_message(static_cast<mrc::MachineId>(group[v]));
-      msg.push(v);
-      for (const graph::Incidence& inc : g.neighbours(v)) {
-        if (group[inc.neighbour] == group[v]) {
-          msg.push(inc.neighbour);
+  const mrc::RoundId r_ship = engine.define_round(
+      "ship-groups", [&](MachineContext& ctx, std::span<const Word>) {
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+          if (owner_of(v, plan.kappa) != ctx.id()) continue;
+          mrc::MessageWriter msg =
+              ctx.begin_message(static_cast<mrc::MachineId>(group[v]));
+          msg.push(v);
+          for (const graph::Incidence& inc : g.neighbours(v)) {
+            if (group[inc.neighbour] == group[v]) {
+              msg.push(inc.neighbour);
+            }
+          }
         }
-      }
-    }
-  });
+      });
 
   // Round 2: each machine colours its induced subgraph greedily with
-  // Delta_i + 1 colours (disjoint palettes realized via offsets).
+  // Delta_i + 1 colours and ships {palette size, (v, colour)...} to
+  // central; disjoint palettes are realized via offsets there.
+  const mrc::RoundId r_colour = engine.define_round(
+      "colour-groups", [&](MachineContext& ctx, std::span<const Word>) {
+        ctx.charge_resident(2 * group_edges[ctx.id()] + 2);
+        // Build machine i's induced subgraph.
+        std::vector<VertexId> members;
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+          if (group[v] == ctx.id()) members.push_back(v);
+        }
+        std::vector<std::uint32_t> local_id(g.num_vertices(), 0);
+        for (std::uint32_t k = 0; k < members.size(); ++k) {
+          local_id[members[k]] = k;
+        }
+        std::vector<Edge> edges;
+        for (const Edge& e : g.edges()) {
+          if (group[e.u] == ctx.id() && group[e.v] == ctx.id()) {
+            edges.push_back({local_id[e.u], local_id[e.v]});
+          }
+        }
+        const graph::Graph sub(members.size(), std::move(edges));
+        const auto colours = seq::greedy_colouring(sub);
+        std::uint64_t used = 0;
+        for (const std::uint32_t c : colours) {
+          used = std::max<std::uint64_t>(used, c + 1);
+        }
+        mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+        msg.push(ctx.id());
+        msg.push(used);
+        for (std::uint32_t k = 0; k < members.size(); ++k) {
+          msg.push(members[k]);
+          msg.push(colours[k]);
+        }
+      });
+
   std::vector<std::uint32_t> local_colour(g.num_vertices(), 0);
   std::vector<std::uint64_t> palette(plan.kappa, 0);
   if (!res.failed) {
-    engine.run_round("colour-groups", [&](MachineContext& ctx) {
-      ctx.charge_resident(2 * group_edges[ctx.id()] + 2);
-      // Build machine i's induced subgraph.
-      std::vector<VertexId> members;
-      for (VertexId v = 0; v < g.num_vertices(); ++v) {
-        if (group[v] == ctx.id()) members.push_back(v);
-      }
-      std::vector<std::uint32_t> local_id(g.num_vertices(), 0);
-      for (std::uint32_t k = 0; k < members.size(); ++k) {
-        local_id[members[k]] = k;
-      }
-      std::vector<Edge> edges;
-      for (const Edge& e : g.edges()) {
-        if (group[e.u] == ctx.id() && group[e.v] == ctx.id()) {
-          edges.push_back({local_id[e.u], local_id[e.v]});
+    engine.invoke_round(r_ship);
+    engine.invoke_round(r_colour);
+    // Round 3: central assembles the per-group colourings from its
+    // inbox (one message per group, merged in sender-id order).
+    engine.run_central_round("collect-colours", [&](MachineContext& ctx) {
+      ctx.charge_resident(ctx.inbox_words());
+      for (const mrc::MessageView msg : ctx.messages()) {
+        const auto i = static_cast<std::size_t>(msg.payload[0]);
+        palette[i] = msg.payload[1];
+        for (std::size_t k = 2; k + 1 < msg.payload.size(); k += 2) {
+          local_colour[msg.payload[k]] =
+              static_cast<std::uint32_t>(msg.payload[k + 1]);
         }
       }
-      const graph::Graph sub(members.size(), std::move(edges));
-      const auto colours = seq::greedy_colouring(sub);
-      std::uint64_t used = 0;
-      for (std::uint32_t k = 0; k < members.size(); ++k) {
-        local_colour[members[k]] = colours[k];
-        used = std::max<std::uint64_t>(used, colours[k] + 1);
-      }
-      palette[ctx.id()] = used;
     });
   }
 
@@ -155,6 +181,7 @@ ColouringResult mr_edge_colouring(const graph::Graph& g,
       2, ipow_real(std::max<std::uint64_t>(g.num_vertices(), 2), params.mu, 2));
   topo.enforce = params.enforce_space;
   topo.num_threads = params.num_threads;
+  topo.num_shards = std::max<std::uint64_t>(1, params.num_shards);
   mrc::Engine engine(topo);
 
   // Random group per *edge* (Remark 6.5).
@@ -169,47 +196,68 @@ ColouringResult mr_edge_colouring(const graph::Graph& g,
                              return ge > plan.group_edge_cap;
                            });
 
-  engine.run_round("ship-groups", [&](MachineContext& ctx) {
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      if (owner_of(e, plan.kappa) != ctx.id()) continue;
-      const Edge& ed = g.edge(e);
-      ctx.send(static_cast<mrc::MachineId>(group[e]), {e, ed.u, ed.v});
-    }
-  });
+  const mrc::RoundId r_ship = engine.define_round(
+      "ship-groups", [&](MachineContext& ctx, std::span<const Word>) {
+        for (EdgeId e = 0; e < g.num_edges(); ++e) {
+          if (owner_of(e, plan.kappa) != ctx.id()) continue;
+          const Edge& ed = g.edge(e);
+          ctx.send(static_cast<mrc::MachineId>(group[e]), {e, ed.u, ed.v});
+        }
+      });
+
+  const mrc::RoundId r_colour = engine.define_round(
+      "colour-groups", [&](MachineContext& ctx, std::span<const Word>) {
+        ctx.charge_resident(3 * group_edges[ctx.id()] + 2);
+        // Build machine i's edge-group subgraph on the touched vertices.
+        std::vector<EdgeId> members;
+        for (EdgeId e = 0; e < g.num_edges(); ++e) {
+          if (group[e] == ctx.id()) members.push_back(e);
+        }
+        if (members.empty()) return;
+        std::vector<VertexId> verts;
+        for (const EdgeId e : members) {
+          verts.push_back(g.edge(e).u);
+          verts.push_back(g.edge(e).v);
+        }
+        std::sort(verts.begin(), verts.end());
+        verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+        std::vector<std::uint32_t> local_id(g.num_vertices(), 0);
+        for (std::uint32_t k = 0; k < verts.size(); ++k) local_id[verts[k]] = k;
+        std::vector<Edge> edges;
+        edges.reserve(members.size());
+        for (const EdgeId e : members) {
+          edges.push_back({local_id[g.edge(e).u], local_id[g.edge(e).v]});
+        }
+        const graph::Graph sub(verts.size(), std::move(edges));
+        const auto colours = seq::misra_gries_edge_colouring(sub);
+        std::uint64_t used = 0;
+        for (const std::uint32_t c : colours) {
+          used = std::max<std::uint64_t>(used, c + 1);
+        }
+        mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+        msg.push(ctx.id());
+        msg.push(used);
+        for (std::uint32_t k = 0; k < members.size(); ++k) {
+          msg.push(members[k]);
+          msg.push(colours[k]);
+        }
+      });
 
   std::vector<std::uint32_t> local_colour(g.num_edges(), 0);
   std::vector<std::uint64_t> palette(plan.kappa, 0);
   if (!res.failed) {
-    engine.run_round("colour-groups", [&](MachineContext& ctx) {
-      ctx.charge_resident(3 * group_edges[ctx.id()] + 2);
-      // Build machine i's edge-group subgraph on the touched vertices.
-      std::vector<EdgeId> members;
-      for (EdgeId e = 0; e < g.num_edges(); ++e) {
-        if (group[e] == ctx.id()) members.push_back(e);
+    engine.invoke_round(r_ship);
+    engine.invoke_round(r_colour);
+    engine.run_central_round("collect-colours", [&](MachineContext& ctx) {
+      ctx.charge_resident(ctx.inbox_words());
+      for (const mrc::MessageView msg : ctx.messages()) {
+        const auto i = static_cast<std::size_t>(msg.payload[0]);
+        palette[i] = msg.payload[1];
+        for (std::size_t k = 2; k + 1 < msg.payload.size(); k += 2) {
+          local_colour[msg.payload[k]] =
+              static_cast<std::uint32_t>(msg.payload[k + 1]);
+        }
       }
-      if (members.empty()) return;
-      std::vector<VertexId> verts;
-      for (const EdgeId e : members) {
-        verts.push_back(g.edge(e).u);
-        verts.push_back(g.edge(e).v);
-      }
-      std::sort(verts.begin(), verts.end());
-      verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
-      std::vector<std::uint32_t> local_id(g.num_vertices(), 0);
-      for (std::uint32_t k = 0; k < verts.size(); ++k) local_id[verts[k]] = k;
-      std::vector<Edge> edges;
-      edges.reserve(members.size());
-      for (const EdgeId e : members) {
-        edges.push_back({local_id[g.edge(e).u], local_id[g.edge(e).v]});
-      }
-      const graph::Graph sub(verts.size(), std::move(edges));
-      const auto colours = seq::misra_gries_edge_colouring(sub);
-      std::uint64_t used = 0;
-      for (std::uint32_t k = 0; k < members.size(); ++k) {
-        local_colour[members[k]] = colours[k];
-        used = std::max<std::uint64_t>(used, colours[k] + 1);
-      }
-      palette[ctx.id()] = used;
     });
   }
 

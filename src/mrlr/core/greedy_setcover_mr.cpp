@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 
+#include "mrlr/mrc/broadcast.hpp"
 #include "mrlr/util/math.hpp"
 #include "mrlr/util/require.hpp"
 
@@ -72,6 +74,7 @@ GreedySetCoverMrResult greedy_set_cover_mr(const setcover::SetSystem& sys,
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(m, params.mu, 2));
   topo.enforce = params.enforce_space;
   topo.num_threads = params.num_threads;
+  topo.num_shards = std::max<std::uint64_t>(1, params.num_shards);
   mrc::Engine engine(topo);
   const std::uint64_t machines = topo.num_machines;
 
@@ -80,7 +83,7 @@ GreedySetCoverMrResult greedy_set_cover_mr(const setcover::SetSystem& sys,
     footprint[owner_of(l, machines)] += 3 + sys.set(l).size();
   }
 
-  // Shared algorithm state.
+  // Host (central) algorithm state.
   std::vector<char> covered(sys.universe_size(), 0);
   std::uint64_t covered_count = 0;
   std::vector<std::uint64_t> residual(n);  // |S_l \ C|
@@ -109,6 +112,8 @@ GreedySetCoverMrResult greedy_set_cover_mr(const setcover::SetSystem& sys,
   };
 
   // ---- Remark 4.7 preprocessing. gamma = max_j min_{S: j in S} w(S). --
+  // Runs before the job starts; the worker mirrors below snapshot the
+  // post-preprocessing state when the first round ships.
   double gamma = 0.0;
   for (ElementId j = 0; j < sys.universe_size(); ++j) {
     double mn = std::numeric_limits<double>::infinity();
@@ -116,11 +121,6 @@ GreedySetCoverMrResult greedy_set_cover_mr(const setcover::SetSystem& sys,
       mn = std::min(mn, sys.weight(l));
     }
     gamma = std::max(gamma, mn);
-  }
-  // Round accounting for the preprocessing broadcast (tree, both ways).
-  {
-    std::vector<Word> dummy(machines, 1);
-    (void)allreduce_sum_direct(engine, dummy, "preprocess-gamma");
   }
   const double cheap = gamma * eps / static_cast<double>(std::max<std::uint64_t>(n, 1));
   const double expensive = static_cast<double>(m) * gamma;
@@ -152,9 +152,149 @@ GreedySetCoverMrResult greedy_set_cover_mr(const setcover::SetSystem& sys,
     return num_classes;
   };
 
+  // Dense group layout: class i gets 2*m^{(i+1)*alpha} groups.
+  std::vector<std::uint64_t> groups_of_class(num_classes + 1, 0);
+  std::vector<std::uint64_t> base_of_class(num_classes + 1, 0);
+  std::uint64_t total_groups = 0;
+  for (std::uint64_t i = 1; i <= num_classes; ++i) {
+    base_of_class[i] = total_groups;
+    groups_of_class[i] =
+        2 * ipow_real(m, static_cast<double>(i + 1) * alpha, 1);
+    total_groups += groups_of_class[i];
+  }
+
   const double qualify_factor = 1.0 / (1.0 + eps);
+  const Rng root(params.seed);
+
+  // Worker mirrors, snapshotted post-preprocessing: per-machine covered
+  // mirrors and the owner-strided residual counts. A taken set has
+  // residual 0, so the mirrors need no separate taken array; `excluded`
+  // is immutable once preprocessing ends.
+  std::vector<std::vector<char>> covered_by(machines, covered);
+  std::vector<std::uint64_t> residual_dist = residual;
+
+  // Newly covered elements go down the fanout tree; owners update their
+  // residual counts via the dual incidence lists.
+  mrc::JobBroadcast bcast(
+      engine, "bcast dC",
+      [&](MachineContext& ctx, std::span<const Word> elements) {
+        const MachineId id = ctx.id();
+        std::vector<char>& cov = covered_by[id];
+        for (const Word jw : elements) {
+          const auto j = static_cast<ElementId>(jw);
+          if (cov[j]) continue;
+          cov[j] = 1;
+          for (const SetId l2 : sys.sets_containing(j)) {
+            if (owner_of(l2, machines) != id) continue;
+            if (residual_dist[l2] > 0) --residual_dist[l2];
+          }
+        }
+      });
+
+  // Round accounting for the preprocessing broadcast (tree, both ways).
+  const mrc::RoundId r_preprocess = engine.define_round(
+      "preprocess-gamma", [&](MachineContext& ctx, std::span<const Word>) {
+        ctx.charge_resident(1);
+        ctx.send(mrc::kCentral, {1});
+      });
+
+  // Owners count their qualifying sets per class.
+  const mrc::RoundId r_count = engine.define_round(
+      "count-classes", [&](MachineContext& ctx, std::span<const Word> ps) {
+        const double threshold = unpack_double(ps[0]);
+        const MachineId id = ctx.id();
+        std::vector<Word> counts(num_classes + 1, 0);
+        for (SetId l = static_cast<SetId>(id); l < n;
+             l = static_cast<SetId>(l + machines)) {
+          if (excluded[l] || residual_dist[l] == 0) continue;
+          const double r = static_cast<double>(residual_dist[l]) /
+                           sys.weight(l);
+          if (r >= threshold && threshold > 0.0) {
+            ++counts[class_of(residual_dist[l])];
+          }
+        }
+        ctx.charge_resident(counts.size());
+        ctx.send_batch(mrc::kCentral, counts);
+      });
+
+  // Group membership draws for one iteration: set l in class i joins
+  // each of the class's groups independently with probability
+  // min(1, boost * m^{mu/2} / |class i|). The draws come from a per-set
+  // stream, so the keys round and the ship round reproduce the same
+  // sample independently.
+  const auto sample_groups = [&](std::uint64_t iter, SetId l,
+                                 std::uint64_t i, Word size_i) {
+    const double p =
+        std::min(1.0, params.sample_boost * static_cast<double>(m_mu2) /
+                          static_cast<double>(size_i));
+    Rng set_rng = root.stream((iter << 32) ^ l);
+    return binomial_hits(groups_of_class[i], p, set_rng);
+  };
+
+  // Owners ship their sampled (group, set) keys to central so the fail
+  // check (any group over 4*m^{mu/2}?) happens before the heavy lists
+  // move. params: {threshold, iter, sizes...}.
+  const mrc::RoundId r_keys = engine.define_round(
+      "check|X|", [&](MachineContext& ctx, std::span<const Word> ps) {
+        const double threshold = unpack_double(ps[0]);
+        const std::uint64_t iter = ps[1];
+        const std::span<const Word> sizes = ps.subspan(2);
+        const MachineId id = ctx.id();
+        ctx.charge_resident(footprint[id]);
+        mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+        for (SetId l = static_cast<SetId>(id); l < n;
+             l = static_cast<SetId>(l + machines)) {
+          if (excluded[l] || residual_dist[l] == 0) continue;
+          const double r = static_cast<double>(residual_dist[l]) /
+                           sys.weight(l);
+          if (r < threshold || threshold <= 0.0) continue;
+          const std::uint64_t i = class_of(residual_dist[l]);
+          if (sizes[i] == 0) continue;
+          for (const std::uint64_t j : sample_groups(iter, l, i, sizes[i])) {
+            msg.push(base_of_class[i] + j);
+            msg.push(l);
+          }
+        }
+        if (msg.empty()) msg.cancel();
+      });
+
+  // Ship the sampled sets' residual element lists to central (only
+  // reached when the fail check passed; same draws as r_keys).
+  const mrc::RoundId r_ship = engine.define_round(
+      "ship-sample", [&](MachineContext& ctx, std::span<const Word> ps) {
+        const double threshold = unpack_double(ps[0]);
+        const std::uint64_t iter = ps[1];
+        const std::span<const Word> sizes = ps.subspan(2);
+        const MachineId id = ctx.id();
+        ctx.charge_resident(footprint[id]);
+        const std::vector<char>& cov = covered_by[id];
+        for (SetId l = static_cast<SetId>(id); l < n;
+             l = static_cast<SetId>(l + machines)) {
+          if (excluded[l] || residual_dist[l] == 0) continue;
+          const double r = static_cast<double>(residual_dist[l]) /
+                           sys.weight(l);
+          if (r < threshold || threshold <= 0.0) continue;
+          const std::uint64_t i = class_of(residual_dist[l]);
+          if (sizes[i] == 0) continue;
+          for (const std::uint64_t j : sample_groups(iter, l, i, sizes[i])) {
+            mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+            msg.push(base_of_class[i] + j);
+            msg.push(l);
+            msg.push(pack_double(sys.weight(l)));
+            msg.push(residual_dist[l]);
+            for (const ElementId jj : sys.set(l)) {
+              if (!cov[jj]) msg.push(jj);
+            }
+          }
+        }
+      });
+
+  engine.invoke_round(r_preprocess);
+  engine.run_central_round("sum-preprocess", [&](MachineContext& ctx) {
+    ctx.charge_resident(ctx.inbox_words() + 1);
+  });
+
   std::uint64_t iter_guard = 0;
-  Rng root_rng(params.seed);
 
   while (covered_count < sys.universe_size() &&
          iter_guard < params.max_iterations) {
@@ -164,96 +304,58 @@ GreedySetCoverMrResult greedy_set_cover_mr(const setcover::SetSystem& sys,
       ++res.outcome.iterations;
       const double threshold = level * qualify_factor;
 
-      // Count qualifying sets per class (one vector allreduce).
-      std::vector<std::vector<Word>> class_counts(
-          machines, std::vector<Word>(num_classes + 1, 0));
-      std::uint64_t total_qualifying = 0;
-      for (SetId l = 0; l < n; ++l) {
-        if (taken[l] || excluded[l] || residual[l] == 0) continue;
-        if (ratio(l) >= threshold && threshold > 0.0) {
-          ++class_counts[owner_of(l, machines)][class_of(residual[l])];
-          ++total_qualifying;
+      // Count qualifying sets per class (converge-cast of one vector
+      // per machine).
+      engine.invoke_round(r_count, {pack_double(threshold)});
+      std::vector<Word> sizes(num_classes + 1, 0);
+      engine.run_central_round("sum-classes", [&](MachineContext& ctx) {
+        ctx.charge_resident(ctx.inbox_words() + sizes.size());
+        for (const mrc::MessageView msg : ctx.messages()) {
+          for (std::size_t i = 0;
+               i < msg.payload.size() && i < sizes.size(); ++i) {
+            sizes[i] += msg.payload[i];
+          }
         }
-      }
-      const std::vector<Word> sizes =
-          allreduce_sum_vec(engine, class_counts, "count-classes");
+      });
+      std::uint64_t total_qualifying = 0;
+      for (const Word s : sizes) total_qualifying += s;
       if (total_qualifying == 0) break;
 
-      // Sampling: set l in class i joins each of 2*m^{(i+1)*alpha} groups
-      // independently with probability min(1, m^{mu/2} / |class i|).
-      struct Sampled {
-        std::uint64_t group_key;  // (class << 40) | group
-        SetId set;
-      };
-      std::vector<Sampled> sample;
-      std::vector<std::uint64_t> group_load;  // indexed by dense group idx
-      std::vector<std::uint64_t> groups_of_class(num_classes + 1, 0);
-      std::vector<std::uint64_t> base_of_class(num_classes + 1, 0);
-      std::uint64_t total_groups = 0;
-      for (std::uint64_t i = 1; i <= num_classes; ++i) {
-        base_of_class[i] = total_groups;
-        groups_of_class[i] =
-            2 * ipow_real(m, static_cast<double>(i + 1) * alpha, 1);
-        total_groups += groups_of_class[i];
-      }
-      group_load.assign(total_groups, 0);
-      Rng rng = root_rng.fork(iter_guard);
-      for (SetId l = 0; l < n; ++l) {
-        if (taken[l] || excluded[l] || residual[l] == 0) continue;
-        if (ratio(l) < threshold) continue;
-        const std::uint64_t i = class_of(residual[l]);
-        if (sizes[i] == 0) continue;
-        const double p =
-            std::min(1.0, params.sample_boost *
-                              static_cast<double>(m_mu2) /
-                              static_cast<double>(sizes[i]));
-        Rng set_rng = rng.fork(l);
-        for (const std::uint64_t j :
-             binomial_hits(groups_of_class[i], p, set_rng)) {
-          const std::uint64_t dense = base_of_class[i] + j;
-          sample.push_back({dense, l});
-          ++group_load[dense];
-        }
-      }
+      std::vector<Word> sample_params;
+      sample_params.reserve(2 + sizes.size());
+      sample_params.push_back(pack_double(threshold));
+      sample_params.push_back(iter_guard);
+      sample_params.insert(sample_params.end(), sizes.begin(), sizes.end());
 
-      // Fail check: any group over 4*m^{mu/2}?
+      // Fail check: collect the (group, set) keys and reject the
+      // iteration if any group exceeds 4*m^{mu/2}.
+      engine.invoke_round(r_keys, sample_params);
+      std::vector<std::pair<std::uint64_t, SetId>> sample;
+      bool failed = false;
       const std::uint64_t group_cap = static_cast<std::uint64_t>(
           4.0 * params.sample_boost * static_cast<double>(m_mu2));
-      const bool failed = std::any_of(
-          group_load.begin(), group_load.end(),
-          [&](std::uint64_t gl) { return gl > group_cap; });
-      // The fail-check itself is a converge-cast; charge one allreduce.
-      {
-        std::vector<Word> dummy(machines, failed ? 1u : 0u);
-        (void)allreduce_sum_direct(engine, dummy, "check|X|");
-      }
+      engine.run_central_round("group-load", [&](MachineContext& ctx) {
+        ctx.charge_resident(ctx.inbox_words() + total_groups);
+        for (const mrc::MessageView msg : ctx.messages()) {
+          for (std::size_t k = 0; k + 1 < msg.payload.size(); k += 2) {
+            sample.emplace_back(msg.payload[k],
+                                static_cast<SetId>(msg.payload[k + 1]));
+          }
+        }
+        std::vector<std::uint64_t> group_load(total_groups, 0);
+        for (const auto& [key, l] : sample) ++group_load[key];
+        failed = std::any_of(
+            group_load.begin(), group_load.end(),
+            [&](std::uint64_t gl) { return gl > group_cap; });
+      });
       if (failed) {
         ++res.sampling_failures;
         continue;  // k <- k+1; next inner iteration (Algorithm 3 line 16)
       }
 
       // Ship sampled sets (residual element lists) to central.
-      std::sort(sample.begin(), sample.end(),
-                [](const Sampled& a, const Sampled& b) {
-                  if (a.group_key != b.group_key) {
-                    return a.group_key < b.group_key;
-                  }
-                  return a.set < b.set;
-                });
-      engine.run_round("ship-sample", [&](MachineContext& ctx) {
-        ctx.charge_resident(footprint[ctx.id()]);
-        for (const Sampled& s : sample) {
-          if (owner_of(s.set, machines) != ctx.id()) continue;
-          mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
-          msg.push(s.group_key);
-          msg.push(s.set);
-          msg.push(pack_double(sys.weight(s.set)));
-          msg.push(residual[s.set]);
-          for (const ElementId j : sys.set(s.set)) {
-            if (!covered[j]) msg.push(j);
-          }
-        }
-      });
+      std::sort(sample.begin(), sample.end());
+      engine.invoke_round(r_ship, sample_params);
 
       // Central: scan groups in (class, group) order; admit per group one
       // set with residual >= m^{1-(i+1)*alpha}/2 and ratio >= threshold.
@@ -262,23 +364,23 @@ GreedySetCoverMrResult greedy_set_cover_mr(const setcover::SetSystem& sys,
         ctx.charge_resident(ctx.inbox_words() + 4);
         std::uint64_t current_group = ~std::uint64_t{0};
         bool group_done = false;
-        for (const Sampled& s : sample) {
-          if (s.group_key != current_group) {
-            current_group = s.group_key;
+        for (const auto& [group_key, set] : sample) {
+          if (group_key != current_group) {
+            current_group = group_key;
             group_done = false;
           }
-          if (group_done || taken[s.set]) continue;
+          if (group_done || taken[set]) continue;
           // Recover the class from the dense group key.
           std::uint64_t i = 1;
           while (i < num_classes &&
-                 s.group_key >= base_of_class[i] + groups_of_class[i]) {
+                 group_key >= base_of_class[i] + groups_of_class[i]) {
             ++i;
           }
           const std::uint64_t size_floor = std::max<std::uint64_t>(
               1, ipow_real(m, 1.0 - static_cast<double>(i + 1) * alpha, 1) /
                      2);
-          if (residual[s.set] >= size_floor && ratio(s.set) >= threshold) {
-            const auto newly = take_set(s.set);
+          if (residual[set] >= size_floor && ratio(set) >= threshold) {
+            const auto newly = take_set(set);
             newly_covered.insert(newly_covered.end(), newly.begin(),
                                  newly.end());
             group_done = true;
@@ -286,12 +388,10 @@ GreedySetCoverMrResult greedy_set_cover_mr(const setcover::SetSystem& sys,
         }
       });
 
-      // Broadcast the newly covered elements down the tree; owners update
-      // residual counts via the dual incidence lists.
-      std::vector<Word> payload;
-      payload.reserve(newly_covered.size());
-      for (const ElementId j : newly_covered) payload.push_back(j);
-      mrc::broadcast_from_central(engine, payload, "bcast dC");
+      // Broadcast the newly covered elements down the tree; owners
+      // update their residual counts in the apply hook.
+      bcast.run(std::vector<Word>(newly_covered.begin(),
+                                  newly_covered.end()));
       if (covered_count >= sys.universe_size()) break;
     }
 

@@ -1,8 +1,10 @@
 #include "mrlr/core/hungry_clique.hpp"
 
 #include <algorithm>
+#include <span>
 #include <unordered_set>
 
+#include "mrlr/mrc/broadcast.hpp"
 #include "mrlr/util/math.hpp"
 #include "mrlr/util/require.hpp"
 
@@ -18,6 +20,8 @@ namespace {
 
 /// Clique state over the implicit complement: active set A, counts of
 /// graph-neighbours inside A, and the derived complement degrees.
+/// Lives on the central machine; the workers carry mirrors maintained
+/// by the ordered deactivation broadcast below.
 class CliqueState {
  public:
   explicit CliqueState(const graph::Graph& g)
@@ -48,8 +52,10 @@ class CliqueState {
   }
 
   /// Admit v into the clique: A becomes (A cap N(v)) \ {v}.
-  /// Returns the number of vertices deactivated.
-  std::uint64_t add(VertexId v) {
+  /// Returns the deactivated vertices in deactivation order — the
+  /// mirrors replay deactivations in exactly this order, which matters
+  /// because each deactivation only decrements still-active neighbours.
+  std::vector<VertexId> add(VertexId v) {
     MRLR_REQUIRE(active(v), "cannot add an inactive vertex to the clique");
     clique_.push_back(v);
     std::unordered_set<VertexId> keep;
@@ -57,12 +63,12 @@ class CliqueState {
     for (const Incidence& inc : g_.neighbours(v)) {
       if (active_[inc.neighbour]) keep.insert(inc.neighbour);
     }
-    std::uint64_t removed = 0;
+    std::vector<VertexId> removed;
     for (VertexId u = 0; u < g_.num_vertices(); ++u) {
       if (!active_[u]) continue;
       if (u == v || !keep.contains(u)) {
         deactivate(u);
-        ++removed;
+        removed.push_back(u);
       }
     }
     return removed;
@@ -106,6 +112,7 @@ HungryCliqueResult hungry_clique(const graph::Graph& g,
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
   topo.enforce = params.enforce_space;
   topo.num_threads = params.num_threads;
+  topo.num_shards = std::max<std::uint64_t>(1, params.num_shards);
   mrc::Engine engine(topo);
   const std::uint64_t machines = topo.num_machines;
 
@@ -116,36 +123,149 @@ HungryCliqueResult hungry_clique(const graph::Graph& g,
 
   CliqueState state(g);
   HungryCliqueResult res;
-  Rng root_rng(params.seed);
+  const Rng root(params.seed);
   const std::uint64_t group_size =
       std::max<std::uint64_t>(1, ipow_real(n, params.mu / 2.0, 1));
 
-  // Relabelling round pair, run after every admission batch: the central
-  // machine distributes (sigma(v), k) and vertices exchange labels with
-  // neighbours. The labels themselves are implicit in the shared-state
-  // simulation; the rounds charge the communication the scheme costs.
-  auto relabel_rounds = [&]() {
+  // Worker mirrors of the central state: a full active mirror per
+  // machine (needed for the shipped active-neighbour lists), the
+  // owner-strided neighbours-in-A counters, and the active-count
+  // scalar. All three refresh only through the deactivation broadcast.
+  std::vector<std::vector<char>> active_by(
+      machines, std::vector<char>(g.num_vertices(), 1));
+  std::vector<std::uint64_t> nbrs_dist(g.num_vertices(), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    nbrs_dist[v] = g.degree(v);
+  }
+  std::vector<std::uint64_t> active_cnt_by(machines, g.num_vertices());
+  const auto comp_deg = [&](MachineId id, VertexId v) -> std::uint64_t {
+    if (!active_by[id][v] || active_cnt_by[id] == 0) return 0;
+    return (active_cnt_by[id] - 1) - nbrs_dist[v];
+  };
+
+  // Replays CliqueState::add on machine `id`'s mirror: deactivations
+  // arrive in central deactivation order, and each one only decrements
+  // the counters of vertices still active at that point.
+  mrc::JobBroadcast bcast(
+      engine, "bcast-deactivated",
+      [&](MachineContext& ctx, std::span<const Word> removed) {
+        const MachineId id = ctx.id();
+        std::vector<char>& active = active_by[id];
+        for (const Word uw : removed) {
+          const auto u = static_cast<VertexId>(uw);
+          active[u] = 0;
+          --active_cnt_by[id];
+          for (const Incidence& inc : g.neighbours(u)) {
+            const VertexId x = inc.neighbour;
+            if (owner_of(x, machines) != id) continue;
+            if (active[x] && nbrs_dist[x] > 0) --nbrs_dist[x];
+          }
+        }
+      });
+
+  // Owners count their heavy vertices (complement degree >= threshold).
+  const mrc::RoundId r_count = engine.define_round(
+      "count|VH|", [&](MachineContext& ctx, std::span<const Word> ps) {
+        const std::uint64_t threshold = ps[0];
+        Word cnt = 0;
+        for (VertexId v = static_cast<VertexId>(ctx.id());
+             v < g.num_vertices();
+             v = static_cast<VertexId>(v + machines)) {
+          if (comp_deg(ctx.id(), v) >= threshold) ++cnt;
+        }
+        ctx.charge_resident(1);
+        ctx.send(mrc::kCentral, {cnt});
+      });
+
+  // Owners self-select heavy vertices and ship each with its
+  // active-neighbour list (the sigma-relabelled complement row is [k]
+  // minus that list). Mop-up mode (params[0] != 0) ships every heavy
+  // vertex with group 0 and no draws.
+  const mrc::RoundId r_ship = engine.define_round(
+      "ship-sample", [&](MachineContext& ctx, std::span<const Word> ps) {
+        const bool mop_up = ps[0] != 0;
+        const std::uint64_t salt = ps[1];
+        const std::uint64_t threshold = ps[2];
+        const std::uint64_t num_groups = ps[3];
+        const double p_sample = unpack_double(ps[4]);
+        const MachineId id = ctx.id();
+        ctx.charge_resident(footprint[id]);
+        Rng rng = root.stream((salt << 20) ^ id);
+        for (VertexId v = static_cast<VertexId>(id);
+             v < g.num_vertices();
+             v = static_cast<VertexId>(v + machines)) {
+          if (comp_deg(id, v) < threshold) continue;
+          Word group = 0;
+          if (!mop_up) {
+            if (!rng.bernoulli(p_sample)) continue;
+            group = rng.uniform(num_groups);
+          }
+          mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+          msg.push(group);
+          msg.push(v);
+          for (const Incidence& inc : g.neighbours(v)) {
+            if (active_by[id][inc.neighbour]) msg.push(inc.neighbour);
+          }
+        }
+      });
+
+  // Label-exchange rounds run after every admission batch: vertices
+  // forward (sigma(v), flag) pairs to their neighbours' owners. The
+  // labels are implicit; the rounds charge the communication the
+  // relabelling scheme costs.
+  const mrc::RoundId r_exchange = engine.define_round(
+      "exchange-sigma", [&](MachineContext& ctx, std::span<const Word>) {
+        ctx.charge_resident(footprint[ctx.id()]);
+        for (const mrc::MessageView msg : ctx.messages()) {
+          for (std::size_t k = 0; k + 1 < msg.payload.size(); k += 2) {
+            const auto v = static_cast<VertexId>(msg.payload[k]);
+            for (const Incidence& inc : g.neighbours(v)) {
+              ctx.send(owner_of(inc.neighbour, machines),
+                       {inc.neighbour, msg.payload[k + 1]});
+            }
+          }
+        }
+      });
+  const mrc::RoundId r_drain = engine.define_round(
+      "drain-sigma", [&](MachineContext& ctx, std::span<const Word>) {
+        ctx.charge_resident(footprint[ctx.id()]);
+      });
+
+  // Final step: ship the relabelled residual complement to central.
+  const mrc::RoundId r_ship_residual = engine.define_round(
+      "ship-residual", [&](MachineContext& ctx, std::span<const Word>) {
+        const MachineId id = ctx.id();
+        ctx.charge_resident(footprint[id]);
+        for (VertexId v = static_cast<VertexId>(id);
+             v < g.num_vertices();
+             v = static_cast<VertexId>(v + machines)) {
+          if (!active_by[id][v]) continue;
+          ctx.send(mrc::kCentral, {v, comp_deg(id, v)});
+        }
+      });
+
+  const auto central_sum = [&](std::string_view label) {
+    std::uint64_t total = 0;
+    engine.run_central_round(label, [&](MachineContext& ctx) {
+      ctx.charge_resident(ctx.inbox_words() + 1);
+      for (const mrc::MessageView msg : ctx.messages()) {
+        for (const Word w : msg.payload) total += w;
+      }
+    });
+    return total;
+  };
+
+  const auto relabel_rounds = [&](const std::vector<VertexId>& removed) {
+    bcast.run(std::vector<Word>(removed.begin(), removed.end()));
     engine.run_central_round("send-sigma", [&](MachineContext& ctx) {
       ctx.charge_resident(state.active_count() + 1);
       for (VertexId v = 0; v < g.num_vertices(); ++v) {
-        ctx.send(owner_of(v, machines), {v, state.active(v) ? Word{1} : Word{0}});
+        ctx.send(owner_of(v, machines),
+                 {v, state.active(v) ? Word{1} : Word{0}});
       }
     });
-    engine.run_round("exchange-sigma", [&](MachineContext& ctx) {
-      ctx.charge_resident(footprint[ctx.id()]);
-      for (const mrc::MessageView msg : ctx.messages()) {
-        for (std::size_t k = 0; k + 1 < msg.payload.size(); k += 2) {
-          const auto v = static_cast<VertexId>(msg.payload[k]);
-          for (const Incidence& inc : g.neighbours(v)) {
-            ctx.send(owner_of(inc.neighbour, machines),
-                     {inc.neighbour, msg.payload[k + 1]});
-          }
-        }
-      }
-    });
-    engine.run_round("drain-sigma", [&](MachineContext& ctx) {
-      ctx.charge_resident(footprint[ctx.id()]);
-    });
+    engine.invoke_round(r_exchange);
+    engine.invoke_round(r_drain);
   };
 
   // Phase thresholds on the complement degree: n^{1-i*alpha} down to
@@ -159,15 +279,8 @@ HungryCliqueResult hungry_clique(const graph::Graph& g,
 
     while (res.outcome.iterations < params.max_iterations) {
       ++res.outcome.iterations;
-      // Count heavy vertices (complement degree >= threshold).
-      std::vector<Word> counts(machines, 0);
-      for (VertexId v = 0; v < g.num_vertices(); ++v) {
-        if (state.active(v) && state.comp_degree(v) >= threshold) {
-          ++counts[owner_of(v, machines)];
-        }
-      }
-      const std::uint64_t vh =
-          allreduce_sum_direct(engine, counts, "count|VH|");
+      engine.invoke_round(r_count, {threshold});
+      const std::uint64_t vh = central_sum("sum|VH|");
       if (vh == 0) break;
 
       const bool mop_up = vh < heavy_cap;
@@ -176,37 +289,21 @@ HungryCliqueResult hungry_clique(const graph::Graph& g,
                  : std::min(1.0, static_cast<double>(heavy_cap) *
                                      static_cast<double>(group_size) /
                                      static_cast<double>(vh));
-      // Sample heavy vertices; ship each with its active-neighbour list
-      // (the sigma-relabelled complement row is [k] minus that list).
-      std::vector<std::pair<std::uint32_t, VertexId>> sample;
-      Rng rng = root_rng.fork(res.outcome.iterations);
-      for (VertexId v = 0; v < g.num_vertices(); ++v) {
-        if (!state.active(v) || state.comp_degree(v) < threshold) continue;
-        if (!rng.bernoulli(p_sample)) continue;
-        const std::uint32_t group =
-            mop_up ? static_cast<std::uint32_t>(sample.size())
-                   : static_cast<std::uint32_t>(rng.uniform(heavy_cap));
-        sample.emplace_back(group, v);
-      }
-      std::sort(sample.begin(), sample.end());
+      engine.invoke_round(r_ship,
+                          {mop_up ? Word{1} : Word{0}, res.outcome.iterations,
+                           threshold, heavy_cap, pack_double(p_sample)});
 
-      engine.run_round("ship-sample", [&](MachineContext& ctx) {
-        ctx.charge_resident(footprint[ctx.id()]);
-        for (const auto& [group, v] : sample) {
-          if (owner_of(v, machines) != ctx.id()) continue;
-          mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
-          msg.push(group);
-          msg.push(v);
-          for (const Incidence& inc : g.neighbours(v)) {
-            if (state.active(inc.neighbour)) {
-              msg.push(inc.neighbour);
-            }
-          }
-        }
-      });
-
+      // Greedy per-group admission on the central machine; mop-up
+      // admits every still-eligible sample.
+      std::vector<VertexId> all_removed;
       engine.run_central_round("admit", [&](MachineContext& ctx) {
         ctx.charge_resident(ctx.inbox_words() + 2);
+        std::vector<std::pair<std::uint64_t, VertexId>> sample;
+        for (const mrc::MessageView msg : ctx.messages()) {
+          sample.emplace_back(msg.payload[0],
+                              static_cast<VertexId>(msg.payload[1]));
+        }
+        std::sort(sample.begin(), sample.end());
         std::uint64_t current_group = ~std::uint64_t{0};
         bool group_done = false;
         for (const auto& [group, v] : sample) {
@@ -214,15 +311,17 @@ HungryCliqueResult hungry_clique(const graph::Graph& g,
             current_group = group;
             group_done = false;
           }
-          if (group_done) continue;
+          if (!mop_up && group_done) continue;
           if (state.active(v) && state.comp_degree(v) >= threshold) {
-            (void)state.add(v);
+            const auto removed = state.add(v);
+            all_removed.insert(all_removed.end(), removed.begin(),
+                               removed.end());
             ++res.central_adds;
             group_done = true;
           }
         }
       });
-      relabel_rounds();
+      relabel_rounds(all_removed);
 
       if (mop_up) break;
     }
@@ -244,26 +343,19 @@ HungryCliqueResult hungry_clique(const graph::Graph& g,
       }
     }
     if (best_d == 0) break;
+    std::vector<VertexId> removed;
     engine.run_central_round("admit-heaviest", [&](MachineContext& ctx) {
       ctx.charge_resident(2 + g.degree(best));
-      (void)state.add(best);
+      removed = state.add(best);
       ++res.central_adds;
     });
-    relabel_rounds();
+    relabel_rounds(removed);
   }
 
   // Ship the relabelled complement of A (size 2 * comp_edges < 2*eta)
   // and finish greedily: a greedy MIS on the complement is a greedy
   // clique on G.
-  engine.run_round("ship-residual", [&](MachineContext& ctx) {
-    ctx.charge_resident(footprint[ctx.id()]);
-    for (VertexId v = static_cast<VertexId>(ctx.id());
-         v < g.num_vertices();
-         v = static_cast<VertexId>(v + machines)) {
-      if (!state.active(v)) continue;
-      ctx.send(mrc::kCentral, {v, state.comp_degree(v)});
-    }
-  });
+  engine.invoke_round(r_ship_residual);
   engine.run_central_round("greedy-finish", [&](MachineContext& ctx) {
     ctx.charge_resident(ctx.inbox_words() + 2 * state.comp_edges());
     for (VertexId v = 0; v < g.num_vertices(); ++v) {

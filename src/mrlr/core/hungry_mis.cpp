@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <span>
+#include <utility>
 
+#include "mrlr/mrc/broadcast.hpp"
 #include "mrlr/seq/mis.hpp"
 #include "mrlr/util/math.hpp"
 #include "mrlr/util/require.hpp"
@@ -18,7 +22,9 @@ using mrc::Word;
 namespace {
 
 /// Shared independent-set state: I, the dominated region N+(I), and the
-/// residual degrees d_I(v) (0 for dominated vertices).
+/// residual degrees d_I(v) (0 for dominated vertices). Lives on the
+/// central machine (coordinator-resident); the worker machines carry
+/// the mirrors maintained by MisJob below.
 class MisState {
  public:
   explicit MisState(const graph::Graph& g)
@@ -61,13 +67,6 @@ class MisState {
     return out;
   }
 
-  /// Residual edge count: edges with both endpoints alive.
-  std::uint64_t residual_edges() const {
-    std::uint64_t sum = 0;
-    for (VertexId v = 0; v < g_.num_vertices(); ++v) sum += degree(v);
-    return sum / 2;
-  }
-
  private:
   const graph::Graph& g_;
   std::vector<char> in_I_;
@@ -94,108 +93,274 @@ Cluster make_cluster(const graph::Graph& g, double mu) {
   return cl;
 }
 
-/// Ship the sampled vertices (with alive-neighbour lists) to central,
-/// admit greedily under `threshold`, and run the two update rounds
-/// (notify dominated, recompute degrees). Returns vertices admitted.
-/// Samples are given as (group, vertex) pairs, scanned in group order,
-/// with at most one admission per group (Algorithm 2 lines 8-10).
-std::uint64_t sweep(mrc::Engine& engine, const graph::Graph& g,
-                    MisState& state, const Cluster& cl,
-                    std::vector<std::pair<std::uint32_t, VertexId>> sample,
-                    std::uint64_t threshold, bool one_per_group) {
-  const std::uint64_t machines = cl.machines;
-  std::sort(sample.begin(), sample.end());
+/// Process-clean distributed side of the hungry-greedy MIS. The central
+/// machine holds the authoritative MisState; every machine keeps a full
+/// dominated mirror plus the residual degrees of the vertices it owns,
+/// and both are refreshed exclusively by the newly-dominated tree
+/// broadcast, replaying MisState::add step for step. Sampling moved
+/// machine-side: each owner draws its own vertices from a per-(round,
+/// machine) RNG stream, so no host randomness has to reach the workers.
+class MisJob {
+ public:
+  // Ship-round modes (params[0]). kModeSample/kModeAll select vertices
+  // with degree >= params[2]; kModeClass selects class_of(degree) ==
+  // params[2] and samples like kModeSample.
+  static constexpr Word kModeSample = 0;  // bernoulli(p) + uniform group
+  static constexpr Word kModeAll = 1;     // every heavy vertex, group 0
+  static constexpr Word kModeClass = 2;   // degree-class members, sampled
 
-  // Sampling round: owners ship v plus its alive-neighbour list.
-  engine.run_round("ship-sample", [&](MachineContext& ctx) {
-    ctx.charge_resident(cl.footprint[ctx.id()]);
-    for (const auto& [group, v] : sample) {
-      if (owner_of(v, machines) != ctx.id()) continue;
-      mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
-      msg.push(group);
-      msg.push(v);
-      msg.push(state.degree(v));
-      for (const Incidence& inc : g.neighbours(v)) {
-        if (state.alive(inc.neighbour)) msg.push(inc.neighbour);
-      }
-    }
-  });
+  MisJob(mrc::Engine& engine, const graph::Graph& g, const Cluster& cl,
+         std::uint64_t seed,
+         std::function<std::uint64_t(std::uint64_t)> class_of,
+         std::uint64_t num_classes)
+      : engine_(engine),
+        g_(g),
+        cl_(cl),
+        machines_(cl.machines),
+        dominated_by_(machines_, std::vector<char>(g.num_vertices(), 0)),
+        d_dist_(g.num_vertices(), 0),
+        root_(seed),
+        class_of_(std::move(class_of)),
+        num_classes_(num_classes),
+        bcast_(engine, "bcast-dominated",
+               [this](MachineContext& ctx, std::span<const Word> newly) {
+                 apply_dominated(ctx, newly);
+               }) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) d_dist_[v] = g.degree(v);
 
-  // Central round: admit per group.
-  std::uint64_t added = 0;
-  std::vector<VertexId> all_newly;
-  engine.run_central_round("admit", [&](MachineContext& ctx) {
-    ctx.charge_resident(ctx.inbox_words() + 2);
-    std::uint64_t current_group = ~std::uint64_t{0};
-    bool group_done = false;
-    for (const auto& [group, v] : sample) {
-      if (group != current_group) {
-        current_group = group;
-        group_done = false;
-      }
-      if (one_per_group && group_done) continue;
-      if (state.alive(v) && state.degree(v) >= threshold) {
-        const auto newly = state.add(v);
-        all_newly.insert(all_newly.end(), newly.begin(), newly.end());
-        ++added;
-        group_done = true;
-      }
-    }
-  });
+    // Owners count their heavy vertices (degree >= threshold).
+    r_count_heavy_ = engine.define_round(
+        "count|VH|", [this](MachineContext& ctx, std::span<const Word> ps) {
+          const std::uint64_t threshold = ps[0];
+          Word cnt = 0;
+          for (VertexId v = static_cast<VertexId>(ctx.id());
+               v < g_.num_vertices();
+               v = static_cast<VertexId>(v + machines_)) {
+            if (degree(ctx.id(), v) >= threshold) ++cnt;
+          }
+          ctx.charge_resident(1);
+          ctx.send(mrc::kCentral, {cnt});
+        });
 
-  // Update round A: central notifies owners of newly dominated vertices.
-  engine.run_central_round("notify-dominated", [&](MachineContext& ctx) {
-    ctx.charge_resident(2);
-    for (const VertexId w : all_newly) {
-      ctx.send(owner_of(w, machines), {w});
-    }
-  });
-  // Update round B: dominated vertices announce to neighbours so alive
-  // vertices can recompute d_I (the "ask each neighbour" round of
-  // Theorem 3.3's proof).
-  engine.run_round("recompute-dI", [&](MachineContext& ctx) {
-    ctx.charge_resident(cl.footprint[ctx.id()]);
-    for (const mrc::MessageView msg : ctx.messages()) {
-      for (const Word ww : msg.payload) {
-        const auto w = static_cast<VertexId>(ww);
-        for (const Incidence& inc : g.neighbours(w)) {
-          ctx.send(owner_of(inc.neighbour, machines), {inc.neighbour});
+    // Owners report the sum of residual degrees (for |E_k|).
+    r_degsum_ = engine.define_round(
+        "count|Ek|", [this](MachineContext& ctx, std::span<const Word>) {
+          Word sum = 0;
+          for (VertexId v = static_cast<VertexId>(ctx.id());
+               v < g_.num_vertices();
+               v = static_cast<VertexId>(v + machines_)) {
+            sum += degree(ctx.id(), v);
+          }
+          ctx.charge_resident(1);
+          ctx.send(mrc::kCentral, {sum});
+        });
+
+    // Owners report per-class counts of their alive vertices.
+    r_classes_ = engine.define_round(
+        "count-classes", [this](MachineContext& ctx, std::span<const Word>) {
+          std::vector<Word> counts(num_classes_ + 1, 0);
+          for (VertexId v = static_cast<VertexId>(ctx.id());
+               v < g_.num_vertices();
+               v = static_cast<VertexId>(v + machines_)) {
+            const std::uint64_t d = degree(ctx.id(), v);
+            if (d == 0) continue;
+            ++counts[class_of_(d)];
+          }
+          ctx.charge_resident(counts.size());
+          ctx.send_batch(mrc::kCentral, counts);
+        });
+
+    // Sampling + shipping in one round: owners self-select their heavy
+    // vertices and ship {group, v, d_I(v), alive neighbours} to central.
+    r_ship_ = engine.define_round(
+        "ship-sample", [this](MachineContext& ctx, std::span<const Word> ps) {
+          const Word mode = ps[0];
+          const std::uint64_t salt = ps[1];
+          const std::uint64_t sel = ps[2];
+          const std::uint64_t num_groups = ps[3];
+          const double p_sample = unpack_double(ps[4]);
+          const MachineId id = ctx.id();
+          ctx.charge_resident(cl_.footprint[id]);
+          Rng rng = root_.stream((salt << 20) ^ id);
+          for (VertexId v = static_cast<VertexId>(id);
+               v < g_.num_vertices();
+               v = static_cast<VertexId>(v + machines_)) {
+            const std::uint64_t d = degree(id, v);
+            if (mode == kModeClass) {
+              if (d == 0 || class_of_(d) != sel) continue;
+            } else if (d < sel) {
+              continue;
+            }
+            Word group = 0;
+            if (mode != kModeAll) {
+              if (!rng.bernoulli(p_sample)) continue;
+              group = rng.uniform(num_groups);
+            }
+            mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+            msg.push(group);
+            msg.push(v);
+            msg.push(degree(id, v));
+            for (const Incidence& inc : g_.neighbours(v)) {
+              if (!dominated_by_[id][inc.neighbour]) {
+                msg.push(inc.neighbour);
+              }
+            }
+          }
+        });
+
+    // Final step shared by both variants: ship the residual graph (all
+    // alive vertices with their alive adjacency, <= ~n^{1+mu} words).
+    r_ship_residual_ = engine.define_round(
+        "ship-residual", [this](MachineContext& ctx, std::span<const Word>) {
+          const MachineId id = ctx.id();
+          ctx.charge_resident(cl_.footprint[id]);
+          for (VertexId v = static_cast<VertexId>(id);
+               v < g_.num_vertices();
+               v = static_cast<VertexId>(v + machines_)) {
+            if (dominated_by_[id][v]) continue;
+            mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+            msg.push(v);
+            msg.push(degree(id, v));
+            for (const Incidence& inc : g_.neighbours(v)) {
+              if (!dominated_by_[id][inc.neighbour]) {
+                msg.push(inc.neighbour);
+              }
+            }
+          }
+        });
+  }
+
+  /// One sweep: ship a sample (selected by `mode`/`sel`), admit
+  /// greedily per group on the central machine at `admit_threshold`
+  /// (Algorithm 2 lines 8-10), and broadcast the newly dominated
+  /// vertices so every mirror replays the admissions. Returns vertices
+  /// admitted. With skip_if_empty, an empty sample skips the admit and
+  /// broadcast rounds entirely.
+  std::uint64_t sweep(Word mode, std::uint64_t salt, std::uint64_t sel,
+                      std::uint64_t admit_threshold, std::uint64_t num_groups,
+                      double p_sample, bool one_per_group, MisState& state,
+                      bool skip_if_empty) {
+    engine_.invoke_round(
+        r_ship_, {mode, salt, sel, num_groups, pack_double(p_sample)});
+    if (skip_if_empty && engine_.inbox_size(mrc::kCentral) == 0) return 0;
+
+    std::uint64_t added = 0;
+    std::vector<VertexId> all_newly;
+    engine_.run_central_round("admit", [&](MachineContext& ctx) {
+      ctx.charge_resident(ctx.inbox_words() + 2);
+      std::vector<std::pair<std::uint64_t, VertexId>> sample;
+      for (const mrc::MessageView msg : ctx.messages()) {
+        sample.emplace_back(msg.payload[0],
+                            static_cast<VertexId>(msg.payload[1]));
+      }
+      std::sort(sample.begin(), sample.end());
+      std::uint64_t current_group = ~std::uint64_t{0};
+      bool group_done = false;
+      for (const auto& [group, v] : sample) {
+        if (group != current_group) {
+          current_group = group;
+          group_done = false;
+        }
+        if (one_per_group && group_done) continue;
+        if (state.alive(v) && state.degree(v) >= admit_threshold) {
+          const auto newly = state.add(v);
+          all_newly.insert(all_newly.end(), newly.begin(), newly.end());
+          ++added;
+          group_done = true;
         }
       }
-    }
-  });
-  engine.run_round("drain", [&](MachineContext& ctx) {
-    ctx.charge_resident(cl.footprint[ctx.id()]);
-  });
-  return added;
-}
+    });
 
-/// Final step shared by both variants: the residual graph (all alive
-/// vertices and their alive adjacency, <= ~n^{1+mu} words) is shipped to
-/// the central machine, which finishes greedily.
-void central_finish(mrc::Engine& engine, const graph::Graph& g,
-                    MisState& state, const Cluster& cl) {
-  engine.run_round("ship-residual", [&](MachineContext& ctx) {
-    ctx.charge_resident(cl.footprint[ctx.id()]);
-    for (VertexId v = static_cast<VertexId>(ctx.id());
-         v < g.num_vertices();
-         v = static_cast<VertexId>(v + cl.machines)) {
-      if (!state.alive(v)) continue;
-      mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
-      msg.push(v);
-      msg.push(state.degree(v));
-      for (const Incidence& inc : g.neighbours(v)) {
-        if (state.alive(inc.neighbour)) msg.push(inc.neighbour);
+    bcast_.run(std::vector<Word>(all_newly.begin(), all_newly.end()));
+    return added;
+  }
+
+  /// Ship the residual graph; central finishes greedily.
+  void central_finish(MisState& state) {
+    engine_.invoke_round(r_ship_residual_);
+    engine_.run_central_round("greedy-finish", [&](MachineContext& ctx) {
+      ctx.charge_resident(ctx.inbox_words());
+      for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+        if (state.alive(v)) (void)state.add(v);
+      }
+    });
+  }
+
+  /// Registered counting helpers; each pairs with a central sum round.
+  std::uint64_t count_heavy(std::uint64_t threshold) {
+    engine_.invoke_round(r_count_heavy_, {threshold});
+    return central_sum("sum|VH|");
+  }
+  std::uint64_t degree_sum() {
+    engine_.invoke_round(r_degsum_);
+    return central_sum("sum|Ek|");
+  }
+  std::vector<Word> class_sizes() {
+    engine_.invoke_round(r_classes_);
+    std::vector<Word> sizes(num_classes_ + 1, 0);
+    engine_.run_central_round("sum-classes", [&](MachineContext& ctx) {
+      ctx.charge_resident(ctx.inbox_words() + sizes.size());
+      for (const mrc::MessageView msg : ctx.messages()) {
+        for (std::size_t i = 0;
+             i < msg.payload.size() && i < sizes.size(); ++i) {
+          sizes[i] += msg.payload[i];
+        }
+      }
+    });
+    return sizes;
+  }
+
+ private:
+  std::uint64_t degree(MachineId id, VertexId v) const {
+    return dominated_by_[id][v] ? 0 : d_dist_[v];
+  }
+
+  /// Replays MisState::add on the mirrors: mark every newly dominated
+  /// vertex first, then apply the per-(w, neighbour) decrements to the
+  /// owned residual degrees — identical order of effects, so mirrors
+  /// and the central state never diverge.
+  void apply_dominated(MachineContext& ctx, std::span<const Word> newly) {
+    const MachineId id = ctx.id();
+    std::vector<char>& dominated = dominated_by_[id];
+    for (const Word ww : newly) dominated[static_cast<VertexId>(ww)] = 1;
+    for (const Word ww : newly) {
+      const auto w = static_cast<VertexId>(ww);
+      for (const Incidence& inc : g_.neighbours(w)) {
+        const VertexId x = inc.neighbour;
+        if (owner_of(x, machines_) != id) continue;
+        if (!dominated[x] && d_dist_[x] > 0) --d_dist_[x];
       }
     }
-  });
-  engine.run_central_round("greedy-finish", [&](MachineContext& ctx) {
-    ctx.charge_resident(ctx.inbox_words());
-    for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      if (state.alive(v)) (void)state.add(v);
-    }
-  });
-}
+  }
+
+  std::uint64_t central_sum(std::string_view label) {
+    std::uint64_t total = 0;
+    engine_.run_central_round(label, [&](MachineContext& ctx) {
+      ctx.charge_resident(ctx.inbox_words() + 1);
+      for (const mrc::MessageView msg : ctx.messages()) {
+        for (const Word w : msg.payload) total += w;
+      }
+    });
+    return total;
+  }
+
+  mrc::Engine& engine_;
+  const graph::Graph& g_;
+  const Cluster& cl_;
+  std::uint64_t machines_;
+  // Per-machine full dominated mirrors; d_dist_ is owner-strided.
+  std::vector<std::vector<char>> dominated_by_;
+  std::vector<std::uint64_t> d_dist_;
+  Rng root_;  // immutable; streams only
+  std::function<std::uint64_t(std::uint64_t)> class_of_;
+  std::uint64_t num_classes_;
+  mrc::JobBroadcast bcast_;
+  mrc::RoundId r_count_heavy_;
+  mrc::RoundId r_degsum_;
+  mrc::RoundId r_classes_;
+  mrc::RoundId r_ship_;
+  mrc::RoundId r_ship_residual_;
+};
 
 }  // namespace
 
@@ -214,11 +379,12 @@ HungryMisResult hungry_mis_simple(const graph::Graph& g,
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
   topo.enforce = params.enforce_space;
   topo.num_threads = params.num_threads;
+  topo.num_shards = std::max<std::uint64_t>(1, params.num_shards);
   mrc::Engine engine(topo);
 
   MisState state(g);
   HungryMisResult res;
-  Rng root_rng(params.seed);
+  MisJob job(engine, g, cl, params.seed, nullptr, 0);
   const std::uint64_t group_size =
       std::max<std::uint64_t>(1, ipow_real(n, params.mu / 2.0, 1));
 
@@ -236,28 +402,17 @@ HungryMisResult hungry_mis_simple(const graph::Graph& g,
     for (std::uint64_t sweep_idx = 0;
          res.outcome.iterations < params.max_iterations; ++sweep_idx) {
       ++res.outcome.iterations;
-      // Count heavy vertices.
-      std::vector<Word> counts(cl.machines, 0);
-      for (VertexId v = 0; v < g.num_vertices(); ++v) {
-        if (state.degree(v) >= threshold) {
-          ++counts[owner_of(v, cl.machines)];
-        }
-      }
-      const std::uint64_t vh = allreduce_sum_direct(engine, counts, "count|VH|");
+      const std::uint64_t vh = job.count_heavy(threshold);
       if (vh == 0) break;
       if (vh < heavy_cap) {
         // Mop-up: fewer than n^{i*alpha} heavy vertices remain; they fit
         // on the central machine (<= n^{1+alpha} words), which admits
         // the surviving ones directly so the phase invariant
         // d_I(v) < threshold holds exactly at the next phase.
-        std::vector<std::pair<std::uint32_t, VertexId>> rest;
-        for (VertexId v = 0; v < g.num_vertices(); ++v) {
-          if (state.degree(v) >= threshold) {
-            rest.emplace_back(static_cast<std::uint32_t>(rest.size()), v);
-          }
-        }
-        res.central_adds += sweep(engine, g, state, cl, std::move(rest),
-                                  threshold, /*one_per_group=*/false);
+        res.central_adds += job.sweep(
+            MisJob::kModeAll, res.outcome.iterations, threshold, threshold,
+            /*num_groups=*/1, /*p_sample=*/1.0,
+            /*one_per_group=*/false, state, /*skip_if_empty=*/false);
         break;
       }
 
@@ -269,20 +424,14 @@ HungryMisResult hungry_mis_simple(const graph::Graph& g,
           1.0, static_cast<double>(num_groups) *
                    static_cast<double>(group_size) /
                    static_cast<double>(vh));
-      std::vector<std::pair<std::uint32_t, VertexId>> sample;
-      Rng rng = root_rng.fork(res.outcome.iterations);
-      for (VertexId v = 0; v < g.num_vertices(); ++v) {
-        if (state.degree(v) >= threshold && rng.bernoulli(p_sample)) {
-          sample.emplace_back(
-              static_cast<std::uint32_t>(rng.uniform(num_groups)), v);
-        }
-      }
-      res.central_adds += sweep(engine, g, state, cl, std::move(sample),
-                                threshold, /*one_per_group=*/true);
+      res.central_adds += job.sweep(
+          MisJob::kModeSample, res.outcome.iterations, threshold, threshold,
+          num_groups, p_sample, /*one_per_group=*/true, state,
+          /*skip_if_empty=*/false);
     }
   }
 
-  central_finish(engine, g, state, cl);
+  job.central_finish(state);
   res.independent_set = state.members();
   res.outcome.fill_from(engine.metrics());
   return res;
@@ -305,16 +454,11 @@ HungryMisResult hungry_mis_improved(const graph::Graph& g,
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
   topo.enforce = params.enforce_space;
   topo.num_threads = params.num_threads;
+  topo.num_shards = std::max<std::uint64_t>(1, params.num_shards);
   mrc::Engine engine(topo);
 
-  MisState state(g);
-  HungryMisResult res;
-  Rng root_rng(params.seed);
-  const std::uint64_t group_size =
-      std::max<std::uint64_t>(1, ipow_real(n, params.mu / 2.0, 1));
-
   // Degree-class boundaries: class i holds n^{1-i*alpha} <= d < n^{1-(i-1)*alpha}.
-  auto class_of = [&](std::uint64_t d) -> std::uint64_t {
+  auto class_of = [n, alpha, num_classes](std::uint64_t d) -> std::uint64_t {
     for (std::uint64_t i = 1; i <= num_classes; ++i) {
       if (d >= ipow_real(n, 1.0 - static_cast<double>(i) * alpha, 1)) {
         return i;
@@ -323,83 +467,48 @@ HungryMisResult hungry_mis_improved(const graph::Graph& g,
     return num_classes;  // degree >= 1 falls in the last class
   };
 
+  MisState state(g);
+  HungryMisResult res;
+  MisJob job(engine, g, cl, params.seed, class_of, num_classes);
+  const std::uint64_t group_size =
+      std::max<std::uint64_t>(1, ipow_real(n, params.mu / 2.0, 1));
+
   while (res.outcome.iterations < params.max_iterations) {
     ++res.outcome.iterations;
     ++res.phases;
-    // |E_k| via allreduce of per-machine alive-degree sums.
-    std::vector<Word> degsum(cl.machines, 0);
-    for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      degsum[owner_of(v, cl.machines)] += state.degree(v);
-    }
-    const std::uint64_t ek =
-        allreduce_sum_direct(engine, degsum, "count|Ek|") / 2;
+    // |E_k| from per-machine alive-degree sums.
+    const std::uint64_t ek = job.degree_sum() / 2;
     if (ek < cl.eta) break;
 
-    // Class sizes |V_{k,i}| (one vector allreduce).
-    std::vector<std::vector<Word>> class_counts(
-        cl.machines, std::vector<Word>(num_classes + 1, 0));
-    for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      const std::uint64_t d = state.degree(v);
-      if (d == 0) continue;
-      ++class_counts[owner_of(v, cl.machines)][class_of(d)];
-    }
-    const std::vector<Word> sizes =
-        allreduce_sum_vec(engine, class_counts, "count-classes");
+    // Class sizes |V_{k,i}|.
+    const std::vector<Word> sizes = job.class_sizes();
 
-    // Sample per class: n^{(i+1)*alpha} groups of n^{mu/2}; thresholds for
-    // admission are one class lower: d_I(v) >= n^{1-(i+1)*alpha}.
-    std::vector<std::pair<std::uint32_t, VertexId>> sample;
-    Rng rng = root_rng.fork(res.outcome.iterations);
-    std::vector<std::uint64_t> groups_of_class(num_classes + 1, 0);
-    std::uint64_t group_base = 0;
-    std::vector<std::uint64_t> base_of_class(num_classes + 1, 0);
+    // Per class i (ascending, matching Algorithm 6's loop order): sample
+    // n^{(i+1)*alpha} groups of n^{mu/2} from the class and admit at the
+    // one-lower threshold d_I(v) >= n^{1-(i+1)*alpha}. Each class is its
+    // own sweep against the current state; empty samples skip the admit
+    // and broadcast rounds.
     for (std::uint64_t i = 1; i <= num_classes; ++i) {
-      base_of_class[i] = group_base;
-      groups_of_class[i] =
-          ipow_real(n, static_cast<double>(i + 1) * alpha, 1);
-      group_base += groups_of_class[i];
-    }
-    for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      const std::uint64_t d = state.degree(v);
-      if (d == 0) continue;
-      const std::uint64_t i = class_of(d);
       if (sizes[i] == 0) continue;
+      const std::uint64_t groups =
+          ipow_real(n, static_cast<double>(i + 1) * alpha, 1);
       const double p_sample = std::min(
-          1.0, static_cast<double>(groups_of_class[i]) *
+          1.0, static_cast<double>(groups) *
                    static_cast<double>(group_size) /
                    static_cast<double>(sizes[i]));
-      if (rng.bernoulli(p_sample)) {
-        const std::uint64_t group =
-            base_of_class[i] + rng.uniform(groups_of_class[i]);
-        sample.emplace_back(static_cast<std::uint32_t>(group), v);
-      }
-    }
-
-    // Admission threshold depends on the class; encode by checking the
-    // per-vertex class at admission time. The sweep helper admits at a
-    // single threshold, so split by class (classes are scanned in
-    // ascending i, matching Algorithm 6's loop order, at the cost of one
-    // sweep per *nonempty* class — the round count per iteration stays
-    // O(1/alpha) = O(1/mu) which Theorem A.3's proof already pays in
-    // space; empirically most iterations touch a few classes).
-    std::vector<std::vector<std::pair<std::uint32_t, VertexId>>> by_class(
-        num_classes + 1);
-    for (const auto& [grp, v] : sample) {
-      const std::uint64_t d = state.degree(v);
-      if (d == 0) continue;
-      by_class[class_of(d)].emplace_back(grp, v);
-    }
-    for (std::uint64_t i = 1; i <= num_classes; ++i) {
-      if (by_class[i].empty()) continue;
       const std::uint64_t admit_threshold =
           ipow_real(n, 1.0 - static_cast<double>(i + 1) * alpha, 1);
-      res.central_adds += sweep(engine, g, state, cl,
-                                std::move(by_class[i]), admit_threshold,
-                                /*one_per_group=*/true);
+      // Owners self-select the class members; admission re-checks at
+      // the one-lower threshold.
+      res.central_adds += job.sweep(
+          MisJob::kModeClass,
+          (res.outcome.iterations << 8) ^ i, /*sel=*/i, admit_threshold,
+          groups, p_sample, /*one_per_group=*/true, state,
+          /*skip_if_empty=*/true);
     }
   }
 
-  central_finish(engine, g, state, cl);
+  job.central_finish(state);
   res.independent_set = state.members();
   res.outcome.fill_from(engine.metrics());
   return res;

@@ -32,11 +32,11 @@ struct MrParams {
   /// N > 1 = persistent N-thread pool, 0 = pool sized to the hardware.
   /// Results are byte-identical at any setting; only wall-clock changes.
   std::uint64_t num_threads = 1;
-  /// Process-sharded backend, forwarded to Topology::num_shards by the
-  /// drivers that have been ported to it (process-clean callbacks:
-  /// currently rlr_matching; other drivers ignore the knob and note so
-  /// in their headers). K > 1 = K forked worker shards per round,
-  /// 0/1 = in-process. Results stay byte-identical at any setting.
+  /// Process-sharded backend, forwarded to Topology::num_shards by
+  /// every driver (all are process-clean; see the contract on the peek
+  /// accessors in mrc/engine.hpp). K > 1 = K persistent worker shard
+  /// processes spawned once per job, 0/1 = in-process. Results stay
+  /// byte-identical at any setting.
   std::uint64_t num_shards = 1;
   /// Sample-size multiplier ablation (DESIGN.md §5): scales the paper's
   /// sampling probability (2*eta/|U_r| for Alg. 1, eta/|E_i| for Alg. 4).

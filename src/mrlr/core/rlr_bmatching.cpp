@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "mrlr/util/math.hpp"
 #include "mrlr/util/require.hpp"
@@ -133,76 +134,201 @@ RlrBMatchingResult rlr_b_matching(const graph::Graph& g,
   topo.fanout = std::max<std::uint64_t>(2, n_mu);
   topo.enforce = params.enforce_space;
   topo.num_threads = params.num_threads;
+  topo.num_shards = std::max<std::uint64_t>(1, params.num_shards);
   mrc::Engine engine(topo);
   const std::uint64_t machines = topo.num_machines;
 
+  // Central machine's local ratio state: coordinator-resident.
   BMatchingLocalRatio lr(g, b, eps);
   const std::uint64_t central_footprint = n + 2;
 
   std::vector<std::uint64_t> footprint(machines, 0);
-  std::vector<std::uint64_t> alive_count(machines, 0);
-  for (EdgeId e = 0; e < m; ++e) {
-    const MachineId o = owner_of(e, machines);
-    footprint[o] += 4;
-    ++alive_count[o];
-  }
+  for (EdgeId e = 0; e < m; ++e) footprint[owner_of(e, machines)] += 4;
   for (VertexId v = 0; v < n; ++v) {
     footprint[owner_of(v, machines)] += 1 + g.degree(v);
   }
 
+  // Worker-resident distributed aliveness, mirroring rlr_matching.
+  //
+  // Edge owners (owner_of(e)) keep the shipped endpoint potentials in
+  // separate accumulators so the float expression below reproduces
+  // lr.edge_alive bit for bit, plus the centrally-announced stacked
+  // flag; they re-derive aliveness after each phi wave and send a
+  // one-word death notice to both endpoint owners on the alive->dead
+  // transition (monotone: phi only grows and stacking is permanent, so
+  // at most 2m notices ever flow).
+  //
+  // Endpoint owners (owner_of(u), owner_of(v)) keep alive_at_u/_v views
+  // that the sampling round reads; they decay only via death notices.
+  std::vector<double> phi_u_acc(m, 0.0);
+  std::vector<double> phi_v_acc(m, 0.0);
+  std::vector<char> owner_stacked(m, 0);
+  std::vector<char> owner_alive(m);
+  std::vector<char> alive_at_u(m);
+  std::vector<char> alive_at_v(m);
+  std::vector<std::uint64_t> alive_cnt(machines, 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    const char alive0 = g.weight(e) > 0.0 ? 1 : 0;
+    owner_alive[e] = alive0;
+    alive_at_u[e] = alive0;
+    alive_at_v[e] = alive0;
+    // Historic quirk preserved: the first |E_i| count includes every
+    // edge, dead-at-weight-zero ones included.
+    ++alive_cnt[owner_of(e, machines)];
+  }
+
   RlrBMatchingResult res;
-  Rng root_rng(params.seed);
+  const Rng root_rng(params.seed);  // immutable; streams only
   // Threshold for shipping everything: |E_i| < 2*b*ln(1/delta)*eta.
   const auto ship_all_below = static_cast<std::uint64_t>(
       2.0 * static_cast<double>(b_max) * ln_inv_delta *
       static_cast<double>(eta));
 
+  // Consume last iteration's death notices, then report the live count.
+  const mrc::RoundId r_count = engine.define_round(
+      "count|Ei|", [&](MachineContext& ctx, std::span<const Word>) {
+        const MachineId id = ctx.id();
+        for (const mrc::MessageView msg : ctx.messages()) {
+          for (const Word ew : msg.payload) {
+            const auto e = static_cast<EdgeId>(ew);
+            const graph::Edge& ed = g.edge(e);
+            if (owner_of(ed.u, machines) == id) alive_at_u[e] = 0;
+            if (owner_of(ed.v, machines) == id) alive_at_v[e] = 0;
+          }
+        }
+        ctx.charge_resident(1);
+        ctx.send(mrc::kCentral, {alive_cnt[id]});
+      });
+
+  // Vertex v draws b(v)*ln(1/delta)*n^mu alive incident edges (or all
+  // of them in the endgame) and ships {v, (e, w)...} to central.
+  const mrc::RoundId r_sample = engine.define_round(
+      "sample", [&](MachineContext& ctx, std::span<const Word> ps) {
+        const std::uint64_t iter = ps[0];
+        const bool ship_all = ps[1] != 0;
+        ctx.charge_resident(footprint[ctx.id()]);
+        Rng rng = root_rng.stream((iter << 20) ^ ctx.id());
+        for (VertexId v = static_cast<VertexId>(ctx.id()); v < n;
+             v = static_cast<VertexId>(v + machines)) {
+          std::vector<EdgeId> alive;
+          for (const graph::Incidence& inc : g.neighbours(v)) {
+            const char is_alive = g.edge(inc.edge).u == v
+                                      ? alive_at_u[inc.edge]
+                                      : alive_at_v[inc.edge];
+            if (is_alive) alive.push_back(inc.edge);
+          }
+          if (alive.empty()) continue;
+          std::vector<EdgeId> chosen;
+          if (ship_all) {
+            chosen = std::move(alive);
+          } else {
+            const auto want = static_cast<std::uint64_t>(
+                std::ceil(params.sample_boost * static_cast<double>(b[v]) *
+                          ln_inv_delta * static_cast<double>(n_mu)));
+            if (want >= alive.size()) {
+              chosen = std::move(alive);
+            } else {
+              const auto pick =
+                  rng.sample_without_replacement(alive.size(), want);
+              for (const auto k : pick) chosen.push_back(alive[k]);
+            }
+          }
+          mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+          msg.push(v);
+          for (const EdgeId e : chosen) {
+            msg.push(e);
+            msg.push(pack_double(g.weight(e)));
+          }
+        }
+      });
+
+  // Forward the phi wave: {v, phi} pairs fan out as {e, v, phi} triples
+  // to the owners of v's incident edges; one-word stacked notices are
+  // recorded by the edge owner directly.
+  const mrc::RoundId r_forward_phi = engine.define_round(
+      "forward-phi", [&](MachineContext& ctx, std::span<const Word>) {
+        ctx.charge_resident(footprint[ctx.id()]);
+        for (const mrc::MessageView msg : ctx.messages()) {
+          if (msg.payload.size() == 1) {
+            owner_stacked[static_cast<EdgeId>(msg.payload[0])] = 1;
+            continue;
+          }
+          for (std::size_t k = 0; k + 1 < msg.payload.size(); k += 2) {
+            const auto v = static_cast<VertexId>(msg.payload[k]);
+            for (const graph::Incidence& inc : g.neighbours(v)) {
+              ctx.send(owner_of(inc.edge, machines),
+                       {inc.edge, v, msg.payload[k + 1]});
+            }
+          }
+        }
+      });
+
+  // Edge owners apply the phi triples, re-derive aliveness with the
+  // exact float expression of lr.edge_alive, and emit death notices.
+  const mrc::RoundId r_recompute = engine.define_round(
+      "recompute-alive", [&](MachineContext& ctx, std::span<const Word>) {
+        const MachineId id = ctx.id();
+        ctx.charge_resident(footprint[id]);
+        for (const mrc::MessageView msg : ctx.messages()) {
+          for (std::size_t k = 0; k + 2 < msg.payload.size(); k += 3) {
+            const auto e = static_cast<EdgeId>(msg.payload[k]);
+            const auto v = static_cast<VertexId>(msg.payload[k + 1]);
+            const double phi = unpack_double(msg.payload[k + 2]);
+            if (g.edge(e).u == v) {
+              phi_u_acc[e] = phi;
+            } else {
+              phi_v_acc[e] = phi;
+            }
+          }
+        }
+        std::uint64_t count = 0;
+        for (EdgeId e = static_cast<EdgeId>(id); e < m;
+             e = static_cast<EdgeId>(e + machines)) {
+          const bool alive =
+              !owner_stacked[e] &&
+              g.weight(e) > (1.0 + eps) * (phi_u_acc[e] + phi_v_acc[e]);
+          if (owner_alive[e] && !alive) {
+            const graph::Edge& ed = g.edge(e);
+            ctx.send(owner_of(ed.u, machines), {e});
+            if (owner_of(ed.v, machines) != owner_of(ed.u, machines)) {
+              ctx.send(owner_of(ed.v, machines), {e});
+            }
+          }
+          owner_alive[e] = alive ? 1 : 0;
+          if (alive) ++count;
+        }
+        alive_cnt[id] = count;
+      });
+
   for (std::uint64_t iter = 0; iter < params.max_iterations; ++iter) {
-    std::vector<Word> counts(alive_count.begin(), alive_count.end());
-    const std::uint64_t ei = allreduce_sum_direct(engine, counts, "count|Ei|");
+    engine.invoke_round(r_count);
+    std::uint64_t ei = 0;
+    engine.run_central_round("sum|Ei|", [&](MachineContext& ctx) {
+      ctx.charge_resident(ctx.inbox_words() + 1);
+      for (const mrc::MessageView msg : ctx.messages()) {
+        for (const Word w : msg.payload) ei += w;
+      }
+    });
     if (ei == 0) break;
     ++res.outcome.iterations;
     const bool ship_all = ei < ship_all_below;
 
-    // --- Sampling: vertex v draws b(v)*ln(1/delta)*n^mu alive incident
-    // edges (or all of them in the endgame). ---
-    std::vector<std::vector<EdgeId>> sampled(n);
-    engine.run_round("sample", [&](MachineContext& ctx) {
-      ctx.charge_resident(footprint[ctx.id()]);
-      Rng rng = root_rng.stream((iter << 20) ^ ctx.id());
-      for (VertexId v = static_cast<VertexId>(ctx.id()); v < n;
-           v = static_cast<VertexId>(v + machines)) {
-        std::vector<EdgeId> alive;
-        for (const graph::Incidence& inc : g.neighbours(v)) {
-          if (lr.edge_alive(inc.edge)) alive.push_back(inc.edge);
-        }
-        if (alive.empty()) continue;
-        if (ship_all) {
-          sampled[v] = std::move(alive);
-        } else {
-          const auto want = static_cast<std::uint64_t>(
-              std::ceil(params.sample_boost * static_cast<double>(b[v]) *
-                        ln_inv_delta * static_cast<double>(n_mu)));
-          if (want >= alive.size()) {
-            sampled[v] = std::move(alive);
-          } else {
-            const auto pick =
-                rng.sample_without_replacement(alive.size(), want);
-            for (const auto k : pick) sampled[v].push_back(alive[k]);
-          }
-        }
-        mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
-        for (const EdgeId e : sampled[v]) {
-          msg.push(e);
-          msg.push(pack_double(g.weight(e)));
-        }
-      }
-    });
+    engine.invoke_round(r_sample, {iter, ship_all ? 1u : 0u});
 
     // --- Central: per vertex, pop the heaviest alive sampled edges up to
     // b(v)*ln(1/delta) times (Algorithm 7 lines 11-17). ---
+    std::vector<EdgeId> newly_stacked;
     engine.run_central_round("local-ratio", [&](MachineContext& ctx) {
       ctx.charge_resident(central_footprint + ctx.inbox_words());
+      // Messages arrive in sender-id order; regroup by vertex so the
+      // processing order is ascending v on every backend, as before.
+      std::vector<std::vector<EdgeId>> sampled(n);
+      for (const mrc::MessageView msg : ctx.messages()) {
+        const auto v = static_cast<VertexId>(msg.payload[0]);
+        for (std::size_t k = 1; k + 1 < msg.payload.size(); k += 2) {
+          sampled[v].push_back(static_cast<EdgeId>(msg.payload[k]));
+        }
+      }
       for (VertexId v = 0; v < n; ++v) {
         if (sampled[v].empty()) continue;
         // Residual order is stable during v's loop (each reduction
@@ -217,37 +343,26 @@ RlrBMatchingResult rlr_b_matching(const graph::Graph& g,
         std::uint64_t taken = 0;
         for (const EdgeId e : sampled[v]) {
           if (taken >= quota) break;
-          if (lr.process(e)) ++taken;
+          if (lr.process(e)) {
+            ++taken;
+            newly_stacked.push_back(e);
+          }
         }
       }
     });
 
-    // --- Propagate phi and recompute aliveness (as in Algorithm 4). ---
+    // --- Propagate phi (and the stacked set) and recompute aliveness. ---
     engine.run_central_round("send-phi", [&](MachineContext& ctx) {
       ctx.charge_resident(central_footprint);
       for (VertexId v = 0; v < n; ++v) {
         ctx.send(owner_of(v, machines), {v, pack_double(lr.phi(v))});
       }
-    });
-    engine.run_round("forward-phi", [&](MachineContext& ctx) {
-      ctx.charge_resident(footprint[ctx.id()]);
-      for (const mrc::MessageView msg : ctx.messages()) {
-        for (std::size_t k = 0; k + 1 < msg.payload.size(); k += 2) {
-          const auto v = static_cast<VertexId>(msg.payload[k]);
-          for (const graph::Incidence& inc : g.neighbours(v)) {
-            ctx.send(owner_of(inc.edge, machines),
-                     {inc.edge, msg.payload[k + 1]});
-          }
-        }
+      for (const EdgeId e : newly_stacked) {
+        ctx.send(owner_of(e, machines), {e});
       }
     });
-    engine.run_round("recompute-alive", [&](MachineContext& ctx) {
-      ctx.charge_resident(footprint[ctx.id()]);
-    });
-    for (MachineId o = 0; o < machines; ++o) alive_count[o] = 0;
-    for (EdgeId e = 0; e < m; ++e) {
-      if (lr.edge_alive(e)) ++alive_count[owner_of(e, machines)];
-    }
+    engine.invoke_round(r_forward_phi);
+    engine.invoke_round(r_recompute);
   }
 
   RlrBMatchingResult unwound = lr.unwind();

@@ -46,18 +46,43 @@ RlrMatchingResult rlr_matching(const graph::Graph& g,
   mrc::Engine engine(topo);
   const std::uint64_t machines = topo.num_machines;
 
-  // Central state: phi values + stack (Theorem 5.6).
+  // Central state: phi values + stack (Theorem 5.6). The central
+  // machine is always coordinator-resident, so this stays a plain host
+  // object under every backend.
   seq::MatchingLocalRatio lr(g);
   const std::uint64_t central_footprint = n + 2;
 
   // Edge e lives on owner_of(e); vertex v (and its adjacency list) on
-  // owner_of(v). Footprints per machine.
+  // owner_of(v). Footprints per machine (job-immutable).
   std::vector<std::uint64_t> footprint(machines, 0);
-  std::vector<std::uint64_t> alive_count(machines, 0);
+
+  // Worker-resident per-machine state (the process-clean contract):
+  // every slot below is mutated only by its owner machine's callbacks,
+  // so a persistent worker keeps its shard's slots current across
+  // rounds without ever reading coordinator memory.
+  //
+  // An edge is alive iff its modified weight w(e) - phi(u) - phi(v) is
+  // positive: process() raises both endpoint phis by the (positive)
+  // modified weight, so a stacked edge's modified weight is negative
+  // forever after — aliveness is a pure function of phi. Edge owners
+  // keep the two phi halves separately (so the float subtraction order
+  // matches MatchingLocalRatio::modified_weight exactly) and notify
+  // the endpoint owners when an edge dies; aliveness is monotone, so
+  // death notices are the only view updates ever needed.
+  std::vector<std::uint64_t> alive_cnt(machines, 0);  // owned alive edges
+  std::vector<double> phi_u_acc(m, 0.0);  // edge-owner slots
+  std::vector<double> phi_v_acc(m, 0.0);
+  std::vector<char> owner_alive(m, 0);    // edge-owner slots
+  std::vector<char> alive_at_u(m, 0);     // owner_of(u) slots
+  std::vector<char> alive_at_v(m, 0);     // owner_of(v) slots
   for (EdgeId e = 0; e < m; ++e) {
     const MachineId o = owner_of(e, machines);
     footprint[o] += 4;  // id + endpoints + weight
-    ++alive_count[o];
+    ++alive_cnt[o];     // first-iteration count is all edges (historic)
+    const char alive0 = g.weight(e) > 0.0 ? 1 : 0;  // == lr.edge_alive now
+    owner_alive[e] = alive0;
+    alive_at_u[e] = alive0;
+    alive_at_v[e] = alive0;
   }
   for (VertexId v = 0; v < n; ++v) {
     footprint[owner_of(v, machines)] += 1 + g.degree(v);
@@ -66,9 +91,115 @@ RlrMatchingResult rlr_matching(const graph::Graph& g,
   RlrMatchingResult res;
   Rng root_rng(params.seed);
 
+  // --- Registered rounds: defined before the first invoke so worker
+  // processes inherit the full registry at spawn. ---
+
+  // Owned-alive count to central; also consumes the death notices the
+  // previous iteration's recompute round addressed to vertex owners.
+  const mrc::RoundId r_count = engine.define_round(
+      "count|Ei|", [&](MachineContext& ctx, std::span<const Word>) {
+        ctx.charge_resident(footprint[ctx.id()] + 1);
+        for (const mrc::MessageView msg : ctx.messages()) {
+          for (const Word w : msg.payload) {
+            const auto e = static_cast<EdgeId>(w);
+            const graph::Edge& ed = g.edge(e);
+            if (owner_of(ed.u, machines) == ctx.id()) alive_at_u[e] = 0;
+            if (owner_of(ed.v, machines) == ctx.id()) alive_at_v[e] = 0;
+          }
+        }
+        ctx.send(mrc::kCentral, {alive_cnt[ctx.id()]});
+      });
+
+  // Per-vertex sampling; ship (edge, weight) pairs to central. Every
+  // owned vertex sends exactly one message (possibly empty) in
+  // ascending vertex order, so the central machine can attribute
+  // message i of sender s to vertex s + i*M without the vertex id on
+  // the wire — empty frames carry zero payload words, so the engine's
+  // word accounting is unchanged by the placeholders. All sample state
+  // flows through the engine (no host-side side channels).
+  const mrc::RoundId r_sample = engine.define_round(
+      "sample", [&](MachineContext& ctx, std::span<const Word> ps) {
+        const std::uint64_t iter = ps[0];
+        const bool ship_all = ps[1] != 0;
+        const double p = unpack_double(ps[2]);
+        ctx.charge_resident(footprint[ctx.id()]);
+        Rng rng = root_rng.stream((iter << 20) ^ ctx.id());
+        for (VertexId v = static_cast<VertexId>(ctx.id()); v < n;
+             v = static_cast<VertexId>(v + machines)) {
+          mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+          for (const graph::Incidence& inc : g.neighbours(v)) {
+            const graph::Edge& ed = g.edge(inc.edge);
+            const bool alive =
+                ed.u == v ? alive_at_u[inc.edge] : alive_at_v[inc.edge];
+            if (!alive) continue;
+            if (ship_all || rng.bernoulli(p)) {
+              msg.push(inc.edge);
+              msg.push(pack_double(g.weight(inc.edge)));
+            }
+          }
+        }
+      });
+
+  // Vertex owners forward phi to incident edge owners, tagged with the
+  // vertex so the edge owner knows which endpoint's half it is.
+  const mrc::RoundId r_forward_phi = engine.define_round(
+      "forward-phi", [&](MachineContext& ctx, std::span<const Word>) {
+        ctx.charge_resident(footprint[ctx.id()]);
+        for (const mrc::MessageView msg : ctx.messages()) {
+          for (std::size_t k = 0; k + 1 < msg.payload.size(); k += 2) {
+            const auto v = static_cast<VertexId>(msg.payload[k]);
+            const Word phi_w = msg.payload[k + 1];
+            for (const graph::Incidence& inc : g.neighbours(v)) {
+              ctx.send(owner_of(inc.edge, machines), {inc.edge, v, phi_w});
+            }
+          }
+        }
+      });
+
+  // Edge owners refresh their phi halves, recompute aliveness, update
+  // their owned-alive count, and send death notices to the endpoint
+  // owners (delivered into the next iteration's count round).
+  const mrc::RoundId r_recompute = engine.define_round(
+      "recompute-alive", [&](MachineContext& ctx, std::span<const Word>) {
+        ctx.charge_resident(footprint[ctx.id()]);
+        for (const mrc::MessageView msg : ctx.messages()) {
+          for (std::size_t k = 0; k + 2 < msg.payload.size(); k += 3) {
+            const auto e = static_cast<EdgeId>(msg.payload[k]);
+            const auto v = static_cast<VertexId>(msg.payload[k + 1]);
+            const double phi = unpack_double(msg.payload[k + 2]);
+            if (g.edge(e).u == v) {
+              phi_u_acc[e] = phi;
+            } else {
+              phi_v_acc[e] = phi;
+            }
+          }
+        }
+        std::uint64_t count = 0;
+        for (EdgeId e = static_cast<EdgeId>(ctx.id()); e < m;
+             e = static_cast<EdgeId>(e + machines)) {
+          const double mw = g.weight(e) - phi_u_acc[e] - phi_v_acc[e];
+          const bool alive = mw > 0.0;
+          if (alive) ++count;
+          if (owner_alive[e] && !alive) {
+            const graph::Edge& ed = g.edge(e);
+            ctx.send(owner_of(ed.u, machines), {e});
+            ctx.send(owner_of(ed.v, machines), {e});
+          }
+          owner_alive[e] = alive ? 1 : 0;
+        }
+        alive_cnt[ctx.id()] = count;
+      });
+
   for (std::uint64_t iter = 0; iter < params.max_iterations; ++iter) {
-    std::vector<Word> counts(alive_count.begin(), alive_count.end());
-    const std::uint64_t ei = allreduce_sum_direct(engine, counts, "count|Ei|");
+    // --- 1. |E_i|: owned counts to central, summed centrally. ---
+    engine.invoke_round(r_count, {iter});
+    std::uint64_t ei = 0;
+    engine.run_central_round("sum|Ei|", [&](MachineContext& ctx) {
+      ctx.charge_resident(ctx.inbox_words() + 1);
+      for (const mrc::MessageView msg : ctx.messages()) {
+        for (const Word w : msg.payload) ei += w;
+      }
+    });
     if (ei == 0) break;
     ++res.outcome.iterations;
 
@@ -79,29 +210,10 @@ RlrMatchingResult rlr_matching(const graph::Graph& g,
                                      static_cast<double>(eta) /
                                      static_cast<double>(ei));
 
-    // --- 2. Per-vertex sampling; ship (edge, weight) pairs to central. --
-    // Every owned vertex sends exactly one message (possibly empty) in
-    // ascending vertex order, so the central machine can attribute
-    // message i of sender s to vertex s + i*M without the vertex id on
-    // the wire — empty frames carry zero payload words, so the engine's
-    // word accounting is unchanged by the placeholders. All sample
-    // state flows through the engine (no host-side side channels),
-    // which is what makes this driver process-clean.
-    engine.run_round("sample", [&](MachineContext& ctx) {
-      ctx.charge_resident(footprint[ctx.id()]);
-      Rng rng = root_rng.stream((iter << 20) ^ ctx.id());
-      for (VertexId v = static_cast<VertexId>(ctx.id()); v < n;
-           v = static_cast<VertexId>(v + machines)) {
-        mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
-        for (const graph::Incidence& inc : g.neighbours(v)) {
-          if (!lr.edge_alive(inc.edge)) continue;
-          if (ship_all || rng.bernoulli(p)) {
-            msg.push(inc.edge);
-            msg.push(pack_double(g.weight(inc.edge)));
-          }
-        }
-      }
-    });
+    // --- 2. Per-vertex sampling. ---
+    engine.invoke_round(
+        r_sample,
+        {iter, static_cast<Word>(ship_all ? 1 : 0), pack_double(p)});
     // Merged coordinator-side accounting: every sampled edge is exactly
     // one (id, weight) pair in the central inbox, identically under
     // every backend.
@@ -169,26 +281,9 @@ RlrMatchingResult rlr_matching(const graph::Graph& g,
       }
     });
     // --- 4b. Vertex owners forward phi to incident edge owners. ---
-    engine.run_round("forward-phi", [&](MachineContext& ctx) {
-      ctx.charge_resident(footprint[ctx.id()]);
-      for (const mrc::MessageView msg : ctx.messages()) {
-        for (std::size_t k = 0; k + 1 < msg.payload.size(); k += 2) {
-          const auto v = static_cast<VertexId>(msg.payload[k]);
-          const Word phi_w = msg.payload[k + 1];
-          for (const graph::Incidence& inc : g.neighbours(v)) {
-            ctx.send(owner_of(inc.edge, machines), {inc.edge, phi_w});
-          }
-        }
-      }
-    });
-    // --- 4c. Edge owners recompute aliveness. ---
-    engine.run_round("recompute-alive", [&](MachineContext& ctx) {
-      ctx.charge_resident(footprint[ctx.id()]);
-    });
-    for (MachineId o = 0; o < machines; ++o) alive_count[o] = 0;
-    for (EdgeId e = 0; e < m; ++e) {
-      if (lr.edge_alive(e)) ++alive_count[owner_of(e, machines)];
-    }
+    engine.invoke_round(r_forward_phi);
+    // --- 4c. Edge owners recompute aliveness and counts. ---
+    engine.invoke_round(r_recompute);
   }
 
   res.stack_size = lr.stack_size();

@@ -1,8 +1,10 @@
 #include "mrlr/core/rlr_setcover.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "mrlr/graph/validate.hpp"
+#include "mrlr/mrc/broadcast.hpp"
 #include "mrlr/seq/local_ratio_setcover.hpp"
 #include "mrlr/setcover/validate.hpp"
 #include "mrlr/util/math.hpp"
@@ -52,10 +54,13 @@ RlrSetCoverResult rlr_set_cover(const setcover::SetSystem& sys,
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
   topo.enforce = params.enforce_space;
   topo.num_threads = params.num_threads;
+  topo.num_shards = std::max<std::uint64_t>(1, params.num_shards);
   mrc::Engine engine(topo);
 
-  // Distributed state. The simulator shares memory; the distribution is
-  // captured by ownership (owner_of) and by per-round resident charges.
+  // Worker-resident distributed state: machine o owns element j iff
+  // o == owner_of(j, M), and only o's callbacks touch active[j] or the
+  // o-indexed slots. covered_by[o] mirrors the centrally-zeroed sets on
+  // machine o; it is refreshed by the broadcast's apply hook.
   std::vector<char> active(m, 1);
   std::vector<std::uint64_t> active_count(sz.machines, 0);
   std::vector<std::uint64_t> footprint(sz.machines, 0);  // words owned
@@ -64,18 +69,72 @@ RlrSetCoverResult rlr_set_cover(const setcover::SetSystem& sys,
     ++active_count[o];
     footprint[o] += 2 + sys.sets_containing(j).size();  // id + bit + T_j
   }
+  std::vector<std::vector<char>> covered_by(sz.machines,
+                                            std::vector<char>(n, 0));
 
   // Central machine's persistent local ratio state (residual weights).
+  // Central is coordinator-resident, so this host object is fine.
   seq::SetCoverLocalRatio lr(sys);
   const std::uint64_t central_footprint = n + 2;  // residuals + counters
 
   RlrSetCoverResult res;
-  Rng root_rng(params.seed);
+  const Rng root_rng(params.seed);  // immutable; streams only
+
+  const mrc::RoundId r_count = engine.define_round(
+      "count|Ur|", [&](MachineContext& ctx, std::span<const Word>) {
+        ctx.charge_resident(1);
+        ctx.send(mrc::kCentral, {active_count[ctx.id()]});
+      });
+  const mrc::RoundId r_sample = engine.define_round(
+      "sample", [&](MachineContext& ctx, std::span<const Word> ps) {
+        const std::uint64_t iter = ps[0];
+        const double p = unpack_double(ps[1]);
+        ctx.charge_resident(footprint[ctx.id()]);
+        Rng rng = root_rng.stream((iter << 20) ^ ctx.id());
+        for (ElementId j = static_cast<ElementId>(ctx.id()); j < m;
+             j = static_cast<ElementId>(j + sz.machines)) {
+          if (!active[j] || !rng.bernoulli(p)) continue;
+          const auto owners = sys.sets_containing(j);
+          mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+          msg.push(j);
+          msg.push(owners.size());
+          for (const SetId i : owners) msg.push(i);
+        }
+      });
+  // Tree-broadcast of the newly covered sets; the apply hook marks them
+  // in the machine's mirror and deactivates its covered elements. An
+  // element still active here has no previously-zeroed owner (it would
+  // have been deactivated the iteration that set was zeroed), so the
+  // mirror check is equivalent to the old residual_weight scan.
+  mrc::JobBroadcast bcast(
+      engine, "bcast C",
+      [&](MachineContext& ctx, std::span<const Word> zeroed) {
+        const MachineId id = ctx.id();
+        std::vector<char>& covered = covered_by[id];
+        for (const Word i : zeroed) covered[static_cast<SetId>(i)] = 1;
+        for (ElementId j = static_cast<ElementId>(id); j < m;
+             j = static_cast<ElementId>(j + sz.machines)) {
+          if (!active[j]) continue;
+          const auto owners = sys.sets_containing(j);
+          const bool hit = std::any_of(owners.begin(), owners.end(),
+                                       [&](SetId i) { return covered[i]; });
+          if (hit) {
+            active[j] = 0;
+            --active_count[id];
+          }
+        }
+      });
 
   for (std::uint64_t iter = 0; iter < params.max_iterations; ++iter) {
-    // --- 1. |U_r| (three accounting rounds: gather, scatter, drain). ---
-    std::vector<Word> counts(active_count.begin(), active_count.end());
-    const std::uint64_t ur = allreduce_sum_direct(engine, counts, "count|Ur|");
+    // --- 1. |U_r|: owners report their live counts; central sums. ---
+    engine.invoke_round(r_count);
+    std::uint64_t ur = 0;
+    engine.run_central_round("sum|Ur|", [&](MachineContext& ctx) {
+      ctx.charge_resident(ctx.inbox_words() + 1);
+      for (const mrc::MessageView msg : ctx.messages()) {
+        for (const Word w : msg.payload) ur += w;
+      }
+    });
     if (ur == 0) break;
     ++res.outcome.iterations;
 
@@ -84,32 +143,16 @@ RlrSetCoverResult rlr_set_cover(const setcover::SetSystem& sys,
                  static_cast<double>(ur));
 
     // --- 2. Sampling round: machines ship sampled T_j to central. ---
-    // Each machine stages its draws in its own slot; concatenating in
-    // machine-id order after the barrier reproduces the sequential scan
-    // order, so the central pass below is backend-independent.
-    std::vector<std::vector<ElementId>> sampled_by(sz.machines);
-    engine.run_round("sample", [&](MachineContext& ctx) {
-      ctx.charge_resident(footprint[ctx.id()]);
-      Rng rng = root_rng.stream((iter << 20) ^ ctx.id());
-      for (ElementId j = static_cast<ElementId>(ctx.id()); j < m;
-           j = static_cast<ElementId>(j + sz.machines)) {
-        if (!active[j] || !rng.bernoulli(p)) continue;
-        sampled_by[ctx.id()].push_back(j);
-        const auto owners = sys.sets_containing(j);
-        mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
-        msg.push(j);
-        msg.push(owners.size());
-        for (const SetId i : owners) msg.push(i);
-      }
-    });
-    std::vector<ElementId> sampled;
-    for (const auto& part : sampled_by) {
-      sampled.insert(sampled.end(), part.begin(), part.end());
-    }
+    // One message per sampled element; sender-id-order merge reproduces
+    // the sequential scan order on every backend.
+    engine.invoke_round(r_sample, {iter, pack_double(p)});
 
+    // Control-plane peek: one message per sampled element, so the fail
+    // check runs before the oversized inbox is ever charged.
+    const std::uint64_t sampled = engine.inbox_size(mrc::kCentral);
     const std::uint64_t sample_cap = static_cast<std::uint64_t>(
         6.0 * params.sample_boost * static_cast<double>(sz.eta));
-    if (sampled.size() > sample_cap) {
+    if (sampled > sample_cap) {
       res.outcome.failed = true;
       break;
     }
@@ -118,7 +161,8 @@ RlrSetCoverResult rlr_set_cover(const setcover::SetSystem& sys,
     std::vector<SetId> newly_zeroed;
     engine.run_central_round("local-ratio", [&](MachineContext& ctx) {
       ctx.charge_resident(central_footprint + ctx.inbox_words());
-      for (const ElementId j : sampled) {
+      for (const mrc::MessageView msg : ctx.messages()) {
+        const auto j = static_cast<ElementId>(msg.payload[0]);
         for (const SetId i : lr.process(j)) newly_zeroed.push_back(i);
       }
     });
@@ -127,19 +171,7 @@ RlrSetCoverResult rlr_set_cover(const setcover::SetSystem& sys,
     std::vector<Word> payload;
     payload.reserve(newly_zeroed.size());
     for (const SetId i : newly_zeroed) payload.push_back(i);
-    mrc::broadcast_from_central(engine, payload, "bcast C");
-
-    for (ElementId j = 0; j < m; ++j) {
-      if (!active[j]) continue;
-      const auto owners = sys.sets_containing(j);
-      const bool covered = std::any_of(
-          owners.begin(), owners.end(),
-          [&](SetId i) { return lr.residual_weight(i) <= 0.0; });
-      if (covered) {
-        active[j] = 0;
-        --active_count[owner_of(j, sz.machines)];
-      }
-    }
+    bcast.run(std::move(payload));
   }
 
   res.cover = lr.cover();
@@ -170,6 +202,7 @@ RlrVertexCoverResult rlr_vertex_cover(const graph::Graph& g,
   topo.fanout = std::max<std::uint64_t>(2, ipow_real(n, params.mu, 2));
   topo.enforce = params.enforce_space;
   topo.num_threads = params.num_threads;
+  topo.num_shards = std::max<std::uint64_t>(1, params.num_shards);
   mrc::Engine engine(topo);
 
   const setcover::SetSystem sys =
@@ -192,11 +225,63 @@ RlrVertexCoverResult rlr_vertex_cover(const graph::Graph& g,
   const std::uint64_t central_footprint = n + 2;
 
   RlrVertexCoverResult res;
-  Rng root_rng(params.seed);
+  const Rng root_rng(params.seed);  // immutable; streams only
+
+  const mrc::RoundId r_count = engine.define_round(
+      "count|Ur|", [&](MachineContext& ctx, std::span<const Word>) {
+        ctx.charge_resident(1);
+        ctx.send(mrc::kCentral, {active_count[ctx.id()]});
+      });
+  const mrc::RoundId r_sample = engine.define_round(
+      "sample", [&](MachineContext& ctx, std::span<const Word> ps) {
+        const std::uint64_t iter = ps[0];
+        const double p = unpack_double(ps[1]);
+        ctx.charge_resident(footprint[ctx.id()]);
+        Rng rng = root_rng.stream((iter << 20) ^ ctx.id());
+        for (ElementId j = static_cast<ElementId>(ctx.id()); j < m;
+             j = static_cast<ElementId>(j + sz.machines)) {
+          if (!active[j] || !rng.bernoulli(p)) continue;
+          const graph::Edge& e = g.edge(j);
+          ctx.send(mrc::kCentral, {j, e.u, e.v});
+        }
+      });
+  // Forward round B: vertex owners tell the owners of incident edges.
+  const mrc::RoundId r_notify_edges = engine.define_round(
+      "notify-edges", [&](MachineContext& ctx, std::span<const Word>) {
+        ctx.charge_resident(footprint[ctx.id()]);
+        for (const mrc::MessageView msg : ctx.messages()) {
+          for (const Word vw : msg.payload) {
+            const auto v = static_cast<graph::VertexId>(vw);
+            for (const graph::Incidence& inc : g.neighbours(v)) {
+              ctx.send(owner_of(inc.edge, sz.machines), {inc.edge});
+            }
+          }
+        }
+      });
+  // Drain + deactivate.
+  const mrc::RoundId r_deactivate = engine.define_round(
+      "deactivate", [&](MachineContext& ctx, std::span<const Word>) {
+        ctx.charge_resident(footprint[ctx.id()]);
+        for (const mrc::MessageView msg : ctx.messages()) {
+          for (const Word ew : msg.payload) {
+            const auto e = static_cast<ElementId>(ew);
+            if (active[e]) {
+              active[e] = 0;
+              --active_count[ctx.id()];
+            }
+          }
+        }
+      });
 
   for (std::uint64_t iter = 0; iter < params.max_iterations; ++iter) {
-    std::vector<Word> counts(active_count.begin(), active_count.end());
-    const std::uint64_t ur = allreduce_sum_direct(engine, counts, "count|Ur|");
+    engine.invoke_round(r_count);
+    std::uint64_t ur = 0;
+    engine.run_central_round("sum|Ur|", [&](MachineContext& ctx) {
+      ctx.charge_resident(ctx.inbox_words() + 1);
+      for (const mrc::MessageView msg : ctx.messages()) {
+        for (const Word w : msg.payload) ur += w;
+      }
+    });
     if (ur == 0) break;
     ++res.outcome.iterations;
 
@@ -204,26 +289,13 @@ RlrVertexCoverResult rlr_vertex_cover(const graph::Graph& g,
         1.0, params.sample_boost * 2.0 * static_cast<double>(sz.eta) /
                  static_cast<double>(ur));
 
-    std::vector<std::vector<ElementId>> sampled_by(sz.machines);
-    engine.run_round("sample", [&](MachineContext& ctx) {
-      ctx.charge_resident(footprint[ctx.id()]);
-      Rng rng = root_rng.stream((iter << 20) ^ ctx.id());
-      for (ElementId j = static_cast<ElementId>(ctx.id()); j < m;
-           j = static_cast<ElementId>(j + sz.machines)) {
-        if (!active[j] || !rng.bernoulli(p)) continue;
-        sampled_by[ctx.id()].push_back(j);
-        const graph::Edge& e = g.edge(j);
-        ctx.send(mrc::kCentral, {j, e.u, e.v});
-      }
-    });
-    std::vector<ElementId> sampled;
-    for (const auto& part : sampled_by) {
-      sampled.insert(sampled.end(), part.begin(), part.end());
-    }
+    engine.invoke_round(r_sample, {iter, pack_double(p)});
 
+    // One 3-word message per sampled edge; peek before charging.
+    const std::uint64_t sampled = engine.inbox_size(mrc::kCentral);
     const std::uint64_t sample_cap = static_cast<std::uint64_t>(
         6.0 * params.sample_boost * static_cast<double>(sz.eta));
-    if (sampled.size() > sample_cap) {
+    if (sampled > sample_cap) {
       res.outcome.failed = true;
       break;
     }
@@ -231,7 +303,8 @@ RlrVertexCoverResult rlr_vertex_cover(const graph::Graph& g,
     std::vector<SetId> newly_zeroed;
     engine.run_central_round("local-ratio", [&](MachineContext& ctx) {
       ctx.charge_resident(central_footprint + ctx.inbox_words());
-      for (const ElementId j : sampled) {
+      for (const mrc::MessageView msg : ctx.messages()) {
+        const auto j = static_cast<ElementId>(msg.payload[0]);
         for (const SetId i : lr.process(j)) newly_zeroed.push_back(i);
       }
     });
@@ -243,31 +316,8 @@ RlrVertexCoverResult rlr_vertex_cover(const graph::Graph& g,
         ctx.send(owner_of(v, sz.machines), {v});
       }
     });
-    // Forward round B: vertex owners tell the owners of incident edges.
-    engine.run_round("notify-edges", [&](MachineContext& ctx) {
-      ctx.charge_resident(footprint[ctx.id()]);
-      for (const mrc::MessageView msg : ctx.messages()) {
-        for (const Word vw : msg.payload) {
-          const auto v = static_cast<graph::VertexId>(vw);
-          for (const graph::Incidence& inc : g.neighbours(v)) {
-            ctx.send(owner_of(inc.edge, sz.machines), {inc.edge});
-          }
-        }
-      }
-    });
-    // Drain + deactivate.
-    engine.run_round("deactivate", [&](MachineContext& ctx) {
-      ctx.charge_resident(footprint[ctx.id()]);
-      for (const mrc::MessageView msg : ctx.messages()) {
-        for (const Word ew : msg.payload) {
-          const auto e = static_cast<ElementId>(ew);
-          if (active[e]) {
-            active[e] = 0;
-            --active_count[owner_of(e, sz.machines)];
-          }
-        }
-      }
-    });
+    engine.invoke_round(r_notify_edges);
+    engine.invoke_round(r_deactivate);
   }
 
   for (const SetId i : lr.cover()) {

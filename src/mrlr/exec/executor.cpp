@@ -17,8 +17,8 @@ std::unique_ptr<Executor> make_executor(std::uint64_t num_threads) {
 std::unique_ptr<Executor> make_executor(std::uint64_t num_threads,
                                         std::uint64_t num_shards) {
   if (num_shards > 1) {
-    // Shards fork workers per round; forking a process that is mid-way
-    // through a thread-pool round is not a combination we support, so
+    // Shards fork persistent workers at job start; forking a process
+    // that owns a live thread pool is not a combination we support, so
     // the two knobs are mutually exclusive for now.
     MRLR_REQUIRE(num_threads <= 1,
                  "process backend runs machines serially within each "

@@ -42,6 +42,42 @@ class ShardDataPlane {
                               std::span<const std::byte> bytes) = 0;
 };
 
+/// Job-scoped extension of the data plane for backends with persistent
+/// workers: rounds are *registered* (closures defined before the job
+/// starts, inherited by workers at spawn) and then *invoked* by id with
+/// a small parameter vector, so a long-lived worker never needs a
+/// closure shipped to it. Per-round inputs (each machine's inbox) flow
+/// coordinator -> worker through serialize_round_input /
+/// apply_round_input; results flow back through the inherited
+/// serialize_machines / apply_machines pair. After the setup frame a
+/// worker reads nothing from coordinator memory — every round's inputs
+/// arrive on the wire.
+class ShardJobPlane : public ShardDataPlane {
+ public:
+  /// Appends the wire encoding of the round inputs (delivered inbox
+  /// frames and words) of machines [first, last) to `out`
+  /// (coordinator side, before the round runs).
+  virtual void serialize_round_input(std::uint64_t first, std::uint64_t last,
+                                     std::vector<std::byte>& out) const = 0;
+
+  /// Installs round inputs produced by serialize_round_input for the
+  /// same range and resets the range's per-round scratch (worker side).
+  /// Must validate `bytes` and throw TransportError(kBadPayload) on
+  /// anything malformed.
+  virtual void apply_round_input(std::uint64_t first, std::uint64_t last,
+                                 std::span<const std::byte> bytes) = 0;
+
+  /// Runs the registered round `round_id` on machine `machine` with the
+  /// invoke parameters (worker side, and coordinator side for shard 0).
+  virtual void run_registered(std::uint64_t round_id, std::uint64_t machine,
+                              std::span<const std::uint64_t> params) = 0;
+
+  /// Number of rounds registered before the job started; workers
+  /// validate this against the setup frame so a coordinator/worker
+  /// registry mismatch fails typed instead of invoking the wrong round.
+  virtual std::uint64_t registered_rounds() const = 0;
+};
+
 /// Abstract machine-range runner.
 class Executor {
  public:
@@ -70,6 +106,38 @@ class Executor {
     run_machines(first, last, fn);
   }
 
+  /// Starts a persistent job: `plane` owns the registered rounds and
+  /// the machine-range state for [0, num_machines). Backends with
+  /// long-lived workers spawn them here (exactly once per job) and ship
+  /// each worker its range over setup frames; in-process backends need
+  /// no job lifecycle and ignore the call.
+  virtual void start_job(std::uint64_t num_machines, ShardJobPlane* plane) {
+    (void)num_machines;
+    (void)plane;
+  }
+
+  /// Runs one registered round of the active job. `fn` is the
+  /// coordinator-local form of the round (id -> run_registered bound by
+  /// the caller); in-process backends just run it over every machine.
+  /// Worker-backed backends ship (round_id, params, round inputs) to
+  /// each worker instead and run only their local machines through
+  /// `fn`. The exception contract matches run_machines (lowest-id
+  /// throwing machine wins).
+  virtual void run_job_round(std::uint64_t round_id,
+                             std::span<const std::uint64_t> params,
+                             std::uint64_t num_machines, const MachineFn& fn,
+                             ShardJobPlane* plane) {
+    (void)round_id;
+    (void)params;
+    (void)plane;
+    run_machines(0, num_machines, fn);
+  }
+
+  /// Ends the active job: worker-backed backends send teardown frames
+  /// and reap their workers. Must be safe to call without a job and
+  /// after a job failure; must not throw.
+  virtual void end_job() {}
+
   /// Backend name for traces and --help output.
   virtual std::string_view name() const = 0;
 
@@ -87,8 +155,8 @@ class Executor {
 std::unique_ptr<Executor> make_executor(std::uint64_t num_threads);
 
 /// As above, plus the `num_shards` knob: when num_shards > 1 the result
-/// is a ProcessShardExecutor with that many forked worker shards per
-/// round (machines run serially within each shard, so num_threads must
+/// is a ProcessShardExecutor with that many persistent per-job worker
+/// shards (machines run serially within each shard, so num_threads must
 /// be 0 or 1 — the two knobs do not compose yet).
 std::unique_ptr<Executor> make_executor(std::uint64_t num_threads,
                                         std::uint64_t num_shards);

@@ -13,7 +13,6 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
-#include "mrlr/exec/shard_transport.hpp"
 #include "mrlr/obs/telemetry.hpp"
 #include "mrlr/util/require.hpp"
 
@@ -63,88 +62,122 @@ void run_serial_range(std::uint64_t first, std::uint64_t last,
   }
 }
 
-/// Worker-process body: run the shard's machines, ship the serialized
-/// data plane plus a status frame, and _exit without ever unwinding
-/// into the coordinator's stack (no atexit, no stdio flush of buffers
-/// the parent also owns).
-[[noreturn]] void worker_main(FdChannel& ch, std::uint32_t shard,
-                              std::uint64_t sequence, std::uint64_t first,
-                              std::uint64_t last,
-                              const Executor::MachineFn& fn,
-                              ShardDataPlane* dp) {
-  // Telemetry: the fork inherited the coordinator's recorder state
-  // (COW), including everything recorded in earlier rounds. Mark the
-  // inherited position so only this shard's own events ship back, and
-  // re-attribute subsequent spans to this shard. Round index is
-  // sequence - 1: the executor bumps round_seq_ once per engine round.
-  obs::Telemetry& tel = obs::Telemetry::instance();
-  const bool telemetry = tel.enabled();
-  obs::Telemetry::Mark tel_mark;
-  const std::uint64_t round_ix = sequence - 1;
-  if (telemetry) {
-    tel_mark = tel.mark();
-    tel.set_shard(shard);
-  }
-
-  std::uint64_t error_machine = 0;
-  bool failed = false;
-  std::string error_what;
-  std::uint64_t t0 = telemetry ? tel.now_ns() : 0;
-  for (std::uint64_t m = first; m < last; ++m) {
-    try {
-      fn(m);
-    } catch (const std::exception& e) {
-      if (!failed) {
-        failed = true;
-        error_machine = m;
-        error_what = e.what();
-      }
-    } catch (...) {
-      if (!failed) {
-        failed = true;
-        error_machine = m;
-        error_what = "unknown exception";
-      }
-    }
-  }
-  if (telemetry) {
-    tel.record_span(obs::Phase::kCallback, t0, tel.now_ns(), round_ix,
-                    "machines [" + std::to_string(first) + ", " +
-                        std::to_string(last) + ")");
-  }
+/// Persistent-worker body: validate the setup frame against the
+/// inherited job plane, then serve kRoundControl frames until teardown.
+/// Each round: install the shipped inbox state for our machine range,
+/// run the registered round over it, and ship the staged arenas plus a
+/// status frame back. Exits via _exit only — never unwinding into the
+/// coordinator's stack (no atexit, no stdio flush of buffers the parent
+/// also owns).
+[[noreturn]] void worker_service_loop(FdChannel& ch, std::uint32_t shard,
+                                      ShardJobPlane* plane) {
   try {
-    std::vector<std::byte> bytes;
-    t0 = telemetry ? tel.now_ns() : 0;
-    dp->serialize_machines(first, last, bytes);
-    if (telemetry) {
-      tel.record_span(obs::Phase::kShardSerialize, t0, tel.now_ns(),
-                      round_ix);
-      t0 = tel.now_ns();
-    }
-    write_frame(ch, FrameKind::kShardData, shard, sequence, bytes);
-    if (telemetry) {
-      tel.record_span(obs::Phase::kShardTransport, t0, tel.now_ns(),
-                      round_ix);
-      // Everything this worker recorded after the fork ships back for
-      // the coordinator's merged profile. The telemetry and status
-      // frames themselves are written after this snapshot, so their
-      // wire counters are only visible on the coordinator's receive
-      // side.
-      write_frame(ch, FrameKind::kShardTelemetry, shard, sequence,
-                  tel.serialize_since(tel_mark));
+    const Frame setup = expect_frame(ch, FrameKind::kJobSetup, shard, 0);
+    if (setup.payload.size() != 32) _exit(kWorkerTransportFailed);
+    const std::uint64_t first = read_u64(setup.payload, 0);
+    const std::uint64_t last = read_u64(setup.payload, 8);
+    const std::uint64_t machines = read_u64(setup.payload, 16);
+    const std::uint64_t rounds = read_u64(setup.payload, 24);
+    if (first > last || last > machines ||
+        rounds != plane->registered_rounds()) {
+      _exit(kWorkerTransportFailed);
     }
 
-    std::vector<std::byte> status;
-    append_u64(status, failed ? 1 : 0);
-    append_u64(status, error_machine);
-    const auto text = status.size();
-    status.resize(text + error_what.size());
-    std::memcpy(status.data() + text, error_what.data(), error_what.size());
-    write_frame(ch, FrameKind::kShardStatus, shard, sequence, status);
+    // Telemetry: the fork inherited the coordinator's recorder state
+    // (COW), including everything recorded before the job. Each round
+    // marks the current position so only that round's own events ship
+    // back; spans recorded here are re-attributed to this shard.
+    obs::Telemetry& tel = obs::Telemetry::instance();
+    const bool telemetry = tel.enabled();
+    if (telemetry) tel.set_shard(shard);
+
+    for (;;) {
+      Frame frame = read_frame(ch);
+      if (frame.kind == FrameKind::kJobTeardown) _exit(kWorkerOk);
+      if (frame.kind != FrameKind::kRoundControl || frame.shard != shard) {
+        _exit(kWorkerTransportFailed);
+      }
+      const std::uint64_t sequence = frame.sequence;
+      const std::uint64_t round_ix = sequence - 1;
+
+      std::span<const std::byte> p = frame.payload;
+      if (p.size() < 16) _exit(kWorkerTransportFailed);
+      const std::uint64_t round_id = read_u64(p, 0);
+      const std::uint64_t param_count = read_u64(p, 8);
+      p = p.subspan(16);
+      if (param_count > p.size() / 8) _exit(kWorkerTransportFailed);
+      // Frame payloads have no alignment guarantee; params are tiny, so
+      // copy them into an aligned buffer instead of aliasing bytes.
+      std::vector<std::uint64_t> params(param_count);
+      for (std::uint64_t i = 0; i < param_count; ++i) {
+        params[i] = read_u64(p, i * 8);
+      }
+      p = p.subspan(param_count * 8);
+
+      obs::Telemetry::Mark tel_mark;
+      if (telemetry) tel_mark = tel.mark();
+
+      plane->apply_round_input(first, last, p);
+
+      std::uint64_t error_machine = 0;
+      bool failed = false;
+      std::string error_what;
+      std::uint64_t t0 = telemetry ? tel.now_ns() : 0;
+      for (std::uint64_t m = first; m < last; ++m) {
+        try {
+          plane->run_registered(round_id, m, params);
+        } catch (const std::exception& e) {
+          if (!failed) {
+            failed = true;
+            error_machine = m;
+            error_what = e.what();
+          }
+        } catch (...) {
+          if (!failed) {
+            failed = true;
+            error_machine = m;
+            error_what = "unknown exception";
+          }
+        }
+      }
+      if (telemetry) {
+        tel.record_span(obs::Phase::kCallback, t0, tel.now_ns(), round_ix,
+                        "machines [" + std::to_string(first) + ", " +
+                            std::to_string(last) + ")");
+      }
+
+      std::vector<std::byte> bytes;
+      t0 = telemetry ? tel.now_ns() : 0;
+      plane->serialize_machines(first, last, bytes);
+      if (telemetry) {
+        tel.record_span(obs::Phase::kShardSerialize, t0, tel.now_ns(),
+                        round_ix);
+        t0 = tel.now_ns();
+      }
+      write_frame(ch, FrameKind::kShardData, shard, sequence, bytes);
+      if (telemetry) {
+        tel.record_span(obs::Phase::kShardTransport, t0, tel.now_ns(),
+                        round_ix);
+        // Everything this worker recorded this round ships back for the
+        // coordinator's merged profile. The telemetry and status frames
+        // themselves are written after this snapshot, so their wire
+        // counters are only visible on the coordinator's receive side.
+        write_frame(ch, FrameKind::kShardTelemetry, shard, sequence,
+                    tel.serialize_since(tel_mark));
+      }
+
+      std::vector<std::byte> status;
+      append_u64(status, failed ? 1 : 0);
+      append_u64(status, error_machine);
+      const auto text = status.size();
+      status.resize(text + error_what.size());
+      std::memcpy(status.data() + text, error_what.data(),
+                  error_what.size());
+      write_frame(ch, FrameKind::kShardStatus, shard, sequence, status);
+    }
   } catch (...) {
     _exit(kWorkerTransportFailed);
   }
-  _exit(kWorkerOk);
 }
 
 std::string describe_exit(int wait_status) {
@@ -152,8 +185,8 @@ std::string describe_exit(int wait_status) {
     const int code = WEXITSTATUS(wait_status);
     if (code == kWorkerOk) return "exited cleanly";
     if (code == kWorkerTransportFailed) {
-      return "failed to ship its round data (exit " +
-             std::to_string(code) + ")";
+      return "failed on the job channel (exit " + std::to_string(code) +
+             ")";
     }
     return "exited with status " + std::to_string(code);
   }
@@ -169,6 +202,8 @@ std::string describe_exit(int wait_status) {
 ProcessShardExecutor::ProcessShardExecutor(unsigned num_shards)
     : num_shards_(std::clamp(num_shards, 1u, kMaxShards)) {}
 
+ProcessShardExecutor::~ProcessShardExecutor() { end_job(); }
+
 void ProcessShardExecutor::run_machines(std::uint64_t first,
                                         std::uint64_t last,
                                         const MachineFn& fn) {
@@ -183,65 +218,137 @@ void ProcessShardExecutor::run_machines_sharded(std::uint64_t first,
                                                 std::uint64_t last,
                                                 const MachineFn& fn,
                                                 ShardDataPlane* dp) {
-  const std::uint64_t sequence = ++round_seq_;
+  ++round_seq_;
   const std::uint64_t total = last - first;
-  const unsigned shards = static_cast<unsigned>(std::min<std::uint64_t>(
-      num_shards_, std::max<std::uint64_t>(total, 1)));
-  if (dp == nullptr || shards <= 1) {
-    run_machines(first, last, fn);
-    return;
+  if (dp != nullptr && num_shards_ > 1 && total > 1) {
+    throw ExecError(
+        "process-shard: ad-hoc sharded rounds are not supported by "
+        "persistent workers — register the round with the engine job API "
+        "(define_round / invoke_round) instead of run_round");
   }
+  run_machines(first, last, fn);
+}
 
-  const auto ranges = partition(first, last, shards);
+void ProcessShardExecutor::start_job(std::uint64_t num_machines,
+                                     ShardJobPlane* plane) {
+  MRLR_REQUIRE(!job_active_,
+               "process-shard: start_job while a job is active");
+  MRLR_REQUIRE(plane != nullptr, "process-shard: job needs a data plane");
+  job_active_ = true;
+  job_failed_ = false;
+  const unsigned shards = static_cast<unsigned>(std::min<std::uint64_t>(
+      num_shards_, std::max<std::uint64_t>(num_machines, 1)));
+  local_range_ = {0, num_machines};
+  if (shards <= 1) return;  // degenerate single-shard job: all local
 
-  struct Worker {
-    pid_t pid;
-    FdChannel channel;  // coordinator end
-    std::uint32_t shard;
-    std::uint64_t first, last;
-  };
-  std::vector<Worker> workers;
-  workers.reserve(shards - 1);
+  const auto ranges = partition(0, num_machines, shards);
+  local_range_ = ranges[0];
 
-  // Fork all workers up front so every shard snapshots the same
-  // round-start state (shard 0 has not run yet).
+  obs::Telemetry& tel = obs::Telemetry::instance();
+  job_telemetry_ = tel.enabled();
+
+  // Spawn every worker up front so each inherits the same job-start
+  // snapshot: the graph, the parameters, and the registered rounds —
+  // the one implicit transfer of the whole job. Everything after this
+  // point crosses the process boundary on the frame protocol.
+  workers_.reserve(shards - 1);
   for (unsigned s = 1; s < shards; ++s) {
     auto [parent_end, child_end] = make_socketpair_channel();
     std::fflush(nullptr);  // no buffered stdio duplicated into workers
     const pid_t pid = ::fork();
     if (pid < 0) {
-      // Unwind: reap the workers already forked (closing our channel
-      // ends makes their shipping writes fail, so they exit).
       const int err = errno;
-      for (Worker& w : workers) {
-        w.channel.close_now();
-        int st;
-        ::waitpid(w.pid, &st, 0);
-      }
-      throw WorkerError(
-          s, sequence,
-          "process-shard: fork failed for shard " + std::to_string(s) +
-              " in round " + std::to_string(sequence) + ": " +
-              std::strerror(err));
+      std::string what = "process-shard: fork failed for shard " +
+                         std::to_string(s) + " at job start: " +
+                         std::strerror(err);
+      fail_job(s, 0, what);
     }
     if (pid == 0) {
-      // Worker: drop the coordinator ends we inherited, then run.
+      // Worker: drop the coordinator ends we inherited, then serve.
       parent_end.close_now();
-      for (Worker& w : workers) w.channel.close_now();
-      worker_main(child_end, s, sequence, ranges[s].first,
-                  ranges[s].second, fn, dp);  // never returns
+      for (Worker& w : workers_) w.channel.close_now();
+      worker_service_loop(child_end, s, plane);  // never returns
     }
-    // Coordinator: child_end closes when it goes out of scope below,
-    // which is what turns a dead worker into EOF instead of a hang.
-    workers.push_back(Worker{pid, std::move(parent_end), s,
-                             ranges[s].first, ranges[s].second});
+    // Coordinator: child_end closes when it goes out of scope, which is
+    // what turns a dead worker into EOF instead of a hang.
+    workers_.push_back(Worker{pid, std::move(parent_end), s,
+                              ranges[s].first, ranges[s].second});
   }
+
+  // Ship each worker its machine range. The setup frame is the last
+  // read of coordinator state a worker ever validates against — from
+  // here on rounds are fully wire-driven.
+  std::uint64_t shipped = 0;
+  for (Worker& w : workers_) {
+    std::vector<std::byte> payload;
+    append_u64(payload, w.first);
+    append_u64(payload, w.last);
+    append_u64(payload, num_machines);
+    append_u64(payload, plane->registered_rounds());
+    try {
+      write_frame(w.channel, FrameKind::kJobSetup, w.shard, 0, payload);
+    } catch (const ExecError& e) {
+      fail_job(w.shard, 0, e.what());
+    }
+    shipped += payload.size();
+  }
+  if (job_telemetry_) {
+    tel.add_counter("exec.workers_spawned", workers_.size());
+    tel.add_counter("exec.state_bytes_shipped", shipped);
+  }
+}
+
+void ProcessShardExecutor::run_job_round(std::uint64_t round_id,
+                                         std::span<const std::uint64_t> params,
+                                         std::uint64_t num_machines,
+                                         const MachineFn& fn,
+                                         ShardJobPlane* plane) {
+  MRLR_REQUIRE(job_active_,
+               "process-shard: run_job_round without start_job");
+  if (job_failed_) {
+    // Reconnect refusal: a respawned worker could not reconstruct the
+    // dead worker's resident state mid-job, so once a job failed every
+    // further round fails typed instead of silently recomputing.
+    throw WorkerError(failed_shard_, round_seq_,
+                      "process-shard: shard " +
+                          std::to_string(failed_shard_) +
+                          " already failed this job; refusing to run "
+                          "further rounds (restart the job)");
+  }
+  const std::uint64_t sequence = ++round_seq_;
+  if (workers_.empty()) {
+    run_machines(local_range_.first, local_range_.second, fn);
+    return;
+  }
+
+  obs::Telemetry& tel = obs::Telemetry::instance();
+  const bool telemetry = job_telemetry_;
+
+  // Ship every worker its round: id, invoke params, and the inbox state
+  // of its machine range. Workers start their machines while shard 0
+  // runs below.
+  std::uint64_t shipped = 0;
+  for (Worker& w : workers_) {
+    std::vector<std::byte> payload;
+    append_u64(payload, round_id);
+    append_u64(payload, params.size());
+    for (const std::uint64_t p : params) append_u64(payload, p);
+    plane->serialize_round_input(w.first, w.last, payload);
+    try {
+      write_frame(w.channel, FrameKind::kRoundControl, w.shard, sequence,
+                  payload);
+    } catch (const ExecError& e) {
+      fail_job(w.shard, sequence, e.what());
+    }
+    shipped += payload.size();
+  }
+  if (telemetry) tel.add_counter("exec.state_bytes_shipped", shipped);
 
   // Shard 0 runs here, in the coordinator: host-resident machine state
   // (notably the central machine's) persists across rounds.
   std::exception_ptr local_error;
   std::uint64_t local_error_machine = 0;
-  run_serial_range(ranges[0].first, ranges[0].second, fn, local_error,
+  run_serial_range(local_range_.first, local_range_.second, fn, local_error,
                    local_error_machine);
 
   // Collect shard results in shard order (= machine-id order, so the
@@ -249,28 +356,20 @@ void ProcessShardExecutor::run_machines_sharded(std::uint64_t first,
   std::uint64_t remote_error_machine = 0;
   std::string remote_error_what;
   bool remote_failed = false;
-  std::uint32_t failed_shard = 0;
-  std::string failure_what;
-  bool transport_failed = false;
-
-  obs::Telemetry& tel = obs::Telemetry::instance();
-  const bool telemetry = tel.enabled();
-  for (Worker& w : workers) {
-    if (transport_failed) break;  // reap-and-report below
+  for (Worker& w : workers_) {
     try {
       const std::uint64_t wait_start = telemetry ? tel.now_ns() : 0;
       Frame data = expect_frame(w.channel, FrameKind::kShardData, w.shard,
                                 sequence);
       if (telemetry) {
         tel.record_span(obs::Phase::kWorkerWait, wait_start, tel.now_ns(),
-                        sequence - 1,
-                        "shard " + std::to_string(w.shard));
+                        sequence - 1, "shard " + std::to_string(w.shard));
       }
-      dp->apply_machines(w.first, w.last, data.payload);
+      plane->apply_machines(w.first, w.last, data.payload);
       if (telemetry) {
         // The worker only sends its span buffer when its inherited
-        // enabled flag was set, which is exactly when ours is: the
-        // protocol shape is deterministic on both ends.
+        // enabled flag was set, which is exactly when job_telemetry_
+        // is: the protocol shape is deterministic on both ends.
         Frame spans = expect_frame(w.channel, FrameKind::kShardTelemetry,
                                    w.shard, sequence);
         tel.merge_remote(spans.payload, w.shard);
@@ -298,32 +397,8 @@ void ProcessShardExecutor::run_machines_sharded(std::uint64_t first,
             reinterpret_cast<const char*>(p.data()), p.size());
       }
     } catch (const ExecError& e) {
-      transport_failed = true;
-      failed_shard = w.shard;
-      failure_what = e.what();
+      fail_job(w.shard, sequence, e.what());
     }
-  }
-
-  // Reap every worker exactly once. Closing the channels first makes a
-  // worker stuck writing into a full socket die with EPIPE instead of
-  // blocking waitpid forever.
-  std::string failed_exit;
-  for (Worker& w : workers) {
-    w.channel.close_now();
-    int st = 0;
-    ::waitpid(w.pid, &st, 0);
-    if (transport_failed && w.shard == failed_shard) {
-      failed_exit = describe_exit(st);
-    }
-  }
-
-  if (transport_failed) {
-    throw WorkerError(failed_shard, sequence,
-                      "process-shard: shard " +
-                          std::to_string(failed_shard) +
-                          " worker failed in round " +
-                          std::to_string(sequence) + " (" + failed_exit +
-                          "): " + failure_what);
   }
 
   // Executor contract: the lowest-id throwing machine wins. Shard 0's
@@ -337,6 +412,49 @@ void ProcessShardExecutor::run_machines_sharded(std::uint64_t first,
             " threw in round " + std::to_string(sequence) + ": " +
             remote_error_what);
   }
+}
+
+void ProcessShardExecutor::fail_job(std::uint32_t shard,
+                                    std::uint64_t sequence,
+                                    const std::string& what) {
+  job_failed_ = true;
+  failed_shard_ = shard;
+  // Close every channel before reaping: a worker stuck writing into a
+  // full socket dies with EPIPE instead of blocking waitpid forever.
+  std::string failed_exit = "never spawned";
+  for (Worker& w : workers_) w.channel.close_now();
+  for (Worker& w : workers_) {
+    int st = 0;
+    ::waitpid(w.pid, &st, 0);
+    if (w.shard == shard) failed_exit = describe_exit(st);
+  }
+  workers_.clear();
+  throw WorkerError(shard, sequence,
+                    "process-shard: shard " + std::to_string(shard) +
+                        " worker failed in round " +
+                        std::to_string(sequence) + " (" + failed_exit +
+                        "): " + what);
+}
+
+void ProcessShardExecutor::end_job() {
+  if (!job_active_) return;
+  for (Worker& w : workers_) {
+    try {
+      write_frame(w.channel, FrameKind::kJobTeardown, w.shard,
+                  round_seq_ + 1, {});
+    } catch (...) {
+      // Best effort: a dead worker is reaped below either way.
+    }
+  }
+  for (Worker& w : workers_) w.channel.close_now();
+  for (Worker& w : workers_) {
+    int st = 0;
+    ::waitpid(w.pid, &st, 0);
+  }
+  workers_.clear();
+  job_active_ = false;
+  job_failed_ = false;
+  local_range_ = {0, 0};
 }
 
 }  // namespace mrlr::exec

@@ -1,61 +1,87 @@
 #pragma once
 // The process-sharded backend: machines are partitioned into K
 // contiguous shards; shard 0 runs in the calling (coordinator) process
-// and each other shard runs in a worker process forked for the round.
-// After a worker finishes its machines it serializes their staged
-// flat-buffer arenas and accounting through the engine's ShardDataPlane
-// and ships the bytes to the coordinator over a socketpair using the
-// checksummed frame protocol in shard_transport.hpp; the coordinator
-// applies each shard's bytes and the engine's ordinary id-ordered merge
-// then runs over the combined frame indexes — traces, metrics, and
-// delivery order stay byte-identical to SerialExecutor.
+// and each other shard runs in a persistent worker process spawned once
+// at job start (Executor::start_job) and torn down at job end — not
+// forked per round.
 //
 // Execution model and its contract:
 //
-//   * Workers are forked per round, so they inherit a copy-on-write
-//     snapshot of the whole process at the round barrier: callbacks may
-//     READ any host state (graphs, parameter tables, per-machine state
-//     vectors). WRITES outside the engine are another matter — a worker
-//     dies at the end of the round, so host-memory writes by machines
-//     of shards >= 1 do not propagate. Everything a machine wants to
-//     persist must flow through the engine (sends, charge_resident).
-//     Machines of shard 0 — including the central machine, the paper's
-//     "blue lines" — run in the coordinator, so central-resident
-//     algorithm state keeps working unchanged.
+//   * Workers fork at start_job, after the driver has registered every
+//     round with the engine, so a worker inherits one immutable
+//     snapshot: the graph, the parameters, and the registered round
+//     closures. Nothing else crosses the process boundary implicitly —
+//     each round the coordinator ships a kRoundControl frame carrying
+//     the round id, the invoke parameters, and the serialized inboxes
+//     of the worker's machine range (ShardJobPlane::
+//     serialize_round_input), the worker runs its machines against its
+//     own resident copy of that range's state, and ships the staged
+//     arenas back through serialize_machines exactly as before. The
+//     coordinator applies each shard's bytes and the engine's ordinary
+//     id-ordered merge runs over the combined frame indexes — traces,
+//     metrics, and delivery order stay byte-identical to
+//     SerialExecutor.
 //
-//   * A driver is "process-clean" when its callbacks obey that rule.
-//     The engine-level determinism suite and rlr_matching are; drivers
-//     still using cross-machine host side channels must keep the
-//     serial/thread backends (see README "Execution backends").
+//   * A driver is "process-clean" when its non-central callbacks touch
+//     only (a) job-immutable data captured before start_job, (b)
+//     per-machine state that only that machine's own callbacks mutate
+//     (worker-resident between rounds), (c) invoke parameters and inbox
+//     messages. Machines of shard 0 — including the central machine,
+//     the paper's "blue lines" — run in the coordinator, so
+//     central-resident algorithm state keeps working unchanged. All
+//     drivers in the tree are ported (see README "Execution
+//     backends"); ad-hoc run_round closures cannot run under this
+//     backend with K > 1 and fail with a typed ExecError.
 //
 //   * Failure is loud, never a hang: a worker that exits early, is
 //     killed, or ships malformed bytes surfaces as a typed WorkerError
-//     or TransportError naming the shard and round; a callback that
-//     throws inside a worker is rethrown in the coordinator as
-//     ShardCallbackError after the barrier (lowest machine id wins,
-//     matching the Executor contract).
+//     or TransportError naming the shard and round, the job is marked
+//     failed, and every further round refuses to run (no mid-job
+//     reconnect — a respawned worker could not reconstruct the dead
+//     worker's resident state). A callback that throws inside a worker
+//     is rethrown in the coordinator as ShardCallbackError after the
+//     barrier (lowest machine id wins, matching the Executor
+//     contract).
 //
-// Without a data plane (plain run_machines) there is nothing to
-// exchange, so machines run serially in the coordinator — the backend
-// degenerates to SerialExecutor semantics.
+// Without a data plane (plain run_machines, central-only rounds) there
+// is nothing to exchange, so machines run serially in the coordinator —
+// the backend degenerates to SerialExecutor semantics.
 
 #include <cstdint>
+#include <vector>
+
+#include <sys/types.h>
 
 #include "mrlr/exec/executor.hpp"
+#include "mrlr/exec/shard_transport.hpp"
 
 namespace mrlr::exec {
 
 class ProcessShardExecutor final : public Executor {
  public:
   /// Backend with `num_shards` >= 1 shards (clamped to 256: beyond
-  /// that, per-round fork cost dwarfs any win on one host).
+  /// that, worker-spawn and per-round shipping cost dwarfs any win on
+  /// one host).
   explicit ProcessShardExecutor(unsigned num_shards);
+  ~ProcessShardExecutor() override;
 
   void run_machines(std::uint64_t first, std::uint64_t last,
                     const MachineFn& fn) override;
+
+  /// Ad-hoc sharded rounds are not supported by persistent workers
+  /// (there is no way to ship an arbitrary closure to a long-lived
+  /// process): with a data plane and K > 1 this throws ExecError.
+  /// Without a data plane it degenerates to serial.
   void run_machines_sharded(std::uint64_t first, std::uint64_t last,
                             const MachineFn& fn,
                             ShardDataPlane* data_plane) override;
+
+  void start_job(std::uint64_t num_machines, ShardJobPlane* plane) override;
+  void run_job_round(std::uint64_t round_id,
+                     std::span<const std::uint64_t> params,
+                     std::uint64_t num_machines, const MachineFn& fn,
+                     ShardJobPlane* plane) override;
+  void end_job() override;
 
   std::string_view name() const override { return "process-shard"; }
   unsigned num_threads() const override { return 1; }
@@ -66,8 +92,34 @@ class ProcessShardExecutor final : public Executor {
   std::uint64_t rounds_run() const { return round_seq_; }
 
  private:
+  struct Worker {
+    pid_t pid;
+    FdChannel channel;  // coordinator end
+    std::uint32_t shard;
+    std::uint64_t first, last;
+  };
+
+  /// Marks the job failed, closes every channel (so a worker stuck
+  /// writing dies with EPIPE instead of blocking waitpid), reaps every
+  /// worker, and throws WorkerError naming `shard` with the failed
+  /// worker's exit description appended.
+  [[noreturn]] void fail_job(std::uint32_t shard, std::uint64_t sequence,
+                             const std::string& what);
+
   unsigned num_shards_;
   std::uint64_t round_seq_ = 0;
+
+  // Persistent-job state.
+  std::vector<Worker> workers_;
+  std::pair<std::uint64_t, std::uint64_t> local_range_{0, 0};
+  bool job_active_ = false;
+  bool job_failed_ = false;
+  std::uint32_t failed_shard_ = 0;
+  // Telemetry enablement captured at spawn: workers inherit the flag at
+  // fork, so the frame protocol (telemetry frame present or not) is
+  // decided once per job and both ends always agree, even if the
+  // coordinator's recorder is toggled mid-job.
+  bool job_telemetry_ = false;
 };
 
 }  // namespace mrlr::exec

@@ -158,6 +158,20 @@ enum class FrameKind : std::uint16_t {
                         ///< only when telemetry is enabled — workers
                         ///< inherit the flag at fork, so both ends of
                         ///< the channel always agree on the protocol
+  kJobSetup = 4,        ///< coordinator -> worker, once per job
+                        ///< (sequence 0): the worker's machine range,
+                        ///< total machine count, and the number of
+                        ///< registered rounds — the persistent worker
+                        ///< validates its inherited job plane against
+                        ///< the coordinator's before serving rounds
+  kRoundControl = 5,    ///< coordinator -> worker, once per registered
+                        ///< round: round id, invoke parameters, and the
+                        ///< serialized inbox state for the worker's
+                        ///< machine range (the worker holds no
+                        ///< coordinator memory after setup, so every
+                        ///< round's inputs arrive on the wire)
+  kJobTeardown = 6,     ///< coordinator -> worker: the job is over;
+                        ///< the worker exits cleanly
 };
 
 struct Frame {

@@ -11,6 +11,9 @@
 // claim of Theorem 2.4 is checked rather than assumed.
 
 #include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -31,9 +34,46 @@ std::uint64_t broadcast_rounds(std::uint64_t machines, std::uint64_t fanout);
 /// Deliver `payload` from the central machine to every machine.
 /// Returns the number of rounds consumed (0 when there is one machine).
 /// On completion, `received` (if non-null) holds one copy per machine.
+///
+/// Host-driven (the holder set and payload live in captured host state),
+/// so this form runs on in-process backends only; process-clean drivers
+/// use JobBroadcast below.
 std::uint64_t broadcast_from_central(
     Engine& engine, const std::vector<Word>& payload, std::string_view label,
     std::vector<std::vector<Word>>* received = nullptr);
+
+/// Process-clean tree broadcast: one registered round, re-invoked
+/// depth+1 times per run(). Construct before the job starts (the
+/// constructor registers the round). Each machine stores the first copy
+/// of the current generation's payload it sees and forwards it down the
+/// tree; the final (drain) round consumes the leaf deliveries and runs
+/// `apply` on every machine with the payload — the hook is where a
+/// driver updates its per-machine worker-resident state from the
+/// broadcast. All holder state is per-machine slots mutated only by
+/// that machine's own callback, so persistent workers carry it across
+/// rounds; the traffic, charges, and round count match
+/// broadcast_from_central (depth rounds + 1 drain) except on
+/// single-machine topologies, where the drain round still runs so
+/// `apply` fires.
+class JobBroadcast {
+ public:
+  using ApplyFn = std::function<void(MachineContext&, std::span<const Word>)>;
+
+  JobBroadcast(Engine& engine, std::string label, ApplyFn apply = nullptr);
+
+  /// Broadcasts `payload` from the central machine; returns rounds
+  /// consumed. Host-side (the central machine is coordinator-resident).
+  std::uint64_t run(std::vector<Word> payload);
+
+ private:
+  Engine* engine_;
+  ApplyFn apply_;
+  RoundId round_;
+  std::uint64_t generation_ = 0;
+  // Per-machine slots: only machine m's callback touches index m.
+  std::vector<std::vector<Word>> held_;
+  std::vector<std::uint64_t> gen_;
+};
 
 /// Converge-cast: machine m contributes values[m]; the tree sums them
 /// upward and the root learns the total. Returns rounds consumed, and

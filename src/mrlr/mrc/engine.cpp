@@ -76,6 +76,43 @@ Engine::Engine(Topology topology, std::shared_ptr<exec::Executor> executor)
   pending_cache_.resize(machines);
 }
 
+Engine::~Engine() {
+  if (job_started_) {
+    // end_job must not throw (Executor contract); belt and braces for a
+    // destructor anyway.
+    try {
+      executor_->end_job();
+    } catch (...) {
+    }
+  }
+}
+
+RoundId Engine::define_round(std::string label, RoundFn fn) {
+  MRLR_REQUIRE(!job_started_,
+               "define_round after the job started: worker processes "
+               "snapshot the round registry at spawn");
+  MRLR_REQUIRE(fn != nullptr, "define_round needs a callback");
+  rounds_.push_back(Registered{std::move(label), std::move(fn)});
+  return static_cast<RoundId>(rounds_.size() - 1);
+}
+
+void Engine::invoke_round(RoundId round, std::span<const Word> params) {
+  MRLR_REQUIRE(round < rounds_.size(), "invoke_round: undefined round id");
+  if (!job_started_) {
+    job_started_ = true;
+    executor_->start_job(topology_.num_machines, this);
+  }
+  round_body(rounds_[round].label, /*central_only=*/false, [&] {
+    executor_->run_job_round(
+        round, params, topology_.num_machines,
+        [&](std::uint64_t m) { run_registered(round, m, params); }, this);
+  });
+}
+
+void Engine::invoke_round(RoundId round, std::initializer_list<Word> params) {
+  invoke_round(round, std::span<const Word>(params.begin(), params.size()));
+}
+
 void Engine::run_round(std::string_view label,
                        const std::function<void(MachineContext&)>& fn) {
   run_round_impl(label, fn, /*central_only=*/false);
@@ -84,6 +121,25 @@ void Engine::run_round(std::string_view label,
 void Engine::run_round_impl(std::string_view label,
                             const std::function<void(MachineContext&)>& fn,
                             bool central_only) {
+  round_body(label, central_only, [&] {
+    // The sharded entry point: in-process backends fall through to
+    // plain run_machines; the process backend rejects ad-hoc sharded
+    // rounds (persistent workers only run registered rounds).
+    // Central-only rounds pass no data plane — the central machine
+    // always lives in the coordinator process and every other callback
+    // is a no-op, so there is nothing to ship.
+    executor_->run_machines_sharded(
+        0, topology_.num_machines,
+        [&](std::uint64_t m) {
+          MachineContext ctx(*this, static_cast<MachineId>(m));
+          fn(ctx);
+        },
+        central_only ? nullptr : this);
+  });
+}
+
+void Engine::round_body(std::string_view label, bool central_only,
+                        const std::function<void()>& dispatch) {
   std::fill(outbox_words_.begin(), outbox_words_.end(), 0);
   std::fill(resident_words_.begin(), resident_words_.end(), 0);
 
@@ -97,19 +153,7 @@ void Engine::run_round_impl(std::string_view label,
   std::uint64_t t0 = round_start;
 
   const auto machines = static_cast<MachineId>(topology_.num_machines);
-  // The sharded entry point: in-process backends fall through to plain
-  // run_machines; the process backend ships callback effects back here
-  // through the ShardDataPlane methods below. Central-only rounds pass
-  // no data plane — the central machine always lives in the
-  // coordinator process and every other callback is a no-op, so there
-  // is nothing to fork and nothing to ship.
-  executor_->run_machines_sharded(
-      0, topology_.num_machines,
-      [&](std::uint64_t m) {
-        MachineContext ctx(*this, static_cast<MachineId>(m));
-        fn(ctx);
-      },
-      central_only ? nullptr : this);
+  dispatch();
   if (telemetry) {
     tel.record_span(
         central_only ? obs::Phase::kCentral : obs::Phase::kCallback, t0,
@@ -360,6 +404,96 @@ void Engine::apply_machines(std::uint64_t first, std::uint64_t last,
     }
   }
   if (!cur.in.empty()) bad_payload("trailing bytes after the last machine");
+}
+
+// ------------------------------------------------ shard job plane --
+
+void Engine::serialize_round_input(std::uint64_t first, std::uint64_t last,
+                                   std::vector<std::byte>& out) const {
+  for (std::uint64_t m = first; m < last; ++m) {
+    append_u64(out, inbox_words_[m]);
+    append_u64(out, inbox_frames_[m].size());
+    for (const InboxFrame& f : inbox_frames_[m]) {
+      append_u64(out, f.from);
+      append_u64(out, f.len);
+      const auto n = out.size();
+      out.resize(n + f.len * sizeof(Word));
+      if (f.len > 0) {
+        std::memcpy(out.data() + n, slabs_[f.from].words.data() + f.offset,
+                    f.len * sizeof(Word));
+      }
+    }
+  }
+}
+
+void Engine::apply_round_input(std::uint64_t first, std::uint64_t last,
+                               std::span<const std::byte> bytes) {
+  // Worker side: only machines [first, last) run here and their inboxes
+  // are rebuilt from the wire below, so every slab and inbox index from
+  // the previous round is stale — clear them all (capacity is kept, so
+  // steady-state rounds still avoid the allocator).
+  for (Outbox& o : slabs_) {
+    o.words.clear();
+    o.frames.clear();
+  }
+  for (std::vector<InboxFrame>& f : inbox_frames_) f.clear();
+  std::fill(inbox_words_.begin(), inbox_words_.end(), 0);
+  std::fill(inbox_cache_valid_.begin(), inbox_cache_valid_.end(), 0);
+  for (std::uint64_t m = first; m < last; ++m) {
+    staging_[m].words.clear();
+    staging_[m].frames.clear();
+    outbox_words_[m] = 0;
+    resident_words_[m] = 0;
+    writer_open_[m] = 0;
+  }
+
+  Cursor cur{bytes};
+  for (std::uint64_t m = first; m < last; ++m) {
+    const std::uint64_t in_words = cur.u64("inbox word total");
+    const std::uint64_t frame_count = cur.u64("inbox frame count");
+    // Each frame costs at least 16 bytes on the wire, so a hostile
+    // count cannot out-allocate the payload backing it.
+    if (frame_count > cur.in.size() / 16) {
+      bad_payload("inbox frame count exceeds remaining payload");
+    }
+    std::uint64_t total = 0;
+    inbox_frames_[m].reserve(frame_count);
+    for (std::uint64_t i = 0; i < frame_count; ++i) {
+      const std::uint64_t from = cur.u64("message sender");
+      const std::uint64_t len = cur.u64("message length");
+      if (from >= num_machines()) {
+        bad_payload("message sender " + std::to_string(from) +
+                    " out of range");
+      }
+      if (len > cur.in.size() / sizeof(Word)) {
+        bad_payload("message length exceeds remaining payload");
+      }
+      std::vector<Word>& slab = slabs_[from].words;
+      const std::uint64_t offset = slab.size();
+      slab.resize(offset + len);
+      if (len > 0) {
+        std::memcpy(slab.data() + offset, cur.in.data(),
+                    len * sizeof(Word));
+        cur.in = cur.in.subspan(len * sizeof(Word));
+      }
+      inbox_frames_[m].push_back(
+          {static_cast<MachineId>(from), offset, len});
+      total += len;
+    }
+    if (total != in_words) {
+      bad_payload("inbox word total does not match its messages");
+    }
+    inbox_words_[m] = in_words;
+  }
+  if (!cur.in.empty()) bad_payload("trailing bytes after the last machine");
+}
+
+void Engine::run_registered(std::uint64_t round_id, std::uint64_t machine,
+                            std::span<const std::uint64_t> params) {
+  MRLR_REQUIRE(round_id < rounds_.size(),
+               "run_registered: undefined round id");
+  MachineContext ctx(*this, static_cast<MachineId>(machine));
+  rounds_[round_id].fn(ctx, params);
 }
 
 }  // namespace mrlr::mrc

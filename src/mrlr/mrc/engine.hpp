@@ -14,9 +14,11 @@
 // per-machine callbacks through an exec::Executor: the serial backend
 // runs them in machine order on the calling thread, the thread-pool
 // backend runs them concurrently (Topology::num_threads), and the
-// process-sharded backend (Topology::num_shards) runs them in forked
-// worker processes that ship their staged arenas back through the
-// engine's ShardDataPlane implementation. Either way the
+// process-sharded backend (Topology::num_shards) runs them in
+// persistent worker processes spawned once per job; each round the
+// engine ships every worker its machines' inboxes and the workers ship
+// their staged arenas back through the engine's ShardJobPlane
+// implementation. Either way the
 // simulation is deterministic: each machine's sends append only to its
 // own staging arena, and staged messages are merged into next-round
 // inboxes in machine-id order after the round barrier, so traces,
@@ -217,7 +219,10 @@ class MachineContext {
   MachineId id_;
 };
 
-class Engine : private exec::ShardDataPlane {
+/// Identifier of a round registered with Engine::define_round.
+using RoundId = std::uint32_t;
+
+class Engine : private exec::ShardJobPlane {
  public:
   /// Builds the execution backend from topology.num_threads /
   /// topology.num_shards.
@@ -227,13 +232,40 @@ class Engine : private exec::ShardDataPlane {
   /// or a specific executor under test). `executor` must not be null.
   Engine(Topology topology, std::shared_ptr<exec::Executor> executor);
 
+  /// Ends the persistent job, if one started (tears worker processes
+  /// down on backends that spawned them).
+  ~Engine() override;
+
   const Topology& topology() const { return topology_; }
   std::uint64_t num_machines() const { return topology_.num_machines; }
   const exec::Executor& executor() const { return *executor_; }
 
+  /// Registered round callback: the machine context plus the invoke
+  /// parameters (small per-invocation words, e.g. iteration number or a
+  /// packed probability — the coordinator ships them to every worker).
+  using RoundFn =
+      std::function<void(MachineContext&, std::span<const Word>)>;
+
+  /// Registers a round for the job. All rounds must be defined before
+  /// the first invoke_round (worker-backed executors snapshot the
+  /// registry when the job starts); definition after that throws.
+  /// `label` names the phase in the execution trace each time the round
+  /// is invoked.
+  RoundId define_round(std::string label, RoundFn fn);
+
+  /// Execute one synchronous round of a registered callback. The first
+  /// invocation starts the job on the executor (spawning persistent
+  /// workers under the process backend). `params` is broadcast to every
+  /// machine's callback.
+  void invoke_round(RoundId round, std::span<const Word> params = {});
+  void invoke_round(RoundId round, std::initializer_list<Word> params);
+
   /// Execute one synchronous round. `fn` is invoked once per machine
   /// (possibly concurrently; see the header comment for the rules).
-  /// `label` names the phase in the execution trace.
+  /// `label` names the phase in the execution trace. Ad-hoc rounds
+  /// cannot ship to persistent workers, so under the process backend
+  /// with more than one shard this throws — drivers use define_round /
+  /// invoke_round instead.
   void run_round(std::string_view label,
                  const std::function<void(MachineContext&)>& fn);
 
@@ -250,19 +282,35 @@ class Engine : private exec::ShardDataPlane {
   /// starting. Between rounds this is the coordinator's merged view, so
   /// it is identical across every backend.
   ///
-  /// The process-clean driver contract. Under `--backend process` each
-  /// round's callbacks run in forked workers whose memory dies with
-  /// them; only engine messages (and the metrics the coordinator merges
-  /// back) survive a round. A driver is *process-clean* — and therefore
-  /// portable to every backend with bit-identical results — iff:
+  /// The process-clean driver contract. Under `--backend process` the
+  /// non-central machines run in persistent worker processes that fork
+  /// once, at job start; after the setup frames ship, nothing in
+  /// coordinator memory is visible to them. A driver is *process-clean*
+  /// — and therefore portable to every backend with bit-identical
+  /// results — iff its registered (define_round) callbacks touch only:
   ///
-  ///   * all cross-round algorithm state flows through messages (or is
-  ///     derived deterministically from round number and machine id) —
-  ///     never through captured host-side variables mutated inside
-  ///     callbacks;
-  ///   * any host-side branching between rounds uses only
-  ///     coordinator-visible state: these peeks, metrics(), or messages
-  ///     the central machine sent to itself.
+  ///   * job-immutable data captured before the first invoke_round (the
+  ///     graph, parameters, footprints, an unforked root Rng copy);
+  ///   * per-machine state that only that machine's own callbacks
+  ///     mutate (worker-resident between rounds — owner-strided vector
+  ///     slots are the idiom);
+  ///   * invoke_round parameters, inbox messages, and RNG streams
+  ///     derived deterministically from (round/iteration, machine id);
+  ///
+  /// and its host-side code between rounds uses only
+  /// coordinator-visible state: these peeks, metrics(), central-round
+  /// effects (the central machine is always coordinator-resident, so
+  /// central state and run_central_round closures are unrestricted).
+  /// Host -> machine communication goes through invoke params or
+  /// central sends; machine -> host through messages to the central
+  /// machine.
+  ///
+  /// Every driver in the tree is ported to this contract and runs under
+  /// every backend: rlr_matching, rlr_bmatching, rlr_setcover /
+  /// rlr_vertex_cover, filtering_matching / filtering_vertex_cover /
+  /// filtering_weighted_matching, coreset_matching, greedy_setcover_mr,
+  /// sample_prune_setcover, hungry_mis, luby_mis, hungry_clique,
+  /// colouring (greedy + Luby), and luby_mr.
   ///
   /// These peeks exist precisely so control flow (e.g. a sampling fail
   /// check, a "did anyone send?" termination test) can stay on the
@@ -297,14 +345,38 @@ class Engine : private exec::ShardDataPlane {
   void apply_machines(std::uint64_t first, std::uint64_t last,
                       std::span<const std::byte> bytes) override;
 
+  /// ShardJobPlane: per-round inbox shipping for persistent workers —
+  /// per machine, the delivered word total and frame count, then each
+  /// message as (sender, length, payload words). apply_round_input
+  /// rebuilds the worker-local inbox index and slabs from the bytes and
+  /// resets the range's per-round scratch; it validates every field and
+  /// throws exec::TransportError(kBadPayload) on malformed bytes.
+  void serialize_round_input(std::uint64_t first, std::uint64_t last,
+                             std::vector<std::byte>& out) const override;
+  void apply_round_input(std::uint64_t first, std::uint64_t last,
+                         std::span<const std::byte> bytes) override;
+  void run_registered(std::uint64_t round_id, std::uint64_t machine,
+                      std::span<const std::uint64_t> params) override;
+  std::uint64_t registered_rounds() const override {
+    return rounds_.size();
+  }
+
   void check_machine_id(MachineId m, const char* what) const;
 
   /// Shared body of run_round / run_central_round. `central_only`
   /// rounds skip the shard data plane: only the coordinator-resident
-  /// central machine does work, so a process backend must not fork.
+  /// central machine does work, so a process backend has nothing to
+  /// ship.
   void run_round_impl(std::string_view label,
                       const std::function<void(MachineContext&)>& fn,
                       bool central_only);
+
+  /// Round prologue/epilogue shared by run_round_impl and invoke_round:
+  /// resets per-round scratch, runs `dispatch` (the executor call),
+  /// then merges staged frames, records metrics, audits space, and
+  /// delivers.
+  void round_body(std::string_view label, bool central_only,
+                  const std::function<void()>& dispatch);
 
   /// One message in a sender's staging arena: destination plus the
   /// [offset, offset+len) extent in that arena's word buffer.
@@ -348,6 +420,15 @@ class Engine : private exec::ShardDataPlane {
   Topology topology_;
   std::shared_ptr<exec::Executor> executor_;
   Metrics metrics_;
+  /// Rounds registered via define_round; frozen once the job starts
+  /// (worker processes inherit the registry at spawn, so it must never
+  /// change afterwards).
+  struct Registered {
+    std::string label;
+    RoundFn fn;
+  };
+  std::vector<Registered> rounds_;
+  bool job_started_ = false;
   // staging_[m] = machine m's outgoing arena for the current round; only
   // machine m's callback (its sends and writers) touches it, so sends
   // never contend. After the barrier the arenas are merged by frame

@@ -133,8 +133,13 @@ TEST(LubyMr, PhasesLogarithmic) {
   const graph::Graph g = graph::gnm_density(1000, 0.4, rng);
   const auto res = luby_mis_mr(g, bp(1));
   EXPECT_LE(res.phases, 30u);
-  // Three engine rounds per phase.
-  EXPECT_EQ(res.outcome.rounds, 3 * res.phases);
+  // Each phase costs the same fixed number of engine rounds: marks,
+  // winners, the central drop, plus the winner fanout-tree broadcast
+  // (whose depth depends only on the machine count, not the phase).
+  ASSERT_GE(res.phases, 1u);
+  EXPECT_EQ(res.outcome.rounds % res.phases, 0u);
+  EXPECT_GE(res.outcome.rounds / res.phases, 3u);
+  EXPECT_LE(res.outcome.rounds / res.phases, 6u);
 }
 
 TEST(LubyMr, DeterministicForSeed) {

@@ -1,13 +1,16 @@
 // Tests for the exec/ subsystem: executor unit behavior, engine-level
-// determinism of the threaded backend (traces, delivery order, space
-// audits byte-identical to serial), and the algorithm-level determinism
-// suite for rlr_matching and greedy_setcover_mr across thread counts.
+// determinism of the threaded and process-sharded backends (traces,
+// delivery order, space audits byte-identical to serial), persistent
+// worker failure handling, and the algorithm-level determinism suite
+// covering every ported driver across thread and shard counts.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <numeric>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -15,8 +18,18 @@
 
 #include <csignal>
 
+#include "mrlr/baselines/coreset_matching.hpp"
+#include "mrlr/baselines/filtering_matching.hpp"
+#include "mrlr/baselines/luby_colouring_mr.hpp"
+#include "mrlr/baselines/luby_mr.hpp"
+#include "mrlr/baselines/sample_prune_setcover.hpp"
+#include "mrlr/core/colouring.hpp"
 #include "mrlr/core/greedy_setcover_mr.hpp"
+#include "mrlr/core/hungry_clique.hpp"
+#include "mrlr/core/hungry_mis.hpp"
+#include "mrlr/core/rlr_bmatching.hpp"
 #include "mrlr/core/rlr_matching.hpp"
+#include "mrlr/core/rlr_setcover.hpp"
 #include "mrlr/exec/executor.hpp"
 #include "mrlr/exec/process_shard_executor.hpp"
 #include "mrlr/exec/serial_executor.hpp"
@@ -25,6 +38,7 @@
 #include "mrlr/graph/generators.hpp"
 #include "mrlr/mrc/engine.hpp"
 #include "mrlr/mrc/trace.hpp"
+#include "mrlr/obs/telemetry.hpp"
 #include "mrlr/setcover/generators.hpp"
 
 namespace mrlr {
@@ -161,53 +175,59 @@ mrc::Topology topo(std::uint64_t machines, std::uint64_t cap = 1 << 20) {
 }
 
 /// A synthetic multi-round workload exercising sends (fan-out, self,
-/// converge-cast), resident charges, and inbox-dependent replies.
-void synthetic_workload(mrc::Engine& e) {
-  const auto machines = static_cast<MachineId>(e.num_machines());
-  e.run_round("scatter", [&](MachineContext& ctx) {
-    ctx.charge_resident(ctx.id() + 1);
-    for (MachineId to = 0; to < machines; ++to) {
-      if ((ctx.id() + to) % 3 == 0) {
-        ctx.send(to, {ctx.id(), to, ctx.id() * 1000ull + to});
-      }
-    }
-    ctx.send(ctx.id(), {ctx.id()});  // self-send
-  });
-  e.run_round("echo", [&](MachineContext& ctx) {
-    ctx.charge_resident(ctx.inbox_words());
-    for (const auto& msg : ctx.inbox()) {
-      ctx.send(mrc::kCentral, {msg.from, msg.words()});
-    }
-  });
-  e.run_central_round("collect", [&](MachineContext& ctx) {
-    ctx.charge_resident(ctx.inbox_words() + 1);
-  });
-}
-
-/// Final inboxes (from machine-0 broadcast) plus the full trace CSV.
-/// The workload is process-clean: per-machine observations are shipped
-/// to the central machine as messages (not written to host memory), so
-/// the identical string must come back from every backend including
-/// the process-sharded one, where machines 1.. run in forked workers.
+/// converge-cast), resident charges, inbox-dependent replies, and the
+/// final delivery order — all through registered (define_round) rounds
+/// so the identical string must come back from every backend including
+/// the process-sharded one, where machines run in persistent forked
+/// workers that never see coordinator memory after job start. Returns
+/// the central machine's view of every machine's delivery order plus
+/// the full trace CSV.
 std::string run_synthetic(std::shared_ptr<exec::Executor> ex,
                           std::uint64_t machines) {
   mrc::Engine e(topo(machines), std::move(ex));
-  synthetic_workload(e);
-  // One more round recording exact delivery order per machine.
+  const auto count = static_cast<MachineId>(machines);
+  const mrc::RoundId r_scatter = e.define_round(
+      "scatter", [count](MachineContext& ctx, std::span<const Word>) {
+        ctx.charge_resident(ctx.id() + 1);
+        for (MachineId to = 0; to < count; ++to) {
+          if ((ctx.id() + to) % 3 == 0) {
+            ctx.send(to, {ctx.id(), to, ctx.id() * 1000ull + to});
+          }
+        }
+        ctx.send(ctx.id(), {ctx.id()});  // self-send
+      });
+  const mrc::RoundId r_echo = e.define_round(
+      "echo", [](MachineContext& ctx, std::span<const Word>) {
+        ctx.charge_resident(ctx.inbox_words());
+        for (const auto& msg : ctx.inbox()) {
+          ctx.send(mrc::kCentral, {msg.from, msg.words()});
+        }
+      });
+  const mrc::RoundId r_fanout = e.define_round(
+      "fanout", [count](MachineContext& ctx, std::span<const Word>) {
+        for (MachineId to = 0; to < count; ++to) {
+          ctx.send(to, {ctx.id()});
+        }
+      });
+  const mrc::RoundId r_observe = e.define_round(
+      "observe", [](MachineContext& ctx, std::span<const Word>) {
+        // Ship this machine's delivery order to central; converge-cast
+        // is the process-clean replacement for writing a host-side
+        // slot.
+        mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
+        for (const auto& view : ctx.messages()) {
+          msg.push(view.from);
+        }
+      });
+
+  e.invoke_round(r_scatter);
+  e.invoke_round(r_echo);
+  e.run_central_round("collect", [&](MachineContext& ctx) {
+    ctx.charge_resident(ctx.inbox_words() + 1);
+  });
   std::ostringstream os;
-  e.run_round("fanout", [&](MachineContext& ctx) {
-    for (MachineId to = 0; to < machines; ++to) {
-      ctx.send(to, {ctx.id()});
-    }
-  });
-  e.run_round("observe", [&](MachineContext& ctx) {
-    // Ship this machine's delivery order to central; converge-cast is
-    // the process-clean replacement for writing a host-side slot.
-    mrc::MessageWriter msg = ctx.begin_message(mrc::kCentral);
-    for (const auto& view : ctx.messages()) {
-      msg.push(view.from);
-    }
-  });
+  e.invoke_round(r_fanout);
+  e.invoke_round(r_observe);
   std::vector<std::string> delivery(machines);
   e.run_central_round("collect-observations", [&](MachineContext& ctx) {
     // Messages arrive in sender-id order: one line per machine.
@@ -239,8 +259,8 @@ TEST(EngineDeterminism, TraceAndDeliveryIdenticalAcrossBackends) {
               run_synthetic(std::make_shared<ReverseExecutor>(), machines))
         << "machines=" << machines << " (reverse order)";
     // The process-sharded backend: identical traces and delivery with
-    // the machines split across 1/2/4 forked worker processes and the
-    // staged arenas shipped back over the shard transport.
+    // the machines split across 1/2/4 persistent worker processes and
+    // the staged arenas shipped back over the shard transport.
     for (const unsigned shards : {1u, 2u, 4u}) {
       const std::string sharded = run_synthetic(
           std::make_shared<exec::ProcessShardExecutor>(shards), machines);
@@ -269,13 +289,15 @@ TEST(EngineDeterminism, DeliveryOrderIsSenderIdOrder) {
 TEST(EngineDeterminism, SpaceLimitReportsLowestIdOffender) {
   auto run = [](std::shared_ptr<exec::Executor> ex) -> std::string {
     mrc::Engine e(topo(16, /*cap=*/10), std::move(ex));
+    const mrc::RoundId r = e.define_round(
+        "r", [](MachineContext& ctx, std::span<const Word>) {
+          // Machines 5, 9, and 13 all blow the cap; 5 must be reported.
+          if (ctx.id() % 4 == 1 && ctx.id() >= 5) {
+            ctx.charge_resident(100 + ctx.id());
+          }
+        });
     try {
-      e.run_round("r", [&](MachineContext& ctx) {
-        // Machines 5, 9, and 13 all blow the cap; 5 must be reported.
-        if (ctx.id() % 4 == 1 && ctx.id() >= 5) {
-          ctx.charge_resident(100 + ctx.id());
-        }
-      });
+      e.invoke_round(r);
     } catch (const mrc::SpaceLimitExceeded& ex_caught) {
       EXPECT_EQ(ex_caught.words, 105u);
       EXPECT_EQ(ex_caught.cap, 10u);
@@ -289,6 +311,8 @@ TEST(EngineDeterminism, SpaceLimitReportsLowestIdOffender) {
     EXPECT_EQ(serial,
               run(std::make_shared<exec::ThreadPoolExecutor>(threads)));
   }
+  // The space audit runs on the coordinator's merged accounting, so the
+  // persistent-worker backend throws the identical message.
   for (const unsigned shards : {2u, 4u}) {
     EXPECT_EQ(serial,
               run(std::make_shared<exec::ProcessShardExecutor>(shards)))
@@ -300,10 +324,12 @@ TEST(Engine, InboxPeekMatchesDeliveryAndIsBoundsChecked) {
   for (const unsigned shards : {1u, 2u}) {
     mrc::Engine e(topo(6),
                   std::make_shared<exec::ProcessShardExecutor>(shards));
-    e.run_round("fanout", [&](MachineContext& ctx) {
-      ctx.send(2, {ctx.id(), ctx.id()});
-      if (ctx.id() == 5) ctx.send(0, {1, 2, 3});
-    });
+    const mrc::RoundId r = e.define_round(
+        "fanout", [](MachineContext& ctx, std::span<const Word>) {
+          ctx.send(2, {ctx.id(), ctx.id()});
+          if (ctx.id() == 5) ctx.send(0, {1, 2, 3});
+        });
+    e.invoke_round(r);
     // Control-plane peek between rounds: the merged coordinator view.
     EXPECT_EQ(e.inbox_words(2), 12u) << "shards=" << shards;
     EXPECT_EQ(e.inbox_size(2), 6u) << "shards=" << shards;
@@ -319,41 +345,59 @@ TEST(Engine, InboxPeekMatchesDeliveryAndIsBoundsChecked) {
 
 TEST(ProcessShardExecutor, KilledWorkerSurfacesTypedErrorNotHang) {
   // Machine 6 lives in shard 1 (machines 4..7 of 8 at K=2), which runs
-  // in a forked worker; killing it mid-round must surface as a typed
-  // WorkerError naming the shard and round — never a hang on the merge
-  // barrier, and never a silent partial merge.
+  // in a persistent forked worker; killing it mid-round must surface as
+  // a typed WorkerError naming the shard and round — never a hang on
+  // the merge barrier, and never a silent partial merge. The first
+  // invocation succeeds so the kill hits an already-running persistent
+  // worker, not the spawn path.
   mrc::Engine e(topo(8), std::make_shared<exec::ProcessShardExecutor>(2));
+  const mrc::RoundId r_doomed = e.define_round(
+      "doomed", [](MachineContext& ctx, std::span<const Word> ps) {
+        if (ps[0] == 1 && ctx.id() == 6) {
+          std::raise(SIGKILL);  // only ever runs in the worker process
+        }
+        ctx.send(mrc::kCentral, {ctx.id()});
+      });
+  e.invoke_round(r_doomed, {Word{0}});  // round 1: worker survives
   try {
-    e.run_round("doomed", [&](MachineContext& ctx) {
-      if (ctx.id() == 6) {
-        std::raise(SIGKILL);  // only ever runs in the worker process
-      }
-      ctx.send(mrc::kCentral, {ctx.id()});
-    });
+    e.invoke_round(r_doomed, {Word{1}});  // round 2: worker dies mid-round
     FAIL() << "expected WorkerError";
   } catch (const exec::WorkerError& err) {
     EXPECT_EQ(err.shard, 1u);
-    EXPECT_EQ(err.round, 1u);
+    EXPECT_EQ(err.round, 2u);
     const std::string what = err.what();
     EXPECT_NE(what.find("shard 1"), std::string::npos) << what;
-    EXPECT_NE(what.find("round 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("round 2"), std::string::npos) << what;
     EXPECT_NE(what.find("signal"), std::string::npos) << what;
+  }
+  // Reconnect refusal: the dead worker's resident mirrors are gone, so
+  // a respawned worker could not rejoin mid-job. Every further round on
+  // the failed job must fail typed instead of silently recomputing.
+  try {
+    e.invoke_round(r_doomed, {Word{0}});
+    FAIL() << "expected WorkerError (reconnect refusal)";
+  } catch (const exec::WorkerError& err) {
+    EXPECT_EQ(err.shard, 1u);
+    EXPECT_NE(std::string(err.what()).find("refusing"), std::string::npos)
+        << err.what();
   }
 }
 
 TEST(ProcessShardExecutor, WorkerCallbackExceptionIsTypedWithMachineId) {
-  mrc::Engine e(topo(8), std::make_shared<exec::ProcessShardExecutor>(2));
   // Only a worker-shard machine throws: the coordinator rethrows a
   // typed ShardCallbackError carrying the machine id, round, and the
   // original message, after the barrier (state stays merged).
+  mrc::Engine e(topo(8), std::make_shared<exec::ProcessShardExecutor>(2));
+  const mrc::RoundId r_throwing = e.define_round(
+      "throwing", [](MachineContext& ctx, std::span<const Word>) {
+        ctx.send(mrc::kCentral, {ctx.id()});
+        if (ctx.id() >= 5) {
+          throw std::runtime_error("boom on machine " +
+                                   std::to_string(ctx.id()));
+        }
+      });
   try {
-    e.run_round("throwing", [&](MachineContext& ctx) {
-      ctx.send(mrc::kCentral, {ctx.id()});
-      if (ctx.id() >= 5) {
-        throw std::runtime_error("boom on machine " +
-                                 std::to_string(ctx.id()));
-      }
-    });
+    e.invoke_round(r_throwing);
     FAIL() << "expected ShardCallbackError";
   } catch (const exec::ShardCallbackError& err) {
     EXPECT_EQ(err.machine, 5u);  // lowest-id thrower wins
@@ -364,16 +408,50 @@ TEST(ProcessShardExecutor, WorkerCallbackExceptionIsTypedWithMachineId) {
   // A coordinator-shard (lower-id) exception takes precedence and is
   // rethrown as the original type, exactly like SerialExecutor.
   mrc::Engine e2(topo(8), std::make_shared<exec::ProcessShardExecutor>(2));
+  const mrc::RoundId r_both = e2.define_round(
+      "throwing", [](MachineContext& ctx, std::span<const Word>) {
+        if (ctx.id() == 2 || ctx.id() == 6) {
+          throw std::runtime_error("machine " + std::to_string(ctx.id()));
+        }
+      });
   try {
-    e2.run_round("throwing", [&](MachineContext& ctx) {
-      if (ctx.id() == 2 || ctx.id() == 6) {
-        throw std::runtime_error("machine " + std::to_string(ctx.id()));
-      }
-    });
+    e2.invoke_round(r_both);
     FAIL() << "expected std::runtime_error";
   } catch (const std::runtime_error& err) {
     EXPECT_STREQ(err.what(), "machine 2");
   }
+}
+
+TEST(ProcessShardExecutor, WorkersSpawnedOncePerJob) {
+  // Persistent workers fork exactly once, at job start: the telemetry
+  // counter must report shards-1 spawns (the coordinator runs shard 0
+  // locally) no matter how many rounds the job runs, and every
+  // subsequent round ships only control frames and inbox state.
+  obs::Telemetry& tel = obs::Telemetry::instance();
+  tel.clear();
+  tel.enable();
+  {
+    mrc::Engine e(topo(8), std::make_shared<exec::ProcessShardExecutor>(4));
+    const mrc::RoundId r_ping = e.define_round(
+        "ping", [](MachineContext& ctx, std::span<const Word>) {
+          ctx.send(mrc::kCentral, {ctx.id()});
+        });
+    for (int round = 0; round < 5; ++round) {
+      e.invoke_round(r_ping);
+      e.run_central_round("drain", [](MachineContext& ctx) {
+        ctx.charge_resident(ctx.inbox_words());
+      });
+    }
+  }  // engine teardown ends the job and reaps the workers
+  tel.disable();
+  const obs::TelemetrySnapshot snap = tel.snapshot();
+  tel.clear();
+  const auto spawned = snap.counters.find("exec.workers_spawned");
+  ASSERT_NE(spawned, snap.counters.end());
+  EXPECT_EQ(spawned->second, 3u);  // 4 shards, shard 0 stays local
+  const auto shipped = snap.counters.find("exec.state_bytes_shipped");
+  ASSERT_NE(shipped, snap.counters.end());
+  EXPECT_GT(shipped->second, 0u);
 }
 
 TEST(Engine, PendingInboxBoundsChecked) {
@@ -440,8 +518,9 @@ TEST(AlgorithmDeterminism, RlrMatchingIdenticalAcrossThreadCounts) {
 
 TEST(AlgorithmDeterminism, RlrMatchingIdenticalAcrossShardCounts) {
   // The full algorithm on the process-sharded backend: machines run in
-  // forked worker processes and every result field — matching, weight,
-  // rounds, space, communication — must equal the serial run exactly.
+  // persistent worker processes and every result field — matching,
+  // weight, rounds, space, communication — must equal the serial run
+  // exactly.
   for (const std::uint64_t seed : {1ull, 7ull}) {
     const auto serial = run_matching(seed, 1);
     EXPECT_FALSE(serial.failed);
@@ -494,6 +573,240 @@ TEST(AlgorithmDeterminism, GreedySetCoverIdenticalAcrossThreadCounts) {
           << "seed=" << seed << " threads=" << threads;
     }
   }
+}
+
+// Byte-identity of every ported driver's full result across the serial
+// and process-sharded backends. num_shards=1 maps to the serial
+// executor (MakeExecutor.MapsKnobToBackend proves it), so the K=1
+// process run is definitionally the baseline; K=2 and K=4 split the
+// machines across persistent forked workers and must reproduce the
+// identical fingerprint — result vectors, exact weights (hexfloat, so
+// every bit of the double counts), and all engine metrics.
+
+std::string outcome_fp(const core::MrOutcome& o) {
+  std::ostringstream os;
+  os << "failed=" << o.failed << " iter=" << o.iterations
+     << " rounds=" << o.rounds << " words=" << o.max_machine_words
+     << " central=" << o.max_central_inbox
+     << " comm=" << o.total_communication
+     << " viol=" << o.space_violations;
+  return os.str();
+}
+
+template <typename T>
+void vec_fp(std::ostringstream& os, const std::vector<T>& v) {
+  os << " [" << v.size() << ":";
+  for (const T& x : v) os << x << ",";
+  os << "]";
+}
+
+void weight_fp(std::ostringstream& os, double w) {
+  os << " w=" << std::hexfloat << w << std::defaultfloat;
+}
+
+graph::Graph test_graph(std::uint64_t n) {
+  Rng rng(0xC0FFEEull);
+  graph::Graph g = graph::gnm_density(n, 0.5, rng);
+  return g.with_weights(
+      graph::random_edge_weights(g, graph::WeightDist::kUniform, rng));
+}
+
+core::MrParams shard_params(std::uint64_t shards, double mu = 0.15) {
+  core::MrParams p;
+  p.mu = mu;
+  p.seed = 7;
+  p.num_threads = 1;
+  p.num_shards = shards;
+  return p;
+}
+
+using DriverFn = std::function<std::string(std::uint64_t shards)>;
+
+void expect_shard_identical(
+    const std::vector<std::pair<std::string, DriverFn>>& drivers) {
+  for (const auto& [name, run] : drivers) {
+    const std::string serial = run(1);
+    for (const std::uint64_t shards : {2ull, 4ull}) {
+      EXPECT_EQ(serial, run(shards)) << name << " shards=" << shards;
+    }
+  }
+}
+
+TEST(AlgorithmDeterminism, CoreDriversByteIdenticalAcrossShardCounts) {
+  const graph::Graph g = test_graph(150);
+  const std::vector<std::pair<std::string, DriverFn>> drivers = {
+      {"rlr_set_cover",
+       [](std::uint64_t shards) {
+         Rng rng(0x5E7C07ull);
+         const setcover::SetSystem sys = setcover::many_sets(
+             220, 40, 10, graph::WeightDist::kUniform, rng);
+         const auto r =
+             core::rlr_set_cover(sys, shard_params(shards, 0.3));
+         std::ostringstream os;
+         vec_fp(os, r.cover);
+         weight_fp(os, r.weight);
+         weight_fp(os, r.lower_bound);
+         os << " " << outcome_fp(r.outcome);
+         return os.str();
+       }},
+      {"rlr_vertex_cover",
+       [&g](std::uint64_t shards) {
+         Rng wr(99);
+         std::vector<double> w(g.num_vertices());
+         for (double& x : w) {
+           x = 1.0 + static_cast<double>(wr() % 1000) / 250.0;
+         }
+         const auto r = core::rlr_vertex_cover(g, w, shard_params(shards));
+         std::ostringstream os;
+         vec_fp(os, r.cover);
+         weight_fp(os, r.weight);
+         weight_fp(os, r.lower_bound);
+         os << " " << outcome_fp(r.outcome);
+         return os.str();
+       }},
+      {"rlr_b_matching",
+       [&g](std::uint64_t shards) {
+         std::vector<std::uint32_t> b(g.num_vertices());
+         for (std::size_t v = 0; v < b.size(); ++v) {
+           b[v] = 1 + static_cast<std::uint32_t>(v % 3);
+         }
+         const auto r =
+             core::rlr_b_matching(g, b, /*eps=*/0.25, shard_params(shards));
+         std::ostringstream os;
+         vec_fp(os, r.matching);
+         weight_fp(os, r.weight);
+         os << " stack=" << r.stack_size << " " << outcome_fp(r.outcome);
+         return os.str();
+       }},
+      {"greedy_set_cover_mr",
+       [](std::uint64_t shards) {
+         Rng rng(1ull ^ 0x5EEDull);
+         const setcover::SetSystem sys = setcover::many_sets(
+             400, 52, 12, graph::WeightDist::kUniform, rng);
+         const auto r = core::greedy_set_cover_mr(
+             sys, /*eps=*/0.3, shard_params(shards, 0.3));
+         std::ostringstream os;
+         vec_fp(os, r.cover);
+         weight_fp(os, r.weight);
+         os << " pre=" << r.preprocessed_sets
+            << " fail=" << r.sampling_failures
+            << " drops=" << r.level_drops << " " << outcome_fp(r.outcome);
+         return os.str();
+       }},
+      {"hungry_mis_simple",
+       [&g](std::uint64_t shards) {
+         const auto r = core::hungry_mis_simple(g, shard_params(shards));
+         std::ostringstream os;
+         vec_fp(os, r.independent_set);
+         os << " phases=" << r.phases << " adds=" << r.central_adds << " "
+            << outcome_fp(r.outcome);
+         return os.str();
+       }},
+      {"hungry_mis_improved",
+       [&g](std::uint64_t shards) {
+         const auto r = core::hungry_mis_improved(g, shard_params(shards));
+         std::ostringstream os;
+         vec_fp(os, r.independent_set);
+         os << " phases=" << r.phases << " adds=" << r.central_adds << " "
+            << outcome_fp(r.outcome);
+         return os.str();
+       }},
+      {"hungry_clique",
+       [&g](std::uint64_t shards) {
+         const auto r = core::hungry_clique(g, shard_params(shards));
+         std::ostringstream os;
+         vec_fp(os, r.clique);
+         os << " adds=" << r.central_adds << " " << outcome_fp(r.outcome);
+         return os.str();
+       }},
+      {"mr_vertex_colouring",
+       [&g](std::uint64_t shards) {
+         const auto r = core::mr_vertex_colouring(g, shard_params(shards));
+         std::ostringstream os;
+         vec_fp(os, r.colour);
+         os << " used=" << r.colours_used << " groups=" << r.groups << " "
+            << outcome_fp(r.outcome);
+         return os.str();
+       }},
+      {"mr_edge_colouring",
+       [&g](std::uint64_t shards) {
+         const auto r = core::mr_edge_colouring(g, shard_params(shards));
+         std::ostringstream os;
+         vec_fp(os, r.colour);
+         os << " used=" << r.colours_used << " groups=" << r.groups << " "
+            << outcome_fp(r.outcome);
+         return os.str();
+       }},
+  };
+  expect_shard_identical(drivers);
+}
+
+TEST(AlgorithmDeterminism, BaselineDriversByteIdenticalAcrossShardCounts) {
+  const graph::Graph g = test_graph(150);
+  const std::vector<std::pair<std::string, DriverFn>> drivers = {
+      {"luby_mis_mr",
+       [&g](std::uint64_t shards) {
+         const auto r = baselines::luby_mis_mr(g, shard_params(shards));
+         std::ostringstream os;
+         vec_fp(os, r.independent_set);
+         os << " phases=" << r.phases << " " << outcome_fp(r.outcome);
+         return os.str();
+       }},
+      {"luby_colouring_mr",
+       [&g](std::uint64_t shards) {
+         const auto r =
+             baselines::luby_colouring_mr(g, shard_params(shards));
+         std::ostringstream os;
+         vec_fp(os, r.colour);
+         os << " used=" << r.colours_used << " phases=" << r.phases << " "
+            << outcome_fp(r.outcome);
+         return os.str();
+       }},
+      {"sample_prune_set_cover",
+       [](std::uint64_t shards) {
+         Rng rng(0xFEEDull);
+         const setcover::SetSystem sys = setcover::many_sets(
+             220, 40, 10, graph::WeightDist::kUniform, rng);
+         const auto r = baselines::sample_prune_set_cover(
+             sys, /*eps=*/0.3, shard_params(shards, 0.3));
+         std::ostringstream os;
+         vec_fp(os, r.cover);
+         weight_fp(os, r.weight);
+         os << " drops=" << r.level_drops << " " << outcome_fp(r.outcome);
+         return os.str();
+       }},
+      {"coreset_matching",
+       [&g](std::uint64_t shards) {
+         const auto r = baselines::coreset_matching(g, shard_params(shards));
+         std::ostringstream os;
+         vec_fp(os, r.matching);
+         weight_fp(os, r.weight);
+         os << " union=" << r.coreset_union_size << " "
+            << outcome_fp(r.outcome);
+         return os.str();
+       }},
+      {"filtering_matching",
+       [&g](std::uint64_t shards) {
+         const auto r =
+             baselines::filtering_matching(g, shard_params(shards));
+         std::ostringstream os;
+         vec_fp(os, r.matching);
+         weight_fp(os, r.weight);
+         os << " " << outcome_fp(r.outcome);
+         return os.str();
+       }},
+      {"filtering_weighted_matching",
+       [&g](std::uint64_t shards) {
+         const auto r =
+             baselines::filtering_weighted_matching(g, shard_params(shards));
+         std::ostringstream os;
+         vec_fp(os, r.matching);
+         weight_fp(os, r.weight);
+         os << " " << outcome_fp(r.outcome);
+         return os.str();
+       }},
+  };
+  expect_shard_identical(drivers);
 }
 
 TEST(AlgorithmDeterminism, SpaceLimitStressIdenticalAcrossThreadCounts) {

@@ -121,7 +121,13 @@ TEST(LubyColouring, PhasesLogarithmic) {
   const Graph g = graph::gnm_density(1000, 0.4, rng);
   const auto res = luby_colouring_mr(g, bp(1));
   EXPECT_LE(res.phases, 40u);
-  EXPECT_EQ(res.outcome.rounds, 2 * res.phases);
+  // Constant engine rounds per phase: propose, commit, the central
+  // winner collection, plus the fanout-tree broadcast of the winners
+  // (whose depth depends only on the machine count, not the phase).
+  ASSERT_GE(res.phases, 1u);
+  EXPECT_EQ(res.outcome.rounds % res.phases, 0u);
+  EXPECT_GE(res.outcome.rounds / res.phases, 3u);
+  EXPECT_LE(res.outcome.rounds / res.phases, 6u);
 }
 
 TEST(LubyColouring, DeterministicForSeed) {

@@ -167,9 +167,9 @@ void usage() {
          "scenarios)\n"
          "--threads T: simulate machines on T threads (1 = serial, "
          "0 = all hardware threads); --backend process [--shards K]: "
-         "partition machines over K forked worker processes (drivers "
-         "ported to the process backend only; see README). Results are "
-         "identical under every backend, only wall-clock changes\n"
+         "partition machines over K persistent worker processes (every "
+         "algorithm supports this; see README). Results are identical "
+         "under every backend, only wall-clock changes\n"
          "--telemetry-out FILE: record phase spans/counters (off by "
          "default; does not change results) and write them at exit — "
          "jsonl for tools/trace_report, chrome for chrome://tracing "
@@ -703,13 +703,6 @@ int run(int argc, char** argv) {
   params.seed = o.seed;
   params.num_threads = o.threads;
   params.num_shards = o.shards;
-  if (o.shards > 1 && o.algorithm != "matching") {
-    // Only process-clean drivers honor the knob; see README
-    // "Execution backends". Results are identical either way.
-    std::cerr << "note: " << o.algorithm
-              << " has not been ported to the process backend yet; "
-                 "machines run in-process\n";
-  }
 
   using namespace mrlr;
   const std::string& a = o.algorithm;

@@ -53,6 +53,9 @@
 #include "mrlr/seq/local_ratio_matching.hpp"
 #include "mrlr/seq/local_ratio_setcover.hpp"
 #include "mrlr/seq/mis.hpp"
+#include "mrlr/exec/worker_launcher.hpp"
+#include "mrlr/jobs/job_spec.hpp"
+#include "mrlr/jobs/worker.hpp"
 #include "mrlr/seq/misra_gries.hpp"
 #include "mrlr/setcover/generators.hpp"
 #include "mrlr/setcover/validate.hpp"
@@ -1188,6 +1191,70 @@ void add_process(Registry& r) {
   }
 }
 
+// --------------------------------------------------------- tcp ----
+
+// True multi-host determinism: the exact exec/threads workload run
+// against forked loopback TCP workers that start from nothing — each
+// job ships the full instance + params over the wire and the workers
+// rebuild the driver from the spec. Equal hashes across
+// t1/k1/k2/k4/tcp-k2/tcp-k4 certify that neither the transport nor the
+// wire bootstrap perturbs a single bit.
+void add_tcp(Registry& r) {
+  struct Cfg {
+    std::uint64_t shards;
+    std::vector<std::string> groups;
+  };
+  for (const Cfg& cfg : {
+           Cfg{2, {"process", "smoke"}},
+           Cfg{4, {"process", "smoke"}},
+       }) {
+    r.add({"exec/tcp/k" + std::to_string(cfg.shards),
+           cfg.groups,
+           "rlr matching over " + std::to_string(cfg.shards - 1) +
+               " loopback TCP workers bootstrapped from the shipped "
+               "job spec (results must match exec/threads/t1 exactly)",
+           [cfg](const RunContext& ctx) {
+             const std::uint64_t n = ctx.scale_n(3000);
+             const double c = 0.5, mu = 0.1;
+             BenchResult res;
+             res.algo = "rlr-mwm";
+             res.family = "gnm-density";
+             res.n = n;
+             res.c = c;
+             res.mu = mu;
+             res.threads = 1;
+             const graph::Graph g =
+                 weighted_gnm(n, c, WeightDist::kUniform, n + 3);
+             res.m = g.num_edges();
+             core::MrParams params = scenario_params(mu, 1, 1);
+             params.num_shards = cfg.shards;
+             // Fleet setup (fork + bind) stays outside the timer; the
+             // measured run includes connect, handshake, bootstrap
+             // shipping, and the rounds themselves.
+             jobs::ScopedTcpLoopback fleet(
+                 static_cast<unsigned>(cfg.shards - 1));
+             exec::ProcessBackendConfig pbc;
+             pbc.workers = fleet.endpoints();
+             pbc.job_spec = jobs::encode_job_spec(
+                 jobs::graph_job("matching", g, params));
+             exec::ScopedProcessBackendConfig guard(std::move(pbc));
+             Timer t;
+             const auto out = core::rlr_matching(g, params);
+             res.wall_seconds = t.elapsed();
+             fill_outcome(res, out.outcome);
+             res.quality = out.weight;
+             res.failed =
+                 res.failed || !graph::is_matching(g, out.matching);
+             HashAcc h;
+             h.mix_range(out.matching);
+             h.mix(out.weight);
+             res.determinism_hash = h.value();
+             res.extra["shards"] = static_cast<double>(cfg.shards);
+             return res;
+           }});
+  }
+}
+
 // Per-driver process smoke: every ported driver runs the identical
 // pinned instance twice — serial, then on K=4 persistent worker
 // shards — and the scenario fails on any fingerprint mismatch. The
@@ -1748,6 +1815,7 @@ void register_builtin_scenarios(Registry& r) {
   add_io(r);
   add_threads(r);
   add_process(r);
+  add_tcp(r);
   add_process_drivers(r);
   add_large(r);
 }

@@ -5,6 +5,7 @@
 
 #include "mrlr/exec/process_shard_executor.hpp"
 #include "mrlr/exec/serial_executor.hpp"
+#include "mrlr/exec/shard_worker.hpp"
 #include "mrlr/exec/thread_pool_executor.hpp"
 #include "mrlr/util/require.hpp"
 
@@ -16,6 +17,13 @@ std::unique_ptr<Executor> make_executor(std::uint64_t num_threads) {
 
 std::unique_ptr<Executor> make_executor(std::uint64_t num_threads,
                                         std::uint64_t num_shards) {
+  if (WorkerSession* session = active_worker_session()) {
+    // This process is a TCP worker replaying a shipped job spec: the
+    // driver re-runs with the coordinator's exact parameters (including
+    // num_shards > 1), but its engine must serve this worker's shard
+    // over the session channel instead of launching workers of its own.
+    return std::make_unique<WorkerShardExecutor>(session);
+  }
   if (num_shards > 1) {
     // Shards fork persistent workers at job start; forking a process
     // that owns a live thread pool is not a combination we support, so

@@ -76,6 +76,12 @@ class ShardJobPlane : public ShardDataPlane {
   /// validate this against the setup frame so a coordinator/worker
   /// registry mismatch fails typed instead of invoking the wrong round.
   virtual std::uint64_t registered_rounds() const = 0;
+
+  /// Label of registered round i (i < registered_rounds()), in
+  /// registration order. The job bootstrap ships the full label table so
+  /// a worker whose registry diverged in *content* — not just count —
+  /// refuses the job instead of invoking the wrong closure.
+  virtual std::string_view round_label(std::uint64_t i) const = 0;
 };
 
 /// Abstract machine-range runner.

@@ -1,9 +1,7 @@
 #include "mrlr/exec/process_shard_executor.hpp"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
+#include <chrono>
 #include <exception>
 #include <string>
 #include <utility>
@@ -13,7 +11,10 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "mrlr/exec/shard_worker.hpp"
+#include "mrlr/exec/worker_launcher.hpp"
 #include "mrlr/obs/telemetry.hpp"
+#include "mrlr/util/mix64.hpp"
 #include "mrlr/util/require.hpp"
 
 namespace mrlr::exec {
@@ -62,122 +63,16 @@ void run_serial_range(std::uint64_t first, std::uint64_t last,
   }
 }
 
-/// Persistent-worker body: validate the setup frame against the
-/// inherited job plane, then serve kRoundControl frames until teardown.
-/// Each round: install the shipped inbox state for our machine range,
-/// run the registered round over it, and ship the staged arenas plus a
-/// status frame back. Exits via _exit only — never unwinding into the
-/// coordinator's stack (no atexit, no stdio flush of buffers the parent
-/// also owns).
-[[noreturn]] void worker_service_loop(FdChannel& ch, std::uint32_t shard,
-                                      ShardJobPlane* plane) {
-  try {
-    const Frame setup = expect_frame(ch, FrameKind::kJobSetup, shard, 0);
-    if (setup.payload.size() != 32) _exit(kWorkerTransportFailed);
-    const std::uint64_t first = read_u64(setup.payload, 0);
-    const std::uint64_t last = read_u64(setup.payload, 8);
-    const std::uint64_t machines = read_u64(setup.payload, 16);
-    const std::uint64_t rounds = read_u64(setup.payload, 24);
-    if (first > last || last > machines ||
-        rounds != plane->registered_rounds()) {
-      _exit(kWorkerTransportFailed);
-    }
-
-    // Telemetry: the fork inherited the coordinator's recorder state
-    // (COW), including everything recorded before the job. Each round
-    // marks the current position so only that round's own events ship
-    // back; spans recorded here are re-attributed to this shard.
-    obs::Telemetry& tel = obs::Telemetry::instance();
-    const bool telemetry = tel.enabled();
-    if (telemetry) tel.set_shard(shard);
-
-    for (;;) {
-      Frame frame = read_frame(ch);
-      if (frame.kind == FrameKind::kJobTeardown) _exit(kWorkerOk);
-      if (frame.kind != FrameKind::kRoundControl || frame.shard != shard) {
-        _exit(kWorkerTransportFailed);
-      }
-      const std::uint64_t sequence = frame.sequence;
-      const std::uint64_t round_ix = sequence - 1;
-
-      std::span<const std::byte> p = frame.payload;
-      if (p.size() < 16) _exit(kWorkerTransportFailed);
-      const std::uint64_t round_id = read_u64(p, 0);
-      const std::uint64_t param_count = read_u64(p, 8);
-      p = p.subspan(16);
-      if (param_count > p.size() / 8) _exit(kWorkerTransportFailed);
-      // Frame payloads have no alignment guarantee; params are tiny, so
-      // copy them into an aligned buffer instead of aliasing bytes.
-      std::vector<std::uint64_t> params(param_count);
-      for (std::uint64_t i = 0; i < param_count; ++i) {
-        params[i] = read_u64(p, i * 8);
-      }
-      p = p.subspan(param_count * 8);
-
-      obs::Telemetry::Mark tel_mark;
-      if (telemetry) tel_mark = tel.mark();
-
-      plane->apply_round_input(first, last, p);
-
-      std::uint64_t error_machine = 0;
-      bool failed = false;
-      std::string error_what;
-      std::uint64_t t0 = telemetry ? tel.now_ns() : 0;
-      for (std::uint64_t m = first; m < last; ++m) {
-        try {
-          plane->run_registered(round_id, m, params);
-        } catch (const std::exception& e) {
-          if (!failed) {
-            failed = true;
-            error_machine = m;
-            error_what = e.what();
-          }
-        } catch (...) {
-          if (!failed) {
-            failed = true;
-            error_machine = m;
-            error_what = "unknown exception";
-          }
-        }
-      }
-      if (telemetry) {
-        tel.record_span(obs::Phase::kCallback, t0, tel.now_ns(), round_ix,
-                        "machines [" + std::to_string(first) + ", " +
-                            std::to_string(last) + ")");
-      }
-
-      std::vector<std::byte> bytes;
-      t0 = telemetry ? tel.now_ns() : 0;
-      plane->serialize_machines(first, last, bytes);
-      if (telemetry) {
-        tel.record_span(obs::Phase::kShardSerialize, t0, tel.now_ns(),
-                        round_ix);
-        t0 = tel.now_ns();
-      }
-      write_frame(ch, FrameKind::kShardData, shard, sequence, bytes);
-      if (telemetry) {
-        tel.record_span(obs::Phase::kShardTransport, t0, tel.now_ns(),
-                        round_ix);
-        // Everything this worker recorded this round ships back for the
-        // coordinator's merged profile. The telemetry and status frames
-        // themselves are written after this snapshot, so their wire
-        // counters are only visible on the coordinator's receive side.
-        write_frame(ch, FrameKind::kShardTelemetry, shard, sequence,
-                    tel.serialize_since(tel_mark));
-      }
-
-      std::vector<std::byte> status;
-      append_u64(status, failed ? 1 : 0);
-      append_u64(status, error_machine);
-      const auto text = status.size();
-      status.resize(text + error_what.size());
-      std::memcpy(status.data() + text, error_what.data(),
-                  error_what.size());
-      write_frame(ch, FrameKind::kShardStatus, shard, sequence, status);
-    }
-  } catch (...) {
-    _exit(kWorkerTransportFailed);
-  }
+/// Job identity stamped into the handshake and bootstrap: a reconnect
+/// or a crossed connection from another job fails the nonce check
+/// instead of silently merging state. Uniqueness per (process, job) is
+/// all that is needed — this is an identity, not a secret.
+std::uint64_t next_job_nonce() {
+  static std::uint64_t counter = 0;
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return mix64(static_cast<std::uint64_t>(::getpid())) ^
+         mix64(0x6A6F626E6F6E6365ull + ++counter) ^  // "jobnonce"
+         mix64(static_cast<std::uint64_t>(now.count()));
 }
 
 std::string describe_exit(int wait_status) {
@@ -247,54 +142,84 @@ void ProcessShardExecutor::start_job(std::uint64_t num_machines,
   obs::Telemetry& tel = obs::Telemetry::instance();
   job_telemetry_ = tel.enabled();
 
-  // Spawn every worker up front so each inherits the same job-start
-  // snapshot: the graph, the parameters, and the registered rounds —
-  // the one implicit transfer of the whole job. Everything after this
-  // point crosses the process boundary on the frame protocol.
-  workers_.reserve(shards - 1);
-  for (unsigned s = 1; s < shards; ++s) {
-    auto [parent_end, child_end] = make_socketpair_channel();
-    std::fflush(nullptr);  // no buffered stdio duplicated into workers
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      const int err = errno;
-      std::string what = "process-shard: fork failed for shard " +
-                         std::to_string(s) + " at job start: " +
-                         std::strerror(err);
-      fail_job(s, 0, what);
+  // Launch mode is ambient (worker_launcher.hpp): fork local children,
+  // or connect to --workers endpoints. Everything below this point is
+  // identical for both — handshake, wire bootstrap, ack — so the fork
+  // path exercises exactly what a remote worker sees.
+  std::unique_ptr<WorkerLauncher> launcher =
+      make_worker_launcher(plane, num_machines, shards);
+  const std::uint64_t nonce = next_job_nonce();
+  const std::chrono::milliseconds timeout = launcher->bootstrap_timeout();
+
+  std::uint64_t flags = launcher->ships_job_state() ? kBootstrapCarriesSpec
+                                                    : std::uint64_t{0};
+  if (job_telemetry_) flags |= kBootstrapTelemetry;
+  std::vector<std::byte> spec;
+  if (launcher->ships_job_state()) {
+    const ProcessBackendConfig* cfg = process_backend_config();
+    if (cfg == nullptr || cfg->job_spec.empty()) {
+      throw ExecError(
+          "process-shard: TCP workers reconstruct the job from a shipped "
+          "spec, but no job spec is installed — drivers launched outside "
+          "the jobs layer cannot use --workers");
     }
-    if (pid == 0) {
-      // Worker: drop the coordinator ends we inherited, then serve.
-      parent_end.close_now();
-      for (Worker& w : workers_) w.channel.close_now();
-      worker_service_loop(child_end, s, plane);  // never returns
-    }
-    // Coordinator: child_end closes when it goes out of scope, which is
-    // what turns a dead worker into EOF instead of a hang.
-    workers_.push_back(Worker{pid, std::move(parent_end), s,
-                              ranges[s].first, ranges[s].second});
+    spec = cfg->job_spec;
+  }
+  std::vector<std::string> round_labels;
+  round_labels.reserve(plane->registered_rounds());
+  for (std::uint64_t i = 0; i < plane->registered_rounds(); ++i) {
+    round_labels.emplace_back(plane->round_label(i));
   }
 
-  // Ship each worker its machine range. The setup frame is the last
-  // read of coordinator state a worker ever validates against — from
-  // here on rounds are fully wire-driven.
+  // Phase 1 — launch every worker, handshake, and ship its bootstrap.
+  // Acks are collected in a second pass so TCP workers replay their job
+  // state concurrently instead of one after another.
+  workers_.reserve(shards - 1);
   std::uint64_t shipped = 0;
-  for (Worker& w : workers_) {
-    std::vector<std::byte> payload;
-    append_u64(payload, w.first);
-    append_u64(payload, w.last);
-    append_u64(payload, num_machines);
-    append_u64(payload, plane->registered_rounds());
+  for (unsigned s = 1; s < shards; ++s) {
     try {
-      write_frame(w.channel, FrameKind::kJobSetup, w.shard, 0, payload);
+      LaunchedWorker lw = launcher->launch(s, nonce);
+      workers_.push_back(Worker{lw.pid, std::move(lw.channel), s,
+                                ranges[s].first, ranges[s].second});
+      Worker& w = workers_.back();
+      // A silent peer during handshake/bootstrap must fail typed, not
+      // hang: arm the read timeout until the ack is in (fork-launched
+      // children report death via EOF and use no timeout).
+      if (timeout.count() > 0) w.channel->set_read_timeout(timeout);
+      handshake_connect(*w.channel, s, nonce);
+      JobBootstrap b;
+      b.first = w.first;
+      b.last = w.last;
+      b.machines = num_machines;
+      b.flags = flags;
+      b.nonce = nonce;
+      b.round_labels = round_labels;
+      b.job_spec = spec;
+      const std::vector<std::byte> payload = encode_bootstrap(b);
+      write_frame(*w.channel, FrameKind::kJobSetup, s, 0, payload);
+      shipped += payload.size();
+    } catch (const ExecError& e) {
+      fail_job(s, 0, e.what());
+    }
+  }
+
+  // Phase 2 — every worker validated the bootstrap against its own job
+  // plane and either accepted or refused with a message.
+  for (Worker& w : workers_) {
+    try {
+      expect_bootstrap_ack(*w.channel, w.shard);
+      if (timeout.count() > 0) {
+        w.channel->set_read_timeout(std::chrono::milliseconds(0));
+      }
     } catch (const ExecError& e) {
       fail_job(w.shard, 0, e.what());
     }
-    shipped += payload.size();
   }
+
   if (job_telemetry_) {
     tel.add_counter("exec.workers_spawned", workers_.size());
     tel.add_counter("exec.state_bytes_shipped", shipped);
+    tel.add_counter("exec.bootstrap_bytes_shipped", shipped);
   }
 }
 
@@ -303,6 +228,9 @@ void ProcessShardExecutor::run_job_round(std::uint64_t round_id,
                                          std::uint64_t num_machines,
                                          const MachineFn& fn,
                                          ShardJobPlane* plane) {
+  // The machine count was fixed at start_job; the per-round value is
+  // only part of the interface so other executors can size their runs.
+  (void)num_machines;
   MRLR_REQUIRE(job_active_,
                "process-shard: run_job_round without start_job");
   if (job_failed_) {
@@ -335,7 +263,7 @@ void ProcessShardExecutor::run_job_round(std::uint64_t round_id,
     for (const std::uint64_t p : params) append_u64(payload, p);
     plane->serialize_round_input(w.first, w.last, payload);
     try {
-      write_frame(w.channel, FrameKind::kRoundControl, w.shard, sequence,
+      write_frame(*w.channel, FrameKind::kRoundControl, w.shard, sequence,
                   payload);
     } catch (const ExecError& e) {
       fail_job(w.shard, sequence, e.what());
@@ -359,7 +287,7 @@ void ProcessShardExecutor::run_job_round(std::uint64_t round_id,
   for (Worker& w : workers_) {
     try {
       const std::uint64_t wait_start = telemetry ? tel.now_ns() : 0;
-      Frame data = expect_frame(w.channel, FrameKind::kShardData, w.shard,
+      Frame data = expect_frame(*w.channel, FrameKind::kShardData, w.shard,
                                 sequence);
       if (telemetry) {
         tel.record_span(obs::Phase::kWorkerWait, wait_start, tel.now_ns(),
@@ -367,14 +295,14 @@ void ProcessShardExecutor::run_job_round(std::uint64_t round_id,
       }
       plane->apply_machines(w.first, w.last, data.payload);
       if (telemetry) {
-        // The worker only sends its span buffer when its inherited
-        // enabled flag was set, which is exactly when job_telemetry_
+        // The worker only sends its span buffer when the bootstrap's
+        // telemetry flag was set, which is exactly when job_telemetry_
         // is: the protocol shape is deterministic on both ends.
-        Frame spans = expect_frame(w.channel, FrameKind::kShardTelemetry,
+        Frame spans = expect_frame(*w.channel, FrameKind::kShardTelemetry,
                                    w.shard, sequence);
         tel.merge_remote(spans.payload, w.shard);
       }
-      Frame status = expect_frame(w.channel, FrameKind::kShardStatus,
+      Frame status = expect_frame(*w.channel, FrameKind::kShardStatus,
                                   w.shard, sequence);
       std::span<const std::byte> p = status.payload;
       if (p.size() < 16) {
@@ -421,12 +349,16 @@ void ProcessShardExecutor::fail_job(std::uint32_t shard,
   failed_shard_ = shard;
   // Close every channel before reaping: a worker stuck writing into a
   // full socket dies with EPIPE instead of blocking waitpid forever.
-  std::string failed_exit = "never spawned";
-  for (Worker& w : workers_) w.channel.close_now();
+  std::string failed_exit = "never launched";
+  for (Worker& w : workers_) w.channel->close_now();
   for (Worker& w : workers_) {
-    int st = 0;
-    ::waitpid(w.pid, &st, 0);
-    if (w.shard == shard) failed_exit = describe_exit(st);
+    if (w.pid > 0) {
+      int st = 0;
+      ::waitpid(w.pid, &st, 0);
+      if (w.shard == shard) failed_exit = describe_exit(st);
+    } else if (w.shard == shard) {
+      failed_exit = "remote worker";
+    }
   }
   workers_.clear();
   throw WorkerError(shard, sequence,
@@ -440,16 +372,18 @@ void ProcessShardExecutor::end_job() {
   if (!job_active_) return;
   for (Worker& w : workers_) {
     try {
-      write_frame(w.channel, FrameKind::kJobTeardown, w.shard,
+      write_frame(*w.channel, FrameKind::kJobTeardown, w.shard,
                   round_seq_ + 1, {});
     } catch (...) {
       // Best effort: a dead worker is reaped below either way.
     }
   }
-  for (Worker& w : workers_) w.channel.close_now();
+  for (Worker& w : workers_) w.channel->close_now();
   for (Worker& w : workers_) {
-    int st = 0;
-    ::waitpid(w.pid, &st, 0);
+    if (w.pid > 0) {
+      int st = 0;
+      ::waitpid(w.pid, &st, 0);
+    }
   }
   workers_.clear();
   job_active_ = false;

@@ -7,10 +7,16 @@
 //
 // Execution model and its contract:
 //
-//   * Workers fork at start_job, after the driver has registered every
-//     round with the engine, so a worker inherits one immutable
-//     snapshot: the graph, the parameters, and the registered round
-//     closures. Nothing else crosses the process boundary implicitly —
+//   * Workers launch at start_job, after the driver has registered
+//     every round with the engine, through a WorkerLauncher
+//     (worker_launcher.hpp): forked local children (the default) or TCP
+//     connections to pre-started remote workers (--workers). Either
+//     way, the channel opens with an explicit handshake (version, shard
+//     id, job nonce) and a kJobSetup bootstrap carrying the worker's
+//     machine range, the registered-round label table, and — on the TCP
+//     path — the full job spec, which the worker validates and
+//     acknowledges before any round ships. Nothing crosses the process
+//     boundary implicitly —
 //     each round the coordinator ships a kRoundControl frame carrying
 //     the round id, the invoke parameters, and the serialized inboxes
 //     of the worker's machine range (ShardJobPlane::
@@ -48,6 +54,7 @@
 // the backend degenerates to SerialExecutor semantics.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include <sys/types.h>
@@ -93,8 +100,8 @@ class ProcessShardExecutor final : public Executor {
 
  private:
   struct Worker {
-    pid_t pid;
-    FdChannel channel;  // coordinator end
+    pid_t pid;  // -1 for remote workers (not ours to reap)
+    std::unique_ptr<ShardChannel> channel;  // coordinator end
     std::uint32_t shard;
     std::uint64_t first, last;
   };

@@ -1,5 +1,7 @@
 #include "mrlr/exec/shard_transport.hpp"
 
+#include "mrlr/exec/shard_channel.hpp"
+
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -74,26 +76,24 @@ void FdChannel::close_now() {
 }
 
 void FdChannel::write_all(const std::byte* data, std::size_t n) {
-  std::size_t sent = 0;
-  while (sent < n) {
-    const ssize_t r = ::write(fd_, data + sent, n - sent);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      io_fail("write", errno);
-    }
-    sent += static_cast<std::size_t>(r);
-  }
+  // The EINTR-retry / partial-write continuation loop lives in one
+  // shared helper (shard_channel.hpp) so FdChannel and TcpChannel can
+  // never drift apart on short-write handling.
+  io_write_all(fd_, data, n, [](int fd, const void* buf, std::size_t len) {
+    // MSG_NOSIGNAL: a fork child that died must surface as a typed kIo
+    // (EPIPE), not a SIGPIPE kill of the coordinator. The fd is a
+    // socketpair in every production path; plain pipes (ENOTSOCK) fall
+    // back to write() for generality.
+    const ::ssize_t r = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (r < 0 && errno == ENOTSOCK) return ::write(fd, buf, len);
+    return r;
+  }, "fd channel");
 }
 
 std::size_t FdChannel::read_some(std::byte* data, std::size_t n) {
-  while (true) {
-    const ssize_t r = ::read(fd_, data, n);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      io_fail("read", errno);
-    }
-    return static_cast<std::size_t>(r);
-  }
+  return io_read_some(fd_, data, n, [](int fd, void* buf, std::size_t len) {
+    return ::read(fd, buf, len);
+  }, "fd channel");
 }
 
 std::pair<FdChannel, FdChannel> make_socketpair_channel() {
@@ -174,7 +174,8 @@ Frame read_frame(ShardChannel& ch, std::uint64_t max_payload) {
       kind_raw != static_cast<std::uint16_t>(FrameKind::kShardTelemetry) &&
       kind_raw != static_cast<std::uint16_t>(FrameKind::kJobSetup) &&
       kind_raw != static_cast<std::uint16_t>(FrameKind::kRoundControl) &&
-      kind_raw != static_cast<std::uint16_t>(FrameKind::kJobTeardown)) {
+      kind_raw != static_cast<std::uint16_t>(FrameKind::kJobTeardown) &&
+      kind_raw != static_cast<std::uint16_t>(FrameKind::kBootstrapAck)) {
     // A kind this build does not know (version skew, corruption) fails
     // typed here, before any payload is trusted — never a hang.
     throw TransportError(TransportError::Kind::kBadMagic,

@@ -41,6 +41,7 @@
 //     process; carries the machine id and round sequence, message text
 //     preserved from the original exception.
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -108,6 +109,18 @@ class ShardChannel {
   /// read, 0 only at end of stream. Throws TransportError(kIo) on
   /// failure.
   virtual std::size_t read_some(std::byte* data, std::size_t n) = 0;
+
+  /// Closes the underlying endpoint immediately (so a stuck peer sees
+  /// EOF/EPIPE instead of blocking forever). Default: nothing to close.
+  virtual void close_now() {}
+
+  /// Bounds how long read_some may block (0 = wait forever, the
+  /// default). Channels without timeout support ignore the call; the
+  /// coordinator only arms this during connect/handshake/bootstrap,
+  /// where a silent peer must fail typed instead of hanging.
+  virtual void set_read_timeout(std::chrono::milliseconds timeout) {
+    (void)timeout;
+  }
 };
 
 /// Reads exactly n bytes or throws TransportError(kTruncated) if the
@@ -130,7 +143,7 @@ class FdChannel final : public ShardChannel {
   std::size_t read_some(std::byte* data, std::size_t n) override;
 
   int fd() const { return fd_; }
-  void close_now();
+  void close_now() override;
 
  private:
   int fd_;
@@ -143,7 +156,13 @@ std::pair<FdChannel, FdChannel> make_socketpair_channel();
 // ------------------------------------------------------------ frames --
 
 inline constexpr std::uint32_t kFrameMagic = 0x3146534Du;  // "MSF1"
-inline constexpr std::uint16_t kFrameVersion = 1;
+/// Version 2 is the handshake era: every channel (fork socketpair or
+/// TCP) opens with an explicit hello/ack handshake (see
+/// shard_channel.hpp) and kJobSetup carries the full wire bootstrap
+/// (machine range, round-label table, optional job spec) instead of a
+/// bare range quadruple. A version-1 peer is refused during the
+/// handshake with a typed error naming both versions.
+inline constexpr std::uint16_t kFrameVersion = 2;
 
 /// Sanity cap on a single frame payload (1 TiB of words is far beyond
 /// any simulated round): an adversarial or corrupt length field fails
@@ -172,6 +191,14 @@ enum class FrameKind : std::uint16_t {
                         ///< round's inputs arrive on the wire)
   kJobTeardown = 6,     ///< coordinator -> worker: the job is over;
                         ///< the worker exits cleanly
+  kBootstrapAck = 7,    ///< worker -> coordinator, once per job
+                        ///< (sequence 0): the worker validated the
+                        ///< kJobSetup bootstrap against its own job
+                        ///< plane (inherited at fork, or reconstructed
+                        ///< from the shipped spec) and either accepts
+                        ///< the job or refuses it with a message — so a
+                        ///< bootstrap mismatch fails typed on the
+                        ///< coordinator before any round is shipped
 };
 
 struct Frame {

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -145,6 +146,55 @@ void write_mgb(const GraphData& d, std::ostream& os) {
   w.append_edges(d.edges);
   if (d.weighted) w.append_weights(d.weights);
   w.finish();
+}
+
+void write_mgb_subset(const Graph& g, std::span<const EdgeId> edge_ids,
+                      std::ostream& os) {
+  MgbWriter w(os, g.num_vertices(), edge_ids.size(), g.weighted());
+  // Chunked gather so a large partition never needs a second in-memory
+  // copy of its whole edge block.
+  std::vector<Edge> edges;
+  edges.reserve(std::min(edge_ids.size(), kChunkElems));
+  for (std::size_t at = 0; at < edge_ids.size();) {
+    const std::size_t take = std::min(edge_ids.size() - at, kChunkElems);
+    edges.clear();
+    for (std::size_t i = 0; i < take; ++i) {
+      const EdgeId id = edge_ids[at + i];
+      MRLR_REQUIRE(id < g.num_edges(), "mgb: subset edge id out of range");
+      edges.push_back(g.edge(id));
+    }
+    w.append_edges(edges);
+    at += take;
+  }
+  if (g.weighted()) {
+    std::vector<double> weights;
+    weights.reserve(std::min(edge_ids.size(), kChunkElems));
+    for (std::size_t at = 0; at < edge_ids.size();) {
+      const std::size_t take = std::min(edge_ids.size() - at, kChunkElems);
+      weights.clear();
+      for (std::size_t i = 0; i < take; ++i) {
+        weights.push_back(g.weight(edge_ids[at + i]));
+      }
+      w.append_weights(weights);
+      at += take;
+    }
+  }
+  w.finish();
+}
+
+std::vector<std::byte> serialize_mgb(const Graph& g) {
+  std::ostringstream os(std::ios::binary);
+  write_mgb(g, os);
+  const std::string s = std::move(os).str();
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return std::vector<std::byte>(p, p + s.size());
+}
+
+Graph parse_mgb(std::span<const std::byte> bytes) {
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()),
+      std::ios::binary);
+  return read_mgb(is);
 }
 
 GraphData read_mgb_data(std::istream& is) {

@@ -23,9 +23,11 @@
 // nonzero reserved bits, out-of-range or self-loop endpoints, bad
 // weights, truncated blocks, checksum mismatch, or trailing bytes.
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <span>
+#include <vector>
 
 #include "mrlr/graph/graph.hpp"
 #include "mrlr/graph/io.hpp"
@@ -68,6 +70,20 @@ class MgbWriter {
 /// when weighted, checksum trailer).
 void write_mgb(const Graph& g, std::ostream& os);
 void write_mgb(const GraphData& d, std::ostream& os);
+
+/// Writes the sub-graph induced by `edge_ids` (ids into g.edges(), in
+/// the given order) as a complete .mgb stream: same vertex universe and
+/// weighted flag as `g`, m = edge_ids.size(). This is the partition
+/// block the job bootstrap ships — a worker parses it with the ordinary
+/// .mgb reader, full validation and checksum included.
+void write_mgb_subset(const Graph& g, std::span<const EdgeId> edge_ids,
+                      std::ostream& os);
+
+/// In-memory .mgb round trips for wire shipping: the byte vector is a
+/// complete .mgb stream (bit-exact weights, so a reconstructed instance
+/// hashes identically to the original).
+std::vector<std::byte> serialize_mgb(const Graph& g);
+Graph parse_mgb(std::span<const std::byte> bytes);
 
 /// Parses a .mgb stream in chunks, validating as it goes. Throws
 /// ParseError on any malformed input; the stream must end right after

@@ -1,0 +1,86 @@
+#pragma once
+// The job-replay layer of a multi-host worker process.
+//
+// A TCP worker holds no coordinator memory, so the bootstrap ships a
+// JobSpec (job_spec.hpp) and the worker *re-runs the entire driver*
+// from it: same algorithm, same instance bytes, same MrParams. Because
+// every driver is deterministic in (instance, params), the replay
+// reconstructs the exact engine state the coordinator's own driver
+// built — same topology, same registered rounds, same pre-job preamble
+// — at which point make_executor() hands the driver a
+// WorkerShardExecutor (exec/shard_worker.hpp) that validates the
+// bootstrap against the reconstructed plane, acks it, and serves this
+// worker's shard over the wire. When the job tears down, JobServed
+// unwinds the driver and the serve loop goes back to accepting
+// connections.
+//
+// run_job() is also the single source of truth for result
+// fingerprints: the serial baseline and the TCP-backed run go through
+// the same function, so "byte-identical across backends" is a string
+// comparison of its return value.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "mrlr/exec/shard_channel.hpp"
+#include "mrlr/jobs/job_spec.hpp"
+
+namespace mrlr::jobs {
+
+/// True when `name` is a registered algorithm (the CLI vocabulary).
+bool known_algorithm(std::string_view name);
+
+/// Runs the named driver on the spec's instance and returns a
+/// deterministic fingerprint of its full result (solution hash, bit
+/// pattern of the weight, outcome metrics). Throws
+/// exec::TransportError(kBadPayload) for an unknown algorithm or a
+/// malformed spec. Inside a worker session the driver never returns —
+/// exec::JobServed unwinds once the shard is served.
+std::string run_job(const JobSpec& spec);
+
+/// decode_job_spec + run_job.
+std::string run_job_spec(std::span<const std::byte> bytes);
+
+struct WorkerOptions {
+  std::uint64_t max_jobs = 0;     ///< stop after N connections (0 = forever)
+  std::ostream* log = nullptr;    ///< per-connection status lines
+};
+
+/// Serves worker connections on `listener` until max_jobs connections
+/// have been handled (or forever). Per connection: handshake (refusing
+/// version mismatches and duplicate (job, shard) registrations — a
+/// reconnect after a drop cannot restore lost shard state, so it is
+/// refused the same way), bootstrap decode, driver replay, shard
+/// serving. A failed connection is logged and dropped; the loop keeps
+/// accepting.
+void worker_serve(exec::TcpListener& listener, const WorkerOptions& opts);
+
+/// Loopback TCP worker fleet for tests and bench scenarios: forks
+/// `workers` processes, each serving worker_serve on an ephemeral
+/// 127.0.0.1 port, and kills them on destruction. endpoints() feeds
+/// exec::ProcessBackendConfig::workers.
+class ScopedTcpLoopback {
+ public:
+  explicit ScopedTcpLoopback(unsigned workers);
+  ~ScopedTcpLoopback();
+
+  ScopedTcpLoopback(const ScopedTcpLoopback&) = delete;
+  ScopedTcpLoopback& operator=(const ScopedTcpLoopback&) = delete;
+
+  const std::vector<exec::Endpoint>& endpoints() const {
+    return endpoints_;
+  }
+
+ private:
+  std::vector<exec::Endpoint> endpoints_;
+  std::vector<pid_t> pids_;
+};
+
+}  // namespace mrlr::jobs

@@ -360,6 +360,9 @@ class Engine : private exec::ShardJobPlane {
   std::uint64_t registered_rounds() const override {
     return rounds_.size();
   }
+  std::string_view round_label(std::uint64_t i) const override {
+    return rounds_[i].label;
+  }
 
   void check_machine_id(MachineId m, const char* what) const;
 

@@ -7,6 +7,7 @@
 //   mrlr_cli <algorithm> [--n N] [--c C] [--mu MU] [--seed S]
 //            [--eps E] [--b B] [--dist uniform|exp|int|polarized]
 //            [--threads T] [--graph FILE] [--sets FILE] [--trace]
+//   mrlr_cli worker --listen [HOST:]PORT [--max-jobs N]
 //   mrlr_cli gen <family> --out FILE [family options]
 //   mrlr_cli convert --in FILE --out FILE
 //   mrlr_cli bench [--group G]... [--scenario NAME]... [--out FILE]
@@ -51,6 +52,8 @@
 #include <optional>
 #include <string>
 
+#include <signal.h>
+
 #include "mrlr/baselines/coreset_matching.hpp"
 #include "mrlr/bench/emit.hpp"
 #include "mrlr/bench/runner.hpp"
@@ -61,14 +64,19 @@
 #include "mrlr/core/greedy_setcover_mr.hpp"
 #include "mrlr/core/hungry_clique.hpp"
 #include "mrlr/core/hungry_mis.hpp"
+#include "mrlr/core/params.hpp"
 #include "mrlr/core/rlr_bmatching.hpp"
 #include "mrlr/core/rlr_matching.hpp"
 #include "mrlr/core/rlr_setcover.hpp"
+#include "mrlr/exec/shard_channel.hpp"
+#include "mrlr/exec/worker_launcher.hpp"
 #include "mrlr/graph/generators.hpp"
 #include "mrlr/graph/io.hpp"
 #include "mrlr/graph/io_binary.hpp"
 #include "mrlr/graph/stats.hpp"
 #include "mrlr/graph/validate.hpp"
+#include "mrlr/jobs/job_spec.hpp"
+#include "mrlr/jobs/worker.hpp"
 #include "mrlr/obs/export.hpp"
 #include "mrlr/obs/telemetry.hpp"
 #include "mrlr/setcover/generators.hpp"
@@ -88,6 +96,7 @@ struct Options {
   std::uint64_t threads = 1;
   std::uint64_t shards = 1;
   std::optional<std::string> backend;
+  std::string workers;  ///< --workers host:port,... (empty = fork locally)
   mrlr::graph::WeightDist dist = mrlr::graph::WeightDist::kUniform;
   std::optional<std::string> graph_file;
   std::optional<std::string> sets_file;
@@ -147,8 +156,10 @@ void usage() {
       << "usage: mrlr_cli <algorithm> [--n N] [--c C] [--mu MU] "
          "[--seed S] [--eps E] [--b B] [--dist D] [--threads T] "
          "[--backend serial|threads|process] [--shards K] "
+         "[--workers HOST:PORT,...] "
          "[--graph FILE] [--sets FILE] [--trace] "
          "[--telemetry-out FILE] [--telemetry-format jsonl|chrome]\n"
+         "       mrlr_cli worker --listen [HOST:]PORT [--max-jobs N]\n"
          "       mrlr_cli gen <family> --out FILE [family options]\n"
          "       mrlr_cli convert --in FILE --out FILE\n"
          "       mrlr_cli bench [--group G]... [--scenario NAME]... "
@@ -170,6 +181,11 @@ void usage() {
          "partition machines over K persistent worker processes (every "
          "algorithm supports this; see README). Results are identical "
          "under every backend, only wall-clock changes\n"
+         "--workers HOST:PORT,...: run the process backend over TCP "
+         "against pre-started `mrlr_cli worker --listen` processes "
+         "(one endpoint per shard beyond the coordinator's own); the "
+         "full job is shipped over the wire, so workers need no shared "
+         "filesystem or fork ancestry\n"
          "--telemetry-out FILE: record phase spans/counters (off by "
          "default; does not change results) and write them at exit — "
          "jsonl for tools/trace_report, chrome for chrome://tracing "
@@ -219,6 +235,8 @@ std::optional<Options> parse(int argc, char** argv) {
       o.shards = std::stoull(value());
     } else if (flag == "--backend") {
       o.backend = value();
+    } else if (flag == "--workers") {
+      o.workers = value();
     } else if (flag == "--dist") {
       const std::string d = value();
       if (const auto dist = parse_weight_dist(d)) {
@@ -246,6 +264,16 @@ std::optional<Options> parse(int argc, char** argv) {
   }
   if (o.backend && !apply_backend(*o.backend, o.threads, o.shards)) {
     return std::nullopt;
+  }
+  if (!o.workers.empty()) {
+    if (o.backend && *o.backend != "process") {
+      std::cerr << "--workers only makes sense with --backend process\n";
+      return std::nullopt;
+    }
+    // --workers implies the process backend.
+    if (!o.backend && !apply_backend("process", o.threads, o.shards)) {
+      return std::nullopt;
+    }
   }
   if (o.threads > 1 && o.shards > 1) {
     // Same exclusion make_executor enforces, surfaced as a usage error
@@ -666,6 +694,87 @@ int run_bench_cmd(int argc, char** argv) {
   return rc;
 }
 
+// ----------------------------------------------------------- worker --
+
+int run_worker_cmd(int argc, char** argv) {
+  std::string listen;
+  mrlr::jobs::WorkerOptions wopts;
+  wopts.log = &std::cerr;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--listen") {
+      listen = value();
+    } else if (flag == "--max-jobs") {
+      wopts.max_jobs = std::stoull(value());
+    } else {
+      std::cerr << "unknown worker flag " << flag << "\n";
+      usage();
+      return 2;
+    }
+  }
+  if (listen.empty()) {
+    std::cerr << "worker needs --listen [HOST:]PORT\n";
+    usage();
+    return 2;
+  }
+  // Parsed by hand rather than via parse_endpoints: a listener may bind
+  // port 0 (kernel-assigned), which is meaningless in --workers.
+  std::string host = "127.0.0.1";
+  std::string port_str = listen;
+  if (const auto colon = listen.rfind(':'); colon != std::string::npos) {
+    host = listen.substr(0, colon);
+    port_str = listen.substr(colon + 1);
+  }
+  unsigned long port = 65536;
+  try {
+    std::size_t used = 0;
+    port = std::stoul(port_str, &used);
+    if (used != port_str.size()) port = 65536;
+  } catch (const std::exception&) {
+  }
+  if (host.empty() || port > 65535) {
+    std::cerr << "--listen: malformed '" << listen
+              << "' (expected [HOST:]PORT)\n";
+    return 2;
+  }
+  // A coordinator vanishing mid-write must surface as a typed channel
+  // error on this side, not a SIGPIPE kill.
+  ::signal(SIGPIPE, SIG_IGN);
+  mrlr::exec::TcpListener listener(host,
+                                   static_cast<std::uint16_t>(port));
+  // Flushed before the accept loop so scripts (and the README
+  // walkthrough) can wait for the bound port — with --listen 0 the
+  // kernel picks it.
+  std::cout << "worker listening on " << host << ":" << listener.port()
+            << "\n"
+            << std::flush;
+  mrlr::jobs::worker_serve(listener, wopts);
+  return 0;
+}
+
+/// Installs the ambient TCP process-backend config for the scope of one
+/// driver call when --workers was given: the driver's make_executor()
+/// then launches over TCP, shipping `spec` in the bootstrap. A no-op
+/// (fork mode) when --workers is absent.
+struct TcpBackendGuard {
+  std::optional<mrlr::exec::ScopedProcessBackendConfig> guard;
+
+  void install(const Options& o, mrlr::jobs::JobSpec spec) {
+    if (o.workers.empty()) return;
+    mrlr::exec::ProcessBackendConfig cfg;
+    cfg.workers = mrlr::exec::parse_endpoints(o.workers);
+    cfg.job_spec = mrlr::jobs::encode_job_spec(spec);
+    guard.emplace(std::move(cfg));
+  }
+};
+
 void report(const mrlr::core::MrOutcome& outcome) {
   std::cout << "cost: rounds=" << outcome.rounds
             << " iterations=" << outcome.iterations
@@ -687,6 +796,9 @@ int run(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "bench") == 0) {
     return run_bench_cmd(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "worker") == 0) {
+    return run_worker_cmd(argc, argv);
   }
   const auto opts = parse(argc, argv);
   if (!opts) {
@@ -713,6 +825,8 @@ int run(int argc, char** argv) {
     const auto st = graph::compute_stats(g);
     std::cout << "instance: n=" << st.n << " m=" << st.m
               << " c=" << st.density_exponent << "\n";
+    TcpBackendGuard tcp;
+    tcp.install(o, jobs::graph_job(a, g, params));
     if (a == "matching") {
       const auto r = core::rlr_matching(g, params);
       std::cout << "matching: " << r.matching.size() << " edges, weight "
@@ -742,6 +856,13 @@ int run(int argc, char** argv) {
   } else if (a == "b-matching") {
     const graph::Graph g = load_graph(o, /*weighted=*/true);
     std::vector<std::uint32_t> b(g.num_vertices(), o.b);
+    TcpBackendGuard tcp;
+    {
+      jobs::JobSpec spec = jobs::graph_job(a, g, params);
+      spec.extras["b"] = {o.b};
+      spec.extras["eps"] = {core::pack_double(o.eps)};
+      tcp.install(o, std::move(spec));
+    }
     const auto r = core::rlr_b_matching(g, b, o.eps, params);
     std::cout << "b-matching (b=" << o.b << ", eps=" << o.eps
               << "): " << r.matching.size() << " edges, weight "
@@ -753,6 +874,14 @@ int run(int argc, char** argv) {
     Rng rng(o.seed ^ 0xC0FFEEull);
     const auto w =
         graph::random_vertex_weights(g.num_vertices(), o.dist, rng);
+    TcpBackendGuard tcp;
+    {
+      jobs::JobSpec spec = jobs::graph_job(a, g, params);
+      auto& packed = spec.extras["w"];
+      packed.reserve(w.size());
+      for (const double v : w) packed.push_back(core::pack_double(v));
+      tcp.install(o, std::move(spec));
+    }
     const auto r = core::rlr_vertex_cover(g, w, params);
     std::cout << "vertex cover: " << r.cover.size() << " vertices, weight "
               << r.weight << " (certified OPT >= " << r.lower_bound
@@ -760,6 +889,8 @@ int run(int argc, char** argv) {
     report(r.outcome);
   } else if (a == "set-cover-f") {
     const auto sys = load_sets(o, /*many_regime=*/false);
+    TcpBackendGuard tcp;
+    tcp.install(o, jobs::set_system_job(a, sys, params));
     const auto r = core::rlr_set_cover(sys, params);
     std::cout << "set cover (f=" << sys.max_frequency()
               << "): " << r.cover.size() << " sets, weight " << r.weight
@@ -768,6 +899,12 @@ int run(int argc, char** argv) {
     report(r.outcome);
   } else if (a == "set-cover-greedy") {
     const auto sys = load_sets(o, /*many_regime=*/true);
+    TcpBackendGuard tcp;
+    {
+      jobs::JobSpec spec = jobs::set_system_job(a, sys, params);
+      spec.extras["eps"] = {core::pack_double(o.eps)};
+      tcp.install(o, std::move(spec));
+    }
     const auto r = core::greedy_set_cover_mr(sys, o.eps, params);
     std::cout << "set cover (greedy, eps=" << o.eps
               << "): " << r.cover.size() << " sets, weight " << r.weight
@@ -775,6 +912,8 @@ int run(int argc, char** argv) {
     report(r.outcome);
   } else if (a == "mis" || a == "mis-simple" || a == "luby-mis") {
     const graph::Graph g = load_graph(o, /*weighted=*/false);
+    TcpBackendGuard tcp;
+    tcp.install(o, jobs::graph_job(a, g, params));
     if (a == "luby-mis") {
       const auto r = baselines::luby_mis_mr(g, params);
       std::cout << "MIS (Luby): " << r.independent_set.size()
@@ -794,12 +933,16 @@ int run(int argc, char** argv) {
     }
   } else if (a == "clique") {
     const graph::Graph g = load_graph(o, /*weighted=*/false);
+    TcpBackendGuard tcp;
+    tcp.install(o, jobs::graph_job(a, g, params));
     const auto r = core::hungry_clique(g, params);
     std::cout << "clique: " << r.clique.size() << " vertices, maximal="
               << graph::is_maximal_clique(g, r.clique) << "\n";
     report(r.outcome);
   } else if (a == "colour-vertex" || a == "luby-colouring") {
     const graph::Graph g = load_graph(o, /*weighted=*/false);
+    TcpBackendGuard tcp;
+    tcp.install(o, jobs::graph_job(a, g, params));
     if (a == "colour-vertex") {
       const auto r = core::mr_vertex_colouring(g, params);
       std::cout << "vertex colouring: " << r.colours_used
@@ -815,6 +958,8 @@ int run(int argc, char** argv) {
     }
   } else if (a == "colour-edge") {
     const graph::Graph g = load_graph(o, /*weighted=*/false);
+    TcpBackendGuard tcp;
+    tcp.install(o, jobs::graph_job(a, g, params));
     const auto r = core::mr_edge_colouring(g, params);
     std::cout << "edge colouring: " << r.colours_used
               << " colours (Delta=" << g.max_degree() << "), proper="

@@ -1255,6 +1255,81 @@ void add_tcp(Registry& r) {
   }
 }
 
+// ---------------------------------------------------- composed ----
+
+// --threads x --shards composition: the exact exec/threads workload run
+// with K process shards, each executing its machine range on a
+// shard-local pool of T threads (K x T concurrent callbacks). Hashes
+// must equal exec/threads/t1 — the composition must not perturb a
+// single bit, whether the shards are forked or bootstrapped over TCP.
+void add_composed(Registry& r) {
+  struct Cfg {
+    std::uint64_t shards;
+    std::uint64_t threads;
+    bool tcp;
+    std::vector<std::string> groups;
+  };
+  for (const Cfg& cfg : {
+           Cfg{2, 4, false, {"process", "smoke"}},
+           Cfg{4, 2, false, {"process"}},
+           Cfg{2, 4, true, {"process", "smoke"}},
+       }) {
+    const std::string name = std::string(cfg.tcp ? "exec/tcp/k"
+                                                 : "exec/process/k") +
+                             std::to_string(cfg.shards) + "xt" +
+                             std::to_string(cfg.threads);
+    r.add({name,
+           cfg.groups,
+           "rlr matching on " + std::to_string(cfg.shards) +
+               (cfg.tcp ? " TCP worker shards x " : " process shards x ") +
+               std::to_string(cfg.threads) +
+               " shard-local threads (results must match exec/threads/t1 "
+               "exactly)",
+           [cfg](const RunContext& ctx) {
+             const std::uint64_t n = ctx.scale_n(3000);
+             const double c = 0.5, mu = 0.1;
+             BenchResult res;
+             res.algo = "rlr-mwm";
+             res.family = "gnm-density";
+             res.n = n;
+             res.c = c;
+             res.mu = mu;
+             res.threads = cfg.threads;
+             const graph::Graph g =
+                 weighted_gnm(n, c, WeightDist::kUniform, n + 3);
+             res.m = g.num_edges();
+             core::MrParams params = scenario_params(mu, 1, cfg.threads);
+             params.num_shards = cfg.shards;
+             std::optional<jobs::ScopedTcpLoopback> fleet;
+             std::optional<exec::ScopedProcessBackendConfig> guard;
+             if (cfg.tcp) {
+               fleet.emplace(static_cast<unsigned>(cfg.shards - 1));
+               exec::ProcessBackendConfig pbc;
+               pbc.workers = fleet->endpoints();
+               pbc.job_spec = jobs::encode_job_spec(
+                   jobs::graph_job("matching", g, params));
+               guard.emplace(std::move(pbc));
+             }
+             Timer t;
+             const auto out = core::rlr_matching(g, params);
+             res.wall_seconds = t.elapsed();
+             fill_outcome(res, out.outcome);
+             res.quality = out.weight;
+             res.failed =
+                 res.failed || !graph::is_matching(g, out.matching);
+             HashAcc h;
+             h.mix_range(out.matching);
+             h.mix(out.weight);
+             // Shards and threads are both excluded from the hash:
+             // equal hashes across t1 and every kKxtT certify that the
+             // composition is invisible in the output.
+             res.determinism_hash = h.value();
+             res.extra["shards"] = static_cast<double>(cfg.shards);
+             return res;
+           }});
+  }
+}
+
 // Per-driver process smoke: every ported driver runs the identical
 // pinned instance twice — serial, then on K=4 persistent worker
 // shards — and the scenario fails on any fingerprint mismatch. The
@@ -1816,6 +1891,7 @@ void register_builtin_scenarios(Registry& r) {
   add_threads(r);
   add_process(r);
   add_tcp(r);
+  add_composed(r);
   add_process_drivers(r);
   add_large(r);
 }

@@ -35,8 +35,10 @@ struct MrParams {
   /// Process-sharded backend, forwarded to Topology::num_shards by
   /// every driver (all are process-clean; see the contract on the peek
   /// accessors in mrc/engine.hpp). K > 1 = K persistent worker shard
-  /// processes spawned once per job, 0/1 = in-process. Results stay
-  /// byte-identical at any setting.
+  /// processes spawned once per job, 0/1 = in-process. Composes with
+  /// num_threads: each shard runs its machine range on a shard-local
+  /// pool of num_threads threads (K x T concurrent callbacks). Results
+  /// stay byte-identical at any (K, T) setting.
   std::uint64_t num_shards = 1;
   /// Sample-size multiplier ablation (DESIGN.md §5): scales the paper's
   /// sampling probability (2*eta/|U_r| for Alg. 1, eta/|E_i| for Alg. 4).

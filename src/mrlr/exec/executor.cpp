@@ -24,23 +24,22 @@ std::unique_ptr<Executor> make_executor(std::uint64_t num_threads,
     // over the session channel instead of launching workers of its own.
     return std::make_unique<WorkerShardExecutor>(session);
   }
-  if (num_shards > 1) {
-    // Shards fork persistent workers at job start; forking a process
-    // that owns a live thread pool is not a combination we support, so
-    // the two knobs are mutually exclusive for now.
-    MRLR_REQUIRE(num_threads <= 1,
-                 "process backend runs machines serially within each "
-                 "shard; --shards and --threads do not compose");
-    return std::make_unique<ProcessShardExecutor>(
-        static_cast<unsigned>(std::min<std::uint64_t>(num_shards, 256)));
-  }
   std::uint64_t n = num_threads;
   if (n == 0) {
     n = std::max(1u, std::thread::hardware_concurrency());
   }
+  n = std::min<std::uint64_t>(n, 1024);
+  if (num_shards > 1) {
+    // The two knobs compose: K process shards, each running its machine
+    // range on a shard-local pool of n threads. Pools are created after
+    // the workers fork (ProcessShardExecutor / serve_job_rounds), so
+    // the old fork-with-live-threads hazard never arises.
+    return std::make_unique<ProcessShardExecutor>(
+        static_cast<unsigned>(std::min<std::uint64_t>(num_shards, 256)),
+        static_cast<unsigned>(n));
+  }
   if (n == 1) return std::make_unique<SerialExecutor>();
-  return std::make_unique<ThreadPoolExecutor>(static_cast<unsigned>(
-      std::min<std::uint64_t>(n, 1024)));
+  return std::make_unique<ThreadPoolExecutor>(static_cast<unsigned>(n));
 }
 
 }  // namespace mrlr::exec

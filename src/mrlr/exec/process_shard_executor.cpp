@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include "mrlr/exec/shard_worker.hpp"
+#include "mrlr/exec/thread_pool_executor.hpp"
 #include "mrlr/exec/worker_launcher.hpp"
 #include "mrlr/obs/telemetry.hpp"
 #include "mrlr/util/mix64.hpp"
@@ -45,24 +46,6 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> partition(
   return ranges;
 }
 
-/// Serial ascending run honoring the Executor exception contract
-/// (every machine runs; the lowest-id exception is kept).
-void run_serial_range(std::uint64_t first, std::uint64_t last,
-                      const Executor::MachineFn& fn,
-                      std::exception_ptr& error,
-                      std::uint64_t& error_machine) {
-  for (std::uint64_t m = first; m < last; ++m) {
-    try {
-      fn(m);
-    } catch (...) {
-      if (!error) {
-        error = std::current_exception();
-        error_machine = m;
-      }
-    }
-  }
-}
-
 /// Job identity stamped into the handshake and bootstrap: a reconnect
 /// or a crossed connection from another job fails the nonce check
 /// instead of silently merging state. Uniqueness per (process, job) is
@@ -94,18 +77,24 @@ std::string describe_exit(int wait_status) {
 
 }  // namespace
 
-ProcessShardExecutor::ProcessShardExecutor(unsigned num_shards)
-    : num_shards_(std::clamp(num_shards, 1u, kMaxShards)) {}
+ProcessShardExecutor::ProcessShardExecutor(unsigned num_shards,
+                                           unsigned num_threads)
+    : num_shards_(std::clamp(num_shards, 1u, kMaxShards)),
+      num_threads_(std::clamp(num_threads, 1u, 1024u)) {}
 
 ProcessShardExecutor::~ProcessShardExecutor() { end_job(); }
 
 void ProcessShardExecutor::run_machines(std::uint64_t first,
                                         std::uint64_t last,
                                         const MachineFn& fn) {
-  // No data plane, nothing to exchange: degenerate serial semantics.
+  // No data plane, nothing to exchange: these are pre-job (or
+  // central-only) rounds, run in the coordinator. Outside a job the
+  // local pool does not exist — forking workers later with live pool
+  // threads would be unsafe — so they run serially; inside a job they
+  // reuse shard 0's pool.
   std::exception_ptr error;
   std::uint64_t error_machine = 0;
-  run_serial_range(first, last, fn, error, error_machine);
+  run_shard_range(local_pool_.get(), first, last, fn, error, error_machine);
   if (error) std::rethrow_exception(error);
 }
 
@@ -134,7 +123,14 @@ void ProcessShardExecutor::start_job(std::uint64_t num_machines,
   const unsigned shards = static_cast<unsigned>(std::min<std::uint64_t>(
       num_shards_, std::max<std::uint64_t>(num_machines, 1)));
   local_range_ = {0, num_machines};
-  if (shards <= 1) return;  // degenerate single-shard job: all local
+  if (shards <= 1) {
+    // Degenerate single-shard job: all machines local, no forks — the
+    // shard-local pool can be built immediately.
+    if (num_threads_ > 1) {
+      local_pool_ = std::make_unique<ThreadPoolExecutor>(num_threads_);
+    }
+    return;
+  }
 
   const auto ranges = partition(0, num_machines, shards);
   local_range_ = ranges[0];
@@ -193,6 +189,7 @@ void ProcessShardExecutor::start_job(std::uint64_t num_machines,
       b.machines = num_machines;
       b.flags = flags;
       b.nonce = nonce;
+      b.threads = num_threads_;
       b.round_labels = round_labels;
       b.job_spec = spec;
       const std::vector<std::byte> payload = encode_bootstrap(b);
@@ -220,6 +217,17 @@ void ProcessShardExecutor::start_job(std::uint64_t num_machines,
     tel.add_counter("exec.workers_spawned", workers_.size());
     tel.add_counter("exec.state_bytes_shipped", shipped);
     tel.add_counter("exec.bootstrap_bytes_shipped", shipped);
+    // Concurrent callback threads job-wide: every shard (this process
+    // and each worker) runs its range on a num_threads_-wide pool.
+    tel.add_counter("exec.worker_threads",
+                    static_cast<std::uint64_t>(num_threads_) * shards);
+  }
+
+  // Shard 0's own pool. Built only now, after every worker has forked:
+  // a fork taken while pool threads are live could duplicate held locks
+  // into the child.
+  if (num_threads_ > 1) {
+    local_pool_ = std::make_unique<ThreadPoolExecutor>(num_threads_);
   }
 }
 
@@ -273,11 +281,13 @@ void ProcessShardExecutor::run_job_round(std::uint64_t round_id,
   if (telemetry) tel.add_counter("exec.state_bytes_shipped", shipped);
 
   // Shard 0 runs here, in the coordinator: host-resident machine state
-  // (notably the central machine's) persists across rounds.
+  // (notably the central machine's) persists across rounds. With
+  // num_threads_ > 1 the range runs on shard 0's local pool, mirroring
+  // what every worker does with its own range.
   std::exception_ptr local_error;
   std::uint64_t local_error_machine = 0;
-  run_serial_range(local_range_.first, local_range_.second, fn, local_error,
-                   local_error_machine);
+  run_shard_range(local_pool_.get(), local_range_.first, local_range_.second,
+                  fn, local_error, local_error_machine);
 
   // Collect shard results in shard order (= machine-id order, so the
   // apply order is deterministic even though workers finish whenever).
@@ -386,6 +396,9 @@ void ProcessShardExecutor::end_job() {
     }
   }
   workers_.clear();
+  // The pool dies with the job: the next start_job forks its workers
+  // before rebuilding it, keeping forks free of live pool threads.
+  local_pool_.reset();
   job_active_ = false;
   job_failed_ = false;
   local_range_ = {0, 0};

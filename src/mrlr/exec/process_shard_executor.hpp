@@ -3,7 +3,10 @@
 // contiguous shards; shard 0 runs in the calling (coordinator) process
 // and each other shard runs in a persistent worker process spawned once
 // at job start (Executor::start_job) and torn down at job end — not
-// forked per round.
+// forked per round. With num_threads T > 1 every shard additionally
+// runs its machine range on a shard-local ThreadPoolExecutor (K x T
+// concurrent callbacks job-wide), with output still byte-identical to
+// serial — docs/ARCHITECTURE.md covers why the composition is sound.
 //
 // Execution model and its contract:
 //
@@ -64,12 +67,21 @@
 
 namespace mrlr::exec {
 
+class ThreadPoolExecutor;
+
 class ProcessShardExecutor final : public Executor {
  public:
   /// Backend with `num_shards` >= 1 shards (clamped to 256: beyond
   /// that, worker-spawn and per-round shipping cost dwarfs any win on
-  /// one host).
-  explicit ProcessShardExecutor(unsigned num_shards);
+  /// one host). `num_threads` (>= 1, clamped to 1024) is the
+  /// shard-local pool size: every shard — the coordinator's own shard 0
+  /// and each worker — runs its machine range on that many threads, so
+  /// the job computes on up to K x T threads while staying
+  /// byte-identical (the engine's merge is id-ordered). Pools are built
+  /// strictly after the workers fork and torn down at end_job, so no
+  /// live pool thread ever crosses a fork boundary.
+  explicit ProcessShardExecutor(unsigned num_shards,
+                                unsigned num_threads = 1);
   ~ProcessShardExecutor() override;
 
   void run_machines(std::uint64_t first, std::uint64_t last,
@@ -91,7 +103,7 @@ class ProcessShardExecutor final : public Executor {
   void end_job() override;
 
   std::string_view name() const override { return "process-shard"; }
-  unsigned num_threads() const override { return 1; }
+  unsigned num_threads() const override { return num_threads_; }
   unsigned num_shards() const { return num_shards_; }
 
   /// Rounds executed so far (the sequence number stamped on frames and
@@ -114,10 +126,15 @@ class ProcessShardExecutor final : public Executor {
                              const std::string& what);
 
   unsigned num_shards_;
+  unsigned num_threads_;
   std::uint64_t round_seq_ = 0;
 
   // Persistent-job state.
   std::vector<Worker> workers_;
+  // Shard 0's own pool (num_threads_ > 1 only); created at start_job
+  // after every worker has forked and reset at end_job so the next
+  // job's forks see no live threads.
+  std::unique_ptr<ThreadPoolExecutor> local_pool_;
   std::pair<std::uint64_t, std::uint64_t> local_range_{0, 0};
   bool job_active_ = false;
   bool job_failed_ = false;

@@ -2,13 +2,16 @@
 
 #include "mrlr/exec/shard_channel.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <exception>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include <unistd.h>
 
+#include "mrlr/exec/thread_pool_executor.hpp"
 #include "mrlr/obs/telemetry.hpp"
 
 namespace mrlr::exec {
@@ -36,10 +39,15 @@ void append_bytes(std::vector<std::byte>& out, const void* data,
 
 std::vector<std::byte> encode_bootstrap(const JobBootstrap& b) {
   std::vector<std::byte> out;
+  // The thread count trails the spec and rides behind its own flag bit
+  // so serial jobs keep the exact pre-composition encoding (see
+  // kBootstrapThreads in the header for the compat story).
+  std::uint64_t flags = b.flags & ~kBootstrapThreads;
+  if (b.threads > 1) flags |= kBootstrapThreads;
   append_u64(out, b.first);
   append_u64(out, b.last);
   append_u64(out, b.machines);
-  append_u64(out, b.flags);
+  append_u64(out, flags);
   append_u64(out, b.nonce);
   append_u64(out, b.round_labels.size());
   for (const std::string& label : b.round_labels) {
@@ -48,6 +56,7 @@ std::vector<std::byte> encode_bootstrap(const JobBootstrap& b) {
   }
   append_u64(out, b.job_spec.size());
   append_bytes(out, b.job_spec.data(), b.job_spec.size());
+  if (b.threads > 1) append_u64(out, b.threads);
   return out;
 }
 
@@ -71,11 +80,11 @@ JobBootstrap decode_bootstrap(std::span<const std::byte> bytes) {
   b.machines = take_u64("machine count");
   b.flags = take_u64("flags");
   b.nonce = take_u64("nonce");
-  if ((b.flags & ~(kBootstrapCarriesSpec | kBootstrapTelemetry)) != 0) {
+  constexpr std::uint64_t kKnownFlags =
+      kBootstrapCarriesSpec | kBootstrapTelemetry | kBootstrapThreads;
+  if ((b.flags & ~kKnownFlags) != 0) {
     bad_bootstrap("unknown flag bits 0x" +
-                  std::to_string(b.flags &
-                                 ~(kBootstrapCarriesSpec |
-                                   kBootstrapTelemetry)));
+                  std::to_string(b.flags & ~kKnownFlags));
   }
   if (b.first > b.last || b.last > b.machines) {
     bad_bootstrap("machine range [" + std::to_string(b.first) + ", " +
@@ -104,9 +113,21 @@ JobBootstrap decode_bootstrap(std::span<const std::byte> bytes) {
   b.job_spec.assign(bytes.begin() + static_cast<std::ptrdiff_t>(at),
                     bytes.begin() + static_cast<std::ptrdiff_t>(at + spec_len));
   at += spec_len;
+  if ((b.flags & kBootstrapThreads) != 0) {
+    b.threads = take_u64("thread count");
+    if (b.threads < 2) {
+      bad_bootstrap("thread count " + std::to_string(b.threads) +
+                    " under the threads flag (serial jobs omit the "
+                    "field)");
+    }
+    if (b.threads > 1024) {
+      bad_bootstrap("thread count " + std::to_string(b.threads) +
+                    " exceeds the 1024-thread cap");
+    }
+  }
   if (at != bytes.size()) {
     bad_bootstrap(std::to_string(bytes.size() - at) +
-                  " trailing bytes after the job spec");
+                  " trailing bytes after the last field");
   }
   if (!b.job_spec.empty() && (b.flags & kBootstrapCarriesSpec) == 0) {
     bad_bootstrap("a job spec is attached but the carries-spec flag is "
@@ -195,6 +216,15 @@ void serve_job_rounds(ShardChannel& ch, std::uint32_t shard,
   obs::Telemetry& tel = obs::Telemetry::instance();
   const bool telemetry = tel.enabled();
 
+  // Shard-local parallelism: the pool is built here — after the fork in
+  // the forked-worker case — so no pool thread ever crosses a fork
+  // boundary, and it persists across every round of the job.
+  std::unique_ptr<ThreadPoolExecutor> pool;
+  if (b.threads > 1) {
+    pool = std::make_unique<ThreadPoolExecutor>(
+        static_cast<unsigned>(b.threads));
+  }
+
   for (;;) {
     Frame frame = read_frame(ch);
     if (frame.kind == FrameKind::kJobTeardown) return;
@@ -243,21 +273,19 @@ void serve_job_rounds(ShardChannel& ch, std::uint32_t shard,
     bool failed = false;
     std::string error_what;
     std::uint64_t t0 = telemetry ? tel.now_ns() : 0;
-    for (std::uint64_t m = first; m < last; ++m) {
+    std::exception_ptr error;
+    run_shard_range(
+        pool.get(), first, last,
+        [&](std::uint64_t m) { plane.run_registered(round_id, m, params); },
+        error, error_machine);
+    if (error) {
+      failed = true;
       try {
-        plane.run_registered(round_id, m, params);
+        std::rethrow_exception(error);
       } catch (const std::exception& e) {
-        if (!failed) {
-          failed = true;
-          error_machine = m;
-          error_what = e.what();
-        }
+        error_what = e.what();
       } catch (...) {
-        if (!failed) {
-          failed = true;
-          error_machine = m;
-          error_what = "unknown exception";
-        }
+        error_what = "unknown exception";
       }
     }
     if (telemetry) {
@@ -342,6 +370,13 @@ void set_active_worker_session(WorkerSession* session) {
 
 WorkerShardExecutor::WorkerShardExecutor(WorkerSession* session)
     : session_(session) {}
+
+unsigned WorkerShardExecutor::num_threads() const {
+  return session_ == nullptr
+             ? 1u
+             : static_cast<unsigned>(
+                   std::max<std::uint64_t>(session_->bootstrap.threads, 1));
+}
 
 void WorkerShardExecutor::run_machines(std::uint64_t first,
                                        std::uint64_t last,

@@ -13,7 +13,11 @@
 //     count or in any label refuses the job typed instead of invoking
 //     the wrong closure,
 //   * the job nonce and flags (telemetry on/off; whether a job spec is
-//     attached),
+//     attached; whether a shard-local thread count follows),
+//   * optionally the shard-local thread count: each worker runs its
+//     machine range on a pool of that many threads (--threads composed
+//     with --shards), staying byte-identical because the coordinator's
+//     merge is id-ordered,
 //   * optionally an opaque job spec (jobs/job_spec.hpp): algorithm
 //     name, parameters, and the full serialized instance, from which a
 //     worker started from nothing (`mrlr_cli worker`) re-runs the
@@ -42,6 +46,12 @@ namespace mrlr::exec {
 /// Flag bits of JobBootstrap::flags.
 inline constexpr std::uint64_t kBootstrapCarriesSpec = 1ull << 0;
 inline constexpr std::uint64_t kBootstrapTelemetry = 1ull << 1;
+/// A per-shard thread count > 1 trails the encoding. The field is
+/// gated behind this flag so a T=1 bootstrap is byte-identical to the
+/// pre-composition wire format: an old worker handed a T>1 job refuses
+/// it typed ("unknown flag bits"), and a new worker reading an old
+/// coordinator's bootstrap defaults to serial.
+inline constexpr std::uint64_t kBootstrapThreads = 1ull << 2;
 
 struct JobBootstrap {
   std::uint64_t first = 0;     ///< worker machine range [first, last)
@@ -49,6 +59,8 @@ struct JobBootstrap {
   std::uint64_t machines = 0;  ///< total machine count of the job
   std::uint64_t flags = 0;
   std::uint64_t nonce = 0;     ///< job identity (duplicate-shard policy)
+  std::uint64_t threads = 1;   ///< shard-local pool size; on the wire
+                               ///< only when kBootstrapThreads is set
   std::vector<std::string> round_labels;  ///< registration order
   std::vector<std::byte> job_spec;  ///< opaque jobs-layer payload;
                                     ///< meaningful iff
@@ -84,10 +96,14 @@ void expect_bootstrap_ack(ShardChannel& ch, std::uint32_t shard);
 
 /// Serves kRoundControl frames for [b.first, b.last) against `plane`
 /// until a clean kJobTeardown (returns) — the shared loop behind both
-/// worker kinds. Callback exceptions are reported per round via
-/// kShardStatus exactly as before; protocol violations and I/O
-/// failures throw (TransportError), which the caller turns into _exit
-/// (forked worker) or a dropped connection (TCP worker).
+/// worker kinds. When b.threads > 1 the range runs on a shard-local
+/// ThreadPoolExecutor built here (after any fork, so the pool's threads
+/// never cross a fork boundary); the engine's id-ordered merge on the
+/// coordinator keeps results byte-identical either way. Callback
+/// exceptions are reported per round via kShardStatus exactly as
+/// before; protocol violations and I/O failures throw (TransportError),
+/// which the caller turns into _exit (forked worker) or a dropped
+/// connection (TCP worker).
 void serve_job_rounds(ShardChannel& ch, std::uint32_t shard,
                       ShardJobPlane& plane, const JobBootstrap& b);
 
@@ -144,7 +160,9 @@ class WorkerShardExecutor final : public Executor {
   void end_job() override {}  // unwound via JobServed; nothing to tear down
 
   std::string_view name() const override { return "worker-shard"; }
-  unsigned num_threads() const override { return 1; }
+  // Pre-job replay rounds run serially; the bootstrap's thread count
+  // only governs the served job rounds, so it is what we report.
+  unsigned num_threads() const override;
 
  private:
   WorkerSession* session_;

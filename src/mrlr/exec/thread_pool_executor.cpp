@@ -94,4 +94,44 @@ void ThreadPoolExecutor::run_machines(std::uint64_t first, std::uint64_t last,
   }
 }
 
+void run_shard_range(ThreadPoolExecutor* pool, std::uint64_t first,
+                     std::uint64_t last, const Executor::MachineFn& fn,
+                     std::exception_ptr& error,
+                     std::uint64_t& error_machine) {
+  if (pool == nullptr) {
+    for (std::uint64_t m = first; m < last; ++m) {
+      try {
+        fn(m);
+      } catch (...) {
+        if (!error) {
+          error = std::current_exception();
+          error_machine = m;
+        }
+      }
+    }
+    return;
+  }
+  // The wrapped callback swallows everything, so the pool's own
+  // lowest-id rethrow never fires — the capture below keeps the machine
+  // id, which the pool's exception_ptr contract would lose.
+  std::mutex mu;
+  std::uint64_t lowest = ~std::uint64_t{0};
+  std::exception_ptr lowest_ep;
+  pool->run_machines(first, last, [&](std::uint64_t m) {
+    try {
+      fn(m);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu);
+      if (m < lowest) {
+        lowest = m;
+        lowest_ep = std::current_exception();
+      }
+    }
+  });
+  if (lowest_ep && !error) {
+    error = lowest_ep;
+    error_machine = lowest;
+  }
+}
+
 }  // namespace mrlr::exec

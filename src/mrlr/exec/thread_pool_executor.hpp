@@ -62,4 +62,18 @@ class ThreadPoolExecutor final : public Executor {
   std::vector<std::pair<std::uint64_t, std::exception_ptr>> errors_;
 };
 
+/// Runs fn over [first, last) on `pool` when non-null, serially in
+/// ascending id order otherwise — the shard-local execution primitive
+/// shared by the process-shard coordinator (its shard-0 range) and the
+/// worker round loop (serve_job_rounds). Unlike Executor::run_machines
+/// this never throws: every machine runs, and the exception of the
+/// lowest-id throwing machine is captured into (error, error_machine)
+/// so the caller can attach the machine id to a status frame or a
+/// ShardCallbackError. `error` is left untouched when already set
+/// (callers chain ranges and keep the first failure).
+void run_shard_range(ThreadPoolExecutor* pool, std::uint64_t first,
+                     std::uint64_t last, const Executor::MachineFn& fn,
+                     std::exception_ptr& error,
+                     std::uint64_t& error_machine);
+
 }  // namespace mrlr::exec

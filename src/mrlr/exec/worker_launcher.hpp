@@ -5,7 +5,8 @@
 // that point on are indistinguishable: the same handshake, the same
 // kJobSetup bootstrap, the same round protocol.
 //
-//   * ForkLauncher — today's local mode. Forks a child per shard over a
+//   * ForkLauncher — today's local mode. Forks a child per worker shard
+//     (shards 1..K-1 — shard 0 stays in the coordinator) over a
 //     socketpair; the child serves forked_worker_main against the job
 //     plane it inherited at fork. It still receives and validates the
 //     full wire bootstrap (minus the job spec — its state arrived via
@@ -14,7 +15,8 @@
 //
 //   * TcpLauncher — multi-host mode. Connects to pre-started worker
 //     processes (`mrlr_cli worker --listen`) at the configured
-//     endpoints, one per shard, with a bounded connect timeout and
+//     endpoints, one per worker shard (a K-shard job needs K-1
+//     endpoints), with a bounded connect timeout and
 //     refused-connection backoff. The bootstrap ships the full job spec
 //     so the worker reconstructs everything from the wire.
 //
@@ -68,7 +70,8 @@ class WorkerLauncher {
   virtual std::string_view name() const = 0;
 };
 
-/// Forks a local child per shard over a socketpair.
+/// Forks a local child per worker shard (K-1 children for K shards)
+/// over a socketpair.
 class ForkLauncher final : public WorkerLauncher {
  public:
   ForkLauncher(ShardJobPlane* plane, std::uint64_t num_machines);

@@ -46,11 +46,13 @@ struct Topology {
 
   /// Process-sharded backend: K > 1 partitions the machines into K
   /// contiguous shards, shard 0 in the coordinator process and each
-  /// other shard in a per-round forked worker that ships its staged
-  /// arenas back over the shard transport. Requires num_threads <= 1
-  /// (machines run serially within a shard) and a process-clean round
-  /// callback (see exec/process_shard_executor.hpp). 0 or 1 = no
-  /// sharding. Results stay byte-identical to the serial backend.
+  /// other shard in a persistent worker process that ships its staged
+  /// arenas back over the shard transport. Composes with num_threads:
+  /// every shard runs its machine range on a shard-local pool of that
+  /// many threads (K x T concurrent callbacks job-wide). Requires a
+  /// process-clean round callback (see exec/process_shard_executor.hpp).
+  /// 0 or 1 = no sharding. Results stay byte-identical to the serial
+  /// backend at any (K, T).
   std::uint64_t num_shards = 1;
 
   /// Builds the paper's standard graph topology: M = ceil(n^{c-mu})

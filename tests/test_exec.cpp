@@ -71,6 +71,12 @@ TEST(MakeExecutor, MapsKnobToBackend) {
   EXPECT_EQ(exec::make_executor(4, 1)->name(), "thread-pool");
   EXPECT_EQ(exec::make_executor(1, 4)->name(), "process-shard");
   EXPECT_EQ(exec::make_executor(0, 2)->name(), "process-shard");
+  // The knobs compose: K process shards, each running a shard-local
+  // pool of T threads; num_threads() reports the per-shard pool size.
+  const auto composed = exec::make_executor(4, 2);
+  EXPECT_EQ(composed->name(), "process-shard");
+  EXPECT_EQ(composed->num_threads(), 4u);
+  EXPECT_GE(exec::make_executor(0, 4)->num_threads(), 1u);
 }
 
 TEST(ProcessShardExecutor, PlainRunIsSerialAscending) {
@@ -531,6 +537,23 @@ TEST(AlgorithmDeterminism, RlrMatchingIdenticalAcrossShardCounts) {
   }
 }
 
+TEST(AlgorithmDeterminism, RlrMatchingIdenticalAcrossShardThreadMatrix) {
+  // --threads x --shards composed: K persistent worker shards, each
+  // running its machine range on a shard-local pool of T threads. The
+  // (K, T) points cover both skews (more shards than threads and vice
+  // versa); every fingerprint field must equal the serial run.
+  for (const std::uint64_t seed : {1ull, 7ull}) {
+    const auto serial = run_matching(seed, 1);
+    EXPECT_FALSE(serial.failed);
+    for (const auto& [shards, threads] :
+         {std::pair{2ull, 2ull}, {4ull, 4ull}, {2ull, 8ull}}) {
+      EXPECT_EQ(serial, run_matching(seed, threads, shards))
+          << "seed=" << seed << " shards=" << shards
+          << " threads=" << threads;
+    }
+  }
+}
+
 struct CoverFingerprint {
   std::vector<setcover::SetId> cover;
   double weight;
@@ -809,6 +832,103 @@ TEST(AlgorithmDeterminism, BaselineDriversByteIdenticalAcrossShardCounts) {
   expect_shard_identical(drivers);
 }
 
+TEST(AlgorithmDeterminism, RepresentativeDriversByteIdenticalAcrossKtMatrix) {
+  // The (K, T) matrix sweep on representative drivers spanning the
+  // engine's behaviours: set sampling (rlr_set_cover), per-vertex
+  // weights (rlr_vertex_cover), central greedy selection
+  // (greedy_set_cover_mr), phase-structured MIS (hungry_mis_improved),
+  // and edge colouring's grouped rounds (mr_edge_colouring). Each runs
+  // serially and then at {K=2,T=2}, {K=4,T=4}, {K=2,T=8}; the full
+  // result fingerprint must be byte-identical.
+  const graph::Graph g = test_graph(150);
+  const auto kt_params = [](std::uint64_t shards, std::uint64_t threads,
+                            double mu = 0.15) {
+    core::MrParams p;
+    p.mu = mu;
+    p.seed = 7;
+    p.num_threads = threads;
+    p.num_shards = shards;
+    return p;
+  };
+  using KtDriverFn =
+      std::function<std::string(std::uint64_t, std::uint64_t)>;
+  const std::vector<std::pair<std::string, KtDriverFn>> drivers = {
+      {"rlr_set_cover",
+       [&](std::uint64_t shards, std::uint64_t threads) {
+         Rng rng(0x5E7C07ull);
+         const setcover::SetSystem sys = setcover::many_sets(
+             220, 40, 10, graph::WeightDist::kUniform, rng);
+         const auto r =
+             core::rlr_set_cover(sys, kt_params(shards, threads, 0.3));
+         std::ostringstream os;
+         vec_fp(os, r.cover);
+         weight_fp(os, r.weight);
+         weight_fp(os, r.lower_bound);
+         os << " " << outcome_fp(r.outcome);
+         return os.str();
+       }},
+      {"rlr_vertex_cover",
+       [&](std::uint64_t shards, std::uint64_t threads) {
+         Rng wr(99);
+         std::vector<double> w(g.num_vertices());
+         for (double& x : w) {
+           x = 1.0 + static_cast<double>(wr() % 1000) / 250.0;
+         }
+         const auto r =
+             core::rlr_vertex_cover(g, w, kt_params(shards, threads));
+         std::ostringstream os;
+         vec_fp(os, r.cover);
+         weight_fp(os, r.weight);
+         weight_fp(os, r.lower_bound);
+         os << " " << outcome_fp(r.outcome);
+         return os.str();
+       }},
+      {"greedy_set_cover_mr",
+       [&](std::uint64_t shards, std::uint64_t threads) {
+         Rng rng(1ull ^ 0x5EEDull);
+         const setcover::SetSystem sys = setcover::many_sets(
+             400, 52, 12, graph::WeightDist::kUniform, rng);
+         const auto r = core::greedy_set_cover_mr(
+             sys, /*eps=*/0.3, kt_params(shards, threads, 0.3));
+         std::ostringstream os;
+         vec_fp(os, r.cover);
+         weight_fp(os, r.weight);
+         os << " pre=" << r.preprocessed_sets
+            << " fail=" << r.sampling_failures
+            << " drops=" << r.level_drops << " " << outcome_fp(r.outcome);
+         return os.str();
+       }},
+      {"hungry_mis_improved",
+       [&](std::uint64_t shards, std::uint64_t threads) {
+         const auto r =
+             core::hungry_mis_improved(g, kt_params(shards, threads));
+         std::ostringstream os;
+         vec_fp(os, r.independent_set);
+         os << " phases=" << r.phases << " adds=" << r.central_adds << " "
+            << outcome_fp(r.outcome);
+         return os.str();
+       }},
+      {"mr_edge_colouring",
+       [&](std::uint64_t shards, std::uint64_t threads) {
+         const auto r =
+             core::mr_edge_colouring(g, kt_params(shards, threads));
+         std::ostringstream os;
+         vec_fp(os, r.colour);
+         os << " used=" << r.colours_used << " groups=" << r.groups << " "
+            << outcome_fp(r.outcome);
+         return os.str();
+       }},
+  };
+  for (const auto& [name, run] : drivers) {
+    const std::string serial = run(1, 1);
+    for (const auto& [shards, threads] :
+         {std::pair{2ull, 2ull}, {4ull, 4ull}, {2ull, 8ull}}) {
+      EXPECT_EQ(serial, run(shards, threads))
+          << name << " shards=" << shards << " threads=" << threads;
+    }
+  }
+}
+
 TEST(AlgorithmDeterminism, SpaceLimitStressIdenticalAcrossThreadCounts) {
   // Tiny word caps: the engine must throw SpaceLimitExceeded with the
   // same message (same round, same lowest-id offender, same words) at
@@ -842,6 +962,11 @@ TEST(AlgorithmDeterminism, SpaceLimitStressIdenticalAcrossThreadCounts) {
     // The space audit runs in the coordinator on merged accounting, so
     // the process backend must throw the identical message too.
     EXPECT_EQ(serial, run(seed, 1, 2)) << "seed=" << seed << " shards=2";
+    // Composed K x T under overflow pressure: shard-local pools racing
+    // toward tiny word caps (this suite runs under TSan in CI) must
+    // still produce the identical typed failure.
+    EXPECT_EQ(serial, run(seed, 4, 2))
+        << "seed=" << seed << " shards=2 threads=4";
   }
 }
 

@@ -38,18 +38,21 @@ graph::Graph test_graph(std::uint64_t seed, bool weighted) {
   return g;
 }
 
-core::MrParams spec_params(std::uint64_t shards) {
+core::MrParams spec_params(std::uint64_t shards,
+                           std::uint64_t threads = 1) {
   core::MrParams p;
   p.mu = 0.2;
   p.seed = 7;
   p.num_shards = shards;
+  p.num_threads = threads;
   return p;
 }
 
 /// One JobSpec per registered algorithm — all 15 — on small instances,
 /// with every extra each driver requires.
-std::vector<jobs::JobSpec> all_driver_specs(std::uint64_t shards) {
-  const core::MrParams params = spec_params(shards);
+std::vector<jobs::JobSpec> all_driver_specs(std::uint64_t shards,
+                                            std::uint64_t threads = 1) {
+  const core::MrParams params = spec_params(shards, threads);
   const graph::Graph gw = test_graph(1, /*weighted=*/true);
   const graph::Graph gu = test_graph(2, /*weighted=*/false);
   Rng sets_rng(0x5E7C07ull);
@@ -114,6 +117,30 @@ TEST(TcpExecutor, AllDriversByteIdenticalSerialVsTcp) {
       EXPECT_EQ(jobs::run_job(specs[i]), serial[i])
           << specs[i].algorithm << " shards=" << shards;
     }
+  }
+}
+
+TEST(TcpExecutor, ComposedShardsThreadsByteIdenticalSerialVsTcp) {
+  // --threads x --shards over real TCP workers: K=2 shards (one remote)
+  // each running its machine range on a T=4 shard-local pool, with the
+  // thread count carried by the kBootstrapThreads field of the wire
+  // bootstrap. A representative driver subset — matching (weights),
+  // vertex-cover (per-vertex extras), set-cover-greedy (central
+  // selection), colour-edge (grouped rounds) — must be byte-identical
+  // to its serial run.
+  const auto serial_specs = all_driver_specs(1);
+  const auto composed_specs = all_driver_specs(2, 4);
+  jobs::ScopedTcpLoopback fleet(1);
+  for (const std::size_t i : {std::size_t{0}, std::size_t{5},
+                              std::size_t{7}, std::size_t{14}}) {
+    const std::string serial = jobs::run_job(serial_specs[i]);
+    exec::ProcessBackendConfig cfg;
+    cfg.workers = fleet.endpoints();
+    cfg.connect_timeout = std::chrono::milliseconds(5000);
+    cfg.job_spec = jobs::encode_job_spec(composed_specs[i]);
+    exec::ScopedProcessBackendConfig guard(std::move(cfg));
+    EXPECT_EQ(jobs::run_job(composed_specs[i]), serial)
+        << composed_specs[i].algorithm << " shards=2 threads=4";
   }
 }
 

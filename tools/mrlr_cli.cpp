@@ -6,12 +6,21 @@
 // Usage:
 //   mrlr_cli <algorithm> [--n N] [--c C] [--mu MU] [--seed S]
 //            [--eps E] [--b B] [--dist uniform|exp|int|polarized]
-//            [--threads T] [--graph FILE] [--sets FILE] [--trace]
+//            [--threads T] [--backend serial|threads|process]
+//            [--shards K] [--workers HOST:PORT,...]
+//            [--graph FILE] [--sets FILE] [--trace]
+//            [--telemetry-out FILE] [--telemetry-format jsonl|chrome]
 //   mrlr_cli worker --listen [HOST:]PORT [--max-jobs N]
 //   mrlr_cli gen <family> --out FILE [family options]
 //   mrlr_cli convert --in FILE --out FILE
 //   mrlr_cli bench [--group G]... [--scenario NAME]... [--out FILE]
-//            [--threads T] [--list]
+//            [--threads T] [--backend serial|threads|process]
+//            [--shards K] [--list]
+//            [--telemetry-out FILE] [--telemetry-format jsonl|chrome]
+//
+// --threads and --shards compose: `--backend process --shards K
+// --threads T` runs K process shards, each executing its machine range
+// on a shard-local pool of T threads (docs/ARCHITECTURE.md).
 //
 // Graph files (--graph, gen/convert --in/--out) are read and written in
 // the binary .mgb container when the path ends in ".mgb", and as plain
@@ -141,7 +150,8 @@ bool apply_backend(const std::string& backend, std::uint64_t& threads,
     if (threads <= 1) threads = 0;  // 0 = all hardware threads
     shards = 1;
   } else if (backend == "process") {
-    threads = 1;
+    // --threads passes through: the knobs compose (each shard runs its
+    // machine range on a shard-local pool of T threads).
     if (shards <= 1) shards = 2;
   } else {
     std::cerr << "unknown backend " << backend
@@ -179,7 +189,9 @@ void usage() {
          "--threads T: simulate machines on T threads (1 = serial, "
          "0 = all hardware threads); --backend process [--shards K]: "
          "partition machines over K persistent worker processes (every "
-         "algorithm supports this; see README). Results are identical "
+         "algorithm supports this; see README). The knobs compose: "
+         "--shards K --threads T runs each shard's machines on a "
+         "shard-local pool of T threads. Results are identical "
          "under every backend, only wall-clock changes\n"
          "--workers HOST:PORT,...: run the process backend over TCP "
          "against pre-started `mrlr_cli worker --listen` processes "
@@ -274,13 +286,6 @@ std::optional<Options> parse(int argc, char** argv) {
     if (!o.backend && !apply_backend("process", o.threads, o.shards)) {
       return std::nullopt;
     }
-  }
-  if (o.threads > 1 && o.shards > 1) {
-    // Same exclusion make_executor enforces, surfaced as a usage error
-    // instead of an MRLR_REQUIRE abort.
-    std::cerr << "--threads and --shards do not compose: the process "
-                 "backend runs machines serially within each shard\n";
-    return std::nullopt;
   }
   return o;
 }

@@ -19,12 +19,14 @@
 //   smoke        — the fast subset CI diffs against the baseline.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "mrlr/bench/instances.hpp"
@@ -54,8 +56,12 @@
 #include "mrlr/seq/local_ratio_setcover.hpp"
 #include "mrlr/seq/mis.hpp"
 #include "mrlr/exec/worker_launcher.hpp"
+#include "mrlr/jobs/job_result.hpp"
 #include "mrlr/jobs/job_spec.hpp"
 #include "mrlr/jobs/worker.hpp"
+#include "mrlr/serve/client.hpp"
+#include "mrlr/serve/protocol.hpp"
+#include "mrlr/serve/server.hpp"
 #include "mrlr/seq/misra_gries.hpp"
 #include "mrlr/setcover/generators.hpp"
 #include "mrlr/setcover/validate.hpp"
@@ -1875,6 +1881,122 @@ void add_large(Registry& r) {
 
 }  // namespace
 
+// ------------------------------------------------------- serve ----
+
+// Service-mode throughput and correctness: an in-process ServeDaemon on
+// an ephemeral loopback port executes 8 pinned jobs submitted by C
+// concurrent clients through the full submit -> admission -> fork ->
+// result pipeline. Standalone run_job fingerprints are computed untimed
+// first, and the scenario fails if any daemon-returned result deviates
+// by a byte. The determinism hash mixes only the standalone
+// fingerprints, so serve/jobs/c1 and serve/jobs/c4 must report the
+// identical hash — admission and concurrency must be invisible in the
+// answers. jobs_per_sec is informational (extra, never diffed).
+void add_serve(Registry& r) {
+  struct Cfg {
+    std::uint64_t clients;
+    std::vector<std::string> groups;
+  };
+  for (const Cfg& cfg : {
+           Cfg{1, {"serve", "smoke"}},
+           Cfg{4, {"serve", "smoke"}},
+       }) {
+    r.add({"serve/jobs/c" + std::to_string(cfg.clients),
+           cfg.groups,
+           "8 pinned jobs (weighted matching + MIS) through mrlr_serve "
+           "admission and fork-per-job execution on loopback, " +
+               std::to_string(cfg.clients) +
+               " concurrent client(s); every result must be "
+               "byte-identical to standalone run_job",
+           [cfg](const RunContext& ctx) {
+             const std::uint64_t n = ctx.scale_n(400);
+             const double c = 0.5, mu = 0.2;
+             BenchResult res;
+             res.algo = "serve-jobs";
+             res.family = "gnm-density";
+             res.n = n;
+             res.c = c;
+             res.mu = mu;
+             res.threads = cfg.clients;
+
+             // 8 pinned jobs: 4 weighted matchings, 4 MIS runs.
+             std::vector<jobs::JobSpec> specs;
+             for (std::uint64_t s = 1; s <= 4; ++s) {
+               const graph::Graph gw =
+                   weighted_gnm(n, c, WeightDist::kUniform, n + s);
+               specs.push_back(jobs::graph_job("matching", gw,
+                                               scenario_params(mu, s)));
+               Rng rng(n + 16 + s);
+               const graph::Graph gu = graph::gnm_density(n, c, rng);
+               specs.push_back(
+                   jobs::graph_job("mis", gu, scenario_params(mu, s)));
+             }
+
+             // Untimed reference answers; the hash and quality come
+             // from these, never from the daemon's copies.
+             std::vector<std::string> standalone;
+             HashAcc h;
+             double quality = 0.0;
+             for (const jobs::JobSpec& s : specs) {
+               const jobs::JobResult ref = jobs::run_job(s);
+               quality += static_cast<double>(ref.solution_size);
+               standalone.push_back(jobs::fingerprint(ref));
+               h.mix(standalone.back());
+             }
+
+             serve::ServeOptions opts;
+             opts.max_running = std::max<std::uint64_t>(cfg.clients, 1);
+             serve::ServeDaemon daemon("127.0.0.1", 0, opts);
+             std::thread runner([&daemon] { daemon.run(); });
+             const exec::Endpoint ep{"127.0.0.1", daemon.port()};
+
+             std::atomic<bool> mismatch{false};
+             Timer t;
+             std::vector<std::thread> clients;
+             for (std::uint64_t ci = 0; ci < cfg.clients; ++ci) {
+               clients.emplace_back([&, ci] {
+                 try {
+                   serve::ServeClient client(ep);
+                   for (std::size_t j = ci; j < specs.size();
+                        j += cfg.clients) {
+                     if (!client.submit(specs[j]).accepted) {
+                       mismatch = true;
+                       return;
+                     }
+                     const serve::ResultReply reply =
+                         client.wait_result();
+                     if (!reply.ok ||
+                         jobs::fingerprint(
+                             serve::ServeClient::decode_result(reply)) !=
+                             standalone[j]) {
+                       mismatch = true;
+                       return;
+                     }
+                   }
+                 } catch (const std::exception&) {
+                   mismatch = true;
+                 }
+               });
+             }
+             for (std::thread& th : clients) th.join();
+             res.wall_seconds = t.elapsed();
+             daemon.request_shutdown();
+             runner.join();
+
+             res.failed = mismatch.load();
+             res.quality = quality;
+             res.determinism_hash = h.value();
+             res.extra["clients"] = static_cast<double>(cfg.clients);
+             res.extra["jobs"] = static_cast<double>(specs.size());
+             if (res.wall_seconds > 0.0) {
+               res.extra["jobs_per_sec"] =
+                   static_cast<double>(specs.size()) / res.wall_seconds;
+             }
+             return res;
+           }});
+  }
+}
+
 void register_builtin_scenarios(Registry& r) {
   add_f1_matching(r);
   add_f1_vertex_cover(r);
@@ -1893,6 +2015,7 @@ void register_builtin_scenarios(Registry& r) {
   add_tcp(r);
   add_composed(r);
   add_process_drivers(r);
+  add_serve(r);
   add_large(r);
 }
 

@@ -92,6 +92,8 @@ struct MrOutcome {
     total_communication = m.total_communication();
     space_violations = m.violations();
   }
+
+  friend bool operator==(const MrOutcome&, const MrOutcome&) = default;
 };
 
 }  // namespace mrlr::core

@@ -169,13 +169,9 @@ Frame read_frame(ShardChannel& ch, std::uint64_t max_payload) {
                              std::to_string(version));
   }
   const std::uint16_t kind_raw = get_u16(header + 6);
-  if (kind_raw != static_cast<std::uint16_t>(FrameKind::kShardData) &&
-      kind_raw != static_cast<std::uint16_t>(FrameKind::kShardStatus) &&
-      kind_raw != static_cast<std::uint16_t>(FrameKind::kShardTelemetry) &&
-      kind_raw != static_cast<std::uint16_t>(FrameKind::kJobSetup) &&
-      kind_raw != static_cast<std::uint16_t>(FrameKind::kRoundControl) &&
-      kind_raw != static_cast<std::uint16_t>(FrameKind::kJobTeardown) &&
-      kind_raw != static_cast<std::uint16_t>(FrameKind::kBootstrapAck)) {
+  // The kind space is dense: [kShardData, kMaxFrameKind] with no holes.
+  if (kind_raw < static_cast<std::uint16_t>(FrameKind::kShardData) ||
+      kind_raw > kMaxFrameKind) {
     // A kind this build does not know (version skew, corruption) fails
     // typed here, before any payload is trusted — never a hang.
     throw TransportError(TransportError::Kind::kBadMagic,

@@ -199,7 +199,30 @@ enum class FrameKind : std::uint16_t {
                         ///< the job or refuses it with a message — so a
                         ///< bootstrap mismatch fails typed on the
                         ///< coordinator before any round is shipped
+
+  // Serve-mode kinds (src/mrlr/serve/): the job-submission protocol a
+  // long-running mrlr_serve daemon speaks with its clients, on the same
+  // framing and handshake as the shard protocol above.
+  kJobSubmit = 8,       ///< client -> daemon: one encoded JobSpec
+  kJobAdmission = 9,    ///< daemon -> client: the admission decision —
+                        ///< accepted (job id) or rejected with a typed
+                        ///< reason (serve/protocol.hpp)
+  kJobResult = 10,      ///< daemon -> client (and job process ->
+                        ///< daemon): the encoded JobResult, or a typed
+                        ///< execution error
+  kServeStats = 11,     ///< client -> daemon: empty request; daemon ->
+                        ///< client: counter snapshot
+  kServeHealth = 12,    ///< client -> daemon: empty request; daemon ->
+                        ///< client: liveness summary
+  kServeShutdown = 13,  ///< client -> daemon: drain and stop accepting;
+                        ///< daemon -> client: empty ack
 };
+
+/// Highest FrameKind this build understands; read_frame rejects
+/// anything outside [kShardData, kMaxFrameKind] typed before the
+/// payload is trusted.
+inline constexpr std::uint16_t kMaxFrameKind =
+    static_cast<std::uint16_t>(FrameKind::kServeShutdown);
 
 struct Frame {
   FrameKind kind;

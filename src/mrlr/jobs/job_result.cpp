@@ -1,0 +1,230 @@
+#include "mrlr/jobs/job_result.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "mrlr/exec/shard_transport.hpp"
+#include "mrlr/util/mix64.hpp"
+
+namespace mrlr::jobs {
+
+namespace {
+
+using exec::append_u64;
+using exec::read_u64;
+
+constexpr std::uint64_t kResultVersion = 1;
+
+/// Stat names are short identifiers ("weight", "stack"); an adversarial
+/// length fails the cap before any allocation.
+constexpr std::uint64_t kMaxStatNameBytes = 1 << 10;
+
+[[noreturn]] void bad_result(const std::string& what) {
+  throw exec::TransportError(exec::TransportError::Kind::kBadPayload,
+                             "job result: " + what);
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void append_string(std::vector<std::byte>& out, std::string_view s) {
+  append_u64(out, s.size());
+  if (s.empty()) return;
+  const auto at = out.size();
+  out.resize(at + s.size());
+  std::memcpy(out.data() + at, s.data(), s.size());
+}
+
+/// Bounds-checked sequential reader (the job_spec.cpp cursor
+/// discipline); every primitive throws kBadPayload instead of running
+/// off the payload.
+struct Reader {
+  std::span<const std::byte> bytes;
+  std::size_t at = 0;
+
+  void need(std::size_t n, const char* what) const {
+    if (bytes.size() - at < n) {
+      bad_result(std::string("truncated inside ") + what);
+    }
+  }
+  std::uint64_t u64(const char* what) {
+    need(8, what);
+    const std::uint64_t v = read_u64(bytes, at);
+    at += 8;
+    return v;
+  }
+  std::string string(const char* what) {
+    const std::uint64_t len = u64(what);
+    need(len, what);
+    std::string s(reinterpret_cast<const char*>(bytes.data() + at), len);
+    at += len;
+    return s;
+  }
+  bool flag(const char* what) {
+    const std::uint64_t v = u64(what);
+    if (v > 1) bad_result(std::string(what) + " flag must be 0 or 1");
+    return v == 1;
+  }
+};
+
+}  // namespace
+
+const JobStat* JobResult::stat(std::string_view name) const {
+  for (const JobStat& s : stats) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+double JobResult::stat_double(std::string_view name, double fallback) const {
+  const JobStat* s = stat(name);
+  if (s == nullptr || s->kind != JobStat::Kind::kPackedDouble) {
+    return fallback;
+  }
+  return core::unpack_double(s->value);
+}
+
+std::uint64_t JobResult::stat_count(std::string_view name,
+                                    std::uint64_t fallback) const {
+  const JobStat* s = stat(name);
+  if (s == nullptr || s->kind != JobStat::Kind::kCount) return fallback;
+  return s->value;
+}
+
+std::string fingerprint(const JobResult& r) {
+  std::ostringstream os;
+  os << r.algorithm << " sol=" << hex64(r.solution_hash);
+  for (const JobStat& s : r.stats) {
+    os << " " << s.name << "=";
+    if (s.kind == JobStat::Kind::kPackedDouble) {
+      os << hex64(s.value);
+    } else {
+      os << s.value;
+    }
+  }
+  const core::MrOutcome& o = r.outcome;
+  os << " failed=" << o.failed << " iters=" << o.iterations
+     << " rounds=" << o.rounds << " words=" << o.max_machine_words
+     << " central=" << o.max_central_inbox
+     << " comm=" << o.total_communication
+     << " violations=" << o.space_violations;
+  return os.str();
+}
+
+std::uint64_t determinism_hash(const JobResult& r) {
+  std::uint64_t h = mix64(0x6A6F622E72736C74ull ^ r.algorithm.size());
+  for (const char c : r.algorithm) {
+    h = mix64(h ^ static_cast<std::uint64_t>(
+                      static_cast<unsigned char>(c)));
+  }
+  h = mix64(h ^ r.solution_hash);
+  h = mix64(h ^ r.solution_size);
+  h = mix64(h ^ (r.valid ? 1u : 0u));
+  const core::MrOutcome& o = r.outcome;
+  h = mix64(h ^ (o.failed ? 1u : 0u));
+  h = mix64(h ^ o.iterations);
+  h = mix64(h ^ o.rounds);
+  h = mix64(h ^ o.max_machine_words);
+  h = mix64(h ^ o.max_central_inbox);
+  h = mix64(h ^ o.total_communication);
+  h = mix64(h ^ o.space_violations);
+  h = mix64(h ^ r.stats.size());
+  for (const JobStat& s : r.stats) {
+    h = mix64(h ^ s.name.size());
+    for (const char c : s.name) {
+      h = mix64(h ^ static_cast<std::uint64_t>(
+                        static_cast<unsigned char>(c)));
+    }
+    h = mix64(h ^ static_cast<std::uint64_t>(s.kind));
+    h = mix64(h ^ s.value);
+  }
+  return h;
+}
+
+std::vector<std::byte> encode_job_result(const JobResult& r) {
+  std::vector<std::byte> out;
+  append_u64(out, kResultVersion);
+  append_string(out, r.algorithm);
+  append_u64(out, r.solution_hash);
+  append_u64(out, r.solution_size);
+  append_u64(out, r.valid ? 1 : 0);
+  const core::MrOutcome& o = r.outcome;
+  append_u64(out, o.failed ? 1 : 0);
+  append_u64(out, o.iterations);
+  append_u64(out, o.rounds);
+  append_u64(out, o.max_machine_words);
+  append_u64(out, o.max_central_inbox);
+  append_u64(out, o.total_communication);
+  append_u64(out, o.space_violations);
+  append_u64(out, r.stats.size());
+  for (const JobStat& s : r.stats) {
+    append_string(out, s.name);
+    append_u64(out, static_cast<std::uint64_t>(s.kind));
+    append_u64(out, s.value);
+  }
+  return out;
+}
+
+JobResult decode_job_result(std::span<const std::byte> bytes) {
+  Reader r{bytes};
+  const std::uint64_t version = r.u64("version");
+  if (version != kResultVersion) {
+    bad_result("unsupported result version " + std::to_string(version) +
+               " (this build speaks version " +
+               std::to_string(kResultVersion) + ")");
+  }
+  JobResult res;
+  res.algorithm = r.string("algorithm name");
+  if (res.algorithm.empty()) bad_result("empty algorithm name");
+  res.solution_hash = r.u64("solution hash");
+  res.solution_size = r.u64("solution size");
+  res.valid = r.flag("valid");
+  res.outcome.failed = r.flag("failed");
+  res.outcome.iterations = r.u64("outcome");
+  res.outcome.rounds = r.u64("outcome");
+  res.outcome.max_machine_words = r.u64("outcome");
+  res.outcome.max_central_inbox = r.u64("outcome");
+  res.outcome.total_communication = r.u64("outcome");
+  res.outcome.space_violations = r.u64("outcome");
+
+  const std::uint64_t nstats = r.u64("stat count");
+  // Each stat costs at least its name length, kind, and value fields.
+  if (nstats > (bytes.size() - r.at) / 24) {
+    bad_result("stat count " + std::to_string(nstats) +
+               " exceeds the remaining payload");
+  }
+  res.stats.reserve(nstats);
+  for (std::uint64_t i = 0; i < nstats; ++i) {
+    JobStat s;
+    const std::uint64_t name_len = r.u64("stat name");
+    if (name_len == 0) bad_result("empty stat name");
+    if (name_len > kMaxStatNameBytes) {
+      bad_result("stat name length " + std::to_string(name_len) +
+                 " exceeds the cap");
+    }
+    r.need(name_len, "stat name");
+    s.name.assign(reinterpret_cast<const char*>(r.bytes.data() + r.at),
+                  name_len);
+    r.at += name_len;
+    const std::uint64_t kind = r.u64("stat kind");
+    if (kind != static_cast<std::uint64_t>(JobStat::Kind::kCount) &&
+        kind != static_cast<std::uint64_t>(JobStat::Kind::kPackedDouble)) {
+      bad_result("unknown stat kind " + std::to_string(kind));
+    }
+    s.kind = static_cast<JobStat::Kind>(kind);
+    s.value = r.u64("stat value");
+    res.stats.push_back(std::move(s));
+  }
+  if (r.at != bytes.size()) {
+    bad_result(std::to_string(bytes.size() - r.at) +
+               " trailing bytes after the stats");
+  }
+  return res;
+}
+
+}  // namespace mrlr::jobs

@@ -1,0 +1,94 @@
+#pragma once
+// The structured, versioned result of one driver invocation — what
+// jobs::run_job returns and what the serve protocol ships back to a
+// submitting client.
+//
+// Historically run_job returned a fingerprint *string*; the string
+// survives as fingerprint(result) — a deterministic one-line rendering
+// (order-sensitive mix64 hash of the solution ids, the exact bit
+// pattern of every double, and the MrOutcome metrics) that is
+// byte-identical to the legacy format, so "identical across backends"
+// stays a plain string comparison. The struct additionally carries the
+// fields the string flattened away: solution size, validator verdict,
+// the full MrOutcome, and the per-algorithm stats as named, typed
+// values, so callers (CLI rendering, the serve daemon, bench) never
+// re-parse text.
+//
+// Wire form: encode_job_result/decode_job_result use the same
+// little-endian u64 lane discipline and kBadPayload error taxonomy as
+// job_spec.{hpp,cpp} — a corrupt result refuses to decode, it never
+// reports a wrong answer.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mrlr/core/params.hpp"
+
+namespace mrlr::jobs {
+
+/// One named statistic of a driver result. kPackedDouble values hold a
+/// core::pack_double bit pattern (rendered as 16 hex digits in the
+/// fingerprint — bit-exact, never decimal text); kCount values are
+/// plain integers (rendered in decimal).
+struct JobStat {
+  enum class Kind : std::uint64_t {
+    kCount = 0,
+    kPackedDouble = 1,
+  };
+
+  std::string name;
+  std::uint64_t value = 0;
+  Kind kind = Kind::kCount;
+
+  friend bool operator==(const JobStat&, const JobStat&) = default;
+};
+
+struct JobResult {
+  std::string algorithm;  ///< registry name, echoes JobSpec::algorithm
+  /// Order-sensitive mix64 hash over the solution id vector (matching
+  /// edge ids, cover vertex/set ids, per-vertex colours, ...).
+  std::uint64_t solution_hash = 0;
+  std::uint64_t solution_size = 0;  ///< element count of that vector
+  /// The per-algorithm validator's verdict (is_matching,
+  /// is_vertex_cover, is_proper_vertex_colouring, ...), computed where
+  /// the decoded instance is: in the runner.
+  bool valid = false;
+  core::MrOutcome outcome;
+  /// Algorithm-specific stats in fingerprint order (e.g. matching:
+  /// weight, stack).
+  std::vector<JobStat> stats;
+
+  /// Looks up a stat by name; returns nullptr when absent.
+  const JobStat* stat(std::string_view name) const;
+  /// Unpacks a kPackedDouble stat; `fallback` when absent.
+  double stat_double(std::string_view name, double fallback = 0.0) const;
+  /// Reads a kCount stat; `fallback` when absent.
+  std::uint64_t stat_count(std::string_view name,
+                           std::uint64_t fallback = 0) const;
+
+  friend bool operator==(const JobResult&, const JobResult&) = default;
+};
+
+/// The legacy one-line rendering, byte-identical to the strings
+/// run_job returned before JobResult existed:
+///   <algo> sol=<hex64> [<stat>=<value>...] failed=.. iters=.. rounds=..
+///   words=.. central=.. comm=.. violations=..
+std::string fingerprint(const JobResult& r);
+
+/// Mix64 chain over every field (algorithm bytes, hashes, validity,
+/// outcome, stats) — two results collide iff they are identical in all
+/// carried fields, so hash equality across backends/hosts is a single
+/// u64 comparison.
+std::uint64_t determinism_hash(const JobResult& r);
+
+std::vector<std::byte> encode_job_result(const JobResult& r);
+
+/// Throws exec::TransportError(kBadPayload) on a version mismatch or
+/// anything malformed (truncation, bad stat kind, trailing bytes).
+JobResult decode_job_result(std::span<const std::byte> bytes);
+
+}  // namespace mrlr::jobs

@@ -1,0 +1,88 @@
+#include "mrlr/jobs/report.hpp"
+
+#include <sstream>
+
+namespace mrlr::jobs {
+
+bool prints_instance_header(std::string_view algorithm) {
+  return algorithm == "matching" || algorithm == "filtering-matching" ||
+         algorithm == "filtering-weighted" ||
+         algorithm == "coreset-matching";
+}
+
+std::string render_instance_header(std::uint64_t n, std::uint64_t m,
+                                   double density_exponent) {
+  std::ostringstream os;
+  os << "instance: n=" << n << " m=" << m << " c=" << density_exponent;
+  return os.str();
+}
+
+std::string render_solution_line(const JobResult& r,
+                                 const RenderInfo& info) {
+  std::ostringstream os;
+  const std::string& a = r.algorithm;
+  if (a == "matching" || a == "filtering-weighted") {
+    os << "matching: " << r.solution_size << " edges, weight "
+       << r.stat_double("weight") << ", valid=" << r.valid;
+  } else if (a == "filtering-matching") {
+    os << "matching: " << r.solution_size << " edges, weight "
+       << r.stat_double("weight") << ", maximal=" << r.valid;
+  } else if (a == "coreset-matching") {
+    os << "matching: " << r.solution_size << " edges, weight "
+       << r.stat_double("weight") << ", coreset union "
+       << r.stat_count("coreset") << " edges, valid=" << r.valid;
+  } else if (a == "b-matching") {
+    os << "b-matching (b=" << info.b << ", eps=" << info.eps
+       << "): " << r.solution_size << " edges, weight "
+       << r.stat_double("weight") << ", valid=" << r.valid;
+  } else if (a == "vertex-cover") {
+    os << "vertex cover: " << r.solution_size << " vertices, weight "
+       << r.stat_double("weight") << " (certified OPT >= "
+       << r.stat_double("lb") << "), valid=" << r.valid;
+  } else if (a == "set-cover-f") {
+    os << "set cover (f=" << info.max_frequency
+       << "): " << r.solution_size << " sets, weight "
+       << r.stat_double("weight") << " (certified OPT >= "
+       << r.stat_double("lb") << "), valid=" << r.valid;
+  } else if (a == "set-cover-greedy") {
+    os << "set cover (greedy, eps=" << info.eps
+       << "): " << r.solution_size << " sets, weight "
+       << r.stat_double("weight") << ", valid=" << r.valid;
+  } else if (a == "mis" || a == "mis-simple" || a == "luby-mis") {
+    const char* variant = a == "mis"          ? "Alg 6"
+                          : a == "mis-simple" ? "Alg 2"
+                                              : "Luby";
+    os << "MIS (" << variant << "): " << r.solution_size
+       << " vertices, maximal=" << r.valid;
+  } else if (a == "clique") {
+    os << "clique: " << r.solution_size
+       << " vertices, maximal=" << r.valid;
+  } else if (a == "colour-vertex" || a == "luby-colouring") {
+    os << "vertex colouring" << (a == "luby-colouring" ? " (Luby)" : "")
+       << ": " << r.stat_count("colours") << " colours (Delta="
+       << info.max_degree << "), proper=" << r.valid;
+  } else if (a == "colour-edge") {
+    os << "edge colouring: " << r.stat_count("colours")
+       << " colours (Delta=" << info.max_degree
+       << "), proper=" << r.valid;
+  } else {
+    // Never reached through the CLI (find_algorithm gates), but a
+    // stray name still renders something inspectable.
+    os << a << ": " << r.solution_size << " elements, valid=" << r.valid;
+  }
+  return os.str();
+}
+
+std::string render_cost_line(const core::MrOutcome& outcome) {
+  std::ostringstream os;
+  os << "cost: rounds=" << outcome.rounds
+     << " iterations=" << outcome.iterations
+     << " max_words/machine=" << outcome.max_machine_words
+     << " central_inbox=" << outcome.max_central_inbox
+     << " total_comm=" << outcome.total_communication
+     << " violations=" << outcome.space_violations
+     << (outcome.failed ? "  ** FAILED **" : "");
+  return os.str();
+}
+
+}  // namespace mrlr::jobs

@@ -1,0 +1,47 @@
+#pragma once
+// Human-readable rendering of a JobResult — the exact lines mrlr_cli
+// has always printed, factored out of the CLI so `run` (local) and
+// `submit` (daemon round-trip) produce byte-identical stdout from the
+// same JobResult.
+//
+// The renderer works from the structured result plus the few values
+// only the instance or the command line knows (max degree, set-system
+// frequency, b/eps) — packaged as RenderInfo by whoever built the
+// JobSpec. Doubles print with default ostream formatting, matching the
+// historical `std::cout << weight` output digit for digit.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "mrlr/core/params.hpp"
+#include "mrlr/jobs/job_result.hpp"
+
+namespace mrlr::jobs {
+
+/// Instance- and flag-derived values the solution line interpolates but
+/// the JobResult does not carry. Only the fields an algorithm's line
+/// mentions are read.
+struct RenderInfo {
+  std::uint64_t max_degree = 0;     ///< colour-*: Delta
+  std::uint64_t max_frequency = 0;  ///< set-cover-f: f
+  std::uint32_t b = 0;              ///< b-matching
+  double eps = 0.0;                 ///< b-matching, set-cover-greedy
+};
+
+/// The matching family prints an `instance: n=.. m=.. c=..` line before
+/// the solution (the Figure-1 axes); everything else does not.
+bool prints_instance_header(std::string_view algorithm);
+
+std::string render_instance_header(std::uint64_t n, std::uint64_t m,
+                                   double density_exponent);
+
+/// The per-algorithm solution summary (e.g. `matching: 117 edges,
+/// weight 93.4618, valid=1`). The algorithm is read from the result.
+std::string render_solution_line(const JobResult& r, const RenderInfo& info);
+
+/// The Figure-1 cost metrics line (`cost: rounds=.. iterations=..
+/// max_words/machine=.. ...`).
+std::string render_cost_line(const core::MrOutcome& outcome);
+
+}  // namespace mrlr::jobs

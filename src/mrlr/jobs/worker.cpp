@@ -23,6 +23,8 @@
 #include "mrlr/core/rlr_matching.hpp"
 #include "mrlr/core/rlr_setcover.hpp"
 #include "mrlr/exec/shard_worker.hpp"
+#include "mrlr/graph/validate.hpp"
+#include "mrlr/setcover/validate.hpp"
 #include "mrlr/util/mix64.hpp"
 
 namespace mrlr::jobs {
@@ -34,12 +36,12 @@ namespace {
                              "job: " + what);
 }
 
-// ------------------------------------------------------ fingerprints --
+// --------------------------------------------------- result assembly --
 //
-// A fingerprint is a deterministic one-line rendering of a driver's
-// full result: an order-sensitive mix64 hash of the solution ids, the
-// exact bit pattern of every double, and the MrOutcome metrics. Two
-// runs agree byte-for-byte iff their results are identical.
+// Every runner returns a JobResult: the order-sensitive mix64 hash of
+// the solution ids, the validator's verdict, the MrOutcome metrics, and
+// the per-algorithm stats in fingerprint order (job_result.hpp renders
+// them back into the legacy one-line string byte-for-byte).
 
 template <typename T>
 std::uint64_t hash_ids(const std::vector<T>& ids) {
@@ -55,16 +57,25 @@ std::string hex64(std::uint64_t v) {
   return buf;
 }
 
-std::string fp_double(double v) { return hex64(core::pack_double(v)); }
+template <typename T>
+JobResult make_result(const JobSpec& spec, const std::vector<T>& ids,
+                      bool valid, const core::MrOutcome& outcome) {
+  JobResult r;
+  r.algorithm = spec.algorithm;
+  r.solution_hash = hash_ids(ids);
+  r.solution_size = ids.size();
+  r.valid = valid;
+  r.outcome = outcome;
+  return r;
+}
 
-std::string fp_outcome(const core::MrOutcome& o) {
-  std::ostringstream os;
-  os << " failed=" << o.failed << " iters=" << o.iterations
-     << " rounds=" << o.rounds << " words=" << o.max_machine_words
-     << " central=" << o.max_central_inbox
-     << " comm=" << o.total_communication
-     << " violations=" << o.space_violations;
-  return os.str();
+JobStat count_stat(std::string name, std::uint64_t v) {
+  return JobStat{std::move(name), v, JobStat::Kind::kCount};
+}
+
+JobStat double_stat(std::string name, double v) {
+  return JobStat{std::move(name), core::pack_double(v),
+                 JobStat::Kind::kPackedDouble};
 }
 
 // ----------------------------------------------------- extras access --
@@ -89,40 +100,48 @@ double extra_double(const JobSpec& spec, const std::string& name) {
 
 // ---------------------------------------------------------- runners --
 
-using Runner = std::string (*)(const JobSpec&);
+using Runner = JobResult (*)(const JobSpec&);
 
-std::string run_matching(const JobSpec& spec) {
+JobResult run_matching(const JobSpec& spec) {
   const graph::Graph g = decode_graph_instance(spec);
   const auto r = core::rlr_matching(g, spec.params);
-  return "matching sol=" + hex64(hash_ids(r.matching)) +
-         " weight=" + fp_double(r.weight) +
-         " stack=" + std::to_string(r.stack_size) + fp_outcome(r.outcome);
+  JobResult res = make_result(spec, r.matching,
+                              graph::is_matching(g, r.matching), r.outcome);
+  res.stats = {double_stat("weight", r.weight),
+               count_stat("stack", r.stack_size)};
+  return res;
 }
 
-std::string run_filtering_matching(const JobSpec& spec) {
+JobResult run_filtering_matching(const JobSpec& spec) {
   const graph::Graph g = decode_graph_instance(spec);
   const auto r = baselines::filtering_matching(g, spec.params);
-  return "filtering-matching sol=" + hex64(hash_ids(r.matching)) +
-         " weight=" + fp_double(r.weight) + fp_outcome(r.outcome);
+  JobResult res =
+      make_result(spec, r.matching,
+                  graph::is_maximal_matching(g, r.matching), r.outcome);
+  res.stats = {double_stat("weight", r.weight)};
+  return res;
 }
 
-std::string run_filtering_weighted(const JobSpec& spec) {
+JobResult run_filtering_weighted(const JobSpec& spec) {
   const graph::Graph g = decode_graph_instance(spec);
   const auto r = baselines::filtering_weighted_matching(g, spec.params);
-  return "filtering-weighted sol=" + hex64(hash_ids(r.matching)) +
-         " weight=" + fp_double(r.weight) + fp_outcome(r.outcome);
+  JobResult res = make_result(spec, r.matching,
+                              graph::is_matching(g, r.matching), r.outcome);
+  res.stats = {double_stat("weight", r.weight)};
+  return res;
 }
 
-std::string run_coreset_matching(const JobSpec& spec) {
+JobResult run_coreset_matching(const JobSpec& spec) {
   const graph::Graph g = decode_graph_instance(spec);
   const auto r = baselines::coreset_matching(g, spec.params);
-  return "coreset-matching sol=" + hex64(hash_ids(r.matching)) +
-         " weight=" + fp_double(r.weight) +
-         " coreset=" + std::to_string(r.coreset_union_size) +
-         fp_outcome(r.outcome);
+  JobResult res = make_result(spec, r.matching,
+                              graph::is_matching(g, r.matching), r.outcome);
+  res.stats = {double_stat("weight", r.weight),
+               count_stat("coreset", r.coreset_union_size)};
+  return res;
 }
 
-std::string run_b_matching(const JobSpec& spec) {
+JobResult run_b_matching(const JobSpec& spec) {
   const graph::Graph g = decode_graph_instance(spec);
   const double eps = extra_double(spec, "eps");
   const auto& raw = extra(spec, "b");
@@ -138,12 +157,14 @@ std::string run_b_matching(const JobSpec& spec) {
     bad_job("extra \"b\" must be one capacity or one per vertex");
   }
   const auto r = core::rlr_b_matching(g, b, eps, spec.params);
-  return "b-matching sol=" + hex64(hash_ids(r.matching)) +
-         " weight=" + fp_double(r.weight) +
-         " stack=" + std::to_string(r.stack_size) + fp_outcome(r.outcome);
+  JobResult res = make_result(
+      spec, r.matching, graph::is_b_matching(g, r.matching, b), r.outcome);
+  res.stats = {double_stat("weight", r.weight),
+               count_stat("stack", r.stack_size)};
+  return res;
 }
 
-std::string run_vertex_cover(const JobSpec& spec) {
+JobResult run_vertex_cover(const JobSpec& spec) {
   const graph::Graph g = decode_graph_instance(spec);
   const auto& raw = extra(spec, "w");
   if (raw.size() != g.num_vertices()) {
@@ -153,125 +174,164 @@ std::string run_vertex_cover(const JobSpec& spec) {
   w.reserve(raw.size());
   for (const std::uint64_t v : raw) w.push_back(core::unpack_double(v));
   const auto r = core::rlr_vertex_cover(g, w, spec.params);
-  return "vertex-cover sol=" + hex64(hash_ids(r.cover)) +
-         " weight=" + fp_double(r.weight) +
-         " lb=" + fp_double(r.lower_bound) + fp_outcome(r.outcome);
+  JobResult res = make_result(spec, r.cover,
+                              graph::is_vertex_cover(g, r.cover), r.outcome);
+  res.stats = {double_stat("weight", r.weight),
+               double_stat("lb", r.lower_bound)};
+  return res;
 }
 
-std::string run_set_cover_f(const JobSpec& spec) {
+JobResult run_set_cover_f(const JobSpec& spec) {
   const setcover::SetSystem sys = decode_set_system_instance(spec);
   const auto r = core::rlr_set_cover(sys, spec.params);
-  return "set-cover-f sol=" + hex64(hash_ids(r.cover)) +
-         " weight=" + fp_double(r.weight) +
-         " lb=" + fp_double(r.lower_bound) + fp_outcome(r.outcome);
+  JobResult res = make_result(spec, r.cover,
+                              setcover::is_cover(sys, r.cover), r.outcome);
+  res.stats = {double_stat("weight", r.weight),
+               double_stat("lb", r.lower_bound)};
+  return res;
 }
 
-std::string run_set_cover_greedy(const JobSpec& spec) {
+JobResult run_set_cover_greedy(const JobSpec& spec) {
   const setcover::SetSystem sys = decode_set_system_instance(spec);
   const double eps = extra_double(spec, "eps");
   const auto r = core::greedy_set_cover_mr(sys, eps, spec.params);
-  return "set-cover-greedy sol=" + hex64(hash_ids(r.cover)) +
-         " weight=" + fp_double(r.weight) +
-         " drops=" + std::to_string(r.level_drops) +
-         " resamples=" + std::to_string(r.sampling_failures) +
-         " pre=" + std::to_string(r.preprocessed_sets) +
-         fp_outcome(r.outcome);
+  JobResult res = make_result(spec, r.cover,
+                              setcover::is_cover(sys, r.cover), r.outcome);
+  res.stats = {double_stat("weight", r.weight),
+               count_stat("drops", r.level_drops),
+               count_stat("resamples", r.sampling_failures),
+               count_stat("pre", r.preprocessed_sets)};
+  return res;
 }
 
-std::string run_mis(const JobSpec& spec) {
+JobResult run_mis(const JobSpec& spec) {
   const graph::Graph g = decode_graph_instance(spec);
   const auto r = spec.algorithm == "mis"
                      ? core::hungry_mis_improved(g, spec.params)
                      : core::hungry_mis_simple(g, spec.params);
-  return spec.algorithm + " sol=" + hex64(hash_ids(r.independent_set)) +
-         " phases=" + std::to_string(r.phases) +
-         " central=" + std::to_string(r.central_adds) +
-         fp_outcome(r.outcome);
+  JobResult res = make_result(
+      spec, r.independent_set,
+      graph::is_maximal_independent_set(g, r.independent_set), r.outcome);
+  res.stats = {count_stat("phases", r.phases),
+               count_stat("central", r.central_adds)};
+  return res;
 }
 
-std::string run_luby_mis(const JobSpec& spec) {
+JobResult run_luby_mis(const JobSpec& spec) {
   const graph::Graph g = decode_graph_instance(spec);
   const auto r = baselines::luby_mis_mr(g, spec.params);
-  return "luby-mis sol=" + hex64(hash_ids(r.independent_set)) +
-         " phases=" + std::to_string(r.phases) + fp_outcome(r.outcome);
+  JobResult res = make_result(
+      spec, r.independent_set,
+      graph::is_maximal_independent_set(g, r.independent_set), r.outcome);
+  res.stats = {count_stat("phases", r.phases)};
+  return res;
 }
 
-std::string run_clique(const JobSpec& spec) {
+JobResult run_clique(const JobSpec& spec) {
   const graph::Graph g = decode_graph_instance(spec);
   const auto r = core::hungry_clique(g, spec.params);
-  return "clique sol=" + hex64(hash_ids(r.clique)) +
-         " central=" + std::to_string(r.central_adds) +
-         fp_outcome(r.outcome);
+  JobResult res = make_result(spec, r.clique,
+                              graph::is_maximal_clique(g, r.clique),
+                              r.outcome);
+  res.stats = {count_stat("central", r.central_adds)};
+  return res;
 }
 
-std::string run_colour_vertex(const JobSpec& spec) {
+JobResult run_colour_vertex(const JobSpec& spec) {
   const graph::Graph g = decode_graph_instance(spec);
   const auto r = core::mr_vertex_colouring(g, spec.params);
-  return "colour-vertex sol=" + hex64(hash_ids(r.colour)) +
-         " colours=" + std::to_string(r.colours_used) +
-         " groups=" + std::to_string(r.groups) +
-         " split_failed=" + std::to_string(r.failed) +
-         fp_outcome(r.outcome);
+  JobResult res = make_result(
+      spec, r.colour, graph::is_proper_vertex_colouring(g, r.colour),
+      r.outcome);
+  res.stats = {count_stat("colours", r.colours_used),
+               count_stat("groups", r.groups),
+               count_stat("split_failed", r.failed)};
+  return res;
 }
 
-std::string run_luby_colouring(const JobSpec& spec) {
+JobResult run_luby_colouring(const JobSpec& spec) {
   const graph::Graph g = decode_graph_instance(spec);
   const auto r = baselines::luby_colouring_mr(g, spec.params);
-  return "luby-colouring sol=" + hex64(hash_ids(r.colour)) +
-         " colours=" + std::to_string(r.colours_used) +
-         " phases=" + std::to_string(r.phases) + fp_outcome(r.outcome);
+  JobResult res = make_result(
+      spec, r.colour, graph::is_proper_vertex_colouring(g, r.colour),
+      r.outcome);
+  res.stats = {count_stat("colours", r.colours_used),
+               count_stat("phases", r.phases)};
+  return res;
 }
 
-std::string run_colour_edge(const JobSpec& spec) {
+JobResult run_colour_edge(const JobSpec& spec) {
   const graph::Graph g = decode_graph_instance(spec);
   const auto r = core::mr_edge_colouring(g, spec.params);
-  return "colour-edge sol=" + hex64(hash_ids(r.colour)) +
-         " colours=" + std::to_string(r.colours_used) +
-         " groups=" + std::to_string(r.groups) +
-         " split_failed=" + std::to_string(r.failed) +
-         fp_outcome(r.outcome);
+  JobResult res = make_result(
+      spec, r.colour, graph::is_proper_edge_colouring(g, r.colour),
+      r.outcome);
+  res.stats = {count_stat("colours", r.colours_used),
+               count_stat("groups", r.groups),
+               count_stat("split_failed", r.failed)};
+  return res;
 }
 
 struct RegistryEntry {
-  std::string_view name;
+  AlgorithmInfo info;
   Runner run;
 };
 
+using enum JobSpec::InstanceKind;
+
+/// The one algorithm vocabulary. usage() in the CLI, the worker's
+/// dispatch, and the serve daemon's admission check all read this
+/// table, so a name added here is everywhere at once — they can never
+/// drift.
 constexpr RegistryEntry kRegistry[] = {
-    {"matching", run_matching},
-    {"filtering-matching", run_filtering_matching},
-    {"filtering-weighted", run_filtering_weighted},
-    {"coreset-matching", run_coreset_matching},
-    {"b-matching", run_b_matching},
-    {"vertex-cover", run_vertex_cover},
-    {"set-cover-f", run_set_cover_f},
-    {"set-cover-greedy", run_set_cover_greedy},
-    {"mis", run_mis},
-    {"mis-simple", run_mis},
-    {"luby-mis", run_luby_mis},
-    {"clique", run_clique},
-    {"colour-vertex", run_colour_vertex},
-    {"luby-colouring", run_luby_colouring},
-    {"colour-edge", run_colour_edge},
+    {{"matching", kGraph, true}, run_matching},
+    {{"filtering-matching", kGraph, true}, run_filtering_matching},
+    {{"filtering-weighted", kGraph, true}, run_filtering_weighted},
+    {{"coreset-matching", kGraph, true}, run_coreset_matching},
+    {{"b-matching", kGraph, true}, run_b_matching},
+    {{"vertex-cover", kGraph, false}, run_vertex_cover},
+    {{"set-cover-f", kSetSystem, false}, run_set_cover_f},
+    {{"set-cover-greedy", kSetSystem, false}, run_set_cover_greedy},
+    {{"mis", kGraph, false}, run_mis},
+    {{"mis-simple", kGraph, false}, run_mis},
+    {{"luby-mis", kGraph, false}, run_luby_mis},
+    {{"clique", kGraph, false}, run_clique},
+    {{"colour-vertex", kGraph, false}, run_colour_vertex},
+    {{"luby-colouring", kGraph, false}, run_luby_colouring},
+    {{"colour-edge", kGraph, false}, run_colour_edge},
 };
 
 }  // namespace
 
-bool known_algorithm(std::string_view name) {
-  for (const RegistryEntry& e : kRegistry) {
-    if (e.name == name) return true;
-  }
-  return false;
+const std::vector<AlgorithmInfo>& known_algorithms() {
+  static const std::vector<AlgorithmInfo> algorithms = [] {
+    std::vector<AlgorithmInfo> v;
+    v.reserve(std::size(kRegistry));
+    for (const RegistryEntry& e : kRegistry) v.push_back(e.info);
+    return v;
+  }();
+  return algorithms;
 }
 
-std::string run_job(const JobSpec& spec) {
+const AlgorithmInfo* find_algorithm(std::string_view name) {
+  for (const AlgorithmInfo& a : known_algorithms()) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+bool known_algorithm(std::string_view name) {
+  return find_algorithm(name) != nullptr;
+}
+
+JobResult run_job(const JobSpec& spec) {
   for (const RegistryEntry& e : kRegistry) {
-    if (e.name == spec.algorithm) return e.run(spec);
+    if (e.info.name == spec.algorithm) return e.run(spec);
   }
   bad_job("unknown algorithm \"" + spec.algorithm + "\"");
 }
 
-std::string run_job_spec(std::span<const std::byte> bytes) {
+JobResult run_job_spec(std::span<const std::byte> bytes) {
   return run_job(decode_job_spec(bytes));
 }
 

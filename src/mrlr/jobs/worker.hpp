@@ -14,10 +14,12 @@
 // unwinds the driver and the serve loop goes back to accepting
 // connections.
 //
-// run_job() is also the single source of truth for result
-// fingerprints: the serial baseline and the TCP-backed run go through
-// the same function, so "byte-identical across backends" is a string
-// comparison of its return value.
+// run_job() is also the single source of truth for results: the serial
+// baseline, the TCP-backed run, the CLI, and the serve daemon all go
+// through the same function, which returns a structured, versioned
+// JobResult (job_result.hpp). "Byte-identical across backends" is a
+// string comparison of fingerprint(run_job(spec)) — the same one-line
+// rendering run_job used to return directly.
 
 #include <cstddef>
 #include <cstdint>
@@ -30,23 +32,43 @@
 #include <sys/types.h>
 
 #include "mrlr/exec/shard_channel.hpp"
+#include "mrlr/jobs/job_result.hpp"
 #include "mrlr/jobs/job_spec.hpp"
 
 namespace mrlr::jobs {
 
+/// One registered algorithm: its vocabulary name plus what it needs
+/// from the instance — the metadata the CLI uses to load/serialize the
+/// right instance kind without a per-algorithm dispatch chain.
+struct AlgorithmInfo {
+  std::string_view name;
+  JobSpec::InstanceKind instance = JobSpec::InstanceKind::kGraph;
+  /// Graph algorithms only: the driver consumes edge weights, so the
+  /// instance must carry them.
+  bool weighted = false;
+};
+
+/// The full algorithm vocabulary in registry order — the one generated
+/// list behind the CLI's usage() text, its dispatch, the worker
+/// registry, and the serve daemon's admission check.
+const std::vector<AlgorithmInfo>& known_algorithms();
+
+/// Registry lookup; nullptr when `name` is not a registered algorithm.
+const AlgorithmInfo* find_algorithm(std::string_view name);
+
 /// True when `name` is a registered algorithm (the CLI vocabulary).
 bool known_algorithm(std::string_view name);
 
-/// Runs the named driver on the spec's instance and returns a
-/// deterministic fingerprint of its full result (solution hash, bit
-/// pattern of the weight, outcome metrics). Throws
+/// Runs the named driver on the spec's instance and returns its
+/// structured result (solution hash + size, validator verdict, outcome
+/// metrics, per-algorithm stats). Throws
 /// exec::TransportError(kBadPayload) for an unknown algorithm or a
 /// malformed spec. Inside a worker session the driver never returns —
 /// exec::JobServed unwinds once the shard is served.
-std::string run_job(const JobSpec& spec);
+JobResult run_job(const JobSpec& spec);
 
 /// decode_job_spec + run_job.
-std::string run_job_spec(std::span<const std::byte> bytes);
+JobResult run_job_spec(std::span<const std::byte> bytes);
 
 struct WorkerOptions {
   std::uint64_t max_jobs = 0;     ///< stop after N connections (0 = forever)

@@ -54,8 +54,10 @@ enum class Phase : std::uint8_t {
   kShardTransport,   ///< worker: shipping the data frame over the channel
   kWorkerWait,       ///< coordinator: waiting on one shard's frames
   kIoLoad,           ///< graph file ingestion (.mgb or text)
+  kQueueWait,        ///< serve: admitted job waiting for an executor slot
+  kJobRun,           ///< serve: one job's execution (fork to result)
 };
-inline constexpr std::size_t kNumPhases = 8;
+inline constexpr std::size_t kNumPhases = 10;
 
 /// Spans outside any engine round (e.g. io_load) carry this round id.
 inline constexpr std::uint64_t kNoRound = ~std::uint64_t{0};

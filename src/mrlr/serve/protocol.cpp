@@ -1,0 +1,233 @@
+#include "mrlr/serve/protocol.hpp"
+
+#include <cstring>
+
+#include "mrlr/exec/shard_transport.hpp"
+
+namespace mrlr::serve {
+
+namespace {
+
+using exec::append_u64;
+using exec::read_u64;
+
+constexpr std::uint64_t kProtoVersion = 1;
+
+/// Messages are one-line diagnostics, never bulk data; an adversarial
+/// length fails the cap before any allocation.
+constexpr std::uint64_t kMaxMessageBytes = 1 << 16;
+
+[[noreturn]] void bad_payload(const std::string& what) {
+  throw exec::TransportError(exec::TransportError::Kind::kBadPayload,
+                             "serve payload: " + what);
+}
+
+void append_string(std::vector<std::byte>& out, std::string_view s) {
+  append_u64(out, s.size());
+  if (s.empty()) return;
+  const auto at = out.size();
+  out.resize(at + s.size());
+  std::memcpy(out.data() + at, s.data(), s.size());
+}
+
+/// Bounds-checked sequential reader (the job_spec.cpp cursor
+/// discipline).
+struct Reader {
+  std::span<const std::byte> bytes;
+  std::size_t at = 0;
+
+  void need(std::size_t n, const char* what) const {
+    if (bytes.size() - at < n) {
+      bad_payload(std::string("truncated inside ") + what);
+    }
+  }
+  std::uint64_t u64(const char* what) {
+    need(8, what);
+    const std::uint64_t v = read_u64(bytes, at);
+    at += 8;
+    return v;
+  }
+  std::string string(const char* what) {
+    const std::uint64_t len = u64(what);
+    if (len > kMaxMessageBytes) {
+      bad_payload(std::string(what) + " length " + std::to_string(len) +
+                  " exceeds the cap");
+    }
+    need(len, what);
+    std::string s(reinterpret_cast<const char*>(bytes.data() + at), len);
+    at += len;
+    return s;
+  }
+  bool flag(const char* what) {
+    const std::uint64_t v = u64(what);
+    if (v > 1) bad_payload(std::string(what) + " flag must be 0 or 1");
+    return v == 1;
+  }
+  void expect_version(const char* what) {
+    const std::uint64_t v = u64("version");
+    if (v != kProtoVersion) {
+      bad_payload(std::string(what) + " version " + std::to_string(v) +
+                  " (this build speaks version " +
+                  std::to_string(kProtoVersion) + ")");
+    }
+  }
+  void done(const char* what) const {
+    if (at != bytes.size()) {
+      bad_payload(std::to_string(bytes.size() - at) +
+                  " trailing bytes after the " + what);
+    }
+  }
+};
+
+}  // namespace
+
+std::string_view reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kMalformedSpec: return "malformed-spec";
+    case RejectReason::kUnknownAlgorithm: return "unknown-algorithm";
+    case RejectReason::kNeverFits: return "never-fits";
+    case RejectReason::kOverBudget: return "over-budget";
+    case RejectReason::kShuttingDown: return "shutting-down";
+  }
+  return "unknown";
+}
+
+std::vector<std::byte> encode_admission_reply(const AdmissionReply& r) {
+  std::vector<std::byte> out;
+  append_u64(out, kProtoVersion);
+  append_u64(out, r.accepted ? 1 : 0);
+  append_u64(out, r.job_id);
+  append_u64(out, static_cast<std::uint64_t>(r.reason));
+  append_string(out, r.message);
+  append_u64(out, r.projected_words);
+  append_u64(out, r.budget_words);
+  append_u64(out, r.words_in_use);
+  return out;
+}
+
+AdmissionReply decode_admission_reply(std::span<const std::byte> bytes) {
+  Reader rd{bytes};
+  rd.expect_version("admission reply");
+  AdmissionReply r;
+  r.accepted = rd.flag("accepted");
+  r.job_id = rd.u64("job id");
+  const std::uint64_t reason = rd.u64("reject reason");
+  if (reason > static_cast<std::uint64_t>(RejectReason::kShuttingDown)) {
+    bad_payload("unknown reject reason " + std::to_string(reason));
+  }
+  r.reason = static_cast<RejectReason>(reason);
+  if (r.accepted && r.reason != RejectReason::kNone) {
+    bad_payload("accepted reply carries reject reason " +
+                std::string(reject_reason_name(r.reason)));
+  }
+  if (!r.accepted && r.reason == RejectReason::kNone) {
+    bad_payload("rejected reply carries no reason");
+  }
+  r.message = rd.string("message");
+  r.projected_words = rd.u64("projected words");
+  r.budget_words = rd.u64("budget words");
+  r.words_in_use = rd.u64("words in use");
+  rd.done("admission reply");
+  return r;
+}
+
+std::vector<std::byte> encode_result_reply(const ResultReply& r) {
+  std::vector<std::byte> out;
+  append_u64(out, kProtoVersion);
+  append_u64(out, r.job_id);
+  append_u64(out, r.ok ? 1 : 0);
+  append_string(out, r.error);
+  append_u64(out, r.queue_wait_ns);
+  append_u64(out, r.run_ns);
+  append_u64(out, r.result.size());
+  if (!r.result.empty()) {
+    const auto at = out.size();
+    out.resize(at + r.result.size());
+    std::memcpy(out.data() + at, r.result.data(), r.result.size());
+  }
+  return out;
+}
+
+ResultReply decode_result_reply(std::span<const std::byte> bytes) {
+  Reader rd{bytes};
+  rd.expect_version("result reply");
+  ResultReply r;
+  r.job_id = rd.u64("job id");
+  r.ok = rd.flag("ok");
+  r.error = rd.string("error");
+  r.queue_wait_ns = rd.u64("queue wait");
+  r.run_ns = rd.u64("run time");
+  const std::uint64_t len = rd.u64("result bytes");
+  rd.need(len, "result bytes");
+  r.result.assign(
+      rd.bytes.begin() + static_cast<std::ptrdiff_t>(rd.at),
+      rd.bytes.begin() + static_cast<std::ptrdiff_t>(rd.at + len));
+  rd.at += len;
+  if (r.ok && r.result.empty()) {
+    bad_payload("ok result reply carries no result bytes");
+  }
+  if (!r.ok && r.error.empty()) {
+    bad_payload("failed result reply carries no error text");
+  }
+  rd.done("result reply");
+  return r;
+}
+
+std::vector<std::byte> encode_stats_reply(const StatsReply& r) {
+  std::vector<std::byte> out;
+  append_u64(out, kProtoVersion);
+  append_u64(out, r.jobs_submitted);
+  append_u64(out, r.jobs_accepted);
+  append_u64(out, r.jobs_rejected);
+  append_u64(out, r.jobs_completed);
+  append_u64(out, r.jobs_failed);
+  append_u64(out, r.jobs_cancelled);
+  append_u64(out, r.jobs_running);
+  append_u64(out, r.jobs_queued);
+  append_u64(out, r.words_budget);
+  append_u64(out, r.words_in_use);
+  append_u64(out, r.uptime_ms);
+  return out;
+}
+
+StatsReply decode_stats_reply(std::span<const std::byte> bytes) {
+  Reader rd{bytes};
+  rd.expect_version("stats reply");
+  StatsReply r;
+  r.jobs_submitted = rd.u64("stats");
+  r.jobs_accepted = rd.u64("stats");
+  r.jobs_rejected = rd.u64("stats");
+  r.jobs_completed = rd.u64("stats");
+  r.jobs_failed = rd.u64("stats");
+  r.jobs_cancelled = rd.u64("stats");
+  r.jobs_running = rd.u64("stats");
+  r.jobs_queued = rd.u64("stats");
+  r.words_budget = rd.u64("stats");
+  r.words_in_use = rd.u64("stats");
+  r.uptime_ms = rd.u64("stats");
+  rd.done("stats reply");
+  return r;
+}
+
+std::vector<std::byte> encode_health_reply(const HealthReply& r) {
+  std::vector<std::byte> out;
+  append_u64(out, kProtoVersion);
+  append_u64(out, r.shutting_down ? 1 : 0);
+  append_u64(out, r.jobs_running);
+  append_u64(out, r.uptime_ms);
+  return out;
+}
+
+HealthReply decode_health_reply(std::span<const std::byte> bytes) {
+  Reader rd{bytes};
+  rd.expect_version("health reply");
+  HealthReply r;
+  r.shutting_down = rd.flag("shutting down");
+  r.jobs_running = rd.u64("jobs running");
+  r.uptime_ms = rd.u64("uptime");
+  rd.done("health reply");
+  return r;
+}
+
+}  // namespace mrlr::serve

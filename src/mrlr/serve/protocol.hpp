@@ -1,0 +1,114 @@
+#pragma once
+// Payload encodings for the serve-mode frame kinds (kJobSubmit ..
+// kServeShutdown in exec/shard_transport.hpp) — the wire vocabulary a
+// long-running mrlr_serve daemon shares with its clients.
+//
+// Framing and handshake are the shard protocol's: every serve
+// connection opens with the 24-byte hello/ack (exec/shard_channel.hpp),
+// then speaks length-prefixed checksummed frames. Requests carry a
+// client-chosen monotonically increasing sequence number; every reply
+// echoes the sequence of the request it answers, so a client can never
+// mis-attribute a reply. Payloads use the little-endian u64 lane
+// discipline of job_spec/job_result; every decoder throws
+// exec::TransportError(kBadPayload) on anything malformed — a corrupt
+// reply refuses to decode, it never reports a wrong admission or
+// result.
+//
+// Submit request payload: one encoded JobSpec, verbatim (already
+// versioned). Stats/health/shutdown requests carry empty payloads.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrlr::serve {
+
+/// Why a submission was not admitted. The reason is part of the wire
+/// contract: clients branch on it (retry later on kOverBudget, fix the
+/// spec on kMalformedSpec, give up on kNeverFits).
+enum class RejectReason : std::uint64_t {
+  kNone = 0,             ///< accepted
+  kMalformedSpec = 1,    ///< the submit payload failed JobSpec decoding
+  kUnknownAlgorithm = 2, ///< spec names an algorithm this build lacks
+  kNeverFits = 3,        ///< projected words exceed the budget even on
+                         ///< an idle daemon — resubmission is futile
+  kOverBudget = 4,       ///< projected words do not fit next to the
+                         ///< currently admitted jobs — retry later
+  kShuttingDown = 5,     ///< daemon is draining; no new work
+};
+
+std::string_view reject_reason_name(RejectReason r);
+
+/// kJobAdmission payload: the daemon's accept-or-reject decision. The
+/// space fields are always filled (accepted or not), so a client can
+/// log admission pressure without a second stats round-trip.
+struct AdmissionReply {
+  bool accepted = false;
+  std::uint64_t job_id = 0;  ///< daemon-unique, 0 when rejected
+  RejectReason reason = RejectReason::kNone;
+  std::string message;  ///< human-readable detail (decode error text, ...)
+  std::uint64_t projected_words = 0;  ///< this job's projected footprint
+  std::uint64_t budget_words = 0;     ///< configured budget (0 = unlimited)
+  std::uint64_t words_in_use = 0;     ///< admitted jobs' projected total
+
+  friend bool operator==(const AdmissionReply&,
+                         const AdmissionReply&) = default;
+};
+
+/// kJobResult payload: the outcome of one admitted job. `result` holds
+/// an encoded JobResult when ok; `error` the execution failure text
+/// otherwise. The wait/run spans let clients measure daemon-side
+/// latency without trusting their own clocks.
+struct ResultReply {
+  std::uint64_t job_id = 0;
+  bool ok = false;
+  std::string error;
+  std::uint64_t queue_wait_ns = 0;  ///< admission to executor slot
+  std::uint64_t run_ns = 0;         ///< fork to result frame
+  std::vector<std::byte> result;    ///< encoded JobResult (ok only)
+
+  friend bool operator==(const ResultReply&, const ResultReply&) = default;
+};
+
+/// kServeStats reply payload: monotonic counters plus the live gauges.
+struct StatsReply {
+  std::uint64_t jobs_submitted = 0;  ///< submit frames seen (any outcome)
+  std::uint64_t jobs_accepted = 0;
+  std::uint64_t jobs_rejected = 0;
+  std::uint64_t jobs_completed = 0;  ///< result delivered, ok=true
+  std::uint64_t jobs_failed = 0;     ///< result delivered, ok=false
+  std::uint64_t jobs_cancelled = 0;  ///< client left mid-job; job killed
+  std::uint64_t jobs_running = 0;    ///< gauge: forked and not finished
+  std::uint64_t jobs_queued = 0;     ///< gauge: admitted, waiting for a slot
+  std::uint64_t words_budget = 0;
+  std::uint64_t words_in_use = 0;
+  std::uint64_t uptime_ms = 0;
+
+  friend bool operator==(const StatsReply&, const StatsReply&) = default;
+};
+
+/// kServeHealth reply payload: the cheap liveness answer.
+struct HealthReply {
+  bool shutting_down = false;
+  std::uint64_t jobs_running = 0;
+  std::uint64_t uptime_ms = 0;
+
+  friend bool operator==(const HealthReply&, const HealthReply&) = default;
+};
+
+std::vector<std::byte> encode_admission_reply(const AdmissionReply& r);
+AdmissionReply decode_admission_reply(std::span<const std::byte> bytes);
+
+std::vector<std::byte> encode_result_reply(const ResultReply& r);
+ResultReply decode_result_reply(std::span<const std::byte> bytes);
+
+std::vector<std::byte> encode_stats_reply(const StatsReply& r);
+StatsReply decode_stats_reply(std::span<const std::byte> bytes);
+
+std::vector<std::byte> encode_health_reply(const HealthReply& r);
+HealthReply decode_health_reply(std::span<const std::byte> bytes);
+
+}  // namespace mrlr::serve

@@ -1,0 +1,91 @@
+#pragma once
+// The mrlr_serve daemon: a long-running process that accepts job
+// submissions over the serve protocol (serve/protocol.hpp), admits
+// them against a per-machine space budget (serve/admission.hpp), runs
+// each admitted job in its own forked process, and streams the
+// JobResult back to the submitting client.
+//
+// Job lifecycle:
+//
+//   submit --> admission (typed reject or job id)
+//          --> queued    (admitted, waiting for an executor slot;
+//                         the projected words are already reserved)
+//          --> running   (forked into its own process group; the
+//                         connection thread relays the child's result
+//                         frame back to the client)
+//          --> completed / failed / cancelled
+//
+// Cancellation: if the client disconnects while its job is queued or
+// running, the daemon kills the job's whole process group, reaps it,
+// releases its reserved words, and counts it cancelled — a vanished
+// client never leaks a running job or its budget reservation.
+//
+// Concurrency model: one std::thread per connection; jobs are
+// processes, so a crashing algorithm takes down its own fork, not the
+// daemon. All shared state (budget ledger, counters, executor slots)
+// lives behind one mutex; connection threads never hold it across a
+// blocking syscall.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mrlr/exec/shard_channel.hpp"
+#include "mrlr/serve/protocol.hpp"
+
+namespace mrlr::serve {
+
+struct ServeOptions {
+  /// Total projected machine-words budget across admitted-and-
+  /// unfinished jobs. 0 = unlimited (no admission rejections on space).
+  std::uint64_t words_budget = 0;
+
+  /// Executor slots: admitted jobs beyond this wait in the queue.
+  std::uint64_t max_running = 2;
+
+  /// Accept at most this many connections, then stop (0 = serve until
+  /// shutdown). Lets tests and smoke scripts bound the daemon's life
+  /// without signals.
+  std::uint64_t max_connections = 0;
+
+  /// Optional line logger (stderr in the CLI, captured in tests).
+  std::function<void(const std::string&)> log;
+};
+
+class ServeDaemon {
+ public:
+  /// Binds the listener (port 0 = kernel-assigned, see port()).
+  /// Throws exec::TransportError(kIo) if the OS refuses.
+  ServeDaemon(const std::string& host, std::uint16_t port,
+              ServeOptions options);
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  std::uint16_t port() const;
+
+  /// Accept loop: serves connections until request_shutdown() or the
+  /// max_connections bound. Joins every connection thread before
+  /// returning, so when run() returns no job process survives.
+  void run();
+
+  /// Thread-safe: stops the accept loop and refuses new submissions
+  /// (running jobs finish; queued jobs still run). Safe to call from a
+  /// connection thread (the shutdown frame handler) or another thread.
+  void request_shutdown();
+
+  /// Live counter snapshot (what the kServeStats reply carries).
+  StatsReply stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mrlr::serve

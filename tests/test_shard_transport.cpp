@@ -169,7 +169,7 @@ TEST(FrameRead, UnknownKindFailsTypedBeforePayloadIsTrusted) {
   // cannot interpret, and never surface the payload to the caller.
   MemChannel ch;
   write_frame(ch, FrameKind::kShardData, 0, 3, bytes_of({1, 2, 3, 4}));
-  ch.buffer()[6] = std::byte{8};  // one past kBootstrapAck
+  ch.buffer()[6] = std::byte{kMaxFrameKind + 1};  // one past the known set
   try {
     (void)read_frame(ch);
     FAIL() << "expected TransportError";

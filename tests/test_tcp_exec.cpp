@@ -98,7 +98,7 @@ TEST(TcpExecutor, AllDriversByteIdenticalSerialVsTcp) {
   // Serial baselines first (num_shards=1, no backend config installed).
   std::vector<std::string> serial;
   for (const jobs::JobSpec& spec : all_driver_specs(1)) {
-    serial.push_back(jobs::run_job(spec));
+    serial.push_back(jobs::fingerprint(jobs::run_job(spec)));
   }
   ASSERT_EQ(serial.size(), 15u);
 
@@ -114,7 +114,7 @@ TEST(TcpExecutor, AllDriversByteIdenticalSerialVsTcp) {
       cfg.connect_timeout = std::chrono::milliseconds(5000);
       cfg.job_spec = jobs::encode_job_spec(specs[i]);
       exec::ScopedProcessBackendConfig guard(std::move(cfg));
-      EXPECT_EQ(jobs::run_job(specs[i]), serial[i])
+      EXPECT_EQ(jobs::fingerprint(jobs::run_job(specs[i])), serial[i])
           << specs[i].algorithm << " shards=" << shards;
     }
   }
@@ -133,13 +133,14 @@ TEST(TcpExecutor, ComposedShardsThreadsByteIdenticalSerialVsTcp) {
   jobs::ScopedTcpLoopback fleet(1);
   for (const std::size_t i : {std::size_t{0}, std::size_t{5},
                               std::size_t{7}, std::size_t{14}}) {
-    const std::string serial = jobs::run_job(serial_specs[i]);
+    const std::string serial =
+        jobs::fingerprint(jobs::run_job(serial_specs[i]));
     exec::ProcessBackendConfig cfg;
     cfg.workers = fleet.endpoints();
     cfg.connect_timeout = std::chrono::milliseconds(5000);
     cfg.job_spec = jobs::encode_job_spec(composed_specs[i]);
     exec::ScopedProcessBackendConfig guard(std::move(cfg));
-    EXPECT_EQ(jobs::run_job(composed_specs[i]), serial)
+    EXPECT_EQ(jobs::fingerprint(jobs::run_job(composed_specs[i])), serial)
         << composed_specs[i].algorithm << " shards=2 threads=4";
   }
 }

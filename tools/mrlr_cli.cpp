@@ -11,12 +11,23 @@
 //            [--graph FILE] [--sets FILE] [--trace]
 //            [--telemetry-out FILE] [--telemetry-format jsonl|chrome]
 //   mrlr_cli worker --listen [HOST:]PORT [--max-jobs N]
+//   mrlr_cli serve --listen [HOST:]PORT [--budget-words W]
+//            [--max-running N] [--max-conns N]
+//   mrlr_cli submit <algorithm> [run flags] --connect HOST:PORT
+//   mrlr_cli submit --shutdown|--stats|--health --connect HOST:PORT
 //   mrlr_cli gen <family> --out FILE [family options]
 //   mrlr_cli convert --in FILE --out FILE
 //   mrlr_cli bench [--group G]... [--scenario NAME]... [--out FILE]
 //            [--threads T] [--backend serial|threads|process]
 //            [--shards K] [--list]
 //            [--telemetry-out FILE] [--telemetry-format jsonl|chrome]
+//
+// `serve` runs the long-lived job daemon (docs/ARCHITECTURE.md,
+// "Service mode"): clients submit encoded JobSpecs, the daemon admits
+// them against a projected per-machine space budget, runs each in its
+// own process, and streams back the JobResult. `submit` builds the same
+// instance and spec `run` would, ships it, and prints byte-identical
+// output.
 //
 // --threads and --shards compose: `--backend process --shards K
 // --threads T` runs K process shards, each executing its machine range
@@ -31,11 +42,9 @@
 // threads, smoke, all) and writes a schema-versioned JSON result file
 // that tools/bench_diff can compare against bench/baseline.json.
 //
-// Algorithms:
-//   matching | vertex-cover | set-cover-f | set-cover-greedy |
-//   b-matching | mis | mis-simple | clique | colour-vertex |
-//   colour-edge | filtering-matching | filtering-weighted |
-//   luby-mis | luby-colouring | coreset-matching
+// Algorithms: whatever jobs::known_algorithms() registers — the usage
+// text, the worker registry, and the serve daemon's admission check all
+// read that one vocabulary, so they cannot drift.
 //
 // Generator families (gen):
 //   graph: gnm (--n --m) | gnm-density (--n --c) | gnp (--n --p) |
@@ -63,34 +72,26 @@
 
 #include <signal.h>
 
-#include "mrlr/baselines/coreset_matching.hpp"
 #include "mrlr/bench/emit.hpp"
 #include "mrlr/bench/runner.hpp"
-#include "mrlr/baselines/filtering_matching.hpp"
-#include "mrlr/baselines/luby_colouring_mr.hpp"
-#include "mrlr/baselines/luby_mr.hpp"
-#include "mrlr/core/colouring.hpp"
-#include "mrlr/core/greedy_setcover_mr.hpp"
-#include "mrlr/core/hungry_clique.hpp"
-#include "mrlr/core/hungry_mis.hpp"
 #include "mrlr/core/params.hpp"
-#include "mrlr/core/rlr_bmatching.hpp"
-#include "mrlr/core/rlr_matching.hpp"
-#include "mrlr/core/rlr_setcover.hpp"
 #include "mrlr/exec/shard_channel.hpp"
 #include "mrlr/exec/worker_launcher.hpp"
 #include "mrlr/graph/generators.hpp"
 #include "mrlr/graph/io.hpp"
 #include "mrlr/graph/io_binary.hpp"
 #include "mrlr/graph/stats.hpp"
-#include "mrlr/graph/validate.hpp"
+#include "mrlr/jobs/job_result.hpp"
 #include "mrlr/jobs/job_spec.hpp"
+#include "mrlr/jobs/report.hpp"
 #include "mrlr/jobs/worker.hpp"
 #include "mrlr/obs/export.hpp"
 #include "mrlr/obs/telemetry.hpp"
+#include "mrlr/serve/client.hpp"
+#include "mrlr/serve/protocol.hpp"
+#include "mrlr/serve/server.hpp"
 #include "mrlr/setcover/generators.hpp"
 #include "mrlr/setcover/io.hpp"
-#include "mrlr/setcover/validate.hpp"
 
 namespace {
 
@@ -106,6 +107,7 @@ struct Options {
   std::uint64_t shards = 1;
   std::optional<std::string> backend;
   std::string workers;  ///< --workers host:port,... (empty = fork locally)
+  std::string connect;  ///< submit only: the daemon's host:port
   mrlr::graph::WeightDist dist = mrlr::graph::WeightDist::kUniform;
   std::optional<std::string> graph_file;
   std::optional<std::string> sets_file;
@@ -161,6 +163,29 @@ bool apply_backend(const std::string& backend, std::uint64_t& threads,
   return true;
 }
 
+/// The algorithm vocabulary, straight from the worker registry — the
+/// same list `find_algorithm` accepts and the serve daemon admits, so
+/// the help text can never drift from what actually runs.
+std::string algorithm_list() {
+  std::string out;
+  for (const mrlr::jobs::AlgorithmInfo& a : mrlr::jobs::known_algorithms()) {
+    if (!out.empty()) out += " ";
+    out += a.name;
+  }
+  return out;
+}
+
+/// Bench group tags, straight from the scenario registry for the same
+/// no-drift reason.
+std::string bench_group_list() {
+  std::string out;
+  for (const std::string& g : mrlr::bench::builtin_registry().group_names()) {
+    if (!out.empty()) out += " ";
+    out += g;
+  }
+  return out;
+}
+
 void usage() {
   std::cerr
       << "usage: mrlr_cli <algorithm> [--n N] [--c C] [--mu MU] "
@@ -170,22 +195,25 @@ void usage() {
          "[--graph FILE] [--sets FILE] [--trace] "
          "[--telemetry-out FILE] [--telemetry-format jsonl|chrome]\n"
          "       mrlr_cli worker --listen [HOST:]PORT [--max-jobs N]\n"
+         "       mrlr_cli serve --listen [HOST:]PORT [--budget-words W] "
+         "[--max-running N] [--max-conns N]\n"
+         "       mrlr_cli submit <algorithm> [run flags] "
+         "--connect HOST:PORT\n"
+         "       mrlr_cli submit --shutdown|--stats|--health "
+         "--connect HOST:PORT\n"
          "       mrlr_cli gen <family> --out FILE [family options]\n"
          "       mrlr_cli convert --in FILE --out FILE\n"
          "       mrlr_cli bench [--group G]... [--scenario NAME]... "
          "[--out FILE] [--threads T] "
          "[--backend serial|threads|process] [--shards K] [--list] "
          "[--telemetry-out FILE] [--telemetry-format jsonl|chrome]\n"
-         "algorithms: matching vertex-cover set-cover-f "
-         "set-cover-greedy b-matching mis mis-simple clique "
-         "colour-vertex colour-edge filtering-matching "
-         "filtering-weighted luby-mis luby-colouring coreset-matching\n"
-         "gen families: gnm gnm-density gnp chung-lu bipartite "
+      << "algorithms: " << algorithm_list() << "\n"
+      << "gen families: gnm gnm-density gnp chung-lu bipartite "
          "circulant complete star path cycle planted-clique "
          "sc-bounded-frequency sc-many-sets sc-planted\n"
-         "bench groups: paper-f1 rounds-vs-mu space-vs-c shuffle io "
-         "threads process large smoke all (mrlr_cli bench --list shows "
-         "scenarios)\n"
+         "bench groups: "
+      << bench_group_list()
+      << " (mrlr_cli bench --list shows scenarios)\n"
          "--threads T: simulate machines on T threads (1 = serial, "
          "0 = all hardware threads); --backend process [--shards K]: "
          "partition machines over K persistent worker processes (every "
@@ -198,6 +226,12 @@ void usage() {
          "(one endpoint per shard beyond the coordinator's own); the "
          "full job is shipped over the wire, so workers need no shared "
          "filesystem or fork ancestry\n"
+         "serve: run the long-lived job daemon — clients submit specs, "
+         "the daemon admits them against --budget-words (projected "
+         "words/machine across running jobs; 0 = unlimited), runs up to "
+         "--max-running at once (each in its own process), and streams "
+         "back results. submit: build the same instance `run` would, "
+         "ship it, print byte-identical output\n"
          "--telemetry-out FILE: record phase spans/counters (off by "
          "default; does not change results) and write them at exit — "
          "jsonl for tools/trace_report, chrome for chrome://tracing "
@@ -249,6 +283,8 @@ std::optional<Options> parse(int argc, char** argv) {
       o.backend = value();
     } else if (flag == "--workers") {
       o.workers = value();
+    } else if (flag == "--connect") {
+      o.connect = value();
     } else if (flag == "--dist") {
       const std::string d = value();
       if (const auto dist = parse_weight_dist(d)) {
@@ -699,7 +735,35 @@ int run_bench_cmd(int argc, char** argv) {
   return rc;
 }
 
-// ----------------------------------------------------------- worker --
+// ------------------------------------------------- worker and serve --
+
+/// Parses a --listen value ([HOST:]PORT) by hand rather than via
+/// parse_endpoints: a listener may bind port 0 (kernel-assigned), which
+/// is meaningless in --workers. Messages and returns false on anything
+/// malformed.
+bool parse_listen(const std::string& listen, std::string& host,
+                  std::uint16_t& port) {
+  host = "127.0.0.1";
+  std::string port_str = listen;
+  if (const auto colon = listen.rfind(':'); colon != std::string::npos) {
+    host = listen.substr(0, colon);
+    port_str = listen.substr(colon + 1);
+  }
+  unsigned long parsed = 65536;
+  try {
+    std::size_t used = 0;
+    parsed = std::stoul(port_str, &used);
+    if (used != port_str.size()) parsed = 65536;
+  } catch (const std::exception&) {
+  }
+  if (host.empty() || parsed > 65535) {
+    std::cerr << "--listen: malformed '" << listen
+              << "' (expected [HOST:]PORT)\n";
+    return false;
+  }
+  port = static_cast<std::uint16_t>(parsed);
+  return true;
+}
 
 int run_worker_cmd(int argc, char** argv) {
   std::string listen;
@@ -729,31 +793,13 @@ int run_worker_cmd(int argc, char** argv) {
     usage();
     return 2;
   }
-  // Parsed by hand rather than via parse_endpoints: a listener may bind
-  // port 0 (kernel-assigned), which is meaningless in --workers.
-  std::string host = "127.0.0.1";
-  std::string port_str = listen;
-  if (const auto colon = listen.rfind(':'); colon != std::string::npos) {
-    host = listen.substr(0, colon);
-    port_str = listen.substr(colon + 1);
-  }
-  unsigned long port = 65536;
-  try {
-    std::size_t used = 0;
-    port = std::stoul(port_str, &used);
-    if (used != port_str.size()) port = 65536;
-  } catch (const std::exception&) {
-  }
-  if (host.empty() || port > 65535) {
-    std::cerr << "--listen: malformed '" << listen
-              << "' (expected [HOST:]PORT)\n";
-    return 2;
-  }
+  std::string host;
+  std::uint16_t port = 0;
+  if (!parse_listen(listen, host, port)) return 2;
   // A coordinator vanishing mid-write must surface as a typed channel
   // error on this side, not a SIGPIPE kill.
   ::signal(SIGPIPE, SIG_IGN);
-  mrlr::exec::TcpListener listener(host,
-                                   static_cast<std::uint16_t>(port));
+  mrlr::exec::TcpListener listener(host, port);
   // Flushed before the accept loop so scripts (and the README
   // walkthrough) can wait for the bound port — with --listen 0 the
   // kernel picks it.
@@ -761,6 +807,210 @@ int run_worker_cmd(int argc, char** argv) {
             << "\n"
             << std::flush;
   mrlr::jobs::worker_serve(listener, wopts);
+  return 0;
+}
+
+/// One runnable job built from the command line: the spec (instance +
+/// params + extras), the rendering context the JobResult does not
+/// carry, and the pre-rendered instance header for the matching family.
+/// `run` executes the spec locally, `submit` ships it to a daemon —
+/// both print from the same JobResult renderer, byte for byte.
+struct PreparedJob {
+  mrlr::jobs::JobSpec spec;
+  mrlr::jobs::RenderInfo info;
+  std::optional<std::string> instance_header;
+};
+
+PreparedJob prepare_job(const Options& o) {
+  using namespace mrlr;
+  const std::string& a = o.algorithm;
+  const jobs::AlgorithmInfo* algo = jobs::find_algorithm(a);
+
+  core::MrParams params;
+  params.mu = o.mu;
+  params.c = o.c;
+  params.seed = o.seed;
+  params.num_threads = o.threads;
+  params.num_shards = o.shards;
+
+  PreparedJob p;
+  if (algo->instance == jobs::JobSpec::InstanceKind::kGraph) {
+    const graph::Graph g = load_graph(o, algo->weighted);
+    if (jobs::prints_instance_header(a)) {
+      const auto st = graph::compute_stats(g);
+      p.instance_header =
+          jobs::render_instance_header(st.n, st.m, st.density_exponent);
+    }
+    p.spec = jobs::graph_job(a, g, params);
+    if (a == "b-matching") {
+      p.spec.extras["b"] = {o.b};
+      p.spec.extras["eps"] = {core::pack_double(o.eps)};
+      p.info.b = o.b;
+      p.info.eps = o.eps;
+    } else if (a == "vertex-cover") {
+      Rng rng(o.seed ^ 0xC0FFEEull);
+      const auto w =
+          graph::random_vertex_weights(g.num_vertices(), o.dist, rng);
+      auto& packed = p.spec.extras["w"];
+      packed.reserve(w.size());
+      for (const double v : w) packed.push_back(core::pack_double(v));
+    } else if (a == "colour-vertex" || a == "luby-colouring" ||
+               a == "colour-edge") {
+      p.info.max_degree = g.max_degree();
+    }
+  } else {
+    const auto sys =
+        load_sets(o, /*many_regime=*/a == "set-cover-greedy");
+    p.spec = jobs::set_system_job(a, sys, params);
+    if (a == "set-cover-greedy") {
+      p.spec.extras["eps"] = {core::pack_double(o.eps)};
+      p.info.eps = o.eps;
+    } else {
+      p.info.max_frequency = sys.max_frequency();
+    }
+  }
+  return p;
+}
+
+void print_result(const PreparedJob& p, const mrlr::jobs::JobResult& r) {
+  if (p.instance_header) std::cout << *p.instance_header << "\n";
+  std::cout << mrlr::jobs::render_solution_line(r, p.info) << "\n"
+            << mrlr::jobs::render_cost_line(r.outcome) << "\n";
+}
+
+int run_serve_cmd(int argc, char** argv) {
+  std::string listen;
+  mrlr::serve::ServeOptions sopts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--listen") {
+      listen = value();
+    } else if (flag == "--budget-words") {
+      sopts.words_budget = std::stoull(value());
+    } else if (flag == "--max-running") {
+      sopts.max_running = std::stoull(value());
+      if (sopts.max_running == 0) {
+        std::cerr << "--max-running must be at least 1\n";
+        return 2;
+      }
+    } else if (flag == "--max-conns") {
+      sopts.max_connections = std::stoull(value());
+    } else {
+      std::cerr << "unknown serve flag " << flag << "\n";
+      usage();
+      return 2;
+    }
+  }
+  if (listen.empty()) {
+    std::cerr << "serve needs --listen [HOST:]PORT\n";
+    usage();
+    return 2;
+  }
+  std::string host;
+  std::uint16_t port = 0;
+  if (!parse_listen(listen, host, port)) return 2;
+  // A client vanishing mid-write must surface as a typed channel error,
+  // not a SIGPIPE kill of the whole daemon.
+  ::signal(SIGPIPE, SIG_IGN);
+  sopts.log = [](const std::string& line) {
+    std::cerr << "[serve] " << line << "\n";
+  };
+  mrlr::serve::ServeDaemon daemon(host, port, std::move(sopts));
+  // Flushed before the accept loop so scripts can wait for the bound
+  // port — with --listen 0 the kernel picks it.
+  std::cout << "serve listening on " << host << ":" << daemon.port()
+            << "\n"
+            << std::flush;
+  daemon.run();
+  return 0;
+}
+
+int run_submit_cmd(int argc, char** argv) {
+  ::signal(SIGPIPE, SIG_IGN);
+
+  // Control requests: submit --shutdown|--stats|--health --connect HP.
+  if (argc >= 3 && argv[2][0] == '-') {
+    const std::string action = argv[2];
+    std::string connect;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+        connect = argv[++i];
+      } else {
+        std::cerr << "unknown submit flag " << argv[i] << "\n";
+        return 2;
+      }
+    }
+    if (connect.empty() ||
+        (action != "--shutdown" && action != "--stats" &&
+         action != "--health")) {
+      usage();
+      return 2;
+    }
+    const auto eps = mrlr::exec::parse_endpoints(connect);
+    mrlr::serve::ServeClient client(eps.front());
+    if (action == "--shutdown") {
+      client.shutdown();
+      std::cout << "daemon shutting down\n";
+    } else if (action == "--stats") {
+      const auto s = client.stats();
+      std::cout << "jobs: submitted=" << s.jobs_submitted
+                << " accepted=" << s.jobs_accepted
+                << " rejected=" << s.jobs_rejected
+                << " completed=" << s.jobs_completed
+                << " failed=" << s.jobs_failed
+                << " cancelled=" << s.jobs_cancelled
+                << " running=" << s.jobs_running
+                << " queued=" << s.jobs_queued << "\n"
+                << "space: budget=" << s.words_budget
+                << " in_use=" << s.words_in_use << "\n"
+                << "uptime_ms=" << s.uptime_ms << "\n";
+    } else {
+      const auto h = client.health();
+      std::cout << "health: " << (h.shutting_down ? "draining" : "ok")
+                << " running=" << h.jobs_running
+                << " uptime_ms=" << h.uptime_ms << "\n";
+    }
+    return 0;
+  }
+
+  // Job submission: same parse as `run`, shifted past "submit".
+  const auto opts = parse(argc - 1, argv + 1);
+  if (!opts || opts->connect.empty() ||
+      !mrlr::jobs::find_algorithm(opts->algorithm)) {
+    if (opts && opts->connect.empty()) {
+      std::cerr << "submit needs --connect HOST:PORT\n";
+    }
+    usage();
+    return 2;
+  }
+  const Options& o = *opts;
+  const PreparedJob p = prepare_job(o);
+
+  const auto eps = mrlr::exec::parse_endpoints(o.connect);
+  mrlr::serve::ServeClient client(eps.front());
+  const mrlr::serve::AdmissionReply admission = client.submit(p.spec);
+  if (!admission.accepted) {
+    std::cerr << "submit rejected ("
+              << mrlr::serve::reject_reason_name(admission.reason)
+              << "): " << admission.message << "\n";
+    // Distinct exit code so scripts can tell a typed rejection from a
+    // usage or transport error.
+    return 3;
+  }
+  const mrlr::serve::ResultReply reply = client.wait_result();
+  if (!reply.ok) {
+    std::cerr << "job " << reply.job_id << " failed: " << reply.error
+              << "\n";
+    return 2;
+  }
+  print_result(p, mrlr::serve::ServeClient::decode_result(reply));
   return 0;
 }
 
@@ -780,16 +1030,6 @@ struct TcpBackendGuard {
   }
 };
 
-void report(const mrlr::core::MrOutcome& outcome) {
-  std::cout << "cost: rounds=" << outcome.rounds
-            << " iterations=" << outcome.iterations
-            << " max_words/machine=" << outcome.max_machine_words
-            << " central_inbox=" << outcome.max_central_inbox
-            << " total_comm=" << outcome.total_communication
-            << " violations=" << outcome.space_violations
-            << (outcome.failed ? "  ** FAILED **" : "") << "\n";
-}
-
 }  // namespace
 
 int run(int argc, char** argv) {
@@ -805,175 +1045,40 @@ int run(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "worker") == 0) {
     return run_worker_cmd(argc, argv);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+    return run_serve_cmd(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "submit") == 0) {
+    return run_submit_cmd(argc, argv);
+  }
   const auto opts = parse(argc, argv);
   if (!opts) {
     usage();
     return 2;
   }
   const Options& o = *opts;
-  // Enable before load_graph so ingestion (io_load) lands in the
-  // profile alongside the rounds it feeds.
-  if (!o.telemetry_out.empty()) mrlr::obs::Telemetry::instance().enable();
-  mrlr::core::MrParams params;
-  params.mu = o.mu;
-  params.c = o.c;
-  params.seed = o.seed;
-  params.num_threads = o.threads;
-  params.num_shards = o.shards;
-
-  using namespace mrlr;
-  const std::string& a = o.algorithm;
-
-  if (a == "matching" || a == "filtering-matching" ||
-      a == "filtering-weighted" || a == "coreset-matching") {
-    const graph::Graph g = load_graph(o, /*weighted=*/true);
-    const auto st = graph::compute_stats(g);
-    std::cout << "instance: n=" << st.n << " m=" << st.m
-              << " c=" << st.density_exponent << "\n";
-    TcpBackendGuard tcp;
-    tcp.install(o, jobs::graph_job(a, g, params));
-    if (a == "matching") {
-      const auto r = core::rlr_matching(g, params);
-      std::cout << "matching: " << r.matching.size() << " edges, weight "
-                << r.weight << ", valid="
-                << graph::is_matching(g, r.matching) << "\n";
-      report(r.outcome);
-    } else if (a == "filtering-matching") {
-      const auto r = baselines::filtering_matching(g, params);
-      std::cout << "matching: " << r.matching.size() << " edges, weight "
-                << r.weight << ", maximal="
-                << graph::is_maximal_matching(g, r.matching) << "\n";
-      report(r.outcome);
-    } else if (a == "filtering-weighted") {
-      const auto r = baselines::filtering_weighted_matching(g, params);
-      std::cout << "matching: " << r.matching.size() << " edges, weight "
-                << r.weight << ", valid="
-                << graph::is_matching(g, r.matching) << "\n";
-      report(r.outcome);
-    } else {
-      const auto r = baselines::coreset_matching(g, params);
-      std::cout << "matching: " << r.matching.size() << " edges, weight "
-                << r.weight << ", coreset union "
-                << r.coreset_union_size << " edges, valid="
-                << graph::is_matching(g, r.matching) << "\n";
-      report(r.outcome);
-    }
-  } else if (a == "b-matching") {
-    const graph::Graph g = load_graph(o, /*weighted=*/true);
-    std::vector<std::uint32_t> b(g.num_vertices(), o.b);
-    TcpBackendGuard tcp;
-    {
-      jobs::JobSpec spec = jobs::graph_job(a, g, params);
-      spec.extras["b"] = {o.b};
-      spec.extras["eps"] = {core::pack_double(o.eps)};
-      tcp.install(o, std::move(spec));
-    }
-    const auto r = core::rlr_b_matching(g, b, o.eps, params);
-    std::cout << "b-matching (b=" << o.b << ", eps=" << o.eps
-              << "): " << r.matching.size() << " edges, weight "
-              << r.weight << ", valid="
-              << graph::is_b_matching(g, r.matching, b) << "\n";
-    report(r.outcome);
-  } else if (a == "vertex-cover") {
-    const graph::Graph g = load_graph(o, /*weighted=*/false);
-    Rng rng(o.seed ^ 0xC0FFEEull);
-    const auto w =
-        graph::random_vertex_weights(g.num_vertices(), o.dist, rng);
-    TcpBackendGuard tcp;
-    {
-      jobs::JobSpec spec = jobs::graph_job(a, g, params);
-      auto& packed = spec.extras["w"];
-      packed.reserve(w.size());
-      for (const double v : w) packed.push_back(core::pack_double(v));
-      tcp.install(o, std::move(spec));
-    }
-    const auto r = core::rlr_vertex_cover(g, w, params);
-    std::cout << "vertex cover: " << r.cover.size() << " vertices, weight "
-              << r.weight << " (certified OPT >= " << r.lower_bound
-              << "), valid=" << graph::is_vertex_cover(g, r.cover) << "\n";
-    report(r.outcome);
-  } else if (a == "set-cover-f") {
-    const auto sys = load_sets(o, /*many_regime=*/false);
-    TcpBackendGuard tcp;
-    tcp.install(o, jobs::set_system_job(a, sys, params));
-    const auto r = core::rlr_set_cover(sys, params);
-    std::cout << "set cover (f=" << sys.max_frequency()
-              << "): " << r.cover.size() << " sets, weight " << r.weight
-              << " (certified OPT >= " << r.lower_bound << "), valid="
-              << setcover::is_cover(sys, r.cover) << "\n";
-    report(r.outcome);
-  } else if (a == "set-cover-greedy") {
-    const auto sys = load_sets(o, /*many_regime=*/true);
-    TcpBackendGuard tcp;
-    {
-      jobs::JobSpec spec = jobs::set_system_job(a, sys, params);
-      spec.extras["eps"] = {core::pack_double(o.eps)};
-      tcp.install(o, std::move(spec));
-    }
-    const auto r = core::greedy_set_cover_mr(sys, o.eps, params);
-    std::cout << "set cover (greedy, eps=" << o.eps
-              << "): " << r.cover.size() << " sets, weight " << r.weight
-              << ", valid=" << setcover::is_cover(sys, r.cover) << "\n";
-    report(r.outcome);
-  } else if (a == "mis" || a == "mis-simple" || a == "luby-mis") {
-    const graph::Graph g = load_graph(o, /*weighted=*/false);
-    TcpBackendGuard tcp;
-    tcp.install(o, jobs::graph_job(a, g, params));
-    if (a == "luby-mis") {
-      const auto r = baselines::luby_mis_mr(g, params);
-      std::cout << "MIS (Luby): " << r.independent_set.size()
-                << " vertices, maximal="
-                << graph::is_maximal_independent_set(g, r.independent_set)
-                << "\n";
-      report(r.outcome);
-    } else {
-      const auto r = (a == "mis") ? core::hungry_mis_improved(g, params)
-                                  : core::hungry_mis_simple(g, params);
-      std::cout << "MIS (" << (a == "mis" ? "Alg 6" : "Alg 2")
-                << "): " << r.independent_set.size()
-                << " vertices, maximal="
-                << graph::is_maximal_independent_set(g, r.independent_set)
-                << "\n";
-      report(r.outcome);
-    }
-  } else if (a == "clique") {
-    const graph::Graph g = load_graph(o, /*weighted=*/false);
-    TcpBackendGuard tcp;
-    tcp.install(o, jobs::graph_job(a, g, params));
-    const auto r = core::hungry_clique(g, params);
-    std::cout << "clique: " << r.clique.size() << " vertices, maximal="
-              << graph::is_maximal_clique(g, r.clique) << "\n";
-    report(r.outcome);
-  } else if (a == "colour-vertex" || a == "luby-colouring") {
-    const graph::Graph g = load_graph(o, /*weighted=*/false);
-    TcpBackendGuard tcp;
-    tcp.install(o, jobs::graph_job(a, g, params));
-    if (a == "colour-vertex") {
-      const auto r = core::mr_vertex_colouring(g, params);
-      std::cout << "vertex colouring: " << r.colours_used
-                << " colours (Delta=" << g.max_degree() << "), proper="
-                << graph::is_proper_vertex_colouring(g, r.colour) << "\n";
-      report(r.outcome);
-    } else {
-      const auto r = baselines::luby_colouring_mr(g, params);
-      std::cout << "vertex colouring (Luby): " << r.colours_used
-                << " colours (Delta=" << g.max_degree() << "), proper="
-                << graph::is_proper_vertex_colouring(g, r.colour) << "\n";
-      report(r.outcome);
-    }
-  } else if (a == "colour-edge") {
-    const graph::Graph g = load_graph(o, /*weighted=*/false);
-    TcpBackendGuard tcp;
-    tcp.install(o, jobs::graph_job(a, g, params));
-    const auto r = core::mr_edge_colouring(g, params);
-    std::cout << "edge colouring: " << r.colours_used
-              << " colours (Delta=" << g.max_degree() << "), proper="
-              << graph::is_proper_edge_colouring(g, r.colour) << "\n";
-    report(r.outcome);
-  } else {
+  if (!mrlr::jobs::find_algorithm(o.algorithm)) {
     usage();
     return 2;
   }
+  if (!o.connect.empty()) {
+    std::cerr << "--connect is a submit flag: mrlr_cli submit "
+              << o.algorithm << " ... --connect HOST:PORT\n";
+    return 2;
+  }
+  // Enable before load_graph so ingestion (io_load) lands in the
+  // profile alongside the rounds it feeds.
+  if (!o.telemetry_out.empty()) mrlr::obs::Telemetry::instance().enable();
+
+  // One path for every algorithm: build the spec, run it through the
+  // same run_job the worker registry and the serve daemon use, render
+  // the JobResult. `submit` replays the exact same pipeline with the
+  // execution on the other side of a socket.
+  const PreparedJob p = prepare_job(o);
+  TcpBackendGuard tcp;
+  tcp.install(o, p.spec);
+  const mrlr::jobs::JobResult r = mrlr::jobs::run_job(p.spec);
+  print_result(p, r);
   write_telemetry_if_requested(o.telemetry_out, o.telemetry_format);
   return 0;
 }
